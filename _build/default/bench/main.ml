@@ -1,0 +1,138 @@
+(* Benchmark harness: regenerates every figure of the paper (printing the
+   same rows/series the paper plots) and then times one representative unit
+   of work per experiment with Bechamel.
+
+   Run: dune exec bench/main.exe
+   Skip the micro-benchmarks with: dune exec bench/main.exe -- --no-bechamel *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+let experiments () =
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "================================================@.";
+  Format.fprintf ppf "colcache: paper experiment regeneration@.";
+  Format.fprintf ppf "================================================@.@.";
+  Colcache.Experiments.run_all ppf;
+  Format.pp_print_flush ppf ()
+
+(* Reduced-size workloads so each Bechamel sample stays small; the full-size
+   runs are the printed series above. *)
+
+let bench_fig3 () = ignore (Colcache.Experiments.Fig3.run ())
+
+let mpeg =
+  lazy
+    (Colcache.Pipeline.make ~init:Workloads.Mpeg.init
+       ~cache:(Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ())
+       Workloads.Mpeg.program)
+
+let bench_fig4_routine proc () =
+  let t = Lazy.force mpeg in
+  ignore
+    (Colcache.Pipeline.run_partitioned t ~proc ~scratchpad_columns:2
+       ~meth:Colcache.Pipeline.Profile_based)
+
+let bench_fig4d () =
+  let t = Lazy.force mpeg in
+  ignore
+    (Colcache.Pipeline.run_static_app t ~procs:Workloads.Mpeg.routines
+       ~scratchpad_columns:2 ~meth:Colcache.Pipeline.Profile_based)
+
+let bench_fig5 () =
+  ignore
+    (Colcache.Experiments.Fig5.run ~quanta:[ 1024 ] ~cache_kbs:[ 16 ]
+       ~input_len:2048 ())
+
+let bench_ablation_policy () =
+  let t = Lazy.force mpeg in
+  ignore
+    (Colcache.Pipeline.run_partitioned t ~proc:"plus" ~scratchpad_columns:1
+       ~meth:Colcache.Pipeline.Profile_based)
+
+let bench_ablation_columns () =
+  ignore (Colcache.Experiments.Ablation_columns.run ~columns_list:[ 2 ] ())
+
+let bench_ablation_weights () =
+  let t = Lazy.force mpeg in
+  ignore
+    (Colcache.Pipeline.run_partitioned t ~proc:"dequant" ~scratchpad_columns:1
+       ~meth:Colcache.Pipeline.Program_analysis)
+
+let bench_ablation_tlb () =
+  ignore
+    (Colcache.Experiments.Ablation_tlb.run ~quanta:[ 4096 ] ~sizes:[ 32 ]
+       ~input_len:2048 ())
+
+let bench_ablation_grouping () =
+  ignore (Colcache.Experiments.Ablation_grouping.run ())
+
+let bench_ablation_page_coloring () =
+  ignore (Colcache.Experiments.Ablation_page_coloring.run ())
+
+let bench_ablation_l2 () = ignore (Colcache.Experiments.Ablation_l2.run ())
+
+let bench_ablation_prefetch () =
+  ignore (Colcache.Experiments.Ablation_prefetch.run ())
+
+let bench_generality () = ignore (Colcache.Experiments.Generality.run ())
+
+let bench_ablation_optimizer () =
+  ignore (Ir.Optimize.optimize Workloads.Mpeg.program)
+
+let tests =
+  Test.make_grouped ~name:"colcache"
+    [
+      Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);
+      Test.make ~name:"fig4a_dequant" (Staged.stage (bench_fig4_routine "dequant"));
+      Test.make ~name:"fig4b_plus" (Staged.stage (bench_fig4_routine "plus"));
+      Test.make ~name:"fig4c_idct" (Staged.stage (bench_fig4_routine "idct"));
+      Test.make ~name:"fig4d_combined" (Staged.stage bench_fig4d);
+      Test.make ~name:"fig5_multitask" (Staged.stage bench_fig5);
+      Test.make ~name:"ablation_policy" (Staged.stage bench_ablation_policy);
+      Test.make ~name:"ablation_columns" (Staged.stage bench_ablation_columns);
+      Test.make ~name:"ablation_weights" (Staged.stage bench_ablation_weights);
+      Test.make ~name:"ablation_tlb" (Staged.stage bench_ablation_tlb);
+      Test.make ~name:"ablation_grouping" (Staged.stage bench_ablation_grouping);
+      Test.make ~name:"ablation_page_coloring"
+        (Staged.stage bench_ablation_page_coloring);
+      Test.make ~name:"ablation_l2" (Staged.stage bench_ablation_l2);
+      Test.make ~name:"ablation_prefetch" (Staged.stage bench_ablation_prefetch);
+      Test.make ~name:"generality_jpeg" (Staged.stage bench_generality);
+      Test.make ~name:"ablation_optimizer" (Staged.stage bench_ablation_optimizer);
+    ]
+
+let run_bechamel () =
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        let est =
+          match Analyze.OLS.estimates o with
+          | Some [ e ] -> e
+          | Some _ | None -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.printf "@.Bechamel timings (monotonic clock):@.";
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Format.printf "  %-40s (no estimate)@." name
+      else Format.printf "  %-40s %12.0f ns/run@." name est)
+    rows
+
+let () =
+  let args = Array.to_list Sys.argv in
+  experiments ();
+  if not (List.mem "--no-bechamel" args) then
+    try run_bechamel ()
+    with exn ->
+      Format.printf "bechamel reporting failed: %s@." (Printexc.to_string exn)

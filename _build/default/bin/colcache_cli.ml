@@ -1,0 +1,347 @@
+(* colcache: command-line driver for the column-caching reproduction.
+
+   Subcommands map one-to-one onto the paper's experiments plus a few
+   inspection tools:
+
+     colcache fig3                Figure 3 remap-cost comparison
+     colcache fig4                Figure 4(a-c) per-routine partition sweeps
+     colcache fig4d               Figure 4(d) static vs dynamic partitioning
+     colcache fig5                Figure 5 multitasking CPI sweep
+     colcache ablations           the DESIGN.md ablations
+     colcache all                 everything above
+     colcache dynamic             run the per-routine schedule, show remap costs
+     colcache layout  <routine>   show the computed placement for a routine
+     colcache simulate <routine>  run one routine under a chosen partition
+     colcache trace   <routine>   dump the head of a routine's memory trace *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let meth_conv =
+  let parse = function
+    | "profile" -> Ok Colcache.Pipeline.Profile_based
+    | "analysis" -> Ok Colcache.Pipeline.Program_analysis
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S (profile|analysis)" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | Colcache.Pipeline.Profile_based -> "profile"
+      | Colcache.Pipeline.Program_analysis -> "analysis")
+  in
+  Arg.conv (parse, print)
+
+let meth_arg =
+  Arg.(
+    value
+    & opt meth_conv Colcache.Pipeline.Profile_based
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Weight method: $(b,profile) (run and measure) or $(b,analysis) \
+              (estimate from the IF).")
+
+let routine_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ROUTINE"
+        ~doc:"Routine name: dequant/plus/idct (mpeg) or               color_convert/fdct/quant_zigzag (jpeg).")
+
+let app_arg =
+  Arg.(
+    value
+    & opt (enum [ ("mpeg", `Mpeg); ("jpeg", `Jpeg) ]) `Mpeg
+    & info [ "a"; "app" ] ~docv:"APP" ~doc:"Application: $(b,mpeg) or $(b,jpeg).")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Run the front-end optimizer (fold, DCE, hoisting) first.")
+
+let scratch_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "s"; "scratchpad-columns" ] ~docv:"N"
+        ~doc:"Columns reserved as scratchpad (0-4).")
+
+let mpeg_pipeline () =
+  Colcache.Pipeline.make ~init:Workloads.Mpeg.init
+    ~cache:(Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ())
+    Workloads.Mpeg.program
+
+(* Pipeline + routine validation for the app chosen on the command line. *)
+let app_pipeline app ~optimize ~routine =
+  let program, init, routines =
+    match app with
+    | `Mpeg -> (Workloads.Mpeg.program, Workloads.Mpeg.init, Workloads.Mpeg.routines)
+    | `Jpeg -> (Workloads.Jpeg.program, Workloads.Jpeg.init, Workloads.Jpeg.routines)
+  in
+  if not (List.mem routine routines) then begin
+    Format.eprintf "colcache: unknown routine %S; expected one of: %s@."
+      routine
+      (String.concat ", " routines);
+    exit 124
+  end;
+  let program = if optimize then Ir.Optimize.optimize program else program in
+  Colcache.Pipeline.make ~init
+    ~cache:(Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ())
+    program
+
+let fig3_cmd =
+  let run () = Colcache.Experiments.Fig3.print ppf (Colcache.Experiments.Fig3.run ()) in
+  Cmd.v (Cmd.info "fig3" ~doc:"Tints vs raw bit vectors remap cost (Figure 3).")
+    Term.(const run $ const ())
+
+let fig4_cmd =
+  let run meth =
+    Colcache.Experiments.Fig4_routines.print ppf
+      (Colcache.Experiments.Fig4_routines.run ~meth ())
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Per-routine scratchpad/cache sweeps (Figure 4 a-c).")
+    Term.(const run $ meth_arg)
+
+let fig4d_cmd =
+  let run meth =
+    Colcache.Experiments.Fig4_combined.print ppf
+      (Colcache.Experiments.Fig4_combined.run ~meth ())
+  in
+  Cmd.v
+    (Cmd.info "fig4d" ~doc:"Whole application, static vs dynamic (Figure 4d).")
+    Term.(const run $ meth_arg)
+
+let fig5_cmd =
+  let input_len =
+    Arg.(
+      value & opt int 12288
+      & info [ "input-len" ] ~docv:"BYTES" ~doc:"Input size per gzip job.")
+  in
+  let run input_len =
+    Colcache.Experiments.Fig5.print ppf
+      (Colcache.Experiments.Fig5.run ~input_len ())
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Multitasking CPI vs time quantum (Figure 5).")
+    Term.(const run $ input_len)
+
+let ablations_cmd =
+  let run () =
+    Colcache.Experiments.Ablation_policy.print ppf
+      (Colcache.Experiments.Ablation_policy.run ());
+    Colcache.Experiments.Ablation_columns.print ppf
+      (Colcache.Experiments.Ablation_columns.run ());
+    Colcache.Experiments.Ablation_weights.print ppf
+      (Colcache.Experiments.Ablation_weights.run ());
+    Colcache.Experiments.Ablation_grouping.print ppf
+      (Colcache.Experiments.Ablation_grouping.run ());
+    Colcache.Experiments.Ablation_page_coloring.print ppf
+      (Colcache.Experiments.Ablation_page_coloring.run ());
+    Colcache.Experiments.Ablation_l2.print ppf
+      (Colcache.Experiments.Ablation_l2.run ());
+    Colcache.Experiments.Ablation_prefetch.print ppf
+      (Colcache.Experiments.Ablation_prefetch.run ());
+    Colcache.Experiments.Ablation_tlb.print ppf
+      (Colcache.Experiments.Ablation_tlb.run ());
+    Colcache.Experiments.Ablation_optimizer.print ppf
+      (Colcache.Experiments.Ablation_optimizer.run ())
+  in
+  Cmd.v (Cmd.info "ablations" ~doc:"Design ablations from DESIGN.md.")
+    Term.(const run $ const ())
+
+let export_cmd =
+  let dir =
+    Arg.(
+      value & opt string "results"
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Output directory for CSV files.")
+  in
+  let run dir =
+    Colcache.Csv_export.write_all ~dir;
+    Format.fprintf ppf "wrote CSV series to %s/@." dir
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Run every experiment and write its data series as CSV files.")
+    Term.(const run $ dir)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
+    Term.(const (fun () -> Colcache.Experiments.run_all ppf) $ const ())
+
+let dynamic_cmd =
+  let run meth =
+    let t = mpeg_pipeline () in
+    let stats, transitions =
+      Colcache.Pipeline.run_dynamic_detailed t ~procs:Workloads.Mpeg.routines
+        ~meth
+    in
+    List.iter
+      (fun tr -> Format.fprintf ppf "%a@." Layout.Dynamic.pp_transition tr)
+      transitions;
+    Format.fprintf ppf "@.%a@." Machine.Run_stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "dynamic"
+       ~doc:
+         "Run the dynamically repartitioned schedule (Section 3.2) and show           what each phase boundary cost.")
+    Term.(const run $ meth_arg)
+
+let layout_cmd =
+  let run app optimize routine scratch meth =
+    let t = app_pipeline app ~optimize ~routine in
+    let part =
+      Colcache.Pipeline.partition t ~proc:routine ~scratchpad_columns:scratch
+        ~meth
+    in
+    Format.fprintf ppf "%a@." Layout.Partition.pp part
+  in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:"Show the data layout the algorithm computes for a routine.")
+    Term.(const run $ app_arg $ optimize_arg $ routine_arg $ scratch_arg $ meth_arg)
+
+let simulate_cmd =
+  let run app optimize routine scratch meth =
+    let t = app_pipeline app ~optimize ~routine in
+    let stats, part =
+      Colcache.Pipeline.run_partitioned t ~proc:routine
+        ~scratchpad_columns:scratch ~meth
+    in
+    Format.fprintf ppf "%a@.@.%a@." Layout.Partition.pp part
+      Machine.Run_stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Lay a routine out and replay it on the machine model.")
+    Term.(const run $ app_arg $ optimize_arg $ routine_arg $ scratch_arg $ meth_arg)
+
+let trace_cmd =
+  let count =
+    Arg.(
+      value & opt int 32
+      & info [ "n" ] ~docv:"COUNT" ~doc:"Number of accesses to print.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also save the whole trace to FILE (colcache-trace v1 format).")
+  in
+  let run app optimize routine count out =
+    let t = app_pipeline app ~optimize ~routine in
+    let trace = Colcache.Pipeline.trace_of t ~proc:routine in
+    Format.fprintf ppf "%d accesses, %d instructions; first %d:@."
+      (Memtrace.Trace.length trace)
+      (Memtrace.Trace.instructions trace)
+      count;
+    let n = min count (Memtrace.Trace.length trace) in
+    for i = 0 to n - 1 do
+      Format.fprintf ppf "%a@." Memtrace.Access.pp (Memtrace.Trace.get trace i)
+    done;
+    match out with
+    | None -> ()
+    | Some path ->
+        Memtrace.Trace_file.save ~path trace;
+        Format.fprintf ppf "saved to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump (and optionally save) a routine's memory trace.")
+    Term.(const run $ app_arg $ optimize_arg $ routine_arg $ count $ out)
+
+let check_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"IF program source (see Ir.Parse).")
+  in
+  let run file =
+    match Ir.Parse.program_of_file file with
+    | p ->
+        Format.fprintf ppf "%s: OK (%d variables, %d procedures)@." file
+          (List.length p.Ir.Ast.vars)
+          (List.length p.Ir.Ast.procs)
+    | exception Ir.Parse.Parse_error { line; message } ->
+        Format.eprintf "%s:%d: %s@." file line message;
+        exit 1
+    | exception Ir.Ast.Invalid_program message ->
+        Format.eprintf "%s: invalid program: %s@." file message;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate an IF program file.")
+    Term.(const run $ file)
+
+let runfile_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"IF program source (see Ir.Parse).")
+  in
+  let proc =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"PROC" ~doc:"Procedure to lay out and run.")
+  in
+  let run file proc scratch meth optimize =
+    let program = Ir.Parse.program_of_file file in
+    let program = if optimize then Ir.Optimize.optimize program else program in
+    let t =
+      Colcache.Pipeline.make
+        ~cache:(Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ())
+        program
+    in
+    let stats, part =
+      Colcache.Pipeline.run_partitioned t ~proc ~scratchpad_columns:scratch
+        ~meth
+    in
+    Format.fprintf ppf "%a@.@.%a@." Layout.Partition.pp part
+      Machine.Run_stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "runfile"
+       ~doc:
+         "Parse an IF program from a file, lay one of its procedures out on           the 2 KB column cache, and simulate it (data zero-initialised).")
+    Term.(const run $ file $ proc $ scratch_arg $ meth_arg $ optimize_arg)
+
+let replay_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (colcache-trace v1).")
+  in
+  let size =
+    Arg.(
+      value & opt int 2048
+      & info [ "size" ] ~docv:"BYTES" ~doc:"Cache size in bytes.")
+  in
+  let ways =
+    Arg.(value & opt int 4 & info [ "ways" ] ~docv:"N" ~doc:"Columns (ways).")
+  in
+  let run file size ways =
+    let trace = Memtrace.Trace_file.load ~path:file in
+    let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:size ~ways () in
+    let system = Machine.System.create (Machine.System.config cache) in
+    let stats = Machine.System.run system trace in
+    Format.fprintf ppf "%a@." Machine.Run_stats.pp stats
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a saved trace against a chosen cache geometry.")
+    Term.(const run $ file $ size $ ways)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "colcache" ~version:"1.0.0"
+       ~doc:
+         "Application-specific memory management with software-controlled \
+          (column) caches — reproduction of Chiou et al., DAC 2000.")
+    [
+      fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
+      export_cmd;
+      dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd;
+      check_cmd; runfile_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

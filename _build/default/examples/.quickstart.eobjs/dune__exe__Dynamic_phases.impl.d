@@ -1,0 +1,1 @@
+examples/dynamic_phases.ml: Cache Colcache Format Layout List Machine Workloads

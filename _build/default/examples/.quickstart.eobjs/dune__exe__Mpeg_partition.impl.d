@@ -1,0 +1,1 @@
+examples/mpeg_partition.ml: Cache Colcache Format Layout List Machine Memtrace Profile Workloads

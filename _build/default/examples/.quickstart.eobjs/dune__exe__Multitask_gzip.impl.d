@@ -1,0 +1,1 @@
+examples/multitask_gzip.ml: Cache Format List Machine Sched Vm Workloads

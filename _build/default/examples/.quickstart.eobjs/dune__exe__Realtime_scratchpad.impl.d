@@ -1,0 +1,1 @@
+examples/realtime_scratchpad.ml: Cache Colcache Format Layout Machine Memtrace Vm Workloads

@@ -1,0 +1,52 @@
+(* The full compiler pipeline on an MPEG routine, step by step:
+
+     IF program  --interpret-->  tagged memory trace
+                 --profile--->   lifetimes + conflict weights
+                 --color----->   variable -> column assignment
+                 --configure->   tints, tint table, preloads
+                 --simulate-->   cycle counts
+
+   Run with: dune exec examples/mpeg_partition.exe *)
+
+let () =
+  let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+  let t =
+    Colcache.Pipeline.make ~init:Workloads.Mpeg.init ~cache
+      Workloads.Mpeg.program
+  in
+  let proc = "dequant" in
+
+  (* 1. Profile: run the routine and extract per-variable lifetimes. *)
+  let trace = Colcache.Pipeline.trace_of t ~proc in
+  Format.printf "== profile of %s ==@." proc;
+  Format.printf "%d accesses over %d instructions@.@." (Memtrace.Trace.length trace)
+    (Memtrace.Trace.instructions trace);
+  List.iter
+    (fun (var, s) ->
+      Format.printf "  %-12s %a@." var Profile.Lifetime.pp_summary s)
+    (Profile.Lifetime.of_trace trace);
+
+  (* 2. Lay the routine out for every scratchpad/cache split and watch the
+        placement and the cycle count move. *)
+  Format.printf "@.== layouts and cycle counts ==@.";
+  List.iter
+    (fun scratchpad_columns ->
+      let stats, part =
+        Colcache.Pipeline.run_partitioned t ~proc ~scratchpad_columns
+          ~meth:Colcache.Pipeline.Profile_based
+      in
+      Format.printf "@.--- %d scratchpad / %d cache columns: %d cycles ---@."
+        scratchpad_columns
+        (4 - scratchpad_columns)
+        stats.Machine.Run_stats.cycles;
+      Format.printf "%a@." Layout.Partition.pp part)
+    [ 0; 2; 4 ];
+
+  (* 3. The whole point: the best split is discovered automatically. *)
+  let best_p, best =
+    Colcache.Pipeline.best_split t ~proc ~meth:Colcache.Pipeline.Profile_based
+  in
+  Format.printf
+    "@.best split for %s: %d scratchpad column(s) at %d cycles (CPI %.3f)@."
+    proc best_p best.Machine.Run_stats.cycles
+    (Machine.Run_stats.cpi best)

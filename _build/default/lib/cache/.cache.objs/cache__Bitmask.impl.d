@@ -1,0 +1,1 @@
+lib/cache/bitmask.ml: Format Int List Printf String

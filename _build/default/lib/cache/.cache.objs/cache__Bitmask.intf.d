@@ -1,0 +1,1 @@
+lib/cache/bitmask.mli: Format

@@ -1,0 +1,1 @@
+lib/cache/column_cache.ml: Bitmask Memtrace Sassoc Stats

@@ -1,0 +1,1 @@
+lib/cache/column_cache.mli: Bitmask Memtrace Sassoc Stats

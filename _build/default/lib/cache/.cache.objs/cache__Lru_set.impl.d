@@ -1,0 +1,1 @@
+lib/cache/lru_set.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/cache/policy.ml: Array Bitmask Bytes Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/cache/sassoc.ml: Array Bitmask Bytes Hashtbl Lru_set Memtrace Policy Stats

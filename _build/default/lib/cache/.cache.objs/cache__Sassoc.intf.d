@@ -1,0 +1,1 @@
+lib/cache/sassoc.mli: Bitmask Memtrace Policy Stats

@@ -1,0 +1,1 @@
+lib/cache/stats.ml: Array Format

@@ -1,0 +1,1 @@
+lib/cache/stats.mli: Format

@@ -1,0 +1,80 @@
+type t = int
+
+let max_columns = 62
+
+let check_col c =
+  if c < 0 || c >= max_columns then
+    invalid_arg (Printf.sprintf "Bitmask: column %d out of range" c)
+
+let empty = 0
+
+let full ~n =
+  if n < 0 || n > max_columns then invalid_arg "Bitmask.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton c =
+  check_col c;
+  1 lsl c
+
+let add t c =
+  check_col c;
+  t lor (1 lsl c)
+
+let of_list cols = List.fold_left add empty cols
+
+let to_list t =
+  let rec loop c acc =
+    if c < 0 then acc
+    else loop (c - 1) (if t land (1 lsl c) <> 0 then c :: acc else acc)
+  in
+  loop (max_columns - 1) []
+
+let range ~lo ~hi =
+  if lo > hi then empty
+  else begin
+    check_col lo;
+    check_col hi;
+    ((1 lsl (hi - lo + 1)) - 1) lsl lo
+  end
+
+let remove t c =
+  check_col c;
+  t land lnot (1 lsl c)
+
+let mem t c = c >= 0 && c < max_columns && t land (1 lsl c) <> 0
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let complement ~n t = full ~n land lnot t
+let is_empty t = t = 0
+
+let count t =
+  let rec loop t acc = if t = 0 then acc else loop (t lsr 1) (acc + (t land 1)) in
+  loop t 0
+
+let subset a b = a land lnot b = 0
+
+let min_elt t =
+  if t = 0 then raise Not_found;
+  let rec loop c = if t land (1 lsl c) <> 0 then c else loop (c + 1) in
+  loop 0
+
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list t)))
+
+let to_string ~n t =
+  String.init n (fun c -> if mem t c then '1' else '0')
+
+let of_string s =
+  let t = ref empty in
+  String.iteri
+    (fun c ch ->
+      match ch with
+      | '1' -> t := add !t c
+      | '0' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Bitmask.of_string: %S" s))
+    s;
+  !t

@@ -1,0 +1,22 @@
+type t = {
+  cache : Sassoc.t;
+  mutable mask_of : int -> Bitmask.t;
+}
+
+let create cfg ~mask_of = { cache = Sassoc.create cfg; mask_of }
+
+let standard cfg =
+  let full = Bitmask.full ~n:cfg.Sassoc.ways in
+  create cfg ~mask_of:(fun _ -> full)
+
+let cache t = t.cache
+let set_mask_of t mask_of = t.mask_of <- mask_of
+
+let access t (a : Memtrace.Access.t) =
+  Sassoc.access t.cache ~mask:(t.mask_of a.addr) ~kind:a.kind a.addr
+
+let run t trace =
+  Memtrace.Trace.iter (fun a -> ignore (access t a)) trace;
+  Stats.copy (Sassoc.stats t.cache)
+
+let stats t = Sassoc.stats t.cache

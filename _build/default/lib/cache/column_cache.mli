@@ -1,0 +1,25 @@
+(** A set-associative cache bound to a software mapping function.
+
+    This is the minimal "column cache" composition: each access resolves its
+    column mask through [mask_of] (in the full system that function is a TLB
+    lookup — see {!module:Vm} and {!module:Machine}); the mask then restricts
+    victim choice in the underlying {!Sassoc.t}. *)
+
+type t
+
+val create : Sassoc.config -> mask_of:(int -> Bitmask.t) -> t
+(** [mask_of addr] must return a non-empty mask for every address. *)
+
+val standard : Sassoc.config -> t
+(** All addresses map to all columns: a plain set-associative cache. *)
+
+val cache : t -> Sassoc.t
+val set_mask_of : t -> (int -> Bitmask.t) -> unit
+(** Swap the mapping, modelling an instantaneous remap (Section 2.2). Cached
+    data is deliberately left in place: it migrates lazily on replacement. *)
+
+val access : t -> Memtrace.Access.t -> Sassoc.result
+val run : t -> Memtrace.Trace.t -> Stats.t
+(** Replay a whole trace; returns a copy of the cumulative statistics. *)
+
+val stats : t -> Stats.t

@@ -1,0 +1,94 @@
+(* Doubly-linked list over slot indices, plus a key -> slot table. Slot -1 is
+   the nil sentinel. [head] is the most recently used slot. *)
+type t = {
+  capacity : int;
+  keys : int array;
+  prev : int array;
+  next : int array;
+  index : (int, int) Hashtbl.t;
+  mutable head : int;
+  mutable tail : int;
+  mutable free : int list;
+  mutable length : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru_set.create: capacity must be positive";
+  {
+    capacity;
+    keys = Array.make capacity 0;
+    prev = Array.make capacity (-1);
+    next = Array.make capacity (-1);
+    index = Hashtbl.create (2 * capacity);
+    head = -1;
+    tail = -1;
+    free = List.init capacity (fun i -> i);
+    length = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.length
+let mem t key = Hashtbl.mem t.index key
+
+let unlink t slot =
+  let p = t.prev.(slot) and n = t.next.(slot) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+let push_front t slot =
+  t.prev.(slot) <- -1;
+  t.next.(slot) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- slot;
+  t.head <- slot;
+  if t.tail < 0 then t.tail <- slot
+
+let touch t key =
+  match Hashtbl.find_opt t.index key with
+  | Some slot ->
+      if t.head <> slot then begin
+        unlink t slot;
+        push_front t slot
+      end;
+      `Hit
+  | None ->
+      let evicted, slot =
+        match t.free with
+        | slot :: rest ->
+            t.free <- rest;
+            (None, slot)
+        | [] ->
+            let victim = t.tail in
+            let victim_key = t.keys.(victim) in
+            unlink t victim;
+            Hashtbl.remove t.index victim_key;
+            t.length <- t.length - 1;
+            (Some victim_key, victim)
+      in
+      t.keys.(slot) <- key;
+      Hashtbl.replace t.index key slot;
+      push_front t slot;
+      t.length <- t.length + 1;
+      `Miss evicted
+
+let remove t key =
+  match Hashtbl.find_opt t.index key with
+  | None -> false
+  | Some slot ->
+      unlink t slot;
+      Hashtbl.remove t.index key;
+      t.free <- slot :: t.free;
+      t.length <- t.length - 1;
+      true
+
+let clear t =
+  Hashtbl.reset t.index;
+  t.head <- -1;
+  t.tail <- -1;
+  t.free <- List.init t.capacity (fun i -> i);
+  t.length <- 0
+
+let to_list t =
+  let rec loop slot acc =
+    if slot < 0 then List.rev acc else loop t.next.(slot) (t.keys.(slot) :: acc)
+  in
+  loop t.head []

@@ -1,0 +1,23 @@
+(** Fixed-capacity LRU set of integer keys with O(1) touch.
+
+    Used as the shadow fully-associative cache for three-C miss
+    classification and as the TLB's entry store. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val length : t -> int
+val mem : t -> int -> bool
+
+val touch : t -> int -> [ `Hit | `Miss of int option ]
+(** Promote the key to most-recently-used, inserting it if absent. On an
+    insertion that overflows capacity, the least-recently-used key is evicted
+    and returned as [`Miss (Some evicted)]. *)
+
+val remove : t -> int -> bool
+(** Returns whether the key was present. *)
+
+val clear : t -> unit
+val to_list : t -> int list
+(** Keys from most- to least-recently used. *)

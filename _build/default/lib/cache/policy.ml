@@ -1,0 +1,132 @@
+type kind =
+  | Lru
+  | Fifo
+  | Bit_plru
+  | Random of int
+
+let kind_to_string = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Bit_plru -> "plru"
+  | Random s -> Printf.sprintf "random:%d" s
+
+let kind_of_string s =
+  match String.split_on_char ':' s with
+  | [ "lru" ] -> Some Lru
+  | [ "fifo" ] -> Some Fifo
+  | [ "plru" ] -> Some Bit_plru
+  | [ "random" ] -> Some (Random 42)
+  | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some s -> Some (Random s)
+      | None -> None)
+  | _ -> None
+
+let all_kinds = [ Lru; Fifo; Bit_plru; Random 42 ]
+
+type t = {
+  kind : kind;
+  ways : int;
+  (* timestamps: last-use time for LRU, fill time for FIFO. mru_bits: bit-PLRU
+     state. rng: xorshift64* state for Random. *)
+  stamps : int array;
+  mru : Bytes.t;
+  mutable clock : int;
+  mutable rng : int64;
+}
+
+let create kind ~sets ~ways =
+  if sets <= 0 || ways <= 0 then invalid_arg "Policy.create";
+  let seed = match kind with Random s when s <> 0 -> s | Random _ -> 1 | _ -> 1 in
+  {
+    kind;
+    ways;
+    stamps = Array.make (sets * ways) 0;
+    mru = Bytes.make (sets * ways) '\000';
+    clock = 0;
+    rng = Int64.of_int seed;
+  }
+
+let kind t = t.kind
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let slot t ~set ~way = (set * t.ways) + way
+
+let touch_plru t ~set ~way =
+  Bytes.set t.mru (slot t ~set ~way) '\001';
+  (* When every way of the set is marked MRU, reset all but the newest. *)
+  let all_set = ref true in
+  for w = 0 to t.ways - 1 do
+    if Bytes.get t.mru (slot t ~set ~way:w) = '\000' then all_set := false
+  done;
+  if !all_set then
+    for w = 0 to t.ways - 1 do
+      if w <> way then Bytes.set t.mru (slot t ~set ~way:w) '\000'
+    done
+
+let on_hit t ~set ~way =
+  match t.kind with
+  | Lru -> t.stamps.(slot t ~set ~way) <- tick t
+  | Fifo -> ()
+  | Bit_plru -> touch_plru t ~set ~way
+  | Random _ -> ()
+
+let on_fill t ~set ~way =
+  match t.kind with
+  | Lru | Fifo -> t.stamps.(slot t ~set ~way) <- tick t
+  | Bit_plru -> touch_plru t ~set ~way
+  | Random _ -> ()
+
+let next_random t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL)
+
+let allowed_ways t ~allowed =
+  let rec loop w acc =
+    if w < 0 then acc
+    else loop (w - 1) (if Bitmask.mem allowed w then w :: acc else acc)
+  in
+  loop (t.ways - 1) []
+
+let victim t ~set ~allowed ~valid =
+  let candidates = allowed_ways t ~allowed in
+  if candidates = [] then invalid_arg "Policy.victim: empty column mask";
+  match List.find_opt (fun w -> not (valid w)) candidates with
+  | Some w -> w
+  | None -> (
+      match t.kind with
+      | Lru | Fifo ->
+          let best w acc =
+            match acc with
+            | None -> Some w
+            | Some b ->
+                if t.stamps.(slot t ~set ~way:w) < t.stamps.(slot t ~set ~way:b)
+                then Some w
+                else acc
+          in
+          begin
+            match List.fold_right best candidates None with
+            | Some w -> w
+            | None -> assert false
+          end
+      | Bit_plru -> (
+          (* First allowed way whose MRU bit is clear; if all are set (can
+             happen when the mask excludes the way whose reset kept a zero),
+             fall back to the first candidate. *)
+          match
+            List.find_opt
+              (fun w -> Bytes.get t.mru (slot t ~set ~way:w) = '\000')
+              candidates
+          with
+          | Some w -> w
+          | None -> List.nth candidates 0)
+      | Random _ ->
+          let n = List.length candidates in
+          List.nth candidates (next_random t mod n))

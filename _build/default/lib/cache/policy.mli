@@ -1,0 +1,31 @@
+(** Replacement policies for the set-associative cache.
+
+    The column cache's only change relative to a standard cache is that the
+    victim must be chosen {e within} a software-supplied column mask; every
+    policy here therefore takes an [allowed] mask. Invalid (empty) ways inside
+    the mask are always preferred over evicting live data. *)
+
+type kind =
+  | Lru  (** true least-recently-used via per-way timestamps *)
+  | Fifo  (** oldest fill wins *)
+  | Bit_plru  (** MRU-bit pseudo-LRU, as found in embedded cores *)
+  | Random of int  (** seeded xorshift; the argument is the seed *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+(** One representative of each constructor (Random is seeded with 42). *)
+
+(** Mutable per-cache replacement state. *)
+type t
+
+val create : kind -> sets:int -> ways:int -> t
+val kind : t -> kind
+
+val on_hit : t -> set:int -> way:int -> unit
+val on_fill : t -> set:int -> way:int -> unit
+
+val victim : t -> set:int -> allowed:Bitmask.t -> valid:(int -> bool) -> int
+(** Choose the way to evict in [set], restricted to [allowed]. Prefers an
+    invalid allowed way. Raises [Invalid_argument] if [allowed] selects no
+    way of the cache. *)

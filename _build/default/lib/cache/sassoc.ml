@@ -1,0 +1,217 @@
+type config = {
+  line_size : int;
+  sets : int;
+  ways : int;
+  policy : Policy.kind;
+  classify : bool;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate_config c =
+  if not (is_power_of_two c.line_size) then
+    invalid_arg "Sassoc: line_size must be a power of two";
+  if not (is_power_of_two c.sets) then
+    invalid_arg "Sassoc: sets must be a power of two";
+  if c.ways < 1 || c.ways > Bitmask.max_columns then
+    invalid_arg "Sassoc: ways out of range"
+
+let config ?(line_size = 16) ?(policy = Policy.Lru) ?(classify = false)
+    ~size_bytes ~ways () =
+  if ways <= 0 then invalid_arg "Sassoc.config: ways must be positive";
+  if size_bytes mod (line_size * ways) <> 0 then
+    invalid_arg "Sassoc.config: size not divisible by line_size * ways";
+  let sets = size_bytes / (line_size * ways) in
+  let c = { line_size; sets; ways; policy; classify } in
+  validate_config c;
+  c
+
+let config_size_bytes c = c.line_size * c.sets * c.ways
+let column_size_bytes c = c.line_size * c.sets
+
+type result =
+  | Hit of { way : int }
+  | Miss of { way : int; evicted_line : int option }
+
+type t = {
+  cfg : config;
+  tags : int array;  (* sets * ways *)
+  valid : Bytes.t;
+  dirty : Bytes.t;
+  policy : Policy.t;
+  stats : Stats.t;
+  seen_lines : (int, unit) Hashtbl.t;  (* for cold-miss detection *)
+  shadow : Lru_set.t option;  (* fully-associative same-capacity LRU *)
+}
+
+let create cfg =
+  validate_config cfg;
+  let n = cfg.sets * cfg.ways in
+  {
+    cfg;
+    tags = Array.make n 0;
+    valid = Bytes.make n '\000';
+    dirty = Bytes.make n '\000';
+    policy = Policy.create cfg.policy ~sets:cfg.sets ~ways:cfg.ways;
+    stats = Stats.create ~ways:cfg.ways;
+    seen_lines = (if cfg.classify then Hashtbl.create 4096 else Hashtbl.create 1);
+    shadow = (if cfg.classify then Some (Lru_set.create ~capacity:n) else None);
+  }
+
+let geometry t = t.cfg
+let stats t = t.stats
+let slot t ~set ~way = (set * t.cfg.ways) + way
+let line_of_addr t addr = addr / t.cfg.line_size
+let set_of_line t line = line land (t.cfg.sets - 1)
+let tag_of_line t line = line lsr (
+  (* log2 sets *)
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 t.cfg.sets 0)
+
+let line_of_slot t ~set ~way =
+  let tag = t.tags.(slot t ~set ~way) in
+  (tag * t.cfg.sets) + set
+
+let find_way t ~set ~tag =
+  let rec loop w =
+    if w >= t.cfg.ways then None
+    else
+      let s = slot t ~set ~way:w in
+      if Bytes.get t.valid s = '\001' && t.tags.(s) = tag then Some w
+      else loop (w + 1)
+  in
+  loop 0
+
+let classify_miss t line =
+  (* Must be called before updating seen/shadow. *)
+  match t.shadow with
+  | None -> ()
+  | Some shadow ->
+      let cold = not (Hashtbl.mem t.seen_lines line) in
+      if cold then begin
+        Hashtbl.add t.seen_lines line ();
+        t.stats.cold_misses <- t.stats.cold_misses + 1
+      end;
+      let shadow_hit = Lru_set.mem shadow line in
+      if not cold then
+        if shadow_hit then
+          t.stats.conflict_misses <- t.stats.conflict_misses + 1
+        else t.stats.capacity_misses <- t.stats.capacity_misses + 1
+
+let update_shadow t line =
+  match t.shadow with
+  | None -> ()
+  | Some shadow -> ignore (Lru_set.touch shadow line)
+
+let access t ?mask ~kind addr =
+  let cfg = t.cfg in
+  let full = Bitmask.full ~n:cfg.ways in
+  let mask = match mask with None -> full | Some m -> Bitmask.inter m full in
+  if Bitmask.is_empty mask then
+    invalid_arg "Sassoc.access: empty column mask";
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  let tag = tag_of_line t line in
+  t.stats.accesses <- t.stats.accesses + 1;
+  match find_way t ~set ~tag with
+  | Some way ->
+      t.stats.hits <- t.stats.hits + 1;
+      Policy.on_hit t.policy ~set ~way;
+      if kind = Memtrace.Access.Write then
+        Bytes.set t.dirty (slot t ~set ~way) '\001';
+      update_shadow t line;
+      Hit { way }
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      classify_miss t line;
+      update_shadow t line;
+      let valid w = Bytes.get t.valid (slot t ~set ~way:w) = '\001' in
+      let way = Policy.victim t.policy ~set ~allowed:mask ~valid in
+      let s = slot t ~set ~way in
+      let evicted_line =
+        if Bytes.get t.valid s = '\001' then begin
+          t.stats.evictions <- t.stats.evictions + 1;
+          if Bytes.get t.dirty s = '\001' then
+            t.stats.writebacks <- t.stats.writebacks + 1;
+          Some (line_of_slot t ~set ~way)
+        end
+        else None
+      in
+      t.tags.(s) <- tag;
+      Bytes.set t.valid s '\001';
+      Bytes.set t.dirty s (if kind = Memtrace.Access.Write then '\001' else '\000');
+      Policy.on_fill t.policy ~set ~way;
+      t.stats.fills_per_way.(way) <- t.stats.fills_per_way.(way) + 1;
+      Miss { way; evicted_line }
+
+let access_record t ?mask (a : Memtrace.Access.t) =
+  access t ?mask ~kind:a.kind a.addr
+
+let fill t ?mask addr =
+  let cfg = t.cfg in
+  let full = Bitmask.full ~n:cfg.ways in
+  let mask = match mask with None -> full | Some m -> Bitmask.inter m full in
+  if Bitmask.is_empty mask then invalid_arg "Sassoc.fill: empty column mask";
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  let tag = tag_of_line t line in
+  match find_way t ~set ~tag with
+  | Some way -> Hit { way }
+  | None ->
+      let valid w = Bytes.get t.valid (slot t ~set ~way:w) = '\001' in
+      let way = Policy.victim t.policy ~set ~allowed:mask ~valid in
+      let s = slot t ~set ~way in
+      let evicted_line =
+        if Bytes.get t.valid s = '\001' then begin
+          t.stats.evictions <- t.stats.evictions + 1;
+          if Bytes.get t.dirty s = '\001' then
+            t.stats.writebacks <- t.stats.writebacks + 1;
+          Some (line_of_slot t ~set ~way)
+        end
+        else None
+      in
+      t.tags.(s) <- tag;
+      Bytes.set t.valid s '\001';
+      Bytes.set t.dirty s '\000';
+      Policy.on_fill t.policy ~set ~way;
+      t.stats.fills_per_way.(way) <- t.stats.fills_per_way.(way) + 1;
+      update_shadow t line;
+      Miss { way; evicted_line }
+
+let probe t addr =
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  find_way t ~set ~tag:(tag_of_line t line)
+
+let way_of_line t line =
+  let set = set_of_line t line in
+  find_way t ~set ~tag:(tag_of_line t line)
+
+let lines_in_column t way =
+  if way < 0 || way >= t.cfg.ways then invalid_arg "Sassoc.lines_in_column";
+  let out = ref [] in
+  for set = t.cfg.sets - 1 downto 0 do
+    if Bytes.get t.valid (slot t ~set ~way) = '\001' then
+      out := line_of_slot t ~set ~way :: !out
+  done;
+  !out
+
+let valid_lines t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr n) t.valid;
+  !n
+
+let invalidate_line t line =
+  let set = set_of_line t line in
+  match find_way t ~set ~tag:(tag_of_line t line) with
+  | None -> ()
+  | Some way ->
+      let s = slot t ~set ~way in
+      Bytes.set t.valid s '\000';
+      Bytes.set t.dirty s '\000'
+
+let flush t =
+  Bytes.fill t.valid 0 (Bytes.length t.valid) '\000';
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+
+let reset_stats t = Stats.reset t.stats

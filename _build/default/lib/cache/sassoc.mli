@@ -1,0 +1,70 @@
+(** The set-associative cache with column-restricted replacement.
+
+    This is the paper's reference implementation of column caching
+    (Section 2.1): lookup behaves exactly like a standard set-associative
+    cache — every way of the selected set is searched, so a hit costs the
+    same whatever the mapping — while on a miss the replacement unit is
+    restricted to the ways named by a software-supplied {!Bitmask.t}. Passing
+    the full mask on every access yields a standard cache. *)
+
+type config = {
+  line_size : int;  (** bytes per cache line; power of two *)
+  sets : int;  (** number of sets; power of two *)
+  ways : int;  (** columns; 1..{!Bitmask.max_columns} *)
+  policy : Policy.kind;
+  classify : bool;
+      (** when true, maintain the shadow structures needed for the
+          cold/capacity/conflict miss breakdown *)
+}
+
+val config :
+  ?line_size:int -> ?policy:Policy.kind -> ?classify:bool ->
+  size_bytes:int -> ways:int -> unit -> config
+(** Convenience constructor from a total size. Defaults: 16-byte lines, LRU,
+    no classification. Raises [Invalid_argument] if the geometry does not
+    divide evenly. *)
+
+val config_size_bytes : config -> int
+val column_size_bytes : config -> int
+
+type result =
+  | Hit of { way : int }
+  | Miss of { way : int; evicted_line : int option }
+      (** [evicted_line] is the line address of the displaced block, when a
+          valid block was displaced. *)
+
+type t
+
+val create : config -> t
+val geometry : t -> config
+val stats : t -> Stats.t
+
+val access : t -> ?mask:Bitmask.t -> kind:Memtrace.Access.kind -> int -> result
+(** [access t ~mask addr] performs one reference. [mask] defaults to all
+    ways. An empty effective mask raises [Invalid_argument]: hardware always
+    receives at least one permissible column. *)
+
+val access_record : t -> ?mask:Bitmask.t -> Memtrace.Access.t -> result
+
+val fill : t -> ?mask:Bitmask.t -> int -> result
+(** Install the line holding the address as a prefetch would: victim
+    selection and eviction behave exactly like {!access}, but the operation
+    is not counted as a demand access, hit or miss (evictions and
+    writebacks it causes are still counted). A line already present is
+    left untouched ([Hit]). *)
+
+val probe : t -> int -> int option
+(** Side-effect-free lookup; returns the way holding the address if any. *)
+
+val way_of_line : t -> int -> int option
+(** Which way currently caches the given line address, if any. *)
+
+val lines_in_column : t -> int -> int list
+(** Line addresses currently valid in a column, ascending. *)
+
+val valid_lines : t -> int
+val invalidate_line : t -> int -> unit
+val flush : t -> unit
+(** Invalidate everything; statistics are preserved. *)
+
+val reset_stats : t -> unit

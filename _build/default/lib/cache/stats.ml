@@ -1,0 +1,80 @@
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable conflict_misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  fills_per_way : int array;
+}
+
+let create ~ways =
+  {
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    cold_misses = 0;
+    capacity_misses = 0;
+    conflict_misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    fills_per_way = Array.make ways 0;
+  }
+
+let reset t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.cold_misses <- 0;
+  t.capacity_misses <- 0;
+  t.conflict_misses <- 0;
+  t.evictions <- 0;
+  t.writebacks <- 0;
+  Array.fill t.fills_per_way 0 (Array.length t.fills_per_way) 0
+
+let copy t = { t with fills_per_way = Array.copy t.fills_per_way }
+
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
+
+let hit_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.hits /. float_of_int t.accesses
+
+let add a b =
+  if Array.length a.fills_per_way <> Array.length b.fills_per_way then
+    invalid_arg "Stats.add: mismatched way counts";
+  {
+    accesses = a.accesses + b.accesses;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    cold_misses = a.cold_misses + b.cold_misses;
+    capacity_misses = a.capacity_misses + b.capacity_misses;
+    conflict_misses = a.conflict_misses + b.conflict_misses;
+    evictions = a.evictions + b.evictions;
+    writebacks = a.writebacks + b.writebacks;
+    fills_per_way = Array.map2 ( + ) a.fills_per_way b.fills_per_way;
+  }
+
+let sub a b =
+  if Array.length a.fills_per_way <> Array.length b.fills_per_way then
+    invalid_arg "Stats.sub: mismatched way counts";
+  {
+    accesses = a.accesses - b.accesses;
+    hits = a.hits - b.hits;
+    misses = a.misses - b.misses;
+    cold_misses = a.cold_misses - b.cold_misses;
+    capacity_misses = a.capacity_misses - b.capacity_misses;
+    conflict_misses = a.conflict_misses - b.conflict_misses;
+    evictions = a.evictions - b.evictions;
+    writebacks = a.writebacks - b.writebacks;
+    fills_per_way = Array.map2 ( - ) a.fills_per_way b.fills_per_way;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>accesses %d@ hits %d (%.2f%%)@ misses %d (cold %d, capacity %d, \
+     conflict %d)@ evictions %d@ writebacks %d@]"
+    t.accesses t.hits (100. *. hit_rate t) t.misses t.cold_misses
+    t.capacity_misses t.conflict_misses t.evictions t.writebacks

@@ -1,0 +1,32 @@
+(** Mutable cache statistics, including the three-C miss breakdown.
+
+    Classification follows the standard definition: a miss to a never-seen
+    line is {e cold}; a miss that a fully-associative LRU cache of the same
+    capacity would also take is {e capacity}; the remainder are {e conflict}
+    misses — exactly the misses the paper's column mapping aims to remove. *)
+
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cold_misses : int;
+  mutable capacity_misses : int;
+  mutable conflict_misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  fills_per_way : int array;
+}
+
+val create : ways:int -> t
+val reset : t -> unit
+val copy : t -> t
+val miss_rate : t -> float
+val hit_rate : t -> float
+val add : t -> t -> t
+(** Pointwise sum (fresh value); way arrays must have equal length. *)
+
+val sub : t -> t -> t
+(** Pointwise difference [a - b]; used to extract per-run deltas from a
+    cumulative counter. *)
+
+val pp : Format.formatter -> t -> unit

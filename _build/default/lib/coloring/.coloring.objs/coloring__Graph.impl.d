@@ -1,0 +1,1 @@
+lib/coloring/graph.ml: Array Format List Printf

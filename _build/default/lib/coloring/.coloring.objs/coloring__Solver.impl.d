@@ -1,0 +1,1 @@
+lib/coloring/solver.ml: Array Float Graph Hashtbl List

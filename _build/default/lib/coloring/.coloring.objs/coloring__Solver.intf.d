@@ -1,0 +1,1 @@
+lib/coloring/solver.mli: Graph

@@ -1,0 +1,113 @@
+type t = {
+  mutable labels : string array;
+  mutable matrix : int array array;  (* symmetric, 0 diagonal *)
+  mutable n : int;
+}
+
+let create () = { labels = [||]; matrix = [||]; n = 0 }
+
+let copy t =
+  {
+    labels = Array.copy t.labels;
+    matrix = Array.map Array.copy t.matrix;
+    n = t.n;
+  }
+
+let grow t =
+  let cap = Array.length t.labels in
+  if t.n = cap then begin
+    let cap' = max 8 (2 * cap) in
+    let labels = Array.make cap' "" in
+    Array.blit t.labels 0 labels 0 t.n;
+    let matrix = Array.init cap' (fun _ -> Array.make cap' 0) in
+    for i = 0 to t.n - 1 do
+      Array.blit t.matrix.(i) 0 matrix.(i) 0 t.n
+    done;
+    t.labels <- labels;
+    t.matrix <- matrix
+  end
+
+let add_vertex t ~label =
+  grow t;
+  let id = t.n in
+  t.labels.(id) <- label;
+  t.n <- t.n + 1;
+  id
+
+let vertex_count t = t.n
+
+let check_vertex t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Graph: vertex %d" v)
+
+let label t v =
+  check_vertex t v;
+  t.labels.(v)
+
+let find_label t name =
+  let rec loop i =
+    if i >= t.n then None else if t.labels.(i) = name then Some i else loop (i + 1)
+  in
+  loop 0
+
+let set_weight t u v w =
+  check_vertex t u;
+  check_vertex t v;
+  if u = v then invalid_arg "Graph.set_weight: self-edge";
+  if w < 0 then invalid_arg "Graph.set_weight: negative weight";
+  t.matrix.(u).(v) <- w;
+  t.matrix.(v).(u) <- w
+
+let weight t u v =
+  check_vertex t u;
+  check_vertex t v;
+  t.matrix.(u).(v)
+
+let edges t =
+  let out = ref [] in
+  for u = t.n - 1 downto 0 do
+    for v = t.n - 1 downto u + 1 do
+      if t.matrix.(u).(v) > 0 then out := (u, v, t.matrix.(u).(v)) :: !out
+    done
+  done;
+  !out
+
+let neighbors t u =
+  check_vertex t u;
+  let out = ref [] in
+  for v = t.n - 1 downto 0 do
+    if t.matrix.(u).(v) > 0 then out := (v, t.matrix.(u).(v)) :: !out
+  done;
+  !out
+
+let degree t u = List.length (neighbors t u)
+
+let total_weight t =
+  List.fold_left (fun acc (_, _, w) -> acc + w) 0 (edges t)
+
+let min_weight_edge t =
+  List.fold_left
+    (fun acc (u, v, w) ->
+      match acc with
+      | Some (_, _, w') when w' <= w -> acc
+      | _ -> Some (u, v, w))
+    None (edges t)
+
+let is_coloring_proper t colors =
+  if Array.length colors <> t.n then
+    invalid_arg "Graph.is_coloring_proper: wrong coloring length";
+  List.for_all (fun (u, v, _) -> colors.(u) <> colors.(v)) (edges t)
+
+let coloring_cost t colors =
+  if Array.length colors <> t.n then
+    invalid_arg "Graph.coloring_cost: wrong coloring length";
+  List.fold_left
+    (fun acc (u, v, w) -> if colors.(u) = colors.(v) then acc + w else acc)
+    0 (edges t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d vertices@," t.n;
+  List.iter
+    (fun (u, v, w) ->
+      Format.fprintf ppf "%s -- %s (%d)@," t.labels.(u) t.labels.(v) w)
+    (edges t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Weighted undirected interference graphs.
+
+    Vertices are program variables; the weight of an edge is the potential
+    conflict cost of placing its endpoints in the same cache column
+    (Section 3.1). Weight 0 means no edge. Graphs are small (one vertex per
+    candidate variable), so a dense symmetric matrix representation is
+    used. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val add_vertex : t -> label:string -> int
+(** Returns the new vertex id (consecutive from 0). Labels need not be
+    unique, but lookups by label return the first match. *)
+
+val vertex_count : t -> int
+val label : t -> int -> string
+val find_label : t -> string -> int option
+
+val set_weight : t -> int -> int -> int -> unit
+(** [set_weight g u v w] sets the edge weight (symmetric). [w = 0] removes
+    the edge. Raises [Invalid_argument] on self-edges, negative weights or
+    unknown vertices. *)
+
+val weight : t -> int -> int -> int
+val edges : t -> (int * int * int) list
+(** Positive-weight edges [(u, v, w)] with [u < v], ascending by [u]. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [(vertex, weight)] pairs with positive weight. *)
+
+val degree : t -> int -> int
+val total_weight : t -> int
+val min_weight_edge : t -> (int * int * int) option
+(** The positive edge of minimum weight, ties broken by vertex order. *)
+
+val is_coloring_proper : t -> int array -> bool
+(** No positive edge joins two equal colors. *)
+
+val coloring_cost : t -> int array -> int
+(** The paper's objective W: total weight of edges whose endpoints share a
+    color. 0 iff the coloring is proper. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,233 @@
+
+let dsatur_greedy g =
+  let n = Graph.vertex_count g in
+  if n = 0 then (0, [||])
+  else begin
+    let colors = Array.make n (-1) in
+    let saturation v =
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (u, _) -> if colors.(u) >= 0 then Hashtbl.replace seen colors.(u) ())
+        (Graph.neighbors g v);
+      Hashtbl.length seen
+    in
+    let pick () =
+      let best = ref (-1) and best_key = ref (-1, -1) in
+      for v = 0 to n - 1 do
+        if colors.(v) < 0 then begin
+          let key = (saturation v, Graph.degree g v) in
+          if key > !best_key then begin
+            best := v;
+            best_key := key
+          end
+        end
+      done;
+      !best
+    in
+    let used = ref 0 in
+    for _ = 1 to n do
+      let v = pick () in
+      let forbidden = Array.make n false in
+      List.iter
+        (fun (u, _) -> if colors.(u) >= 0 then forbidden.(colors.(u)) <- true)
+        (Graph.neighbors g v);
+      let rec first c = if forbidden.(c) then first (c + 1) else c in
+      let c = first 0 in
+      colors.(v) <- c;
+      if c + 1 > !used then used := c + 1
+    done;
+    (!used, colors)
+  end
+
+exception Budget_exhausted
+
+let chromatic ?(node_budget = 500_000) g =
+  let n = Graph.vertex_count g in
+  if n = 0 then (0, [||])
+  else begin
+    let ub, best = dsatur_greedy g in
+    let ub = ref ub and best = ref best in
+    let colors = Array.make n (-1) in
+    let nodes = ref 0 in
+    (* Saturation-guided branch and bound: at each node, color the most
+       saturated uncolored vertex with every feasible existing color plus at
+       most one fresh color, pruning branches that cannot beat the
+       incumbent. *)
+    let rec solve colored used =
+      incr nodes;
+      if !nodes > node_budget then raise Budget_exhausted;
+      if used >= !ub then ()
+      else if colored = n then begin
+        ub := used;
+        best := Array.copy colors
+      end
+      else begin
+        let pick = ref (-1) and pick_key = ref (-1, -1) in
+        for v = 0 to n - 1 do
+          if colors.(v) < 0 then begin
+            let seen = Hashtbl.create 8 in
+            List.iter
+              (fun (u, _) ->
+                if colors.(u) >= 0 then Hashtbl.replace seen colors.(u) ())
+              (Graph.neighbors g v);
+            let key = (Hashtbl.length seen, Graph.degree g v) in
+            if key > !pick_key then begin
+              pick := v;
+              pick_key := key
+            end
+          end
+        done;
+        let v = !pick in
+        let forbidden = Array.make (used + 1) false in
+        List.iter
+          (fun (u, _) ->
+            if colors.(u) >= 0 && colors.(u) <= used then
+              forbidden.(colors.(u)) <- true)
+          (Graph.neighbors g v);
+        for c = 0 to min (used - 1) (!ub - 2) do
+          if not forbidden.(c) then begin
+            colors.(v) <- c;
+            solve (colored + 1) used;
+            colors.(v) <- -1
+          end
+        done;
+        (* one fresh color *)
+        if used + 1 < !ub then begin
+          colors.(v) <- used;
+          solve (colored + 1) (used + 1);
+          colors.(v) <- -1
+        end
+      end
+    in
+    (try solve 0 0 with Budget_exhausted -> ());
+    (!ub, !best)
+  end
+
+let exact_k ?node_budget g ~k =
+  let nc, coloring = chromatic ?node_budget g in
+  if nc <= k then Some coloring else None
+
+let greedy_weighted g ~k =
+  if k < 1 then invalid_arg "Solver.greedy_weighted: k must be >= 1";
+  let n = Graph.vertex_count g in
+  let colors = Array.make n (-1) in
+  let incident v =
+    List.fold_left (fun acc (_, w) -> acc + w) 0 (Graph.neighbors g v)
+  in
+  let order =
+    List.sort
+      (fun a b -> compare (incident b, a) (incident a, b))
+      (List.init n (fun v -> v))
+  in
+  let added_cost v c =
+    List.fold_left
+      (fun acc (u, w) -> if colors.(u) = c then acc + w else acc)
+      0 (Graph.neighbors g v)
+  in
+  let place v =
+    let best = ref 0 and best_cost = ref max_int in
+    for c = 0 to k - 1 do
+      let cost = added_cost v c in
+      if cost < !best_cost then begin
+        best := c;
+        best_cost := cost
+      end
+    done;
+    colors.(v) <- !best
+  in
+  List.iter place order;
+  colors
+
+(* Quotient graph over groups of original vertices: inter-group weights are
+   summed; intra-group weight is the cost already accepted by merging. *)
+let quotient g groups =
+  let q = Graph.create () in
+  List.iter
+    (fun members ->
+      match members with
+      | [] -> ()
+      | first :: _ -> ignore (Graph.add_vertex q ~label:(Graph.label g first)))
+    groups;
+  let arr = Array.of_list groups in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      let w =
+        List.fold_left
+          (fun acc u ->
+            List.fold_left (fun acc v -> acc + Graph.weight g u v) acc arr.(j))
+          0 arr.(i)
+      in
+      if w > 0 then Graph.set_weight q i j w
+    done
+  done;
+  q
+
+let assign_columns ?(exact_limit = 28) ?node_budget ?heat g ~k =
+  if k < 1 then invalid_arg "Solver.assign_columns: k must be >= 1";
+  let n = Graph.vertex_count g in
+  (match heat with
+  | Some h when Array.length h <> n ->
+      invalid_arg "Solver.assign_columns: heat array length mismatch"
+  | Some _ | None -> ());
+  if n = 0 then [||]
+  else begin
+    let color_quotient q =
+      if Graph.vertex_count q > exact_limit then dsatur_greedy q
+      else chromatic ?node_budget q
+    in
+    (* Merge-edge choice: minimum weight first (the paper's rule); among
+       ties, prefer endpoints with the lowest peak access heat — merging two
+       cold variables hurts less than chaining a hot one to anything. *)
+    let group_heat members =
+      match heat with
+      | None -> 0.
+      | Some h -> List.fold_left (fun acc v -> acc +. h.(v)) 0. members
+    in
+    let pick_merge_edge q groups =
+      let arr = Array.of_list groups in
+      List.fold_left
+        (fun acc (u, v, w) ->
+          let key = (w, Float.max (group_heat arr.(u)) (group_heat arr.(v))) in
+          match acc with
+          | Some (_, _, best_key) when best_key <= key -> acc
+          | _ -> Some (u, v, key))
+        None (Graph.edges q)
+    in
+    let rec loop groups =
+      let q = quotient g groups in
+      let nc, coloring = color_quotient q in
+      if nc <= k then begin
+        let colors = Array.make n 0 in
+        List.iteri
+          (fun gi members -> List.iter (fun v -> colors.(v) <- coloring.(gi)) members)
+          groups;
+        colors
+      end
+      else
+        match pick_merge_edge q groups with
+        | Some (gi, gj, _) ->
+            let arr = Array.of_list groups in
+            let merged = arr.(gi) @ arr.(gj) in
+            let groups' =
+              List.concat
+                (List.mapi
+                   (fun i members ->
+                     if i = gi then [ merged ]
+                     else if i = gj then []
+                     else [ members ])
+                   groups)
+            in
+            loop groups'
+        | None ->
+            (* No positive edges but still > k colors: cannot happen (an
+               edgeless graph is 1-colorable), kept for totality. *)
+            let _, coloring = dsatur_greedy q in
+            let colors = Array.make n 0 in
+            List.iteri
+              (fun gi members ->
+                List.iter (fun v -> colors.(v) <- coloring.(gi) mod k) members)
+              groups;
+            colors
+    in
+    loop (List.init n (fun v -> [ v ]))
+  end

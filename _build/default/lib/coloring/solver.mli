@@ -1,0 +1,44 @@
+(** Graph-coloring engines for column assignment (paper Section 3.1.2).
+
+    The paper first drops zero-weight edges, finds an exact minimum coloring
+    (citing Coudert's exact coloring [5]), and — when more colors than
+    columns are needed — repeatedly merges the endpoints of the
+    minimum-weight edge and recolors until the quotient graph is
+    k-colorable. {!assign_columns} implements exactly that loop on top of a
+    DSATUR branch-and-bound exact colorer.
+
+    Exactness is exponential in the worst case: {!chromatic} takes a node
+    budget and falls back to its greedy incumbent when exceeded, and
+    {!assign_columns} switches to {!greedy_weighted} above [exact_limit]
+    vertices. Both caps are far above the size of real layout graphs (one
+    vertex per program array). *)
+
+val dsatur_greedy : Graph.t -> int * int array
+(** Proper coloring by saturation-degree greedy; returns (colors used,
+    coloring). The classic upper bound for the exact search. *)
+
+val chromatic : ?node_budget:int -> Graph.t -> int * int array
+(** Exact chromatic number and a witness coloring via branch and bound
+    (default budget 500k nodes; on exhaustion returns the best proper
+    coloring found so far, an upper bound). *)
+
+val exact_k : ?node_budget:int -> Graph.t -> k:int -> int array option
+(** A proper coloring with at most [k] colors, when the exact engine can
+    find one. *)
+
+val greedy_weighted : Graph.t -> k:int -> int array
+(** Heaviest-vertex-first greedy assignment into exactly [k] color classes,
+    each vertex taking the class that adds the least same-class weight.
+    Never fails; the coloring may be improper when [k] < the chromatic
+    number — the returned coloring then has positive
+    {!Graph.coloring_cost}. *)
+
+val assign_columns :
+  ?exact_limit:int -> ?node_budget:int -> ?heat:float array -> Graph.t -> k:int -> int array
+(** The paper's heuristic: exact-color; while more than [k] colors are
+    needed, merge the minimum-weight edge's endpoints and recolor; merged
+    vertices share a color. [heat] (per-vertex access counts) refines the
+    paper's rule as a tie-break only: among minimum-weight edges, merge the
+    coldest pair — two rarely-touched variables sharing a column cost less
+    in practice than anything chained to a hot one. Raises
+    [Invalid_argument] when [k < 1] or [heat] has the wrong length. *)

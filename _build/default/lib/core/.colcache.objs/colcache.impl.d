@@ -1,0 +1,1 @@
+lib/core/colcache.ml: Cache Coloring Csv_export Experiments Ir Layout Machine Memtrace Pipeline Profile Sched Vm Workloads

@@ -1,0 +1,1 @@
+lib/core/csv_export.ml: Experiments Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Cache Format Ir Layout List Machine Memtrace Pipeline Printf Profile Sched Vm Workloads

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Cache Hashtbl Ir Layout List Machine Memtrace Printf Profile

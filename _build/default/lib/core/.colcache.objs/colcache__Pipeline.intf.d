@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Cache Ir Layout Machine Memtrace Profile

@@ -1,0 +1,20 @@
+(** Column caching: application-specific memory management for embedded
+    systems using software-controlled caches.
+
+    Reproduction of Chiou, Jain, Devadas & Rudolph (DAC 2000). Start with
+    {!Pipeline} for the end-to-end flow; the substrate libraries are
+    re-exported here for convenience. *)
+
+module Memtrace = Memtrace
+module Cache = Cache
+module Vm = Vm
+module Machine = Machine
+module Profile = Profile
+module Ir = Ir
+module Coloring = Coloring
+module Layout = Layout
+module Workloads = Workloads
+module Sched = Sched
+module Pipeline = Pipeline
+module Experiments = Experiments
+module Csv_export = Csv_export

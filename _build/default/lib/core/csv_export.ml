@@ -1,0 +1,171 @@
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_rows ~path ~header rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let line cells = String.concat "," (List.map quote cells) ^ "\n" in
+      output_string oc (line header);
+      List.iter (fun row -> output_string oc (line row)) rows)
+
+let soi = string_of_int
+let sof f = Printf.sprintf "%.4f" f
+
+let write_all ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path name = Filename.concat dir name in
+
+  let fig3 = Experiments.Fig3.run () in
+  write_rows ~path:(path "fig3.csv")
+    ~header:[ "scheme"; "pte_writes"; "tint_table_writes"; "tlb_entry_flushes" ]
+    [
+      [
+        "tints";
+        soi fig3.Experiments.Fig3.tinted_pte_writes;
+        soi fig3.Experiments.Fig3.tinted_table_writes;
+        soi fig3.Experiments.Fig3.tinted_tlb_entry_flushes;
+      ];
+      [ "bit_vectors"; soi fig3.Experiments.Fig3.direct_pte_writes; "0"; "0" ];
+    ];
+
+  let fig4 = Experiments.Fig4_routines.run () in
+  write_rows ~path:(path "fig4_routines.csv")
+    ~header:
+      [ "routine"; "bytes"; "cache_columns"; "cycles"; "misses"; "uncached" ]
+    (List.concat_map
+       (fun s ->
+         List.map
+           (fun (p : Experiments.Fig4_routines.point) ->
+             [
+               s.Experiments.Fig4_routines.routine;
+               soi s.Experiments.Fig4_routines.bytes;
+               soi p.Experiments.Fig4_routines.cache_columns;
+               soi p.Experiments.Fig4_routines.cycles;
+               soi p.Experiments.Fig4_routines.misses;
+               soi p.Experiments.Fig4_routines.uncached_regions;
+             ])
+           s.Experiments.Fig4_routines.points)
+       fig4);
+
+  let fig4d = Experiments.Fig4_combined.run () in
+  write_rows ~path:(path "fig4d.csv") ~header:[ "configuration"; "cycles" ]
+    (List.map
+       (fun (cols, cycles) ->
+         [ Printf.sprintf "static_%d_cache_cols" cols; soi cycles ])
+       fig4d.Experiments.Fig4_combined.static_points
+    @ [
+        [ "standard"; soi fig4d.Experiments.Fig4_combined.standard_cache_cycles ];
+        [ "column_dynamic"; soi fig4d.Experiments.Fig4_combined.column_cache_cycles ];
+      ]);
+
+  let fig5 = Experiments.Fig5.run () in
+  write_rows ~path:(path "fig5.csv") ~header:[ "series"; "quantum"; "cpi" ]
+    (List.concat_map
+       (fun (s : Experiments.Fig5.series) ->
+         List.map
+           (fun (q, cpi) -> [ s.Experiments.Fig5.label; soi q; sof cpi ])
+           s.Experiments.Fig5.points)
+       fig5);
+
+  (* long-format ablation table *)
+  let ablations = ref [] in
+  let row ablation config metric value =
+    ablations := [ ablation; config; metric; value ] :: !ablations
+  in
+  List.iter
+    (fun (r : Experiments.Ablation_policy.row) ->
+      row "policy" r.Experiments.Ablation_policy.policy "dynamic_cycles"
+        (soi r.Experiments.Ablation_policy.dynamic_cycles);
+      row "policy" r.Experiments.Ablation_policy.policy "standard_cycles"
+        (soi r.Experiments.Ablation_policy.standard_cycles))
+    (Experiments.Ablation_policy.run ());
+  List.iter
+    (fun (r : Experiments.Ablation_columns.row) ->
+      let cfg = soi r.Experiments.Ablation_columns.columns in
+      row "columns" cfg "dynamic_cycles"
+        (soi r.Experiments.Ablation_columns.dynamic_cycles);
+      row "columns" cfg "best_static_cycles"
+        (soi r.Experiments.Ablation_columns.best_static_cycles);
+      row "columns" cfg "standard_cycles"
+        (soi r.Experiments.Ablation_columns.standard_cycles))
+    (Experiments.Ablation_columns.run ());
+  List.iter
+    (fun (r : Experiments.Ablation_weights.row) ->
+      let cfg = r.Experiments.Ablation_weights.routine in
+      row "weights" cfg "profile_cycles"
+        (soi r.Experiments.Ablation_weights.profile_cycles);
+      row "weights" cfg "analysis_cycles"
+        (soi r.Experiments.Ablation_weights.static_cycles))
+    (Experiments.Ablation_weights.run ());
+  List.iter
+    (fun (r : Experiments.Ablation_grouping.row) ->
+      row "grouping" r.Experiments.Ablation_grouping.config "cycles"
+        (soi r.Experiments.Ablation_grouping.cycles);
+      row "grouping" r.Experiments.Ablation_grouping.config "misses"
+        (soi r.Experiments.Ablation_grouping.misses))
+    (Experiments.Ablation_grouping.run ());
+  let pc = Experiments.Ablation_page_coloring.run () in
+  List.iter
+    (fun (r : Experiments.Ablation_page_coloring.row) ->
+      row "page_coloring" r.Experiments.Ablation_page_coloring.config "cycles"
+        (soi r.Experiments.Ablation_page_coloring.cycles);
+      row "page_coloring" r.Experiments.Ablation_page_coloring.config "misses"
+        (soi r.Experiments.Ablation_page_coloring.misses))
+    pc.Experiments.Ablation_page_coloring.rows;
+  row "page_coloring" "adaptation" "recolor_bytes"
+    (soi pc.Experiments.Ablation_page_coloring.recolor_bytes);
+  row "page_coloring" "adaptation" "column_table_writes"
+    (soi pc.Experiments.Ablation_page_coloring.column_remap_writes);
+  List.iter
+    (fun (r : Experiments.Ablation_l2.row) ->
+      row "l2" r.Experiments.Ablation_l2.config "cycles"
+        (soi r.Experiments.Ablation_l2.cycles);
+      row "l2" r.Experiments.Ablation_l2.config "l2_hits"
+        (soi r.Experiments.Ablation_l2.l2_hits))
+    (Experiments.Ablation_l2.run ());
+  List.iter
+    (fun (r : Experiments.Ablation_prefetch.row) ->
+      row "prefetch" r.Experiments.Ablation_prefetch.config "cycles"
+        (soi r.Experiments.Ablation_prefetch.cycles);
+      row "prefetch" r.Experiments.Ablation_prefetch.config "misses"
+        (soi r.Experiments.Ablation_prefetch.misses))
+    (Experiments.Ablation_prefetch.run ());
+  List.iter
+    (fun (s : Experiments.Ablation_tlb.series) ->
+      List.iter
+        (fun (q, cpi) ->
+          row "tlb"
+            (Printf.sprintf "entries_%d_q%d" s.Experiments.Ablation_tlb.tlb_entries q)
+            "cpi" (sof cpi))
+        s.Experiments.Ablation_tlb.points)
+    (Experiments.Ablation_tlb.run ());
+  List.iter
+    (fun (r : Experiments.Ablation_optimizer.row) ->
+      let cfg = r.Experiments.Ablation_optimizer.routine in
+      row "optimizer" cfg "accesses_before"
+        (soi r.Experiments.Ablation_optimizer.accesses_before);
+      row "optimizer" cfg "accesses_after"
+        (soi r.Experiments.Ablation_optimizer.accesses_after);
+      row "optimizer" cfg "column_after"
+        (soi r.Experiments.Ablation_optimizer.column_after))
+    (Experiments.Ablation_optimizer.run ());
+  write_rows ~path:(path "ablations.csv")
+    ~header:[ "ablation"; "configuration"; "metric"; "value" ]
+    (List.rev !ablations);
+
+  let g = Experiments.Generality.run () in
+  write_rows ~path:(path "generality.csv")
+    ~header:[ "routine"; "bytes"; "standard_cycles"; "best_column_cycles" ]
+    (List.map
+       (fun (proc, bytes, standard, best) ->
+         [ proc; soi bytes; soi standard; soi best ])
+       g.Experiments.Generality.routines
+    @ [
+        [ "whole_app_standard"; ""; soi g.Experiments.Generality.standard_cycles; "" ];
+        [ "whole_app_best_static"; ""; soi g.Experiments.Generality.best_static_cycles; "" ];
+        [ "whole_app_dynamic"; ""; soi g.Experiments.Generality.dynamic_cycles; "" ];
+      ])

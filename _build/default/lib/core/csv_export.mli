@@ -1,0 +1,18 @@
+(** CSV export of every experiment's data series, for plotting.
+
+    [write_all ~dir] runs the full evaluation (same work as
+    {!Experiments.run_all}) and writes one CSV file per experiment into
+    [dir] (created if absent):
+
+    - [fig3.csv] — remap cost comparison
+    - [fig4_routines.csv] — routine, cache columns, cycles, misses
+    - [fig4d.csv] — configuration, cycles
+    - [fig5.csv] — series, quantum, CPI
+    - [ablations.csv] — long-format (ablation, configuration, metric, value)
+    - [generality.csv] — the JPEG cross-check *)
+
+val write_all : dir:string -> unit
+
+val write_rows : path:string -> header:string list -> string list list -> unit
+(** Low-level helper: write a header and rows, quoting any cell containing a
+    comma or quote. *)

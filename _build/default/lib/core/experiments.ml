@@ -1,0 +1,959 @@
+(* The paper's Section 4.1 geometry: 2 KB of on-chip memory, four columns,
+   16-byte lines. *)
+let paper_cache ?(policy = Cache.Policy.Lru) ?(ways = 4) () =
+  Cache.Sassoc.config ~line_size:16 ~policy ~size_bytes:2048 ~ways ()
+
+let mpeg_pipeline ?policy ?ways () =
+  Pipeline.make ~init:Workloads.Mpeg.init ~cache:(paper_cache ?policy ?ways ())
+    Workloads.Mpeg.program
+
+module Fig4_routines = struct
+  type point = {
+    cache_columns : int;
+    scratchpad_columns : int;
+    cycles : int;
+    misses : int;
+    uncached_regions : int;
+  }
+
+  type series = {
+    routine : string;
+    bytes : int;
+    points : point list;
+  }
+
+  let run ?(meth = Pipeline.Profile_based) () =
+    let t = mpeg_pipeline () in
+    let k = Pipeline.columns t in
+    List.map
+      (fun routine ->
+        let points =
+          List.init (k + 1) (fun cache_columns ->
+              let scratchpad_columns = k - cache_columns in
+              let stats, part =
+                Pipeline.run_partitioned t ~proc:routine ~scratchpad_columns
+                  ~meth
+              in
+              {
+                cache_columns;
+                scratchpad_columns;
+                cycles = stats.Machine.Run_stats.cycles;
+                misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+                uncached_regions =
+                  List.length (Layout.Partition.uncached_regions part);
+              })
+        in
+        {
+          routine;
+          bytes = Workloads.Mpeg.total_bytes ~proc:routine;
+          points;
+        })
+      Workloads.Mpeg.routines
+
+  let print ppf series =
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "@[<v>Figure 4: %s (%d bytes of data)@," s.routine
+          s.bytes;
+        Format.fprintf ppf "  %-14s %-12s %-10s %-8s %s@," "cache(cols)"
+          "scratch(cols)" "cycles" "misses" "uncached";
+        List.iter
+          (fun p ->
+            Format.fprintf ppf "  %-14d %-12d %-10d %-8d %d@," p.cache_columns
+              p.scratchpad_columns p.cycles p.misses p.uncached_regions)
+          s.points;
+        Format.fprintf ppf "@]@.")
+      series
+end
+
+module Fig4_combined = struct
+  type t = {
+    static_points : (int * int) list;
+    column_cache_cycles : int;
+    standard_cache_cycles : int;
+  }
+
+  let run ?(meth = Pipeline.Profile_based) () =
+    let t = mpeg_pipeline () in
+    let k = Pipeline.columns t in
+    let procs = Workloads.Mpeg.routines in
+    let static_points =
+      List.init (k + 1) (fun cache_columns ->
+          let stats =
+            Pipeline.run_static_app t ~procs ~scratchpad_columns:(k - cache_columns)
+              ~meth
+          in
+          (cache_columns, stats.Machine.Run_stats.cycles))
+    in
+    let column_cache_cycles =
+      (Pipeline.run_dynamic t ~procs ~meth).Machine.Run_stats.cycles
+    in
+    let standard_cache_cycles =
+      List.fold_left
+        (fun acc proc ->
+          acc + (Pipeline.run_standard t ~proc).Machine.Run_stats.cycles)
+        0 procs
+    in
+    { static_points; column_cache_cycles; standard_cache_cycles }
+
+  let print ppf t =
+    Format.fprintf ppf "@[<v>Figure 4(d): whole application@,";
+    Format.fprintf ppf "  %-24s %s@," "configuration" "cycles";
+    List.iter
+      (fun (cache_columns, cycles) ->
+        Format.fprintf ppf "  %-24s %d@,"
+          (Printf.sprintf "static %d cache cols" cache_columns)
+          cycles)
+      t.static_points;
+    Format.fprintf ppf "  %-24s %d@," "standard 4-way cache"
+      t.standard_cache_cycles;
+    Format.fprintf ppf "  %-24s %d@," "column cache (dynamic)"
+      t.column_cache_cycles;
+    Format.fprintf ppf "@]@."
+end
+
+module Fig5 = struct
+  type series = {
+    label : string;
+    cache_kb : int;
+    mapped : bool;
+    points : (int * float) list;
+  }
+
+  let default_quanta =
+    [ 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+  (* Off-chip latency of the multitasking platform; higher than the embedded
+     default so that interference shows at the paper's amplitude. *)
+  let fig5_timing = { Machine.Timing.default with Machine.Timing.miss_penalty = 50 }
+
+  let jobs ~input_len =
+    List.map
+      (fun (name, seed, base) ->
+        {
+          Sched.Round_robin.name;
+          trace = Workloads.Lz77.trace ~seed ~input_len ~base ();
+        })
+      [ ("A", 1, 0x000000); ("B", 2, 0x100000); ("C", 3, 0x200000) ]
+
+  let job_a_region = (0x000000, 0x100000)
+
+  let run_point ~cache_kb ~mapped ~quantum ~input_len =
+    let ways = 8 in
+    let cache =
+      Cache.Sassoc.config ~line_size:16 ~size_bytes:(cache_kb * 1024) ~ways ()
+    in
+    let system =
+      Machine.System.create
+        (Machine.System.config ~timing:fig5_timing ~page_size:1024 cache)
+    in
+    if mapped then begin
+      let mapping = Machine.System.mapping system in
+      let job_a = Vm.Tint.make "jobA" in
+      let base, size = job_a_region in
+      ignore (Vm.Mapping.retint_region mapping ~base ~size job_a);
+      (* job A, the critical job, owns six of the eight columns *)
+      Vm.Mapping.remap_tint mapping job_a (Cache.Bitmask.range ~lo:0 ~hi:5);
+      Vm.Mapping.remap_tint mapping Vm.Tint.default
+        (Cache.Bitmask.range ~lo:6 ~hi:7)
+    end;
+    let outcome =
+      Sched.Round_robin.run ~system ~quantum (jobs ~input_len)
+    in
+    match Sched.Round_robin.find_job outcome "A" with
+    | Some s -> Sched.Round_robin.cpi s
+    | None -> assert false
+
+  let run ?(quanta = default_quanta) ?(cache_kbs = [ 16; 128 ])
+      ?(input_len = 12288) () =
+    List.concat_map
+      (fun cache_kb ->
+        List.map
+          (fun mapped ->
+            {
+              label =
+                Printf.sprintf "gzip.%dk%s" cache_kb
+                  (if mapped then " mapped" else "");
+              cache_kb;
+              mapped;
+              points =
+                List.map
+                  (fun quantum ->
+                    (quantum, run_point ~cache_kb ~mapped ~quantum ~input_len))
+                  quanta;
+            })
+          [ false; true ])
+      cache_kbs
+
+  let print ppf series =
+    Format.fprintf ppf "@[<v>Figure 5: CPI of job A vs context-switch quantum@,";
+    (match series with
+    | [] -> ()
+    | first :: _ ->
+        Format.fprintf ppf "  %-18s" "quantum";
+        List.iter (fun (q, _) -> Format.fprintf ppf "%9d" q) first.points;
+        Format.fprintf ppf "@,");
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-18s" s.label;
+        List.iter (fun (_, cpi) -> Format.fprintf ppf "%9.3f" cpi) s.points;
+        Format.fprintf ppf "@,")
+      series;
+    Format.fprintf ppf "@]@."
+end
+
+module Fig3 = struct
+  type t = {
+    pages : int;
+    tinted_pte_writes : int;
+    tinted_table_writes : int;
+    tinted_tlb_entry_flushes : int;
+    direct_pte_writes : int;
+    masks_agree : bool;
+  }
+
+  let run ?(pages = 20) ?(columns = 20) () =
+    let page_size = 256 in
+    let region = pages * page_size in
+    (* Tint scheme: all pages start with the default tint; give page 0 its
+       own column and exclude that column from the rest. *)
+    let mapping = Vm.Mapping.create ~page_size ~columns () in
+    (* touch the TLB so flushes are observable *)
+    for page = 0 to pages - 1 do
+      ignore (Vm.Mapping.mask_of mapping (page * page_size))
+    done;
+    let before = Vm.Mapping.cost mapping in
+    let blue = Vm.Tint.make "blue" in
+    ignore (Vm.Mapping.retint_region mapping ~base:0 ~size:page_size blue);
+    Vm.Mapping.remap_tint mapping blue (Cache.Bitmask.singleton 1);
+    Vm.Mapping.remap_tint mapping Vm.Tint.default
+      (Cache.Bitmask.complement ~n:columns (Cache.Bitmask.singleton 1));
+    let delta =
+      Vm.Mapping.cost_delta ~before ~after:(Vm.Mapping.cost mapping)
+    in
+    (* Direct scheme: bit vectors live in the PTEs. *)
+    let direct = Vm.Direct_mapping.create ~page_size ~columns in
+    ignore
+      (Vm.Direct_mapping.set_mask_region direct ~base:0 ~size:region
+         (Cache.Bitmask.full ~n:columns));
+    let before_writes = Vm.Direct_mapping.pte_writes direct in
+    Vm.Direct_mapping.set_mask direct ~page:0 (Cache.Bitmask.singleton 1);
+    ignore
+      (Vm.Direct_mapping.set_mask_region direct ~base:page_size
+         ~size:(region - page_size)
+         (Cache.Bitmask.complement ~n:columns (Cache.Bitmask.singleton 1)));
+    let masks_agree =
+      List.for_all
+        (fun page ->
+          let addr = page * page_size in
+          Cache.Bitmask.equal
+            (Vm.Direct_mapping.mask_of direct addr)
+            (Vm.Mapping.mask_of_quiet mapping addr))
+        (List.init pages (fun p -> p))
+    in
+    {
+      pages;
+      tinted_pte_writes = delta.Vm.Mapping.pte_writes;
+      tinted_table_writes = delta.Vm.Mapping.tint_table_writes;
+      tinted_tlb_entry_flushes = delta.Vm.Mapping.tlb_entry_flushes;
+      direct_pte_writes = Vm.Direct_mapping.pte_writes direct - before_writes;
+      masks_agree;
+    }
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>Figure 3: remap one of %d pages to its own column@,\
+      \  tints in PTEs:       %d PTE write(s), %d tint-table write(s), %d \
+       TLB entry flush(es)@,\
+      \  bit vectors in PTEs: %d PTE write(s)@,\
+      \  resulting mappings identical: %b@]@." t.pages t.tinted_pte_writes
+      t.tinted_table_writes t.tinted_tlb_entry_flushes t.direct_pte_writes
+      t.masks_agree
+end
+
+module Ablation_policy = struct
+  type row = {
+    policy : string;
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  let run () =
+    List.map
+      (fun policy ->
+        let t = mpeg_pipeline ~policy () in
+        let procs = Workloads.Mpeg.routines in
+        let meth = Pipeline.Profile_based in
+        let dynamic_cycles =
+          (Pipeline.run_dynamic t ~procs ~meth).Machine.Run_stats.cycles
+        in
+        let k = Pipeline.columns t in
+        let best_static_cycles =
+          List.fold_left
+            (fun acc p ->
+              min acc
+                (Pipeline.run_static_app t ~procs ~scratchpad_columns:p ~meth)
+                  .Machine.Run_stats.cycles)
+            max_int
+            (List.init (k + 1) (fun p -> p))
+        in
+        let standard_cycles =
+          List.fold_left
+            (fun acc proc ->
+              acc + (Pipeline.run_standard t ~proc).Machine.Run_stats.cycles)
+            0 procs
+        in
+        {
+          policy = Cache.Policy.kind_to_string policy;
+          dynamic_cycles;
+          best_static_cycles;
+          standard_cycles;
+        })
+      Cache.Policy.all_kinds
+
+  let print ppf rows =
+    Format.fprintf ppf "@[<v>Ablation: replacement policy (whole MPEG app)@,";
+    Format.fprintf ppf
+      "  (single-column mapping leaves the policy no choice, so the mapped@,      \   columns are policy-invariant by construction; only the standard@,      \   cache depends on it)@,";
+    Format.fprintf ppf "  %-12s %-16s %-14s %s@," "policy" "column(dynamic)"
+      "best static" "standard";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-12s %-16d %-14d %d@," r.policy r.dynamic_cycles
+          r.best_static_cycles r.standard_cycles)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_columns = struct
+  type row = {
+    columns : int;
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  let run ?(columns_list = [ 2; 4; 8 ]) () =
+    List.map
+      (fun ways ->
+        let t = mpeg_pipeline ~ways () in
+        let procs = Workloads.Mpeg.routines in
+        let meth = Pipeline.Profile_based in
+        let dynamic_cycles =
+          (Pipeline.run_dynamic t ~procs ~meth).Machine.Run_stats.cycles
+        in
+        let best_static_cycles =
+          List.fold_left
+            (fun acc p ->
+              min acc
+                (Pipeline.run_static_app t ~procs ~scratchpad_columns:p ~meth)
+                  .Machine.Run_stats.cycles)
+            max_int
+            (List.init (ways + 1) (fun p -> p))
+        in
+        let standard_cycles =
+          List.fold_left
+            (fun acc proc ->
+              acc + (Pipeline.run_standard t ~proc).Machine.Run_stats.cycles)
+            0 procs
+        in
+        { columns = ways; dynamic_cycles; best_static_cycles; standard_cycles })
+      columns_list
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: column count at fixed 2 KB (whole MPEG app)@,";
+    Format.fprintf ppf "  %-8s %-16s %-14s %s@," "columns" "column(dynamic)"
+      "best static" "standard";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-8d %-16d %-14d %d@," r.columns r.dynamic_cycles
+          r.best_static_cycles r.standard_cycles)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_weights = struct
+  type row = {
+    routine : string;
+    profile_cycles : int;
+    static_cycles : int;
+    standard_cycles : int;
+  }
+
+  let run () =
+    let t = mpeg_pipeline () in
+    List.map
+      (fun routine ->
+        let best meth =
+          snd (Pipeline.best_split t ~proc:routine ~meth)
+        in
+        {
+          routine;
+          profile_cycles =
+            (best Pipeline.Profile_based).Machine.Run_stats.cycles;
+          static_cycles =
+            (best Pipeline.Program_analysis).Machine.Run_stats.cycles;
+          standard_cycles =
+            (Pipeline.run_standard t ~proc:routine).Machine.Run_stats.cycles;
+        })
+      Workloads.Mpeg.routines
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: profile-based vs program-analysis weights@,";
+    Format.fprintf ppf "  %-10s %-10s %-10s %s@," "routine" "profile"
+      "analysis" "standard";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-10s %-10d %-10d %d@," r.routine
+          r.profile_cycles r.static_cycles r.standard_cycles)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_page_coloring = struct
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  type t = {
+    rows : row list;
+    recolor_bytes : int;
+        (** copying cost of re-coloring between dequant's and idct's
+            per-procedure page placements *)
+    column_remap_writes : int;
+        (** tint-table writes the column cache needs for the same
+            per-procedure adaptation *)
+  }
+
+  let page_size = 256
+
+  let run () =
+    let dm_cache =
+      (* the same 2 KB as direct-mapped cache: page coloring's home turf *)
+      Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:1 ()
+    in
+    let t_dm =
+      Pipeline.make ~page_size ~init:Workloads.Mpeg.init ~cache:dm_cache
+        Workloads.Mpeg.program
+    in
+    let procs = Workloads.Mpeg.routines in
+    let traces = List.map (fun proc -> Pipeline.trace_of t_dm ~proc) procs in
+    let combined = Memtrace.Trace.concat traces in
+    let run_configured configure =
+      let system = Pipeline.fresh_system t_dm in
+      configure system;
+      let stats =
+        List.fold_left
+          (fun acc trace ->
+            Machine.Run_stats.add acc (Machine.System.run system trace))
+          (Machine.Run_stats.zero ~ways:1)
+          traces
+      in
+      {
+        config = "";
+        cycles = stats.Machine.Run_stats.cycles;
+        misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+      }
+    in
+    let vars =
+      List.map
+        (fun v -> (v.Ir.Ast.name, Ir.Ast.var_size_bytes v))
+        Workloads.Mpeg.program.Ir.Ast.vars
+    in
+    let coloring_for summaries =
+      Layout.Page_coloring.assign ~cache:dm_cache ~page_size
+        ~address_map:t_dm.Pipeline.address_map ~vars ~summaries
+    in
+    let naive = run_configured (fun _ -> ()) in
+    let colored =
+      run_configured (fun system ->
+          Layout.Page_coloring.apply
+            (coloring_for (Profile.Lifetime.of_trace combined))
+            system)
+    in
+    (* column cache on the same 2 KB, 4 columns *)
+    let t_col = mpeg_pipeline () in
+    let column =
+      let stats = Pipeline.run_dynamic t_col ~procs ~meth:Pipeline.Profile_based in
+      {
+        config = "";
+        cycles = stats.Machine.Run_stats.cycles;
+        misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+      }
+    in
+    let standard =
+      let stats =
+        List.fold_left
+          (fun acc proc ->
+            Machine.Run_stats.add acc (Pipeline.run_standard t_col ~proc))
+          (Machine.Run_stats.zero ~ways:4)
+          procs
+      in
+      {
+        config = "";
+        cycles = stats.Machine.Run_stats.cycles;
+        misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+      }
+    in
+    (* adaptation cost: per-procedure placements for dequant vs idct *)
+    let per_proc proc =
+      coloring_for
+        (Profile.Lifetime.of_trace (Pipeline.trace_of t_dm ~proc))
+    in
+    let recolor_bytes =
+      Layout.Page_coloring.recolor_cost_bytes ~from_:(per_proc "dequant")
+        ~to_:(per_proc "idct")
+    in
+    let column_remap_writes =
+      let _, transitions =
+        Pipeline.run_dynamic_detailed t_col ~procs ~meth:Pipeline.Profile_based
+      in
+      List.fold_left
+        (fun acc tr -> acc + tr.Layout.Dynamic.tint_table_writes)
+        0 transitions
+    in
+    {
+      rows =
+        [
+          { naive with config = "direct-mapped, naive layout" };
+          { colored with config = "direct-mapped, page-colored" };
+          { standard with config = "4-way standard cache" };
+          { column with config = "column cache (dynamic)" };
+        ];
+      recolor_bytes;
+      column_remap_writes;
+    }
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>Ablation: page coloring baseline (whole MPEG app, same 2 KB)@,";
+    Format.fprintf ppf "  %-30s %-10s %s@," "configuration" "cycles" "misses";
+    List.iter
+      (fun r -> Format.fprintf ppf "  %-30s %-10d %d@," r.config r.cycles r.misses)
+      t.rows;
+    Format.fprintf ppf
+      "  adaptation dequant->idct: page coloring copies %d bytes; the column        cache writes %d table entries across the whole schedule@,"
+      t.recolor_bytes t.column_remap_writes;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_l2 = struct
+  type row = {
+    config : string;
+    cycles : int;
+    l1_misses : int;
+    l2_hits : int;
+  }
+
+  let l2_config = Cache.Sassoc.config ~line_size:16 ~size_bytes:16384 ~ways:4 ()
+
+  let run () =
+    let t = mpeg_pipeline () in
+    let procs = Workloads.Mpeg.routines in
+    let traces = List.map (fun proc -> (proc, Pipeline.trace_of t ~proc)) procs in
+    let system ~l2 =
+      let cfg =
+        match l2 with
+        | false -> Machine.System.config t.Pipeline.cache
+        | true -> Machine.System.config ~l2:l2_config t.Pipeline.cache
+      in
+      Machine.System.create cfg
+    in
+    let standard ~l2 =
+      let system = system ~l2 in
+      List.fold_left
+        (fun acc (_, trace) ->
+          Machine.Run_stats.add acc (Machine.System.run system trace))
+        (Machine.Run_stats.zero ~ways:4)
+        traces
+    in
+    let column ~l2 =
+      let schedule, traces =
+        Pipeline.dynamic_schedule t ~procs ~meth:Pipeline.Profile_based
+      in
+      fst (Layout.Dynamic.run ~system:(system ~l2) ~traces schedule)
+    in
+    let row config (stats : Machine.Run_stats.t) =
+      {
+        config;
+        cycles = stats.Machine.Run_stats.cycles;
+        l1_misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+        l2_hits = stats.Machine.Run_stats.l2_hits;
+      }
+    in
+    [
+      row "standard, no L2" (standard ~l2:false);
+      row "standard + 16K L2" (standard ~l2:true);
+      row "column dynamic, no L2" (column ~l2:false);
+      row "column dynamic + 16K L2" (column ~l2:true);
+    ]
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: L2 presence (whole MPEG app, 2 KB L1)@,";
+    Format.fprintf ppf "  %-26s %-10s %-10s %s@," "configuration" "cycles"
+      "L1 misses" "L2 hits";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-26s %-10d %-10d %d@," r.config r.cycles
+          r.l1_misses r.l2_hits)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_prefetch = struct
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+    prefetches : int;
+  }
+
+  (* FIR filter: a hot 128 B coefficient table against two multi-KB streams
+     (input, output). The paper's Section 2 observation is that a prefetch
+     buffer can live inside the general cache as just another partition:
+     marking the stream tints "streaming" prefetches into their own columns
+     and cannot evict the coefficients. *)
+  let run () =
+    let program = Workloads.Kernels.fir ~taps:32 ~samples:2048 in
+    let t =
+      Pipeline.make ~init:Workloads.Kernels.init ~cache:(paper_cache ()) program
+    in
+    let trace = Pipeline.trace_of t ~proc:"fir" in
+    let streaming_vars = [ "input"; "output" ] in
+    let row config (stats : Machine.Run_stats.t) =
+      {
+        config;
+        cycles = stats.Machine.Run_stats.cycles;
+        misses = stats.Machine.Run_stats.cache.Cache.Stats.misses;
+        prefetches = stats.Machine.Run_stats.prefetches;
+      }
+    in
+    let standard ~prefetch =
+      let system = Pipeline.fresh_system t in
+      if prefetch then Machine.System.set_streaming system Vm.Tint.default;
+      row
+        (if prefetch then "standard + prefetch-all"
+         else "standard, no prefetch")
+        (Machine.System.run system trace)
+    in
+    let column ~prefetch =
+      let part =
+        Pipeline.partition t ~proc:"fir" ~scratchpad_columns:0
+          ~meth:Pipeline.Profile_based
+      in
+      let system = Pipeline.fresh_system t in
+      Layout.Partition.apply part system;
+      if prefetch then
+        List.iter
+          (fun pl ->
+            if List.mem pl.Layout.Partition.region.Layout.Region.var streaming_vars
+            then
+              Machine.System.set_streaming system
+                (Layout.Region.tint pl.Layout.Partition.region))
+          part.Layout.Partition.placements;
+      row
+        (if prefetch then "column + stream prefetch" else "column, no prefetch")
+        (Machine.System.run system trace)
+    in
+    [
+      standard ~prefetch:false;
+      standard ~prefetch:true;
+      column ~prefetch:false;
+      column ~prefetch:true;
+    ]
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: stream prefetch as a cache partition (FIR, 2 KB)@,";
+    Format.fprintf ppf "  %-26s %-10s %-8s %s@," "configuration" "cycles"
+      "misses" "prefetches";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-26s %-10d %-8d %d@," r.config r.cycles r.misses
+          r.prefetches)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_tlb = struct
+  type series = {
+    tlb_entries : int;
+    points : (int * float) list;
+  }
+
+  let run ?(quanta = [ 16; 256; 4096; 65536; 1048576 ]) ?(sizes = [ 8; 32; 128 ])
+      ?(input_len = 8192) () =
+    let jobs () = Fig5.jobs ~input_len in
+    List.map
+      (fun tlb_entries ->
+        let points =
+          List.map
+            (fun quantum ->
+              let cache =
+                Cache.Sassoc.config ~line_size:16 ~size_bytes:(16 * 1024)
+                  ~ways:8 ()
+              in
+              let system =
+                Machine.System.create
+                  (Machine.System.config ~timing:Fig5.fig5_timing
+                     ~page_size:1024 ~tlb_entries cache)
+              in
+              let outcome =
+                Sched.Round_robin.run ~flush_tlb_on_switch:true ~system
+                  ~quantum (jobs ())
+              in
+              match Sched.Round_robin.find_job outcome "A" with
+              | Some s -> (quantum, Sched.Round_robin.cpi s)
+              | None -> assert false)
+            quanta
+        in
+        { tlb_entries; points })
+      sizes
+
+  let print ppf series =
+    Format.fprintf ppf
+      "@[<v>Ablation: TLB size with flush-on-switch (16k standard cache)@,";
+    (match series with
+    | [] -> ()
+    | first :: _ ->
+        Format.fprintf ppf "  %-12s" "quantum";
+        List.iter (fun (q, _) -> Format.fprintf ppf "%9d" q) first.points;
+        Format.fprintf ppf "@,");
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-12s"
+          (Printf.sprintf "tlb=%d" s.tlb_entries);
+        List.iter (fun (_, cpi) -> Format.fprintf ppf "%9.3f" cpi) s.points;
+        Format.fprintf ppf "@,")
+      series;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_grouping = struct
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  (* A 768 B array re-walked twenty times, mapped WITHOUT the layout
+     algorithm's subarray splitting (one tint for the whole variable):
+     confined to one 512 B column it thrashes; given a two-column group
+     (Section 2.1's "aggregating columns into partitions") it fits and
+     enjoys associativity. The full layout algorithm reaches the same
+     result by splitting the array across two single columns — which is
+     why grouping adds nothing on the MPEG routines: step 1 of the
+     algorithm already absorbs it. *)
+  let run () =
+    let program = Workloads.Kernels.hot_walk ~hot_elems:192 ~passes:20 in
+    let t =
+      Pipeline.make ~init:Workloads.Kernels.init ~cache:(paper_cache ()) program
+    in
+    let trace = Pipeline.trace_of t ~proc:"hot_walk" in
+    let coarse_run masks =
+      (* whole-variable tints with explicit masks, no splitting *)
+      let system = Pipeline.fresh_system t in
+      let mapping = Machine.System.mapping system in
+      List.iter
+        (fun (var, mask) ->
+          let base = Layout.Address_map.base_of t.Pipeline.address_map var in
+          let size =
+            match Ir.Ast.find_var program var with
+            | Some v -> Ir.Ast.var_size_bytes v
+            | None -> assert false
+          in
+          ignore
+            (Vm.Mapping.retint_region mapping ~base ~size (Vm.Tint.make var));
+          Vm.Mapping.remap_tint mapping (Vm.Tint.make var) mask)
+        masks;
+      let stats = Machine.System.run system trace in
+      (stats.Machine.Run_stats.cycles,
+       stats.Machine.Run_stats.cache.Cache.Stats.misses)
+    in
+    let single =
+      coarse_run
+        [
+          ("hot", Cache.Bitmask.singleton 0);
+          ("aux1", Cache.Bitmask.singleton 1);
+          ("aux2", Cache.Bitmask.singleton 2);
+        ]
+    in
+    let grouped =
+      coarse_run
+        [
+          ("hot", Cache.Bitmask.of_list [ 0; 1 ]);
+          ("aux1", Cache.Bitmask.singleton 2);
+          ("aux2", Cache.Bitmask.singleton 3);
+        ]
+    in
+    let algorithm =
+      let stats, _ =
+        Pipeline.run_partitioned t ~proc:"hot_walk" ~scratchpad_columns:0
+          ~meth:Pipeline.Profile_based
+      in
+      (stats.Machine.Run_stats.cycles,
+       stats.Machine.Run_stats.cache.Cache.Stats.misses)
+    in
+    let standard =
+      let stats = Pipeline.run_standard t ~proc:"hot_walk" in
+      (stats.Machine.Run_stats.cycles,
+       stats.Machine.Run_stats.cache.Cache.Stats.misses)
+    in
+    List.map
+      (fun (config, (cycles, misses)) -> { config; cycles; misses })
+      [
+        ("whole-var, 1 column", single);
+        ("whole-var, 2-col group", grouped);
+        ("layout algorithm (split)", algorithm);
+        ("standard cache", standard);
+      ]
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: column grouping (Section 2.1) on a 768 B hot walk@,";
+    Format.fprintf ppf "  %-26s %-10s %s@," "mapping" "cycles" "misses";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-26s %-10d %d@," r.config r.cycles r.misses)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Ablation_optimizer = struct
+  type row = {
+    routine : string;
+    accesses_before : int;
+    accesses_after : int;
+    standard_before : int;
+    standard_after : int;
+    column_before : int;
+    column_after : int;
+  }
+
+  (* The compiler front end the layout pass lives in also runs classical
+     scalar optimizations (abl9): hoisting the per-element qscale reload out
+     of dequant's loop, folding, dead code. Fewer accesses change both the
+     baseline and the layout algorithm's weights. *)
+  let run () =
+    let meth = Pipeline.Profile_based in
+    let before = mpeg_pipeline () in
+    let after =
+      Pipeline.make ~init:Workloads.Mpeg.init ~cache:(paper_cache ())
+        (Ir.Optimize.optimize Workloads.Mpeg.program)
+    in
+    List.map
+      (fun routine ->
+        let accesses t = Memtrace.Trace.length (Pipeline.trace_of t ~proc:routine) in
+        let standard t = (Pipeline.run_standard t ~proc:routine).Machine.Run_stats.cycles in
+        let column t =
+          (snd (Pipeline.best_split t ~proc:routine ~meth)).Machine.Run_stats.cycles
+        in
+        {
+          routine;
+          accesses_before = accesses before;
+          accesses_after = accesses after;
+          standard_before = standard before;
+          standard_after = standard after;
+          column_before = column before;
+          column_after = column after;
+        })
+      Workloads.Mpeg.routines
+
+  let print ppf rows =
+    Format.fprintf ppf
+      "@[<v>Ablation: front-end optimizer (fold + DCE + scalar hoisting)@,";
+    Format.fprintf ppf "  %-10s %-18s %-20s %s@," "routine" "accesses"
+      "standard cycles" "best column cycles";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-10s %6d -> %-8d %8d -> %-9d %8d -> %d@,"
+          r.routine r.accesses_before r.accesses_after r.standard_before
+          r.standard_after r.column_before r.column_after)
+      rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Generality = struct
+  (* Not a figure from the paper: a cross-check that the layout machinery
+     generalizes beyond the paper's MPEG benchmark. Same protocol as
+     Figure 4(d), applied to a JPEG encoder front end. *)
+  type t = {
+    routines : (string * int * int * int) list;
+        (** routine, bytes, standard cycles, best column cycles *)
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  let run () =
+    let t =
+      Pipeline.make ~init:Workloads.Jpeg.init ~cache:(paper_cache ())
+        Workloads.Jpeg.program
+    in
+    let meth = Pipeline.Profile_based in
+    let procs = Workloads.Jpeg.routines in
+    let routines =
+      List.map
+        (fun proc ->
+          let standard = (Pipeline.run_standard t ~proc).Machine.Run_stats.cycles in
+          let _, best = Pipeline.best_split t ~proc ~meth in
+          ( proc,
+            Workloads.Jpeg.total_bytes ~proc,
+            standard,
+            best.Machine.Run_stats.cycles ))
+        procs
+    in
+    let dynamic_cycles =
+      (Pipeline.run_dynamic t ~procs ~meth).Machine.Run_stats.cycles
+    in
+    let best_static_cycles =
+      List.fold_left
+        (fun acc p ->
+          min acc
+            (Pipeline.run_static_app t ~procs ~scratchpad_columns:p ~meth)
+              .Machine.Run_stats.cycles)
+        max_int [ 0; 1; 2; 3; 4 ]
+    in
+    let standard_cycles =
+      List.fold_left
+        (fun acc proc ->
+          acc + (Pipeline.run_standard t ~proc).Machine.Run_stats.cycles)
+        0 procs
+    in
+    { routines; dynamic_cycles; best_static_cycles; standard_cycles }
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>Generality check: JPEG encoder front end (2 KB, 4 columns)@,";
+    Format.fprintf ppf "  %-16s %-8s %-10s %s@," "routine" "bytes" "standard"
+      "best column";
+    List.iter
+      (fun (proc, bytes, standard, best) ->
+        Format.fprintf ppf "  %-16s %-8d %-10d %d@," proc bytes standard best)
+      t.routines;
+    Format.fprintf ppf "  whole app: standard %d, best static %d, dynamic %d@,"
+      t.standard_cycles t.best_static_cycles t.dynamic_cycles;
+    Format.fprintf ppf "@]@."
+end
+
+let run_all ppf =
+  Fig3.print ppf (Fig3.run ());
+  Fig4_routines.print ppf (Fig4_routines.run ());
+  Fig4_combined.print ppf (Fig4_combined.run ());
+  Fig5.print ppf (Fig5.run ());
+  Ablation_policy.print ppf (Ablation_policy.run ());
+  Ablation_columns.print ppf (Ablation_columns.run ());
+  Ablation_weights.print ppf (Ablation_weights.run ());
+  Ablation_grouping.print ppf (Ablation_grouping.run ());
+  Ablation_page_coloring.print ppf (Ablation_page_coloring.run ());
+  Ablation_l2.print ppf (Ablation_l2.run ());
+  Ablation_prefetch.print ppf (Ablation_prefetch.run ());
+  Ablation_tlb.print ppf (Ablation_tlb.run ());
+  Ablation_optimizer.print ppf (Ablation_optimizer.run ());
+  Generality.print ppf (Generality.run ())

@@ -1,0 +1,247 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each submodule regenerates one figure of the paper (or one ablation
+    from DESIGN.md): a [run] function returning structured data, and a
+    [print] function that renders the same rows/series the paper plots.
+    Absolute numbers differ from the paper (different machine model); the
+    shapes — who wins, by what factor, where the crossovers are — are the
+    reproduction targets recorded in EXPERIMENTS.md. *)
+
+(** Figure 4(a-c): cycle count of each MPEG routine as the 2 KB / 4-column
+    on-chip memory shifts between scratchpad and cache. *)
+module Fig4_routines : sig
+  type point = {
+    cache_columns : int;
+    scratchpad_columns : int;
+    cycles : int;
+    misses : int;
+    uncached_regions : int;
+  }
+
+  type series = {
+    routine : string;
+    bytes : int;  (** the routine's total data footprint *)
+    points : point list;  (** ascending cache_columns, 0..4 *)
+  }
+
+  val run : ?meth:Pipeline.weight_method -> unit -> series list
+  (** One series per routine (dequant, plus, idct); default profile-based
+      weights. *)
+
+  val print : Format.formatter -> series list -> unit
+end
+
+(** Figure 4(d): the whole application under every static partition versus
+    the dynamically repartitioned column cache. *)
+module Fig4_combined : sig
+  type t = {
+    static_points : (int * int) list;
+        (** (cache_columns, total cycles) for each fixed partition *)
+    column_cache_cycles : int;
+    standard_cache_cycles : int;
+        (** unmapped 4-way cache, for reference *)
+  }
+
+  val run : ?meth:Pipeline.weight_method -> unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
+(** Figure 5: CPI of gzip job A against the context-switch quantum, for a
+    standard and a column-mapped cache at two sizes. *)
+module Fig5 : sig
+  type series = {
+    label : string;  (** e.g. "gzip.16k mapped" *)
+    cache_kb : int;
+    mapped : bool;
+    points : (int * float) list;  (** (quantum, CPI of job A) *)
+  }
+
+  val default_quanta : int list
+  (** Powers of four from 1 to 1,048,576, the paper's x-axis. *)
+
+  val run :
+    ?quanta:int list -> ?cache_kbs:int list -> ?input_len:int -> unit ->
+    series list
+  (** Defaults: the paper's quanta, 16 and 128 KB caches, 12 KiB of input
+      per job. Three concurrent LZ77 jobs; in the mapped runs job A owns
+      6 of 8 columns. *)
+
+  val print : Format.formatter -> series list -> unit
+end
+
+(** Figure 3: cost of repartitioning with tints in the PTEs versus raw bit
+    vectors in the PTEs. *)
+module Fig3 : sig
+  type t = {
+    pages : int;
+    tinted_pte_writes : int;
+    tinted_table_writes : int;
+    tinted_tlb_entry_flushes : int;
+    direct_pte_writes : int;
+    masks_agree : bool;  (** both schemes produce identical mappings *)
+  }
+
+  val run : ?pages:int -> ?columns:int -> unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
+(** Ablation: replacement policy under column partitioning (abl1). A
+    notable structural result: with every variable mapped to a single
+    column, victim selection never has more than one valid candidate, so
+    the mapped configurations are exactly policy-invariant; only the
+    standard (unmapped) cache shows policy differences. *)
+module Ablation_policy : sig
+  type row = {
+    policy : string;
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: column count at fixed 2 KB capacity (abl2). *)
+module Ablation_columns : sig
+  type row = {
+    columns : int;
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  val run : ?columns_list:int list -> unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: profile-based versus program-analysis weights (abl3). *)
+module Ablation_weights : sig
+  type row = {
+    routine : string;
+    profile_cycles : int;
+    static_cycles : int;
+    standard_cycles : int;  (** unpartitioned cache baseline *)
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: the paper's single-column restriction (Section 3, footnote)
+    versus grouped column partitions (Section 2.1's "aggregating columns
+    into partitions"), isolated on a hot working set larger than one column
+    (abl5). Also records the structural finding that the full layout
+    algorithm (whose step 1 splits oversized variables) absorbs the benefit
+    of grouping for single-threaded layouts. *)
+module Ablation_grouping : sig
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: the page-coloring baseline from the paper's related work
+    (Section 5.1) on the same 2 KB of on-chip memory (abl6): a software-only
+    frame placement for a direct-mapped physically-indexed cache, versus the
+    column cache — including the asymmetric cost of adapting the layout
+    between procedures (memory copies vs. table writes). *)
+module Ablation_page_coloring : sig
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  type t = {
+    rows : row list;
+    recolor_bytes : int;
+    column_remap_writes : int;
+  }
+
+  val run : unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
+(** Ablation: a second cache level (abl7). Column caching's conflict
+    avoidance and an L2's miss absorption are complementary: the L2 cuts
+    the penalty of the misses that remain; the column mapping removes
+    misses outright. *)
+module Ablation_l2 : sig
+  type row = {
+    config : string;
+    cycles : int;
+    l1_misses : int;
+    l2_hits : int;
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: a stream prefetcher living inside the general cache as one
+    more partition (abl8) — the paper's Section 2 claim that column caching
+    subsumes "a separate prefetch buffer". Compares no prefetch, naive
+    prefetch-everything, and prefetch confined to the stream columns. *)
+module Ablation_prefetch : sig
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+    prefetches : int;
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Ablation: TLB size when context switches flush an untagged TLB (abl4). *)
+module Ablation_tlb : sig
+  type series = {
+    tlb_entries : int;
+    points : (int * float) list;  (** (quantum, CPI of job A) *)
+  }
+
+  val run : ?quanta:int list -> ?sizes:int list -> ?input_len:int -> unit -> series list
+  val print : Format.formatter -> series list -> unit
+end
+
+(** Ablation: the front-end optimizer's effect on access counts and on the
+    layout results (abl9). *)
+module Ablation_optimizer : sig
+  type row = {
+    routine : string;
+    accesses_before : int;
+    accesses_after : int;
+    standard_before : int;
+    standard_after : int;
+    column_before : int;
+    column_after : int;
+  }
+
+  val run : unit -> row list
+  val print : Format.formatter -> row list -> unit
+end
+
+(** Not a paper figure: the Figure 4(d) protocol applied to a second
+    application (a JPEG encoder front end), checking that the machinery is
+    not specialized to the paper's benchmark. *)
+module Generality : sig
+  type t = {
+    routines : (string * int * int * int) list;
+    dynamic_cycles : int;
+    best_static_cycles : int;
+    standard_cycles : int;
+  }
+
+  val run : unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
+val run_all : Format.formatter -> unit
+(** Run every experiment and print all series (the bench harness's output
+    body). *)

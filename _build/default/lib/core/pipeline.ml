@@ -1,0 +1,251 @@
+type weight_method =
+  | Profile_based
+  | Program_analysis
+
+type t = {
+  program : Ir.Ast.program;
+  init : string -> int -> int;
+  cache : Cache.Sassoc.config;
+  page_size : int;
+  tlb_entries : int;
+  address_map : Layout.Address_map.t;
+}
+
+let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0) ~cache
+    program =
+  Ir.Ast.validate program;
+  let vars =
+    List.map
+      (fun v -> (v.Ir.Ast.name, Ir.Ast.var_size_bytes v))
+      program.Ir.Ast.vars
+  in
+  let address_map =
+    Layout.Address_map.build ~page_size
+      ~column_size:(Cache.Sassoc.column_size_bytes cache)
+      ~vars ()
+  in
+  { program; init; cache; page_size; tlb_entries; address_map }
+
+let columns t = t.cache.Cache.Sassoc.ways
+let column_size t = Cache.Sassoc.column_size_bytes t.cache
+
+let trace_of t ~proc =
+  Ir.Interp.trace_of ~init:t.init t.program ~proc
+    ~layout:(Layout.Address_map.to_ir_layout t.address_map)
+
+let vars_of_proc t ~proc =
+  List.map
+    (fun name ->
+      match Ir.Ast.find_var t.program name with
+      | Some v -> (name, Ir.Ast.var_size_bytes v)
+      | None -> assert false)
+    (Ir.Ast.vars_referenced t.program ~proc)
+
+let summaries t ~proc ~meth =
+  match meth with
+  | Profile_based -> Profile.Lifetime.of_trace (trace_of t ~proc)
+  | Program_analysis -> Ir.Static_analysis.analyze t.program ~proc
+
+(* Classifier mapping an access to its region name under the current
+   address map and column size: exact per-subarray profiling. *)
+let region_classifier t ~vars =
+  let spans =
+    List.map
+      (fun (name, size) ->
+        (name, Layout.Address_map.base_of t.address_map name, size))
+      vars
+  in
+  let s = column_size t in
+  fun (a : Memtrace.Access.t) ->
+    match a.Memtrace.Access.var with
+    | None -> None
+    | Some v -> (
+        match List.find_opt (fun (name, _, _) -> name = v) spans with
+        | None -> None
+        | Some (_, base, size) ->
+            if size <= s then Some v
+            else Some (Printf.sprintf "%s#%d" v ((a.Memtrace.Access.addr - base) / s)))
+
+let region_summaries_of_trace t ~vars trace =
+  Profile.Lifetime.of_trace_classified trace
+    ~classify:(region_classifier t ~vars)
+
+let regions t ~proc ~meth =
+  let vars = vars_of_proc t ~proc in
+  let region_summaries =
+    match meth with
+    | Profile_based -> region_summaries_of_trace t ~vars (trace_of t ~proc)
+    | Program_analysis -> []
+  in
+  Layout.Region.split_vars ~region_summaries ~column_size:(column_size t)
+    ~vars ~summaries:(summaries t ~proc ~meth) ()
+
+let partition ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth =
+  let spec =
+    Layout.Partition.spec ~columns:(columns t) ~column_size:(column_size t)
+      ~scratchpad_columns
+  in
+  Layout.Partition.compute ?forced_scratchpad ?mode ~spec
+    ~address_map:t.address_map
+    (regions t ~proc ~meth)
+
+(* Variables both read and written during a run hold in-place working data:
+   pinning them to scratchpad requires a real copy-in (see
+   {!Layout.Partition.apply}). *)
+let copy_in_vars trace =
+  let reads = Hashtbl.create 16 and writes = Hashtbl.create 16 in
+  Memtrace.Trace.iter
+    (fun a ->
+      match a.Memtrace.Access.var with
+      | None -> ()
+      | Some v -> (
+          match a.Memtrace.Access.kind with
+          | Memtrace.Access.Read | Memtrace.Access.Ifetch ->
+              Hashtbl.replace reads v ()
+          | Memtrace.Access.Write -> Hashtbl.replace writes v ()))
+    trace;
+  Hashtbl.fold
+    (fun v () acc -> if Hashtbl.mem writes v then v :: acc else acc)
+    reads []
+
+let fresh_system t =
+  Machine.System.create
+    (Machine.System.config ~page_size:t.page_size ~tlb_entries:t.tlb_entries
+       t.cache)
+
+let run_partitioned ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth =
+  let part =
+    partition ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth
+  in
+  let system = fresh_system t in
+  let trace = trace_of t ~proc in
+  Layout.Partition.apply ~copy_in:(copy_in_vars trace) part system;
+  let stats = Machine.System.run system trace in
+  (stats, part)
+
+let run_standard t ~proc =
+  let system = fresh_system t in
+  Machine.System.run system (trace_of t ~proc)
+
+let best_split ?(allow_uncached = true) ?mode t ~proc ~meth =
+  let k = columns t in
+  let candidates =
+    List.filter_map
+      (fun p ->
+        let stats, part =
+          run_partitioned ?mode t ~proc ~scratchpad_columns:p ~meth
+        in
+        if (not allow_uncached) && Layout.Partition.uncached_regions part <> []
+        then None
+        else Some (p, stats))
+      (List.init (k + 1) (fun p -> p))
+  in
+  match candidates with
+  | [] -> invalid_arg "Pipeline.best_split: no feasible split"
+  | first :: rest ->
+      List.fold_left
+        (fun ((_, b) as best) ((_, s) as cand) ->
+          if s.Machine.Run_stats.cycles < b.Machine.Run_stats.cycles then cand
+          else best)
+        first rest
+
+let dynamic_schedule ?mode t ~procs ~meth =
+  let phased =
+    List.map
+      (fun proc ->
+        let p, _ = best_split ~allow_uncached:false ?mode t ~proc ~meth in
+        let part = partition ?mode t ~proc ~scratchpad_columns:p ~meth in
+        let trace = trace_of t ~proc in
+        ( Layout.Dynamic.phase ~copy_in:(copy_in_vars trace) ~label:proc part,
+          trace ))
+      procs
+  in
+  ( Layout.Dynamic.schedule (List.map fst phased),
+    List.map (fun (ph, trace) -> (ph.Layout.Dynamic.label, trace)) phased )
+
+let run_dynamic_detailed ?mode t ~procs ~meth =
+  let schedule, traces = dynamic_schedule ?mode t ~procs ~meth in
+  let system = fresh_system t in
+  Layout.Dynamic.run ~system ~traces schedule
+
+let run_dynamic ?mode t ~procs ~meth =
+  fst (run_dynamic_detailed ?mode t ~procs ~meth)
+
+(* Merge per-procedure static summaries into whole-application ones by
+   laying procedure clocks end to end (procedures run in sequence). *)
+let combined_static_summaries t ~procs =
+  let table : (string, Profile.Lifetime.summary) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let offset = ref 0 in
+  List.iter
+    (fun proc ->
+      let cost =
+        int_of_float (Ir.Static_analysis.cost_of_proc t.program ~proc)
+      in
+      List.iter
+        (fun (name, s) ->
+          let open Profile.Lifetime in
+          let shifted =
+            summary ~accesses:s.accesses ~first:(s.first + !offset)
+              ~last:(s.last + !offset) ()
+          in
+          match Hashtbl.find_opt table name with
+          | None ->
+              Hashtbl.add table name shifted;
+              order := name :: !order
+          | Some prev ->
+              Hashtbl.replace table name
+                (summary
+                   ~accesses:(prev.accesses +. shifted.accesses)
+                   ~first:(min prev.first shifted.first)
+                   ~last:(max prev.last shifted.last) ()))
+        (Ir.Static_analysis.analyze t.program ~proc);
+      offset := !offset + cost)
+    procs;
+  List.rev_map (fun name -> (name, Hashtbl.find table name)) !order
+
+let run_static_app ?mode t ~procs ~scratchpad_columns ~meth =
+  let traces = List.map (fun proc -> trace_of t ~proc) procs in
+  let combined = Memtrace.Trace.concat traces in
+  let summaries =
+    match meth with
+    | Profile_based -> Profile.Lifetime.of_trace combined
+    | Program_analysis -> combined_static_summaries t ~procs
+  in
+  let vars =
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun proc ->
+        List.filter
+          (fun (name, _) ->
+            if Hashtbl.mem seen name then false
+            else begin
+              Hashtbl.add seen name ();
+              true
+            end)
+          (vars_of_proc t ~proc))
+      procs
+  in
+  let region_summaries =
+    match meth with
+    | Profile_based -> region_summaries_of_trace t ~vars combined
+    | Program_analysis -> []
+  in
+  let regions =
+    Layout.Region.split_vars ~region_summaries
+      ~column_size:(column_size t) ~vars ~summaries ()
+  in
+  let spec =
+    Layout.Partition.spec ~columns:(columns t) ~column_size:(column_size t)
+      ~scratchpad_columns
+  in
+  let part =
+    Layout.Partition.compute ?mode ~spec ~address_map:t.address_map regions
+  in
+  let system = fresh_system t in
+  Layout.Partition.apply ~copy_in:(copy_in_vars combined) part system;
+  List.fold_left
+    (fun acc trace ->
+      Machine.Run_stats.add acc (Machine.System.run system trace))
+    (Machine.Run_stats.zero ~ways:(columns t))
+    traces

@@ -1,0 +1,110 @@
+(** The end-to-end flow the paper describes: take an IF program, obtain
+    per-variable weights (by profiling a run or by static analysis), lay its
+    variables out over a column cache, and measure the result on the machine
+    model.
+
+    This is the module the experiments and examples drive; everything in it
+    is a thin composition of the substrate libraries. *)
+
+(** Section 3.1.1's two ways of producing interference weights. *)
+type weight_method =
+  | Profile_based  (** run on representative data, exact lifetimes *)
+  | Program_analysis  (** estimate from the IF, no execution *)
+
+type t = {
+  program : Ir.Ast.program;
+  init : string -> int -> int;
+  cache : Cache.Sassoc.config;
+  page_size : int;
+  tlb_entries : int;
+  address_map : Layout.Address_map.t;
+      (** fixed "linker" placement of every program variable; repartitioning
+          never moves data *)
+}
+
+val make :
+  ?page_size:int ->
+  ?tlb_entries:int ->
+  ?init:(string -> int -> int) ->
+  cache:Cache.Sassoc.config ->
+  Ir.Ast.program ->
+  t
+(** Defaults: 256-byte pages, 32 TLB entries, zero-initialised data. *)
+
+val columns : t -> int
+val column_size : t -> int
+
+val trace_of : t -> proc:string -> Memtrace.Trace.t
+val summaries :
+  t -> proc:string -> meth:weight_method -> (string * Profile.Lifetime.summary) list
+
+val regions : t -> proc:string -> meth:weight_method -> Layout.Region.t list
+
+val partition :
+  ?forced_scratchpad:string list ->
+  ?mode:Layout.Partition.mode ->
+  t ->
+  proc:string ->
+  scratchpad_columns:int ->
+  meth:weight_method ->
+  Layout.Partition.t
+
+val fresh_system : t -> Machine.System.t
+(** A machine with this experiment's cache geometry and an untouched
+    mapping. *)
+
+val run_partitioned :
+  ?forced_scratchpad:string list ->
+  ?mode:Layout.Partition.mode ->
+  t ->
+  proc:string ->
+  scratchpad_columns:int ->
+  meth:weight_method ->
+  Machine.Run_stats.t * Layout.Partition.t
+(** Lay the procedure out for the given scratchpad/cache split on a fresh
+    system and replay its trace. This is one data point of Figure 4(a-c). *)
+
+val run_standard : t -> proc:string -> Machine.Run_stats.t
+(** Baseline: no mapping at all — the whole cache is one set-associative
+    cache shared by everything. *)
+
+val best_split :
+  ?allow_uncached:bool ->
+  ?mode:Layout.Partition.mode ->
+  t ->
+  proc:string ->
+  meth:weight_method ->
+  int * Machine.Run_stats.t
+(** Try every scratchpad/cache split and return (scratchpad_columns, stats)
+    of the cheapest. [allow_uncached] (default true) also considers splits
+    that leave some data uncached; the dynamic runner passes [false]. *)
+
+val dynamic_schedule :
+  ?mode:Layout.Partition.mode ->
+  t -> procs:string list -> meth:weight_method ->
+  Layout.Dynamic.schedule * (string * Memtrace.Trace.t) list
+(** Build the Section 3.2 schedule: each procedure's best
+    (uncached-free) layout as one phase, plus the traces keyed by phase
+    label, ready for {!Layout.Dynamic.run}. *)
+
+val run_dynamic_detailed :
+  ?mode:Layout.Partition.mode ->
+  t -> procs:string list -> meth:weight_method ->
+  Machine.Run_stats.t * Layout.Dynamic.transition list
+(** Run the dynamic schedule on a fresh system; also returns what each phase
+    boundary actually cost (tint-table writes, PTE writes, preloads). *)
+
+val run_dynamic :
+  ?mode:Layout.Partition.mode ->
+  t -> procs:string list -> meth:weight_method -> Machine.Run_stats.t
+(** The column-cache result of Figure 4(d): one system, each procedure
+    preceded by an instantaneous remap to its own best layout (computed with
+    [allow_uncached:false]), traces replayed back to back. *)
+
+val run_static_app :
+  ?mode:Layout.Partition.mode ->
+  t -> procs:string list -> scratchpad_columns:int -> meth:weight_method ->
+  Machine.Run_stats.t
+(** The fixed-partition baseline of Figure 4(d): one layout computed from
+    the procedures' combined trace, applied once, all procedures replayed
+    through it. *)

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Format Hashtbl List Memtrace

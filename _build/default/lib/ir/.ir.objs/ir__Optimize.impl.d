@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Ast Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Ast Format Fun List Printf String

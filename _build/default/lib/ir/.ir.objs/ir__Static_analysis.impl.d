@@ -1,0 +1,1 @@
+lib/ir/static_analysis.ml: Ast Float Hashtbl List Option Printf Profile

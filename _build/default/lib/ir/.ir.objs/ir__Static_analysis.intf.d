@@ -1,0 +1,1 @@
+lib/ir/static_analysis.mli: Ast Profile

@@ -1,0 +1,303 @@
+type var = {
+  name : string;
+  elems : int;
+  elem_size : int;
+  scalar : bool;
+}
+
+let var_size_bytes v = v.elems * v.elem_size
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Min
+  | Max
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Int of int
+  | Reg of string
+  | Scalar of string
+  | Load of string * expr
+  | Unary_minus of expr
+  | Binop of binop * expr * expr
+
+type cond = {
+  rel : relop;
+  lhs : expr;
+  rhs : expr;
+  prob : float;
+}
+
+type stmt =
+  | Assign_reg of string * expr
+  | Assign_scalar of string * expr
+  | Store of string * expr * expr
+  | For of {
+      reg : string;
+      lo : expr;
+      hi : expr;
+      body : stmt list;
+    }
+  | While of {
+      cond : cond;
+      est_iterations : int;
+      body : stmt list;
+    }
+  | If of {
+      cond : cond;
+      then_ : stmt list;
+      else_ : stmt list;
+    }
+  | Call of string
+
+type proc = {
+  proc_name : string;
+  body : stmt list;
+}
+
+type program = {
+  vars : var list;
+  procs : proc list;
+}
+
+exception Invalid_program of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_program s)) fmt
+
+let find_var p name = List.find_opt (fun v -> v.name = name) p.vars
+let find_proc p name = List.find_opt (fun pr -> pr.proc_name = name) p.procs
+
+let rec check_expr p = function
+  | Int _ | Reg _ -> ()
+  | Scalar name -> (
+      match find_var p name with
+      | None -> invalid "undeclared scalar %s" name
+      | Some v -> if not v.scalar then invalid "%s used as scalar but is an array" name)
+  | Load (name, idx) -> (
+      check_expr p idx;
+      match find_var p name with
+      | None -> invalid "undeclared array %s" name
+      | Some v -> if v.scalar then invalid "%s indexed but is a scalar" name)
+  | Unary_minus e -> check_expr p e
+  | Binop (_, a, b) ->
+      check_expr p a;
+      check_expr p b
+
+let check_cond p c =
+  check_expr p c.lhs;
+  check_expr p c.rhs;
+  if not (c.prob >= 0. && c.prob <= 1.) then
+    invalid "branch probability %f out of [0,1]" c.prob
+
+let rec check_stmt p = function
+  | Assign_reg (_, e) -> check_expr p e
+  | Assign_scalar (name, e) -> (
+      check_expr p e;
+      match find_var p name with
+      | None -> invalid "undeclared scalar %s" name
+      | Some v -> if not v.scalar then invalid "%s assigned as scalar but is an array" name)
+  | Store (name, idx, e) -> (
+      check_expr p idx;
+      check_expr p e;
+      match find_var p name with
+      | None -> invalid "undeclared array %s" name
+      | Some v -> if v.scalar then invalid "%s stored as array but is a scalar" name)
+  | For { lo; hi; body; _ } ->
+      check_expr p lo;
+      check_expr p hi;
+      List.iter (check_stmt p) body
+  | While { cond; est_iterations; body } ->
+      check_cond p cond;
+      if est_iterations < 0 then invalid "negative est_iterations";
+      List.iter (check_stmt p) body
+  | If { cond; then_; else_ } ->
+      check_cond p cond;
+      List.iter (check_stmt p) then_;
+      List.iter (check_stmt p) else_
+  | Call name ->
+      if find_proc p name = None then invalid "undeclared procedure %s" name
+
+(* Detect call cycles with a DFS over the call graph. *)
+let check_no_recursion p =
+  let rec calls_of_stmt acc = function
+    | Call name -> name :: acc
+    | For { body; _ } | While { body; _ } -> List.fold_left calls_of_stmt acc body
+    | If { then_; else_; _ } ->
+        List.fold_left calls_of_stmt (List.fold_left calls_of_stmt acc then_) else_
+    | Assign_reg _ | Assign_scalar _ | Store _ -> acc
+  in
+  let callees name =
+    match find_proc p name with
+    | None -> []
+    | Some pr -> List.fold_left calls_of_stmt [] pr.body
+  in
+  let rec visit path name =
+    if List.mem name path then
+      invalid "recursive procedure chain: %s" (String.concat " -> " (List.rev (name :: path)));
+    List.iter (visit (name :: path)) (callees name)
+  in
+  List.iter (fun pr -> visit [] pr.proc_name) p.procs
+
+let validate p =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      if Hashtbl.mem seen v.name then invalid "duplicate variable %s" v.name;
+      Hashtbl.add seen v.name ();
+      if v.elems <= 0 || v.elem_size <= 0 then
+        invalid "variable %s has non-positive size" v.name;
+      if v.scalar && v.elems <> 1 then
+        invalid "scalar %s must have a single element" v.name)
+    p.vars;
+  let seen_procs = Hashtbl.create 16 in
+  List.iter
+    (fun pr ->
+      if Hashtbl.mem seen_procs pr.proc_name then
+        invalid "duplicate procedure %s" pr.proc_name;
+      Hashtbl.add seen_procs pr.proc_name ())
+    p.procs;
+  List.iter (fun pr -> List.iter (check_stmt p) pr.body) p.procs;
+  check_no_recursion p
+
+let vars_referenced p ~proc =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let record name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      order := name :: !order
+    end
+  in
+  let rec walk_expr = function
+    | Int _ | Reg _ -> ()
+    | Scalar name -> record name
+    | Load (name, idx) ->
+        record name;
+        walk_expr idx
+    | Unary_minus e -> walk_expr e
+    | Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+  in
+  let walk_cond c =
+    walk_expr c.lhs;
+    walk_expr c.rhs
+  in
+  let rec walk_stmt = function
+    | Assign_reg (_, e) -> walk_expr e
+    | Assign_scalar (name, e) ->
+        record name;
+        walk_expr e
+    | Store (name, idx, e) ->
+        record name;
+        walk_expr idx;
+        walk_expr e
+    | For { lo; hi; body; _ } ->
+        walk_expr lo;
+        walk_expr hi;
+        List.iter walk_stmt body
+    | While { cond; body; _ } ->
+        walk_cond cond;
+        List.iter walk_stmt body
+    | If { cond; then_; else_ } ->
+        walk_cond cond;
+        List.iter walk_stmt then_;
+        List.iter walk_stmt else_
+    | Call name -> (
+        match find_proc p name with
+        | None -> ()
+        | Some pr -> List.iter walk_stmt pr.body)
+  in
+  (match find_proc p proc with
+  | None -> invalid "no such procedure %s" proc
+  | Some pr -> List.iter walk_stmt pr.body);
+  List.rev !order
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Min -> "min"
+  | Max -> "max"
+
+let relop_to_string = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Reg r -> Format.fprintf ppf "%%%s" r
+  | Scalar s -> Format.fprintf ppf "%s" s
+  | Load (a, i) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+  | Unary_minus e -> Format.fprintf ppf "-(%a)" pp_expr e
+  | Binop ((Min | Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_to_string op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+
+(* The concrete syntax printed here is exactly what {!Parse} reads back:
+   pp_program and Parse.program are inverses (property-tested on the real
+   workloads). *)
+let pp_cond ppf c =
+  Format.fprintf ppf "%a %s %a @@%g" pp_expr c.lhs (relop_to_string c.rel)
+    pp_expr c.rhs c.prob
+
+let rec pp_stmt ppf = function
+  | Assign_reg (r, e) -> Format.fprintf ppf "%%%s := %a" r pp_expr e
+  | Assign_scalar (s, e) -> Format.fprintf ppf "%s := %a" s pp_expr e
+  | Store (a, i, e) -> Format.fprintf ppf "%s[%a] := %a" a pp_expr i pp_expr e
+  | For { reg; lo; hi; body } ->
+      Format.fprintf ppf "@[<v 2>for %%%s = %a .. %a {@,%a@]@,}" reg pp_expr lo
+        pp_expr hi pp_body body
+  | While { cond; est_iterations; body } ->
+      Format.fprintf ppf "@[<v 2>while %a est %d {@,%a@]@,}" pp_cond cond
+        est_iterations pp_body body
+  | If { cond; then_; else_ = [] } ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,}" pp_cond cond pp_body then_
+  | If { cond; then_; else_ } ->
+      Format.fprintf ppf "@[<v 2>if %a {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_cond cond pp_body then_ pp_body else_
+  | Call name -> Format.fprintf ppf "call %s" name
+
+and pp_body ppf body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun v ->
+      if v.scalar then Format.fprintf ppf "scalar %s : %dB@," v.name v.elem_size
+      else Format.fprintf ppf "array %s : %d x %dB@," v.name v.elems v.elem_size)
+    p.vars;
+  List.iter
+    (fun pr ->
+      Format.fprintf ppf "@[<v 2>proc %s {@,%a@]@,}@," pr.proc_name pp_body pr.body)
+    p.procs;
+  Format.fprintf ppf "@]"

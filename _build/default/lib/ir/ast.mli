@@ -1,0 +1,110 @@
+(** The intermediate form (IF) the layout pass operates on.
+
+    A deliberately small, compiler-front-end-shaped language: declared
+    memory-resident variables (scalars and arrays), register temporaries
+    (loop counters and scratch values that cost no memory traffic), affine
+    or data-dependent indexing, counted loops, probabilistic branches and
+    procedure calls. Programs in this form are both {e executable} (the
+    {!module:Interp} emits the exact memory trace, the paper's profile-based
+    method) and {e analyzable} ({!module:Static_analysis} estimates access
+    counts and lifetimes without running, the paper's program-analysis
+    method). *)
+
+(** A memory-resident program variable. *)
+type var = {
+  name : string;
+  elems : int;  (** number of elements; 1 for scalars *)
+  elem_size : int;  (** bytes per element *)
+  scalar : bool;
+}
+
+val var_size_bytes : var -> int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating; raises {!Interp_error} on zero divisor at runtime *)
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Min
+  | Max
+
+type relop =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Int of int
+  | Reg of string  (** register temporary: free to read *)
+  | Scalar of string  (** memory-resident scalar: one load *)
+  | Load of string * expr  (** array element: one load *)
+  | Unary_minus of expr
+  | Binop of binop * expr * expr
+
+(** A branch condition with an estimated taken-probability used only by the
+    static analysis; the interpreter evaluates the real data. *)
+type cond = {
+  rel : relop;
+  lhs : expr;
+  rhs : expr;
+  prob : float;
+}
+
+type stmt =
+  | Assign_reg of string * expr
+  | Assign_scalar of string * expr  (** one store *)
+  | Store of string * expr * expr  (** array, index, value: one store *)
+  | For of {
+      reg : string;
+      lo : expr;
+      hi : expr;  (** exclusive upper bound *)
+      body : stmt list;
+    }
+  | While of {
+      cond : cond;
+      est_iterations : int;  (** static-analysis estimate *)
+      body : stmt list;
+    }
+  | If of {
+      cond : cond;
+      then_ : stmt list;
+      else_ : stmt list;
+    }
+  | Call of string
+
+type proc = {
+  proc_name : string;
+  body : stmt list;
+}
+
+type program = {
+  vars : var list;
+  procs : proc list;
+}
+
+exception Invalid_program of string
+
+val find_var : program -> string -> var option
+val find_proc : program -> string -> proc option
+
+val validate : program -> unit
+(** Raises {!Invalid_program} on duplicate declarations, references to
+    undeclared variables or procedures, array/scalar misuse, non-positive
+    sizes, bad probabilities, or recursive (even mutually) procedures. *)
+
+val vars_referenced : program -> proc:string -> string list
+(** Memory variables reachable from [proc] (through calls), in first-use
+    preorder. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit

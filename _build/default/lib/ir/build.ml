@@ -1,0 +1,44 @@
+open Ast
+
+let scalar name ?(elem_size = 4) () = { name; elems = 1; elem_size; scalar = true }
+
+let array name ~elems ?(elem_size = 4) () =
+  { name; elems; elem_size; scalar = false }
+
+let i n = Int n
+let r name = Reg name
+let s name = Scalar name
+let ld name idx = Load (name, idx)
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( % ) a b = Binop (Mod, a, b)
+let shl a b = Binop (Shl, a, b)
+let shr a b = Binop (Shr, a, b)
+let min' a b = Binop (Min, a, b)
+let max' a b = Binop (Max, a, b)
+let neg e = Unary_minus e
+
+let cond rel ?(prob = 0.5) lhs rhs = { rel; lhs; rhs; prob }
+let eq ?prob a b = cond Eq ?prob a b
+let ne ?prob a b = cond Ne ?prob a b
+let lt ?prob a b = cond Lt ?prob a b
+let le ?prob a b = cond Le ?prob a b
+let gt ?prob a b = cond Gt ?prob a b
+let ge ?prob a b = cond Ge ?prob a b
+
+let setr name e = Assign_reg (name, e)
+let set name e = Assign_scalar (name, e)
+let st name idx e = Store (name, idx, e)
+let for_ reg lo hi body = For { reg; lo; hi; body }
+let while_ cond ~est_iterations body = While { cond; est_iterations; body }
+let if_ cond then_ = If { cond; then_; else_ = [] }
+let if_else cond then_ else_ = If { cond; then_; else_ }
+let call name = Call name
+let proc proc_name body = { proc_name; body }
+
+let program ~vars procs =
+  let p = { vars; procs } in
+  validate p;
+  p

@@ -1,0 +1,64 @@
+(** Combinators for writing IF programs concisely.
+
+    The workload kernels (and tests) build programs with these rather than
+    raw {!Ast} constructors:
+
+    {[
+      let open Ir.Build in
+      program
+        ~vars:[ array "block" ~elems:64 ~elem_size:2 (); scalar "sum" () ]
+        [
+          proc "main"
+            [
+              for_ "i" (i 0) (i 64)
+                [ set "sum" (s "sum" + ld "block" (r "i")) ];
+            ];
+        ]
+    ]} *)
+
+open Ast
+
+val scalar : string -> ?elem_size:int -> unit -> var
+(** 4-byte element by default. *)
+
+val array : string -> elems:int -> ?elem_size:int -> unit -> var
+
+val i : int -> expr
+val r : string -> expr
+val s : string -> expr
+val ld : string -> expr -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+val min' : expr -> expr -> expr
+val max' : expr -> expr -> expr
+val neg : expr -> expr
+
+val eq : ?prob:float -> expr -> expr -> cond
+val ne : ?prob:float -> expr -> expr -> cond
+val lt : ?prob:float -> expr -> expr -> cond
+val le : ?prob:float -> expr -> expr -> cond
+val gt : ?prob:float -> expr -> expr -> cond
+val ge : ?prob:float -> expr -> expr -> cond
+(** [prob] (default 0.5) is the static-analysis estimate of the condition
+    being true. *)
+
+val setr : string -> expr -> stmt
+val set : string -> expr -> stmt
+val st : string -> expr -> expr -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+(** [for_ "i" lo hi body] iterates [lo <= i < hi]. *)
+
+val while_ : cond -> est_iterations:int -> stmt list -> stmt
+val if_ : cond -> stmt list -> stmt
+val if_else : cond -> stmt list -> stmt list -> stmt
+val call : string -> stmt
+val proc : string -> stmt list -> proc
+
+val program : vars:var list -> proc list -> program
+(** Validates; raises {!Ast.Invalid_program} on malformed input. *)

@@ -1,0 +1,290 @@
+open Ast
+
+let rec memory_pure_expr = function
+  | Int _ | Reg _ -> true
+  | Scalar _ | Load _ -> false
+  | Unary_minus e -> memory_pure_expr e
+  | Binop (_, a, b) -> memory_pure_expr a && memory_pure_expr b
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+(* --- constant folding --- *)
+
+let rec fold_expr e =
+  match e with
+  | Int _ | Reg _ | Scalar _ -> e
+  | Load (a, idx) -> Load (a, fold_expr idx)
+  | Unary_minus e' -> (
+      match fold_expr e' with
+      | Int n -> Int (-n)
+      | Unary_minus inner -> inner
+      | e' -> Unary_minus e')
+  | Binop (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (op, a, b) with
+      (* full constant evaluation, except faulting divisions *)
+      | (Div | Mod), _, Int 0 -> Binop (op, a, b)
+      | op, Int x, Int y ->
+          Int
+            (match op with
+            | Add -> x + y
+            | Sub -> x - y
+            | Mul -> x * y
+            | Div -> x / y
+            | Mod -> x mod y
+            | Shl -> x lsl y
+            | Shr -> x asr y
+            | Band -> x land y
+            | Bor -> x lor y
+            | Bxor -> x lxor y
+            | Min -> min x y
+            | Max -> max x y)
+      (* identities *)
+      | Add, e, Int 0 | Add, Int 0, e -> e
+      | Sub, e, Int 0 -> e
+      | Mul, e, Int 1 | Mul, Int 1, e -> e
+      | Div, e, Int 1 -> e
+      | (Shl | Shr), e, Int 0 -> e
+      | (Bor | Bxor), e, Int 0 | (Bor | Bxor), Int 0, e -> e
+      (* annihilation, only when the discarded side cannot fault *)
+      | Mul, e, Int 0 when memory_pure_expr e -> Int 0
+      | Mul, Int 0, e when memory_pure_expr e -> Int 0
+      | Band, e, Int 0 when memory_pure_expr e -> Int 0
+      | Band, Int 0, e when memory_pure_expr e -> Int 0
+      (* strength reduction: multiply by a power of two *)
+      | Mul, e, Int n when is_power_of_two n -> Binop (Shl, e, Int (log2 n))
+      | Mul, Int n, e when is_power_of_two n -> Binop (Shl, e, Int (log2 n))
+      | op, a, b -> Binop (op, a, b))
+
+let fold_cond c = { c with lhs = fold_expr c.lhs; rhs = fold_expr c.rhs }
+
+let rec fold_stmt = function
+  | Assign_reg (r, e) -> Assign_reg (r, fold_expr e)
+  | Assign_scalar (s, e) -> Assign_scalar (s, fold_expr e)
+  | Store (a, idx, e) -> Store (a, fold_expr idx, fold_expr e)
+  | For { reg; lo; hi; body } ->
+      For { reg; lo = fold_expr lo; hi = fold_expr hi; body = List.map fold_stmt body }
+  | While { cond; est_iterations; body } ->
+      While { cond = fold_cond cond; est_iterations; body = List.map fold_stmt body }
+  | If { cond; then_; else_ } ->
+      If
+        {
+          cond = fold_cond cond;
+          then_ = List.map fold_stmt then_;
+          else_ = List.map fold_stmt else_;
+        }
+  | Call _ as s -> s
+
+let fold p = { p with procs = List.map (fun pr -> { pr with body = List.map fold_stmt pr.body }) p.procs }
+
+(* --- dead register elimination --- *)
+
+(* Registers read anywhere in the program (loop counters count as read when
+   their Reg appears in any expression). *)
+let read_registers p =
+  let read = Hashtbl.create 32 in
+  let rec expr = function
+    | Int _ | Scalar _ -> ()
+    | Reg r -> Hashtbl.replace read r ()
+    | Load (_, i) -> expr i
+    | Unary_minus e -> expr e
+    | Binop (_, a, b) ->
+        expr a;
+        expr b
+  in
+  let cond c =
+    expr c.lhs;
+    expr c.rhs
+  in
+  let rec stmt = function
+    | Assign_reg (_, e) | Assign_scalar (_, e) -> expr e
+    | Store (_, i, e) ->
+        expr i;
+        expr e
+    | For { lo; hi; body; _ } ->
+        expr lo;
+        expr hi;
+        List.iter stmt body
+    | While { cond = c; body; _ } ->
+        cond c;
+        List.iter stmt body
+    | If { cond = c; then_; else_ } ->
+        cond c;
+        List.iter stmt then_;
+        List.iter stmt else_
+    | Call _ -> ()
+  in
+  List.iter (fun pr -> List.iter stmt pr.body) p.procs;
+  read
+
+let eliminate_dead_registers p =
+  let read = read_registers p in
+  let rec keep_stmt = function
+    | Assign_reg (r, e) when (not (Hashtbl.mem read r)) && memory_pure_expr e ->
+        None
+    | Assign_reg _ | Assign_scalar _ | Store _ | Call _ as s -> Some s
+    | For f -> Some (For { f with body = List.filter_map keep_stmt f.body })
+    | While w -> Some (While { w with body = List.filter_map keep_stmt w.body })
+    | If { cond; then_; else_ } ->
+        Some
+          (If
+             {
+               cond;
+               then_ = List.filter_map keep_stmt then_;
+               else_ = List.filter_map keep_stmt else_;
+             })
+  in
+  {
+    p with
+    procs =
+      List.map
+        (fun pr -> { pr with body = List.filter_map keep_stmt pr.body })
+        p.procs;
+  }
+
+(* --- loop-invariant scalar hoisting --- *)
+
+let rec scalars_written_in body =
+  List.concat_map
+    (function
+      | Assign_scalar (s, _) -> [ s ]
+      | Assign_reg _ | Store _ -> []
+      | For { body; _ } | While { body; _ } -> scalars_written_in body
+      | If { then_; else_; _ } -> scalars_written_in then_ @ scalars_written_in else_
+      | Call _ -> [])
+    body
+
+let rec has_call body =
+  List.exists
+    (function
+      | Call _ -> true
+      | Assign_reg _ | Assign_scalar _ | Store _ -> false
+      | For { body; _ } | While { body; _ } -> has_call body
+      | If { then_; else_; _ } -> has_call then_ || has_call else_)
+    body
+
+let rec scalars_read_expr acc = function
+  | Int _ | Reg _ -> acc
+  | Scalar s -> s :: acc
+  | Load (_, i) -> scalars_read_expr acc i
+  | Unary_minus e -> scalars_read_expr acc e
+  | Binop (_, a, b) -> scalars_read_expr (scalars_read_expr acc a) b
+
+let rec scalars_read_in body =
+  List.concat_map
+    (function
+      | Assign_reg (_, e) | Assign_scalar (_, e) -> scalars_read_expr [] e
+      | Store (_, i, e) -> scalars_read_expr (scalars_read_expr [] i) e
+      | For { lo; hi; body; _ } ->
+          scalars_read_in body @ scalars_read_expr (scalars_read_expr [] lo) hi
+      | While { cond; body; _ } ->
+          scalars_read_in body
+          @ scalars_read_expr (scalars_read_expr [] cond.lhs) cond.rhs
+      | If { cond; then_; else_ } ->
+          scalars_read_in then_ @ scalars_read_in else_
+          @ scalars_read_expr (scalars_read_expr [] cond.lhs) cond.rhs
+      | Call _ -> [])
+    body
+
+let rec substitute_scalar ~scalar ~reg e =
+  match e with
+  | Scalar s when s = scalar -> Reg reg
+  | Int _ | Reg _ | Scalar _ -> e
+  | Load (a, i) -> Load (a, substitute_scalar ~scalar ~reg i)
+  | Unary_minus e -> Unary_minus (substitute_scalar ~scalar ~reg e)
+  | Binop (op, a, b) ->
+      Binop (op, substitute_scalar ~scalar ~reg a, substitute_scalar ~scalar ~reg b)
+
+let rec substitute_stmt ~scalar ~reg s =
+  let se = substitute_scalar ~scalar ~reg in
+  let sc c = { c with lhs = se c.lhs; rhs = se c.rhs } in
+  match s with
+  | Assign_reg (r, e) -> Assign_reg (r, se e)
+  | Assign_scalar (x, e) -> Assign_scalar (x, se e)
+  | Store (a, i, e) -> Store (a, se i, se e)
+  | For f ->
+      For
+        {
+          f with
+          lo = se f.lo;
+          hi = se f.hi;
+          body = List.map (substitute_stmt ~scalar ~reg) f.body;
+        }
+  | While w ->
+      While
+        { w with cond = sc w.cond; body = List.map (substitute_stmt ~scalar ~reg) w.body }
+  | If { cond; then_; else_ } ->
+      If
+        {
+          cond = sc cond;
+          then_ = List.map (substitute_stmt ~scalar ~reg) then_;
+          else_ = List.map (substitute_stmt ~scalar ~reg) else_;
+        }
+  | Call _ -> s
+
+let const_trips lo hi =
+  match (lo, hi) with
+  | Int l, Int h -> Some (h - l)
+  | _ -> None
+
+let hoist_loop_invariants p =
+  let counter = ref 0 in
+  let fresh scalar =
+    incr counter;
+    Printf.sprintf "_hoisted_%s_%d" scalar !counter
+  in
+  (* Transform one statement into a list (hoisted loads precede the loop). *)
+  let rec transform s =
+    match s with
+    | For { reg; lo; hi; body } -> (
+        let body = List.concat_map transform body in
+        let loop body = For { reg; lo; hi; body } in
+        match const_trips lo hi with
+        | Some trips when trips > 0 && not (has_call body) ->
+            let written = scalars_written_in body in
+            let candidates =
+              List.sort_uniq compare (scalars_read_in body)
+              |> List.filter (fun s -> not (List.mem s written))
+            in
+            let hoists, body =
+              List.fold_left
+                (fun (hoists, body) scalar ->
+                  let reg_name = fresh scalar in
+                  ( Assign_reg (reg_name, Scalar scalar) :: hoists,
+                    List.map (substitute_stmt ~scalar ~reg:reg_name) body ))
+                ([], body) candidates
+            in
+            List.rev hoists @ [ loop body ]
+        | Some _ | None -> [ loop body ])
+    | While w -> [ While { w with body = List.concat_map transform w.body } ]
+    | If { cond; then_; else_ } ->
+        [
+          If
+            {
+              cond;
+              then_ = List.concat_map transform then_;
+              else_ = List.concat_map transform else_;
+            };
+        ]
+    | Assign_reg _ | Assign_scalar _ | Store _ | Call _ -> [ s ]
+  in
+  {
+    p with
+    procs =
+      List.map (fun pr -> { pr with body = List.concat_map transform pr.body }) p.procs;
+  }
+
+let optimize ?(max_rounds = 8) p =
+  let step p = hoist_loop_invariants (eliminate_dead_registers (fold p)) in
+  let rec loop p n =
+    if n = 0 then p
+    else
+      let p' = step p in
+      if p' = p then p else loop p' (n - 1)
+  in
+  let result = loop p max_rounds in
+  validate result;
+  result

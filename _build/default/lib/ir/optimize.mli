@@ -1,0 +1,41 @@
+(** Classical scalar optimizations over the IF.
+
+    The paper's layout techniques are meant to live "in the front-end of a
+    compiler" (Section 1.2); this module supplies the surrounding front-end
+    passes a real compiler would run before (and independently of) data
+    layout. All passes preserve the program's memory values; they may remove
+    memory {e accesses} (that is the point — fewer accesses change the
+    trace, never the results).
+
+    Passes:
+    - {!fold}: constant folding and algebraic identities
+      ([x+0], [x*1], [x-0], [x lsl 0]), plus strength reduction of
+      multiplication by a power of two into a shift. Division and modulo by
+      a constant zero are deliberately {e not} folded (the runtime error
+      must survive), and annihilations like [x*0 -> 0] are applied only when
+      the discarded operand performs no memory access that could fault.
+    - {!eliminate_dead_registers}: drops register assignments whose register
+      is never read anywhere in the program, when the right-hand side is
+      memory-pure.
+    - {!hoist_loop_invariants}: a scalar read inside a counted loop whose
+      body never writes that scalar (and performs no calls) is loaded once
+      into a fresh register before the loop. Applied only when the loop's
+      trip count is a known positive constant, so a zero-trip loop never
+      gains an access it did not have.
+    - {!optimize}: all of the above, to a fixed point (bounded).
+
+    The optimizer is deliberately {e not} applied implicitly by the layout
+    pipeline: its effect on access counts (and hence on the layout
+    algorithm's weights) is measured by an ablation instead. *)
+
+val fold : Ast.program -> Ast.program
+val eliminate_dead_registers : Ast.program -> Ast.program
+val hoist_loop_invariants : Ast.program -> Ast.program
+
+val optimize : ?max_rounds:int -> Ast.program -> Ast.program
+(** Runs the passes in sequence until nothing changes (or [max_rounds],
+    default 8). The result is validated. *)
+
+val memory_pure_expr : Ast.expr -> bool
+(** No [Scalar] or [Load] anywhere: evaluating it touches no memory and
+    cannot fault on a bounds check. *)

@@ -1,0 +1,407 @@
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+(* --- lexer --- *)
+
+type token =
+  | IDENT of string
+  | REG of string
+  | INT of int
+  | PROB of float
+  | ASSIGN (* := *)
+  | EQUALS (* = *)
+  | DOTDOT
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | COMMA
+  | OP of string (* + - * / % << >> & | ^ *)
+  | RELOP of string (* == != < <= > >= *)
+  | EOF
+
+type lexed = {
+  token : token;
+  line : int;
+}
+
+let error ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push token = tokens := { token; line = !line } :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  let take_while pred =
+    let start = !i in
+    while !i < n && pred source.[!i] do
+      incr i
+    done;
+    String.sub source start (!i - start)
+  in
+  while !i < n do
+    let c = source.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then
+      (* line comment *)
+      while !i < n && source.[!i] <> '\n' do
+        incr i
+      done
+    else if is_digit c then push (INT (int_of_string (take_while is_digit)))
+    else if is_ident_start c then push (IDENT (take_while is_ident))
+    else begin
+      let two =
+        if !i + 1 < n then String.sub source !i 2 else String.make 1 c
+      in
+      match two with
+      | ":=" -> push ASSIGN; i := !i + 2
+      | ".." -> push DOTDOT; i := !i + 2
+      | "<<" | ">>" -> push (OP two); i := !i + 2
+      | "==" | "!=" | "<=" | ">=" -> push (RELOP two); i := !i + 2
+      | _ -> (
+          match c with
+          | '%' when (match peek 1 with Some c -> is_ident_start c | None -> false) ->
+              incr i;
+              push (REG (take_while is_ident))
+          | '-' when (match peek 1 with Some c -> is_digit c | None -> false) ->
+              incr i;
+              push (INT (-int_of_string (take_while is_digit)))
+          | '@' ->
+              incr i;
+              let f = take_while (fun c -> is_digit c || c = '.' || c = 'e' || c = '-' || c = '+') in
+              (match float_of_string_opt f with
+              | Some p -> push (PROB p)
+              | None -> error ~line:!line "bad probability %S" f)
+          | '{' -> push LBRACE; incr i
+          | '}' -> push RBRACE; incr i
+          | '(' -> push LPAREN; incr i
+          | ')' -> push RPAREN; incr i
+          | '[' -> push LBRACKET; incr i
+          | ']' -> push RBRACKET; incr i
+          | ':' -> push COLON; incr i
+          | ',' -> push COMMA; incr i
+          | '=' -> push EQUALS; incr i
+          | '<' | '>' -> push (RELOP (String.make 1 c)); incr i
+          | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' ->
+              push (OP (String.make 1 c));
+              incr i
+          | _ -> error ~line:!line "unexpected character %C" c)
+    end
+  done;
+  push EOF;
+  List.rev !tokens
+
+(* --- parser state --- *)
+
+type state = {
+  mutable rest : lexed list;
+}
+
+let current st =
+  match st.rest with [] -> assert false | t :: _ -> t
+
+let advance st =
+  match st.rest with [] -> () | _ :: rest -> st.rest <- rest
+
+let fail st fmt =
+  let { line; _ } = current st in
+  error ~line fmt
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | REG s -> Printf.sprintf "register %%%s" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | PROB f -> Printf.sprintf "@%g" f
+  | ASSIGN -> "':='"
+  | EQUALS -> "'='"
+  | DOTDOT -> "'..'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | OP s | RELOP s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"
+
+let expect st token =
+  let t = current st in
+  if t.token = token then advance st
+  else fail st "expected %s, found %s" (token_name token) (token_name t.token)
+
+let expect_ident st =
+  match (current st).token with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> fail st "expected an identifier, found %s" (token_name t)
+
+let expect_int st =
+  match (current st).token with
+  | INT n ->
+      advance st;
+      n
+  | t -> fail st "expected an integer, found %s" (token_name t)
+
+(* --- expressions: precedence climbing --- *)
+
+let binop_of_string st = function
+  | "+" -> Ast.Add
+  | "-" -> Ast.Sub
+  | "*" -> Ast.Mul
+  | "/" -> Ast.Div
+  | "%" -> Ast.Mod
+  | "<<" -> Ast.Shl
+  | ">>" -> Ast.Shr
+  | "&" -> Ast.Band
+  | "|" -> Ast.Bor
+  | "^" -> Ast.Bxor
+  | s -> fail st "unknown operator %S" s
+
+let precedence = function
+  | "|" -> 1
+  | "^" -> 2
+  | "&" -> 3
+  | "<<" | ">>" -> 4
+  | "+" | "-" -> 5
+  | "*" | "/" | "%" -> 6
+  | _ -> 0
+
+let rec parse_primary st =
+  match (current st).token with
+  | INT n ->
+      advance st;
+      Ast.Int n
+  | REG r ->
+      advance st;
+      Ast.Reg r
+  | OP "-" ->
+      advance st;
+      Ast.Unary_minus (parse_primary st)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | IDENT ("min" | "max") when (match st.rest with _ :: { token = LPAREN; _ } :: _ -> true | _ -> false) ->
+      let op =
+        match (current st).token with
+        | IDENT "min" -> Ast.Min
+        | _ -> Ast.Max
+      in
+      advance st;
+      expect st LPAREN;
+      let a = parse_expr st in
+      expect st COMMA;
+      let b = parse_expr st in
+      expect st RPAREN;
+      Ast.Binop (op, a, b)
+  | IDENT name -> (
+      advance st;
+      match (current st).token with
+      | LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st RBRACKET;
+          Ast.Load (name, idx)
+      | _ -> Ast.Scalar name)
+  | t -> fail st "expected an expression, found %s" (token_name t)
+
+and parse_expr ?(min_prec = 1) st =
+  let lhs = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (current st).token with
+    | OP op when precedence op >= min_prec ->
+        advance st;
+        let rhs = parse_expr ~min_prec:(precedence op + 1) st in
+        lhs := Ast.Binop (binop_of_string st op, !lhs, rhs)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+let parse_cond st =
+  let lhs = parse_expr st in
+  let rel =
+    match (current st).token with
+    | RELOP "==" -> Ast.Eq
+    | RELOP "!=" -> Ast.Ne
+    | RELOP "<" -> Ast.Lt
+    | RELOP "<=" -> Ast.Le
+    | RELOP ">" -> Ast.Gt
+    | RELOP ">=" -> Ast.Ge
+    | t -> fail st "expected a comparison, found %s" (token_name t)
+  in
+  advance st;
+  let rhs = parse_expr st in
+  let prob =
+    match (current st).token with
+    | PROB p ->
+        advance st;
+        p
+    | _ -> 0.5
+  in
+  { Ast.rel; lhs; rhs; prob }
+
+(* --- statements --- *)
+
+let rec parse_block st =
+  expect st LBRACE;
+  let rec loop acc =
+    match (current st).token with
+    | RBRACE ->
+        advance st;
+        List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st =
+  match (current st).token with
+  | REG r ->
+      advance st;
+      expect st ASSIGN;
+      Ast.Assign_reg (r, parse_expr st)
+  | IDENT "for" ->
+      advance st;
+      let reg =
+        match (current st).token with
+        | REG r ->
+            advance st;
+            r
+        | t -> fail st "expected a register after 'for', found %s" (token_name t)
+      in
+      expect st EQUALS;
+      let lo = parse_expr st in
+      expect st DOTDOT;
+      let hi = parse_expr st in
+      let body = parse_block st in
+      Ast.For { reg; lo; hi; body }
+  | IDENT "while" ->
+      advance st;
+      let cond = parse_cond st in
+      let est_iterations =
+        match (current st).token with
+        | IDENT "est" ->
+            advance st;
+            expect_int st
+        | _ -> 16
+      in
+      let body = parse_block st in
+      Ast.While { cond; est_iterations; body }
+  | IDENT "if" ->
+      advance st;
+      let cond = parse_cond st in
+      let then_ = parse_block st in
+      let else_ =
+        match (current st).token with
+        | IDENT "else" ->
+            advance st;
+            parse_block st
+        | _ -> []
+      in
+      Ast.If { cond; then_; else_ }
+  | IDENT "call" ->
+      advance st;
+      Ast.Call (expect_ident st)
+  | IDENT name -> (
+      advance st;
+      match (current st).token with
+      | ASSIGN ->
+          advance st;
+          Ast.Assign_scalar (name, parse_expr st)
+      | LBRACKET ->
+          advance st;
+          let idx = parse_expr st in
+          expect st RBRACKET;
+          expect st ASSIGN;
+          Ast.Store (name, idx, parse_expr st)
+      | t -> fail st "expected ':=' or '[' after %S, found %s" name (token_name t))
+  | t -> fail st "expected a statement, found %s" (token_name t)
+
+(* --- declarations --- *)
+
+let parse_byte_size st =
+  (* "<int>B" lexes as INT then IDENT "B" *)
+  let n = expect_int st in
+  (match (current st).token with
+  | IDENT "B" -> advance st
+  | t -> fail st "expected 'B' after element size, found %s" (token_name t));
+  n
+
+let parse_decl st =
+  match (current st).token with
+  | IDENT "array" ->
+      advance st;
+      let name = expect_ident st in
+      expect st COLON;
+      let elems = expect_int st in
+      (match (current st).token with
+      | IDENT "x" -> advance st
+      | t -> fail st "expected 'x' in array size, found %s" (token_name t));
+      let elem_size = parse_byte_size st in
+      Some { Ast.name; elems; elem_size; scalar = false }
+  | IDENT "scalar" ->
+      advance st;
+      let name = expect_ident st in
+      expect st COLON;
+      let elem_size = parse_byte_size st in
+      Some { Ast.name; elems = 1; elem_size; scalar = true }
+  | _ -> None
+
+let parse_proc st =
+  match (current st).token with
+  | IDENT "proc" ->
+      advance st;
+      let proc_name = expect_ident st in
+      let body = parse_block st in
+      Some { Ast.proc_name; body }
+  | _ -> None
+
+let program source =
+  let st = { rest = tokenize source } in
+  let rec decls acc =
+    match parse_decl st with Some d -> decls (d :: acc) | None -> List.rev acc
+  in
+  let vars = decls [] in
+  let rec procs acc =
+    match parse_proc st with Some p -> procs (p :: acc) | None -> List.rev acc
+  in
+  let procs = procs [] in
+  (match (current st).token with
+  | EOF -> ()
+  | t -> fail st "expected 'array', 'scalar', 'proc' or end of input, found %s" (token_name t));
+  let p = { Ast.vars; procs } in
+  Ast.validate p;
+  p
+
+let program_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> program (really_input_string ic (in_channel_length ic)))
+
+let expr source =
+  let st = { rest = tokenize source } in
+  let e = parse_expr st in
+  match (current st).token with
+  | EOF -> e
+  | t -> error ~line:(current st).line "trailing input after expression: %s" (token_name t)

@@ -1,0 +1,44 @@
+(** Parser for the IF's concrete syntax — the exact inverse of
+    {!Ast.pp_program}, so programs can be written in files (or dumped,
+    edited and re-read):
+
+    {v
+    array coeff : 256 x 2B
+    scalar qscale : 4B
+    proc main {
+      for %k = 0 .. 64 {
+        %c := coeff[%k]
+        if %c != 0 @0.65 {
+          qscale := (%c * 3)
+        } else {
+          qscale := 0
+        }
+      }
+      while qscale < 100 @0.5 est 7 { qscale := (qscale * 2) }
+      call main_helper
+    }
+    proc main_helper { }
+    v}
+
+    Expressions use ordinary precedence ([|] < [^] < [&] < [<<] [>>] <
+    [+] [-] < [*] [/] [%]), so hand-written files need no parentheses;
+    the printer's fully-parenthesized output is a special case. [min]/[max]
+    are two-argument calls; [%name] is a register; a bare identifier is a
+    scalar variable; [name[e]] is an array access. The [@p] probability
+    after a condition and the [est N] of a while are optional (defaults 0.5
+    and 16). Line comments start with [#]. *)
+
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+val program : string -> Ast.program
+(** Parse and {!Ast.validate}. Raises {!Parse_error} on syntax errors and
+    {!Ast.Invalid_program} on semantic ones. *)
+
+val program_of_file : string -> Ast.program
+(** Raises [Sys_error] on I/O failure, plus the above. *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (for tests and tooling). *)

@@ -1,0 +1,180 @@
+open Ast
+
+let default_trip_count = 16
+
+(* Constant folding for loop bounds. *)
+let rec const_eval = function
+  | Int n -> Some n
+  | Reg _ | Scalar _ | Load _ -> None
+  | Unary_minus e -> Option.map (fun v -> -v) (const_eval e)
+  | Binop (op, a, b) -> (
+      match (const_eval a, const_eval b) with
+      | Some va, Some vb -> (
+          match op with
+          | Add -> Some (va + vb)
+          | Sub -> Some (va - vb)
+          | Mul -> Some (va * vb)
+          | Div -> if vb = 0 then None else Some (va / vb)
+          | Mod -> if vb = 0 then None else Some (va mod vb)
+          | Shl -> Some (va lsl vb)
+          | Shr -> Some (va asr vb)
+          | Band -> Some (va land vb)
+          | Bor -> Some (va lor vb)
+          | Bxor -> Some (va lxor vb)
+          | Min -> Some (min va vb)
+          | Max -> Some (max va vb))
+      | _ -> None)
+
+let trip_count lo hi =
+  match (const_eval lo, const_eval hi) with
+  | Some l, Some h -> float_of_int (max 0 (h - l))
+  | _ -> float_of_int default_trip_count
+
+(* Estimated dynamic instructions of expressions and statements. *)
+let rec cost_expr = function
+  | Int _ | Reg _ -> 0.
+  | Scalar _ -> 1.
+  | Load (_, idx) -> cost_expr idx +. 2.
+  | Unary_minus e -> cost_expr e +. 1.
+  | Binop (_, a, b) -> cost_expr a +. cost_expr b +. 1.
+
+let cost_cond c = cost_expr c.lhs +. cost_expr c.rhs +. 1.
+
+let rec cost_stmt program = function
+  | Assign_reg (_, e) -> cost_expr e +. 1.
+  | Assign_scalar (_, e) -> cost_expr e +. 1.
+  | Store (_, idx, e) -> cost_expr idx +. cost_expr e +. 2.
+  | For { lo; hi; body; _ } ->
+      let per_iter = cost_body program body +. 2. in
+      cost_expr lo +. cost_expr hi +. (trip_count lo hi *. per_iter)
+  | While { cond; est_iterations; body } ->
+      let per_iter = cost_cond cond +. cost_body program body in
+      (float_of_int est_iterations *. per_iter) +. cost_cond cond
+  | If { cond; then_; else_ } ->
+      cost_cond cond
+      +. (cond.prob *. cost_body program then_)
+      +. ((1. -. cond.prob) *. cost_body program else_)
+  | Call name -> (
+      match find_proc program name with
+      | None -> 0.
+      | Some pr -> cost_body program pr.body +. 1.)
+
+and cost_body program body =
+  List.fold_left (fun acc s -> acc +. cost_stmt program s) 0. body
+
+let cost_of_proc program ~proc =
+  match find_proc program proc with
+  | None -> raise (Invalid_program (Printf.sprintf "no such procedure %s" proc))
+  | Some pr -> cost_body program pr.body
+
+type acc = {
+  mutable accesses : float;
+  mutable first : float;
+  mutable last : float;
+}
+
+type state = {
+  program : program;
+  table : (string, acc) Hashtbl.t;
+  mutable order : string list;
+  mutable clock : float;
+}
+
+let record st ~mult ~span name =
+  let lo, hi = span in
+  match Hashtbl.find_opt st.table name with
+  | Some a ->
+      a.accesses <- a.accesses +. mult;
+      if lo < a.first then a.first <- lo;
+      if hi > a.last then a.last <- hi
+  | None ->
+      Hashtbl.add st.table name { accesses = mult; first = lo; last = hi };
+      st.order <- name :: st.order
+
+(* [outer] is the instruction-clock span of the outermost enclosing loop, if
+   any: a variable referenced inside a loop nest is live across the whole
+   nest. *)
+let ref_span st outer = match outer with Some span -> span | None -> (st.clock, st.clock)
+
+let rec walk_expr st ~mult ~outer e =
+  let span = ref_span st outer in
+  match e with
+  | Int _ | Reg _ -> ()
+  | Scalar name -> record st ~mult ~span name
+  | Load (name, idx) ->
+      walk_expr st ~mult ~outer idx;
+      record st ~mult ~span name
+  | Unary_minus e -> walk_expr st ~mult ~outer e
+  | Binop (_, a, b) ->
+      walk_expr st ~mult ~outer a;
+      walk_expr st ~mult ~outer b
+
+let walk_cond st ~mult ~outer c =
+  walk_expr st ~mult ~outer c.lhs;
+  walk_expr st ~mult ~outer c.rhs
+
+(* walk_stmt records accesses; it never moves the clock. The top-level
+   statement sequence in [analyze] advances the clock by each statement's
+   estimated cost, which is what gives consecutive program phases disjoint
+   lifetimes. Inside a loop nest, positions collapse onto the nest's whole
+   span; inside branches they collapse onto the statement's start — both are
+   conservative (spurious overlap is possible, missed overlap is not). *)
+let rec walk_stmt st ~mult ~outer stmt =
+  match stmt with
+  | Assign_reg (_, e) -> walk_expr st ~mult ~outer e
+  | Assign_scalar (name, e) ->
+      walk_expr st ~mult ~outer e;
+      record st ~mult ~span:(ref_span st outer) name
+  | Store (name, idx, e) ->
+      walk_expr st ~mult ~outer idx;
+      walk_expr st ~mult ~outer e;
+      record st ~mult ~span:(ref_span st outer) name
+  | For { lo; hi; body; _ } ->
+      let iters = trip_count lo hi in
+      let cost = cost_stmt st.program stmt in
+      (* end-exclusive: back-to-back loops must not appear to overlap *)
+      let span = (st.clock, st.clock +. Float.max 0. (cost -. 1.)) in
+      let outer = match outer with Some _ -> outer | None -> Some span in
+      walk_expr st ~mult ~outer lo;
+      walk_expr st ~mult ~outer hi;
+      List.iter (walk_stmt st ~mult:(mult *. iters) ~outer) body
+  | While { cond; est_iterations; body } ->
+      let iters = float_of_int est_iterations in
+      let cost = cost_stmt st.program stmt in
+      let span = (st.clock, st.clock +. Float.max 0. (cost -. 1.)) in
+      let outer = match outer with Some _ -> outer | None -> Some span in
+      walk_cond st ~mult:(mult *. (iters +. 1.)) ~outer cond;
+      List.iter (walk_stmt st ~mult:(mult *. iters) ~outer) body
+  | If { cond; then_; else_ } ->
+      walk_cond st ~mult ~outer cond;
+      List.iter (walk_stmt st ~mult:(mult *. cond.prob) ~outer) then_;
+      List.iter (walk_stmt st ~mult:(mult *. (1. -. cond.prob)) ~outer) else_
+  | Call name -> (
+      match find_proc st.program name with
+      | None -> ()
+      | Some pr -> List.iter (walk_stmt st ~mult ~outer) pr.body)
+
+let analyze program ~proc =
+  let pr =
+    match find_proc program proc with
+    | Some pr -> pr
+    | None -> raise (Invalid_program (Printf.sprintf "no such procedure %s" proc))
+  in
+  let st = { program; table = Hashtbl.create 16; order = []; clock = 0. } in
+  List.iter
+    (fun stmt ->
+      walk_stmt st ~mult:1. ~outer:None stmt;
+      st.clock <- st.clock +. cost_stmt program stmt)
+    pr.body;
+  List.rev_map
+    (fun name ->
+      match Hashtbl.find_opt st.table name with
+      | None -> assert false
+      | Some a ->
+          let first = int_of_float a.first in
+          let last = max first (int_of_float a.last) in
+          ( name,
+            Profile.Lifetime.summary ~accesses:a.accesses ~first ~last () ))
+    st.order
+
+

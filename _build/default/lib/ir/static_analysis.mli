@@ -1,0 +1,25 @@
+(** The paper's program-analysis method (Section 3.1.1, second variant).
+
+    Instead of running the program, estimate each variable's access count
+    and lifetime from the intermediate form: loop trip counts are taken from
+    constant bounds (or a default estimate when bounds are data-dependent),
+    [While] loops use their declared [est_iterations], and branch bodies are
+    weighted by the branch's probability annotation. A variable referenced
+    inside a loop nest is considered live across the whole nest.
+
+    The resulting summaries carry no exact positions, so downstream weight
+    computation ({!Profile.Lifetime.weight}) falls back to the
+    uniform-distribution approximation — faster but coarser than profiling,
+    exactly the trade-off the paper describes. *)
+
+val default_trip_count : int
+(** Assumed iterations for loops whose bounds cannot be constant-folded
+    (16). *)
+
+val cost_of_proc : Ast.program -> proc:string -> float
+(** Estimated dynamic instruction count of one invocation. *)
+
+val analyze : Ast.program -> proc:string -> (string * Profile.Lifetime.summary) list
+(** Per-variable estimated summaries, in first-reference order. The clock
+    underlying [first]/[last] is estimated instructions (comparable only to
+    other values from the same analysis). *)

@@ -1,0 +1,1 @@
+lib/layout/address_map.ml: Format List Printf Region

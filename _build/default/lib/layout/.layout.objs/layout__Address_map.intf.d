@@ -1,0 +1,1 @@
+lib/layout/address_map.mli: Format Region

@@ -1,0 +1,1 @@
+lib/layout/dynamic.ml: Cache Format Hashtbl List Machine Partition Printf Region String Vm

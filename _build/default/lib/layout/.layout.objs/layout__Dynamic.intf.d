@@ -1,0 +1,1 @@
+lib/layout/dynamic.mli: Format Machine Memtrace Partition

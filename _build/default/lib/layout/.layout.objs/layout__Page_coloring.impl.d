@@ -1,0 +1,1 @@
+lib/layout/page_coloring.ml: Address_map Array Cache Coloring Format Hashtbl List Machine Printf Profile Vm

@@ -1,0 +1,1 @@
+lib/layout/page_coloring.mli: Address_map Cache Format Machine Profile Vm

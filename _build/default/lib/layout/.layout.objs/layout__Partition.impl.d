@@ -1,0 +1,1 @@
+lib/layout/partition.ml: Address_map Array Cache Coloring Format Hashtbl Int List Machine Printf Profile Region String Vm

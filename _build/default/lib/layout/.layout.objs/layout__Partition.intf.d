@@ -1,0 +1,1 @@
+lib/layout/partition.mli: Address_map Cache Coloring Format Machine Region

@@ -1,0 +1,1 @@
+lib/layout/region.ml: Format List Printf Profile Vm

@@ -1,0 +1,1 @@
+lib/layout/region.mli: Format Profile Vm

@@ -1,0 +1,49 @@
+type t = {
+  bases : (string * int) list;
+  lo : int;
+  hi : int;
+}
+
+let round_up n align = (n + align - 1) / align * align
+
+let build ?(base = 0) ~page_size ~column_size ~vars () =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Address_map.build: page_size must be a power of two";
+  if column_size <= 0 then invalid_arg "Address_map.build: column_size";
+  let cursor = ref base in
+  let place (name, size) =
+    if size <= 0 then
+      invalid_arg (Printf.sprintf "Address_map.build: %s has size %d" name size);
+    (* page exclusivity *)
+    let addr = ref (round_up !cursor page_size) in
+    if size >= column_size then
+      (* multi-column variables start on a column boundary *)
+      addr := round_up !addr column_size
+    else if (!addr mod column_size) + size > column_size then
+      (* avoid wrapping a set interval around the column end *)
+      addr := round_up !addr column_size;
+    cursor := !addr + size;
+    (name, !addr)
+  in
+  let bases = List.map place vars in
+  { bases; lo = base; hi = round_up !cursor page_size }
+
+let base_of t name =
+  match List.assoc_opt name t.bases with
+  | Some b -> b
+  | None -> raise Not_found
+
+let region_base t (r : Region.t) = base_of t r.Region.var + r.Region.offset
+let to_ir_layout t = t.bases
+let span t = (t.lo, t.hi)
+
+let column_interval t ~column_size (r : Region.t) =
+  let b = region_base t r mod column_size in
+  let e = b + r.Region.size in
+  assert (e <= column_size || b = 0);
+  (b, min e column_size)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, b) -> Format.fprintf ppf "%s @ 0x%x@," name b) t.bases;
+  Format.fprintf ppf "@]"

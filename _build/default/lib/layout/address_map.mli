@@ -1,0 +1,47 @@
+(** Concrete addresses for program variables.
+
+    Addresses are assigned once (this is what a linker would have done) and
+    remain fixed across repartitionings — only the page tints change at run
+    time. The allocator guarantees the two properties the rest of the system
+    relies on:
+
+    - {e page exclusivity}: no two variables share a page, so every variable
+      can be tinted independently;
+    - {e no column wrap}: a variable smaller than a column never straddles a
+      column-size boundary, so its in-column set interval
+      [base mod column_size, base mod column_size + size) is contiguous —
+      the precondition for packing several regions into one scratchpad
+      column. Variables larger than a column start on a column-size
+      boundary, so each of their subarray regions has offset 0. *)
+
+type t
+
+val build :
+  ?base:int ->
+  page_size:int ->
+  column_size:int ->
+  vars:(string * int) list ->
+  unit ->
+  t
+(** [vars] is [(name, size_bytes)]. [column_size] must be a positive
+    multiple of [page_size]... or smaller than a page, in which case page
+    granularity dominates and the no-wrap rule is enforced at page
+    boundaries. [base] defaults to 0. *)
+
+val base_of : t -> string -> int
+(** Raises [Not_found] for unknown variables. *)
+
+val region_base : t -> Region.t -> int
+(** [base_of] the region's variable plus the region's offset. *)
+
+val to_ir_layout : t -> (string * int) list
+(** The (variable, base) pairs, ready for {!Ir.Interp.run}. *)
+
+val span : t -> int * int
+(** Lowest and highest (exclusive) allocated addresses. *)
+
+val column_interval : t -> column_size:int -> Region.t -> int * int
+(** The region's occupied set interval within a column: [(lo, hi)] with
+    [0 <= lo < hi <= column_size]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+type t = {
+  colors : int;
+  page_size : int;
+  assignment : (string * int) list;  (* variable -> starting color *)
+  frame_map : Vm.Frame_map.t;
+  frames : (string * (int * int) list) list;  (* variable -> (page, frame) *)
+}
+
+let colors_of ~cache ~page_size =
+  let way_bytes = Cache.Sassoc.column_size_bytes cache in
+  max 1 (way_bytes / page_size)
+
+let assign ~cache ~page_size ~address_map ~vars ~summaries =
+  let colors = colors_of ~cache ~page_size in
+  (* One graph vertex per PAGE of each summarized variable: page coloring's
+     granularity is the page, and coloring pages individually lets a large
+     variable's pages spread across the colors while hot small variables
+     dodge exactly the pages they clash with. Each page inherits the
+     variable's lifetime with its share of the accesses. *)
+  let pages =
+    List.concat_map
+      (fun (name, size) ->
+        match List.assoc_opt name summaries with
+        | None -> []
+        | Some s ->
+            let base = Address_map.base_of address_map name in
+            let first_page = base / page_size in
+            let last_page = (base + size - 1) / page_size in
+            let n = last_page - first_page + 1 in
+            let share =
+              Profile.Lifetime.summary
+                ~accesses:(s.Profile.Lifetime.accesses /. float_of_int n)
+                ~first:s.Profile.Lifetime.first ~last:s.Profile.Lifetime.last
+                ()
+            in
+            List.init n (fun i -> (name, first_page + i, share)))
+      vars
+  in
+  let arr = Array.of_list pages in
+  let graph = Coloring.Graph.create () in
+  Array.iter
+    (fun (name, page, _) ->
+      ignore
+        (Coloring.Graph.add_vertex graph
+           ~label:(Printf.sprintf "%s@%d" name page)))
+    arr;
+  Array.iteri
+    (fun i (ni, _, si) ->
+      Array.iteri
+        (fun j (nj, _, sj) ->
+          (* same-variable pages never alias (distinct offsets), so only
+             cross-variable pairs interfere *)
+          if i < j && ni <> nj then begin
+            let w = Profile.Lifetime.weight si sj in
+            if w > 0 then Coloring.Graph.set_weight graph i j w
+          end)
+        arr)
+    arr;
+  let coloring =
+    if Array.length arr = 0 then [||]
+    else Coloring.Solver.greedy_weighted graph ~k:colors
+  in
+  let assignment =
+    (* a variable's reported color is its first page's *)
+    Array.to_list arr
+    |> List.mapi (fun i (name, _, _) -> (name, coloring.(i)))
+    |> List.fold_left
+         (fun acc (name, c) -> if List.mem_assoc name acc then acc else (name, c) :: acc)
+         []
+    |> List.rev
+  in
+  (* Frame arena strictly above every identity frame in use, aligned to the
+     color period so frame mod colors is controllable. *)
+  let _, hi = Address_map.span address_map in
+  let arena_base =
+    let first_free = (hi + page_size - 1) / page_size in
+    (first_free + colors - 1) / colors * colors
+  in
+  let next_of_color = Array.init colors (fun c -> arena_base + c) in
+  let fm = Vm.Frame_map.create ~page_size in
+  let by_var = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (name, page, _) ->
+      let c = coloring.(i) in
+      let frame = next_of_color.(c) in
+      next_of_color.(c) <- frame + colors;
+      Vm.Frame_map.map_page fm ~page ~frame;
+      let prev = try Hashtbl.find by_var name with Not_found -> [] in
+      Hashtbl.replace by_var name ((page, frame) :: prev))
+    arr;
+  let frames =
+    List.filter_map
+      (fun (name, _) ->
+        match Hashtbl.find_opt by_var name with
+        | Some placed -> Some (name, List.rev placed)
+        | None -> None)
+      vars
+  in
+  { colors; page_size; assignment; frame_map = fm; frames }
+
+let colors t = t.colors
+let color_of t name = List.assoc_opt name t.assignment
+let frame_map t = t.frame_map
+let apply t system = Machine.System.set_frame_map system t.frame_map
+
+let recolor_cost_bytes ~from_ ~to_ =
+  if from_.page_size <> to_.page_size then
+    invalid_arg "Page_coloring.recolor_cost_bytes: page sizes differ";
+  let table =
+    List.concat_map (fun (_, placed) -> placed) from_.frames
+  in
+  let moved =
+    List.concat_map
+      (fun (_, placed) ->
+        List.filter
+          (fun (page, frame) ->
+            match List.assoc_opt page table with
+            | Some frame' -> frame' <> frame
+            | None -> true)
+          placed)
+      to_.frames
+  in
+  List.length moved * to_.page_size
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>page coloring: %d colors@," t.colors;
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "  %-14s color %d@," name c)
+    t.assignment;
+  Format.fprintf ppf "@]"

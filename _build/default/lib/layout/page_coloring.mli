@@ -1,0 +1,50 @@
+(** Page coloring: the software-only baseline (paper Section 5.1).
+
+    With a physically-indexed cache the OS can choose each virtual page's
+    physical frame so that pages that would conflict land in different cache
+    "colors" (a color = one page-sized stripe of a cache way). It needs no
+    hardware beyond ordinary address translation, and the paper credits it
+    with "a limited sub-set of column caching abilities", with two structural
+    drawbacks that this module makes measurable:
+
+    - remapping a region to a new cache color means {e copying memory}
+      ({!recolor_cost_bytes} vs. a column cache's table write);
+    - within one color, a direct-mapped cache still conflicts, and on
+      set-associative caches coloring controls placement only up to the way
+      size.
+
+    The algorithm mirrors the column layout pass: an interference graph over
+    variables (same lifetime weights), greedily colored onto the cache's
+    page colors; consecutive pages of one variable hop colors so large
+    variables do not self-conflict. *)
+
+type t
+
+val colors_of : cache:Cache.Sassoc.config -> page_size:int -> int
+(** Number of page colors: way size / page size (at least 1). *)
+
+val assign :
+  cache:Cache.Sassoc.config ->
+  page_size:int ->
+  address_map:Address_map.t ->
+  vars:(string * int) list ->
+  summaries:(string * Profile.Lifetime.summary) list ->
+  t
+(** Compute a coloring and the frame placement realizing it. Variables
+    without summaries keep identity frames. *)
+
+val colors : t -> int
+val color_of : t -> string -> int option
+(** Starting color assigned to a variable. *)
+
+val frame_map : t -> Vm.Frame_map.t
+
+val apply : t -> Machine.System.t -> unit
+(** Install the frame map; the system's cache becomes physically indexed. *)
+
+val recolor_cost_bytes : from_:t -> to_:t -> int
+(** Bytes that must be copied to move from one placement to the other: the
+    pages whose frames differ, times the page size. This is the remapping
+    cost the paper contrasts with column caching's near-free remap. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,303 @@
+module Bitmask = Cache.Bitmask
+
+type spec = {
+  columns : int;
+  column_size : int;
+  scratchpad_columns : int;
+}
+
+let spec ~columns ~column_size ~scratchpad_columns =
+  if columns <= 0 then invalid_arg "Partition.spec: columns must be positive";
+  if column_size <= 0 then invalid_arg "Partition.spec: column_size must be positive";
+  if scratchpad_columns < 0 || scratchpad_columns > columns then
+    invalid_arg "Partition.spec: scratchpad_columns out of range";
+  { columns; column_size; scratchpad_columns }
+
+let spec_of_cache cfg ~scratchpad_columns =
+  spec ~columns:cfg.Cache.Sassoc.ways
+    ~column_size:(Cache.Sassoc.column_size_bytes cfg)
+    ~scratchpad_columns
+
+type mode =
+  | Single_column
+  | Grouped
+
+type role =
+  | Scratchpad
+  | Cached
+  | Uncached
+
+type placement = {
+  region : Region.t;
+  base : int;
+  columns : Bitmask.t option;
+  role : role;
+}
+
+let placement_column pl =
+  match pl.columns with
+  | None -> None
+  | Some mask -> Some (Bitmask.min_elt mask)
+
+type t = {
+  spec : spec;
+  placements : placement list;
+  graph : Coloring.Graph.t;
+  colors : int array;
+  residual_conflict : int;
+}
+
+(* Scratchpad packing: each scratchpad column is a direct-mapped window of
+   [column_size] bytes, so co-resident regions need disjoint set intervals
+   (interval = address range modulo the column size). *)
+let intervals_disjoint (a_lo, a_hi) (b_lo, b_hi) = a_hi <= b_lo || b_hi <= a_lo
+
+let try_pack occupied interval =
+  let fits = List.for_all (intervals_disjoint interval) !occupied in
+  if fits then occupied := interval :: !occupied;
+  fits
+
+(* Grouped mode: give each color class a contiguous group of cache columns,
+   proportional to its access heat, every class getting at least one. *)
+let group_columns ~first_col ~cache_cols ~colors ~heat =
+  let distinct = List.sort_uniq Int.compare (Array.to_list colors) in
+  let class_heat c =
+    Array.to_list colors
+    |> List.mapi (fun i c' -> if c' = c then heat.(i) else 0.)
+    |> List.fold_left ( +. ) 0.
+  in
+  let classes = List.map (fun c -> (c, class_heat c)) distinct in
+  let n = List.length classes in
+  let widths = Array.make n 1 in
+  let remaining = ref (cache_cols - n) in
+  (* largest-remainder style: repeatedly widen the class with the highest
+     heat per owned column *)
+  let arr = Array.of_list classes in
+  while !remaining > 0 do
+    let best = ref 0 and best_ratio = ref neg_infinity in
+    Array.iteri
+      (fun idx (_, h) ->
+        let ratio = h /. float_of_int widths.(idx) in
+        if ratio > !best_ratio then begin
+          best := idx;
+          best_ratio := ratio
+        end)
+      arr;
+    widths.(!best) <- widths.(!best) + 1;
+    decr remaining
+  done;
+  let table = Hashtbl.create 8 in
+  let cursor = ref first_col in
+  Array.iteri
+    (fun idx (c, _) ->
+      let lo = !cursor in
+      let hi = lo + widths.(idx) - 1 in
+      cursor := hi + 1;
+      Hashtbl.replace table c (Bitmask.range ~lo ~hi))
+    arr;
+  fun color -> Hashtbl.find table color
+
+let compute ?(forced_scratchpad = []) ?(mode = Single_column) ~spec
+    ~address_map regions =
+  let p = spec.scratchpad_columns in
+  let cache_cols = spec.columns - p in
+  (* Greedy scratchpad selection: forced variables first, then by density. *)
+  let forced, free =
+    List.partition (fun r -> List.mem r.Region.var forced_scratchpad) regions
+  in
+  let by_density rs =
+    List.sort (fun a b -> compare (Region.density b) (Region.density a)) rs
+  in
+  let columns_occupancy = Array.init (max p 1) (fun _ -> ref []) in
+  let pack region =
+    if p = 0 then None
+    else begin
+      let interval =
+        Address_map.column_interval address_map ~column_size:spec.column_size
+          region
+      in
+      let rec try_col c =
+        if c >= p then None
+        else if try_pack columns_occupancy.(c) interval then Some c
+        else try_col (c + 1)
+      in
+      try_col 0
+    end
+  in
+  let scratch = ref [] and rest = ref [] in
+  List.iter
+    (fun region ->
+      match pack region with
+      | Some c -> scratch := (region, c) :: !scratch
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Partition.compute: forced variable %s does not fit in %d \
+                scratchpad column(s)"
+               region.Region.var p))
+    (by_density forced);
+  List.iter
+    (fun region ->
+      match pack region with
+      | Some c -> scratch := (region, c) :: !scratch
+      | None -> rest := region :: !rest)
+    (by_density free);
+  let scratch = List.rev !scratch and rest = List.rev !rest in
+  (* Interference graph over the regions left for the cache columns. *)
+  let graph = Coloring.Graph.create () in
+  let rest = Array.of_list rest in
+  Array.iter
+    (fun r -> ignore (Coloring.Graph.add_vertex graph ~label:(Region.name r)))
+    rest;
+  Array.iteri
+    (fun i ri ->
+      Array.iteri
+        (fun j rj ->
+          if i < j then begin
+            let w =
+              Profile.Lifetime.weight ri.Region.summary rj.Region.summary
+            in
+            if w > 0 then Coloring.Graph.set_weight graph i j w
+          end)
+        rest)
+    rest;
+  let heat =
+    Array.map (fun r -> r.Region.summary.Profile.Lifetime.accesses) rest
+  in
+  let colors, residual_conflict =
+    if Array.length rest = 0 then ([||], 0)
+    else if cache_cols = 0 then ([||], 0)
+    else begin
+      let colors = Coloring.Solver.assign_columns ~heat graph ~k:cache_cols in
+      (colors, Coloring.Graph.coloring_cost graph colors)
+    end
+  in
+  let mask_of_color =
+    if Array.length rest = 0 || cache_cols = 0 then fun _ -> Bitmask.empty
+    else
+      match mode with
+      | Single_column -> fun color -> Bitmask.singleton (p + color)
+      | Grouped -> group_columns ~first_col:p ~cache_cols ~colors ~heat
+  in
+  let scratch_placements =
+    List.map
+      (fun (region, c) ->
+        {
+          region;
+          base = Address_map.region_base address_map region;
+          columns = Some (Bitmask.singleton c);
+          role = Scratchpad;
+        })
+      scratch
+  in
+  let rest_placements =
+    Array.to_list
+      (Array.mapi
+         (fun i region ->
+           if cache_cols = 0 then
+             {
+               region;
+               base = Address_map.region_base address_map region;
+               columns = None;
+               role = Uncached;
+             }
+           else
+             {
+               region;
+               base = Address_map.region_base address_map region;
+               columns = Some (mask_of_color colors.(i));
+               role = Cached;
+             })
+         rest)
+  in
+  {
+    spec;
+    placements = scratch_placements @ rest_placements;
+    graph;
+    colors;
+    residual_conflict;
+  }
+
+let placement_of t name =
+  List.find_opt (fun pl -> Region.name pl.region = name) t.placements
+
+let scratchpad_bytes t =
+  List.fold_left
+    (fun acc pl -> if pl.role = Scratchpad then acc + pl.region.Region.size else acc)
+    0 t.placements
+
+let cached_regions t = List.filter (fun pl -> pl.role = Cached) t.placements
+let uncached_regions t = List.filter (fun pl -> pl.role = Uncached) t.placements
+
+let apply ?(copy_in = []) t system =
+  let cache_cfg = Cache.Sassoc.geometry (Machine.System.cache system) in
+  if
+    cache_cfg.Cache.Sassoc.ways <> t.spec.columns
+    || Cache.Sassoc.column_size_bytes cache_cfg <> t.spec.column_size
+  then invalid_arg "Partition.apply: system cache geometry does not match spec";
+  let mapping = Machine.System.mapping system in
+  let p = t.spec.scratchpad_columns in
+  let cache_cols = t.spec.columns - p in
+  (* Traffic without an explicit placement (e.g. the stack) stays out of the
+     scratchpad columns. *)
+  let default_mask =
+    if cache_cols > 0 then Bitmask.range ~lo:p ~hi:(t.spec.columns - 1)
+    else Bitmask.full ~n:t.spec.columns
+  in
+  Vm.Mapping.remap_tint mapping Vm.Tint.default default_mask;
+  List.iter
+    (fun pl ->
+      let region = pl.region in
+      let tint = Region.tint region in
+      match pl.role, pl.columns with
+      | Uncached, _ ->
+          Machine.System.add_uncached system ~base:pl.base
+            ~size:region.Region.size
+      | (Scratchpad | Cached), None -> assert false
+      | Scratchpad, Some mask ->
+          (* In-place working data must be copied into the pinned region;
+             tables and produced-in-place outputs are already there. *)
+          if List.mem region.Region.var copy_in then begin
+            let timing = Machine.System.timing system in
+            let lines =
+              (region.Region.size + cache_cfg.Cache.Sassoc.line_size - 1)
+              / cache_cfg.Cache.Sassoc.line_size
+            in
+            Machine.System.charge_cycles system
+              (lines
+              * (timing.Machine.Timing.hit_cycles
+                + timing.Machine.Timing.miss_penalty))
+          end;
+          Machine.System.pin_region system ~base:pl.base
+            ~size:region.Region.size ~mask ~tint
+      | Cached, Some mask ->
+          ignore
+            (Vm.Mapping.retint_region mapping ~base:pl.base
+               ~size:region.Region.size tint);
+          Vm.Mapping.remap_tint mapping tint mask)
+    t.placements
+
+let role_to_string = function
+  | Scratchpad -> "scratchpad"
+  | Cached -> "cached"
+  | Uncached -> "uncached"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>partition: %d columns (%d scratchpad), W=%d@,"
+    t.spec.columns t.spec.scratchpad_columns t.residual_conflict;
+  List.iter
+    (fun pl ->
+      Format.fprintf ppf "%-16s %-10s %-12s at 0x%x@,"
+        (Region.name pl.region)
+        (role_to_string pl.role)
+        (match pl.columns with
+        | Some mask -> (
+            match Bitmask.to_list mask with
+            | [ c ] -> Printf.sprintf "column %d" c
+            | cs ->
+                Printf.sprintf "columns %s"
+                  (String.concat "," (List.map string_of_int cs)))
+        | None -> "off-chip")
+        pl.base)
+    t.placements;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,101 @@
+(** The data layout algorithm (paper Section 3): map every region to a
+    scratchpad column, a group of cache columns, or (only when no cache
+    columns remain) uncached memory.
+
+    For a partition with [p] scratchpad columns out of [k]:
+    + regions are chosen for scratchpad greedily by access density, packed
+      into the [p] columns with disjoint set intervals (Section 3.1.3's
+      pre-assignment, reducing the coloring problem to [k - p] columns);
+    + the remaining regions form the weighted interference graph
+      (weights from {!Profile.Lifetime.weight}) and are colored onto the
+      [k - p] cache columns with {!Coloring.Solver.assign_columns};
+    + if [p = k] (no cache at all), whatever does not fit in the scratchpad
+      is placed uncached — the honest cost of a pure-scratchpad design for
+      oversized data, which is exactly what the paper's idct experiment
+      exposes.
+
+    Two mapping modes, both from the paper:
+    - {!Single_column} (Section 3's restriction, the default): each color
+      class is one column; partitions are direct-mapped windows.
+    - {!Grouped} (Section 2.1: "by aggregating columns into partitions, we
+      can provide set-associativity within partitions as well as increase
+      the size of partitions"): the cache columns are distributed among the
+      color classes in proportion to their access heat, so a hot class may
+      own several columns and enjoy associativity within its partition.
+
+    The result knows how to configure a {!Machine.System.t}: re-tint every
+    region, map its tint to its columns, preload scratchpad regions. *)
+
+type spec = {
+  columns : int;  (** k: total columns *)
+  column_size : int;  (** S: bytes per column *)
+  scratchpad_columns : int;  (** p: columns reserved as scratchpad *)
+}
+
+val spec : columns:int -> column_size:int -> scratchpad_columns:int -> spec
+(** Validates [0 <= p <= k], positive sizes. *)
+
+val spec_of_cache : Cache.Sassoc.config -> scratchpad_columns:int -> spec
+
+type mode =
+  | Single_column
+  | Grouped
+
+type role =
+  | Scratchpad
+  | Cached
+  | Uncached
+
+type placement = {
+  region : Region.t;
+  base : int;
+  columns : Cache.Bitmask.t option;  (** [None] iff uncached *)
+  role : role;
+}
+
+val placement_column : placement -> int option
+(** The lowest column of the placement's mask, when any. *)
+
+type t = {
+  spec : spec;
+  placements : placement list;
+  graph : Coloring.Graph.t;  (** interference graph over cached regions *)
+  colors : int array;  (** color of each graph vertex *)
+  residual_conflict : int;
+      (** the paper's objective W left after coloring: total weight of
+          same-column edges *)
+}
+
+val compute :
+  ?forced_scratchpad:string list ->
+  ?mode:mode ->
+  spec:spec ->
+  address_map:Address_map.t ->
+  Region.t list ->
+  t
+(** [forced_scratchpad] names variables that must go to scratchpad for
+    predictability (Section 3.1.3); their regions are packed first, highest
+    density first. Raises [Invalid_argument] if a forced variable's regions
+    cannot all be packed. *)
+
+val placement_of : t -> string -> placement option
+(** Look up by {!Region.name}. *)
+
+val scratchpad_bytes : t -> int
+val cached_regions : t -> placement list
+val uncached_regions : t -> placement list
+
+val apply : ?copy_in:string list -> t -> Machine.System.t -> unit
+(** Configure the system: re-tint all regions, point tints at their
+    columns, restrict the default tint to the cache columns, preload
+    scratchpad regions, and register uncached regions. The system's cache
+    geometry must match the spec.
+
+    [copy_in] names variables whose scratchpad pinning requires an explicit
+    copy from memory (in-place working data that some earlier phase
+    produced elsewhere); their pin is charged one load per line via
+    {!Machine.System.charge_cycles}. Read-only tables and outputs produced
+    in place pin for free, which is the paper's implicit amortization in
+    Figure 4(a-b). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  var : string;
+  part : int;
+  parts : int;
+  offset : int;
+  size : int;
+  summary : Profile.Lifetime.summary;
+}
+
+let name r = if r.parts = 1 then r.var else Printf.sprintf "%s#%d" r.var r.part
+let tint r = Vm.Tint.make (name r)
+let density r = r.summary.Profile.Lifetime.accesses /. float_of_int r.size
+
+let split_vars ?(region_summaries = []) ~column_size ~vars ~summaries () =
+  if column_size <= 0 then invalid_arg "Region.split_vars: column_size";
+  List.concat_map
+    (fun (var, size) ->
+      if size <= 0 then
+        invalid_arg (Printf.sprintf "Region.split_vars: %s has size %d" var size);
+      match List.assoc_opt var summaries with
+      | None -> []
+      | Some info ->
+          let parts = (size + column_size - 1) / column_size in
+          (* Fallback when no exact per-subarray profile is available: keep
+             the whole variable's interval, split the count evenly, drop
+             exact positions. *)
+          let divided =
+            if parts = 1 then info
+            else
+              Profile.Lifetime.summary
+                ~accesses:(info.Profile.Lifetime.accesses /. float_of_int parts)
+                ~first:info.Profile.Lifetime.first
+                ~last:info.Profile.Lifetime.last ()
+          in
+          List.init parts (fun part ->
+              let offset = part * column_size in
+              let name =
+                if parts = 1 then var else Printf.sprintf "%s#%d" var part
+              in
+              let summary =
+                match List.assoc_opt name region_summaries with
+                | Some exact -> exact
+                | None -> divided
+              in
+              { var; part; parts; offset; size = min column_size (size - offset); summary }))
+    vars
+
+let pp ppf r =
+  Format.fprintf ppf "%s [%d..%d) %a" (name r) r.offset (r.offset + r.size)
+    Profile.Lifetime.pp_summary r.summary

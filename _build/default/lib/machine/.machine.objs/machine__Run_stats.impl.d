@@ -1,0 +1,1 @@
+lib/machine/run_stats.ml: Cache Format

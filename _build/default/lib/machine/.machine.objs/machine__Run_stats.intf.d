@@ -1,0 +1,1 @@
+lib/machine/run_stats.mli: Cache Format

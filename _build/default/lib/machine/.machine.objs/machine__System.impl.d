@@ -1,0 +1,1 @@
+lib/machine/system.ml: Cache Hashtbl List Memtrace Option Printf Run_stats Timing Vm

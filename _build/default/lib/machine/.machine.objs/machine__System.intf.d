@@ -1,0 +1,1 @@
+lib/machine/system.mli: Cache Memtrace Run_stats Timing Vm

@@ -1,0 +1,53 @@
+type t = {
+  instructions : int;
+  cycles : int;
+  memory_accesses : int;
+  scratchpad_accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  prefetches : int;
+  cache : Cache.Stats.t;
+}
+
+let cpi t =
+  if t.instructions = 0 then 0.
+  else float_of_int t.cycles /. float_of_int t.instructions
+
+let zero ~ways =
+  {
+    instructions = 0;
+    cycles = 0;
+    memory_accesses = 0;
+    scratchpad_accesses = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    l2_hits = 0;
+    l2_misses = 0;
+    prefetches = 0;
+    cache = Cache.Stats.create ~ways;
+  }
+
+let add a b =
+  {
+    instructions = a.instructions + b.instructions;
+    cycles = a.cycles + b.cycles;
+    memory_accesses = a.memory_accesses + b.memory_accesses;
+    scratchpad_accesses = a.scratchpad_accesses + b.scratchpad_accesses;
+    tlb_hits = a.tlb_hits + b.tlb_hits;
+    tlb_misses = a.tlb_misses + b.tlb_misses;
+    l2_hits = a.l2_hits + b.l2_hits;
+    l2_misses = a.l2_misses + b.l2_misses;
+    prefetches = a.prefetches + b.prefetches;
+    cache = Cache.Stats.add a.cache b.cache;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>instructions %d@ cycles %d (CPI %.3f)@ memory accesses %d \
+     (scratchpad %d)@ TLB hits %d misses %d@ L2 hits %d misses %d@ \
+     prefetches %d@ %a@]"
+    t.instructions t.cycles (cpi t) t.memory_accesses t.scratchpad_accesses
+    t.tlb_hits t.tlb_misses t.l2_hits t.l2_misses t.prefetches Cache.Stats.pp
+    t.cache

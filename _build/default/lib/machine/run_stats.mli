@@ -1,0 +1,21 @@
+(** Aggregate results of replaying a trace on a {!System.t}. *)
+
+type t = {
+  instructions : int;
+  cycles : int;
+  memory_accesses : int;
+  scratchpad_accesses : int;
+  tlb_hits : int;
+  tlb_misses : int;
+  l2_hits : int;  (** 0 unless an L2 is configured *)
+  l2_misses : int;
+  prefetches : int;  (** lines fetched by the stream prefetcher *)
+  cache : Cache.Stats.t;
+}
+
+val cpi : t -> float
+(** Clocks per instruction; 0 when no instruction executed. *)
+
+val zero : ways:int -> t
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,245 @@
+module Access = Memtrace.Access
+module Trace = Memtrace.Trace
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+
+type config = {
+  cache : Sassoc.config;
+  l2 : Sassoc.config option;
+  timing : Timing.t;
+  page_size : int;
+  tlb_entries : int;
+}
+
+let config ?(timing = Timing.default) ?(page_size = 256) ?(tlb_entries = 32)
+    ?l2 cache =
+  { cache; l2; timing; page_size; tlb_entries }
+
+type region = {
+  base : int;
+  size : int;
+}
+
+type t = {
+  cfg : config;
+  cache : Sassoc.t;
+  l2 : Sassoc.t option;
+  mapping : Vm.Mapping.t;
+  mutable l2_hits : int;
+  mutable l2_misses : int;
+  mutable prefetches : int;
+  streaming_tints : (Vm.Tint.t, unit) Hashtbl.t;
+  (* physical lines brought in by the prefetcher and not yet demanded:
+     first use triggers the next prefetch (tagged prefetching) *)
+  prefetch_tagged : (int, unit) Hashtbl.t;
+  mutable scratchpads : region list;
+  mutable uncached : region list;
+  mutable frame_map : Vm.Frame_map.t option;
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable memory_accesses : int;
+  mutable scratchpad_accesses : int;
+  mutable pending_setup_cycles : int;
+  (* TLB counters live in the TLB itself; run deltas are snapshot-based. *)
+}
+
+let create cfg =
+  {
+    cfg;
+    cache = Sassoc.create cfg.cache;
+    l2 = Option.map Sassoc.create cfg.l2;
+    l2_hits = 0;
+    l2_misses = 0;
+    prefetches = 0;
+    streaming_tints = Hashtbl.create 4;
+    prefetch_tagged = Hashtbl.create 64;
+    mapping =
+      Vm.Mapping.create ~tlb_entries:cfg.tlb_entries ~page_size:cfg.page_size
+        ~columns:cfg.cache.Sassoc.ways ();
+    scratchpads = [];
+    uncached = [];
+    frame_map = None;
+    instructions = 0;
+    cycles = 0;
+    memory_accesses = 0;
+    scratchpad_accesses = 0;
+    pending_setup_cycles = 0;
+  }
+
+let mapping t = t.mapping
+let l2_cache t = t.l2
+
+let set_streaming t tint = Hashtbl.replace t.streaming_tints tint ()
+let clear_streaming t tint = Hashtbl.remove t.streaming_tints tint
+let is_streaming t tint = Hashtbl.mem t.streaming_tints tint
+let set_frame_map t fm = t.frame_map <- Some fm
+let frame_map t = t.frame_map
+
+let physical t addr =
+  match t.frame_map with None -> addr | Some fm -> Vm.Frame_map.translate fm addr
+let cache t = t.cache
+let timing t = t.cfg.timing
+let page_size t = t.cfg.page_size
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let add_scratchpad t ~base ~size =
+  if size <= 0 then invalid_arg "System.add_scratchpad: size must be positive";
+  let r = { base; size } in
+  if List.exists (overlaps r) t.scratchpads then
+    invalid_arg "System.add_scratchpad: overlapping region";
+  t.scratchpads <- r :: t.scratchpads
+
+let in_region regions addr =
+  List.exists (fun r -> addr >= r.base && addr < r.base + r.size) regions
+
+let in_scratchpad t addr = in_region t.scratchpads addr
+let in_uncached t addr = in_region t.uncached addr
+
+let add_uncached t ~base ~size =
+  if size <= 0 then invalid_arg "System.add_uncached: size must be positive";
+  let r = { base; size } in
+  if List.exists (overlaps r) t.scratchpads || List.exists (overlaps r) t.uncached
+  then invalid_arg "System.add_uncached: overlapping region";
+  t.uncached <- r :: t.uncached
+
+let scratchpad_bytes t =
+  List.fold_left (fun acc r -> acc + r.size) 0 t.scratchpads
+
+let preload t ~base ~size =
+  if size <= 0 then invalid_arg "System.preload: size must be positive";
+  let line = t.cfg.cache.Sassoc.line_size in
+  let first = base / line and last = (base + size - 1) / line in
+  for l = first to last do
+    if not (in_scratchpad t (l * line)) then begin
+      let mask = Vm.Mapping.mask_of_quiet t.mapping (l * line) in
+      ignore (Sassoc.access t.cache ~mask ~kind:Access.Read (physical t (l * line)))
+    end
+  done
+
+let pin_region t ~base ~size ~mask ~tint =
+  if Bitmask.is_empty mask then invalid_arg "System.pin_region: empty mask";
+  let capacity =
+    Bitmask.count mask * Sassoc.column_size_bytes t.cfg.cache
+  in
+  if size > capacity then
+    invalid_arg
+      (Printf.sprintf
+         "System.pin_region: region (%d B) exceeds column capacity (%d B)"
+         size capacity);
+  ignore (Vm.Mapping.retint_region t.mapping ~base ~size tint);
+  Vm.Mapping.remap_tint t.mapping tint mask;
+  preload t ~base ~size
+
+(* Setup charges accrue into a pending pot so that they land inside the
+   NEXT run's delta (apply-then-run must see the cost). *)
+let charge_cycles t n =
+  if n < 0 then invalid_arg "System.charge_cycles: negative charge";
+  t.pending_setup_cycles <- t.pending_setup_cycles + n
+
+let access t (a : Access.t) =
+  let timing = t.cfg.timing in
+  let before = t.cycles in
+  t.instructions <- t.instructions + Access.instructions a;
+  t.cycles <- t.cycles + a.Access.gap;
+  t.memory_accesses <- t.memory_accesses + 1;
+  if in_scratchpad t a.Access.addr then begin
+    t.scratchpad_accesses <- t.scratchpad_accesses + 1;
+    t.cycles <- t.cycles + timing.Timing.scratchpad_cycles
+  end
+  else if in_uncached t a.Access.addr then
+    t.cycles <- t.cycles + timing.Timing.uncached_cycles
+  else begin
+    let mask, tint, outcome = Vm.Mapping.resolve t.mapping a.Access.addr in
+    (match outcome with
+    | Vm.Tlb.Hit -> ()
+    | Vm.Tlb.Miss -> t.cycles <- t.cycles + timing.Timing.tlb_miss_penalty);
+    let stats = Sassoc.stats t.cache in
+    let wb_before = stats.Cache.Stats.writebacks in
+    (* Stream prefetch (Section 2: a prefetch buffer carved out of the
+       general cache). Tagged next-line prefetching: both a miss and the
+       first use of a previously-prefetched line fetch the line after it —
+       into the stream's own columns, overlapped with memory time (no extra
+       latency in this model). Prefetching stops where the next line's mask
+       differs (region boundary). *)
+    let maybe_prefetch () =
+      if Hashtbl.mem t.streaming_tints tint then begin
+        let line = t.cfg.cache.Sassoc.line_size in
+        let next = a.Access.addr + line in
+        let next_mask = Vm.Mapping.mask_of_quiet t.mapping next in
+        let next_phys = physical t next in
+        if
+          Bitmask.equal next_mask mask
+          && Sassoc.probe t.cache next_phys = None
+        then begin
+          ignore (Sassoc.fill t.cache ~mask next_phys);
+          Hashtbl.replace t.prefetch_tagged (next_phys / line) ();
+          t.prefetches <- t.prefetches + 1
+        end
+      end
+    in
+    let phys = physical t a.Access.addr in
+    let phys_line = phys / t.cfg.cache.Sassoc.line_size in
+    (match Sassoc.access t.cache ~mask ~kind:a.Access.kind phys with
+    | Sassoc.Hit _ ->
+        t.cycles <- t.cycles + timing.Timing.hit_cycles;
+        if Hashtbl.mem t.prefetch_tagged phys_line then begin
+          Hashtbl.remove t.prefetch_tagged phys_line;
+          maybe_prefetch ()
+        end
+    | Sassoc.Miss _ ->
+        t.cycles <- t.cycles + timing.Timing.hit_cycles;
+        (* the line comes from L2 when one is configured and holds it *)
+        (match t.l2 with
+        | None -> t.cycles <- t.cycles + timing.Timing.miss_penalty
+        | Some l2 -> (
+            match Sassoc.access l2 ~kind:a.Access.kind phys with
+            | Sassoc.Hit _ ->
+                t.l2_hits <- t.l2_hits + 1;
+                t.cycles <- t.cycles + timing.Timing.l2_hit_cycles
+            | Sassoc.Miss _ ->
+                t.l2_misses <- t.l2_misses + 1;
+                t.cycles <- t.cycles + timing.Timing.miss_penalty));
+        if stats.Cache.Stats.writebacks > wb_before then
+          t.cycles <- t.cycles + timing.Timing.writeback_penalty;
+        maybe_prefetch ())
+  end;
+  t.cycles - before
+
+let snapshot t =
+  {
+    Run_stats.instructions = t.instructions;
+    cycles = t.cycles;
+    memory_accesses = t.memory_accesses;
+    scratchpad_accesses = t.scratchpad_accesses;
+    tlb_hits = Vm.Tlb.hits (Vm.Mapping.tlb t.mapping);
+    tlb_misses = Vm.Tlb.misses (Vm.Mapping.tlb t.mapping);
+    l2_hits = t.l2_hits;
+    l2_misses = t.l2_misses;
+    prefetches = t.prefetches;
+    cache = Cache.Stats.copy (Sassoc.stats t.cache);
+  }
+
+let run t trace =
+  let before = snapshot t in
+  t.cycles <- t.cycles + t.pending_setup_cycles;
+  t.pending_setup_cycles <- 0;
+  Trace.iter (fun a -> ignore (access t a)) trace;
+  let after = snapshot t in
+  {
+    Run_stats.instructions = after.instructions - before.instructions;
+    cycles = after.cycles - before.cycles;
+    memory_accesses = after.memory_accesses - before.memory_accesses;
+    scratchpad_accesses =
+      after.scratchpad_accesses - before.scratchpad_accesses;
+    tlb_hits = after.tlb_hits - before.tlb_hits;
+    tlb_misses = after.tlb_misses - before.tlb_misses;
+    l2_hits = after.l2_hits - before.l2_hits;
+    l2_misses = after.l2_misses - before.l2_misses;
+    prefetches = after.prefetches - before.prefetches;
+    cache = Cache.Stats.sub after.cache before.cache;
+  }
+
+let total t = snapshot t
+let flush_cache t = Sassoc.flush t.cache
+let flush_tlb t = Vm.Tlb.flush (Vm.Mapping.tlb t.mapping)

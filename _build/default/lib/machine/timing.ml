@@ -1,0 +1,28 @@
+type t = {
+  hit_cycles : int;
+  miss_penalty : int;
+  l2_hit_cycles : int;
+  writeback_penalty : int;
+  scratchpad_cycles : int;
+  tlb_miss_penalty : int;
+  uncached_cycles : int;
+}
+
+let default =
+  {
+    hit_cycles = 1;
+    miss_penalty = 20;
+    l2_hit_cycles = 6;
+    writeback_penalty = 4;
+    scratchpad_cycles = 1;
+    tlb_miss_penalty = 8;
+    uncached_cycles = 20;
+  }
+
+let ideal_scratchpad t = t.scratchpad_cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hit=%d miss=+%d l2hit=+%d wb=+%d scratchpad=%d tlb_miss=+%d uncached=%d"
+    t.hit_cycles t.miss_penalty t.l2_hit_cycles t.writeback_penalty
+    t.scratchpad_cycles t.tlb_miss_penalty t.uncached_cycles

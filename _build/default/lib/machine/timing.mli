@@ -1,0 +1,28 @@
+(** Latency parameters of the simulated embedded core.
+
+    A fixed-latency model in the style of late-1990s embedded systems
+    evaluations: one cycle per non-memory instruction, a small cache-hit
+    latency, a flat miss penalty to off-chip memory, and scratchpad accesses
+    at SRAM speed. The paper reports cycle counts and CPI; only the relative
+    shape depends on these numbers, and they are all configurable. *)
+
+type t = {
+  hit_cycles : int;  (** L1 hit, also charged on a miss as the probe cost *)
+  miss_penalty : int;  (** additional cycles to fetch a line off-chip *)
+  l2_hit_cycles : int;
+      (** additional cycles when a (configured) L2 holds the line, charged
+          instead of [miss_penalty] *)
+  writeback_penalty : int;  (** additional cycles when the victim is dirty *)
+  scratchpad_cycles : int;  (** dedicated on-chip SRAM access *)
+  tlb_miss_penalty : int;  (** page-table walk *)
+  uncached_cycles : int;  (** accesses that bypass the cache entirely *)
+}
+
+val default : t
+(** hit 1, miss 20, L2 hit 6, writeback 4, scratchpad 1, TLB miss 8,
+    uncached 20. *)
+
+val ideal_scratchpad : t -> int
+(** Cycles for a scratchpad access under this timing. *)
+
+val pp : Format.formatter -> t -> unit

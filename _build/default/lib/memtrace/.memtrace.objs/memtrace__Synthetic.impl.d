@@ -1,0 +1,1 @@
+lib/memtrace/synthetic.ml: Array Int64 Trace

@@ -1,0 +1,1 @@
+lib/memtrace/synthetic.mli: Trace

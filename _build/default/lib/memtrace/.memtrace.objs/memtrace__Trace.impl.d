@@ -1,0 +1,1 @@
+lib/memtrace/trace.ml: Access Array Buffer Format Hashtbl List String

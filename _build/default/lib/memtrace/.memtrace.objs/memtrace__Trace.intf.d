@@ -1,0 +1,1 @@
+lib/memtrace/trace.mli: Access Format

@@ -1,0 +1,66 @@
+type kind =
+  | Read
+  | Write
+  | Ifetch
+
+type t = {
+  addr : int;
+  kind : kind;
+  var : string option;
+  gap : int;
+}
+
+let make ?(kind = Read) ?var ?(gap = 0) addr =
+  if addr < 0 then invalid_arg "Access.make: negative address";
+  if gap < 0 then invalid_arg "Access.make: negative gap";
+  { addr; kind; var; gap }
+
+let read ?var ?gap addr = make ~kind:Read ?var ?gap addr
+let write ?var ?gap addr = make ~kind:Write ?var ?gap addr
+let instructions a = a.gap + 1
+
+let line ~line_size a =
+  if line_size <= 0 then invalid_arg "Access.line: line_size must be positive";
+  a.addr / line_size
+
+let with_addr a addr = { a with addr }
+
+let equal a b =
+  a.addr = b.addr && a.kind = b.kind && a.var = b.var && a.gap = b.gap
+
+let compare a b = Stdlib.compare a b
+
+let kind_to_string = function
+  | Read -> "R"
+  | Write -> "W"
+  | Ifetch -> "I"
+
+let kind_of_string = function
+  | "R" -> Read
+  | "W" -> Write
+  | "I" -> Ifetch
+  | s -> invalid_arg (Printf.sprintf "Access.kind_of_string: %S" s)
+
+let pp ppf a =
+  Format.fprintf ppf "%s 0x%x %s %d" (kind_to_string a.kind) a.addr
+    (match a.var with None -> "-" | Some v -> v)
+    a.gap
+
+let to_string a = Format.asprintf "%a" pp a
+
+let of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ k; addr; var; gap ] ->
+      let addr =
+        try int_of_string addr
+        with Failure _ ->
+          invalid_arg (Printf.sprintf "Access.of_string: bad address %S" addr)
+      in
+      let gap =
+        try int_of_string gap
+        with Failure _ ->
+          invalid_arg (Printf.sprintf "Access.of_string: bad gap %S" gap)
+      in
+      let var = if var = "-" then None else Some var in
+      { addr; kind = kind_of_string k; var; gap }
+  | _ -> invalid_arg (Printf.sprintf "Access.of_string: %S" s)

@@ -1,0 +1,48 @@
+(** A single memory reference issued by the simulated processor.
+
+    Accesses are the atoms of every trace in the system: the interpreter in
+    {!module:Ir}, the hand-written workloads and the synthetic generators all
+    produce values of this type, and the cache/machine simulators consume
+    them. *)
+
+(** Kind of memory operation. [Ifetch] models instruction fetches so that
+    unified caches can be simulated; the paper's experiments are data-side
+    only but the type keeps the door open. *)
+type kind =
+  | Read
+  | Write
+  | Ifetch
+
+type t = {
+  addr : int;  (** byte address *)
+  kind : kind;
+  var : string option;
+      (** symbolic program variable this access belongs to, when known; used
+          by the profiler to build lifetime intervals *)
+  gap : int;
+      (** number of non-memory instructions executed since the previous
+          access; the access itself counts as one further instruction *)
+}
+
+val make : ?kind:kind -> ?var:string -> ?gap:int -> int -> t
+(** [make addr] builds an access; [kind] defaults to [Read], [gap] to [0]. *)
+
+val read : ?var:string -> ?gap:int -> int -> t
+val write : ?var:string -> ?gap:int -> int -> t
+
+val instructions : t -> int
+(** [instructions a] is [a.gap + 1]: the instruction cost of reaching and
+    executing this access. *)
+
+val line : line_size:int -> t -> int
+(** Cache-line address (byte address divided by [line_size]). *)
+
+val with_addr : t -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of {!to_string}. Raises [Invalid_argument] on malformed input. *)

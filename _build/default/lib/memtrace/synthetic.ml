@@ -1,0 +1,56 @@
+let sequential ?var ?gap ~base ~count ~stride () =
+  let b = Trace.Builder.create ~initial_capacity:count () in
+  for i = 0 to count - 1 do
+    Trace.Builder.emit b ?var ?gap (base + (i * stride))
+  done;
+  Trace.Builder.build b
+
+let repeat_walk ?var ?gap ~base ~len ~stride ~passes () =
+  let b = Trace.Builder.create ~initial_capacity:(len * passes) () in
+  for _ = 1 to passes do
+    for i = 0 to len - 1 do
+      Trace.Builder.emit b ?var ?gap (base + (i * stride))
+    done
+  done;
+  Trace.Builder.build b
+
+(* xorshift64* gives deterministic, good-enough pseudo-random streams without
+   touching the global [Random] state. *)
+let xorshift state =
+  let x = !state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  state := x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL)
+
+let uniform_random ?var ?gap ~seed ~base ~span ~count () =
+  if span <= 0 then invalid_arg "Synthetic.uniform_random: span must be positive";
+  let state = ref (Int64.of_int (if seed = 0 then 0x9E3779B9 else seed)) in
+  let b = Trace.Builder.create ~initial_capacity:count () in
+  for _ = 1 to count do
+    let off = xorshift state mod span land lnot 3 in
+    Trace.Builder.emit b ?var ?gap (base + off)
+  done;
+  Trace.Builder.build b
+
+let interleave traces ~quantum =
+  if quantum <= 0 then invalid_arg "Synthetic.interleave: quantum must be positive";
+  let traces = Array.of_list traces in
+  let pos = Array.map (fun _ -> 0) traces in
+  let total = Array.fold_left (fun acc t -> acc + Trace.length t) 0 traces in
+  let b = Trace.Builder.create ~initial_capacity:total () in
+  let remaining = ref total in
+  let turn = ref 0 in
+  while !remaining > 0 do
+    let i = !turn mod Array.length traces in
+    let t = traces.(i) in
+    let n = min quantum (Trace.length t - pos.(i)) in
+    for j = pos.(i) to pos.(i) + n - 1 do
+      Trace.Builder.add b (Trace.get t j)
+    done;
+    pos.(i) <- pos.(i) + n;
+    remaining := !remaining - n;
+    incr turn
+  done;
+  Trace.Builder.build b

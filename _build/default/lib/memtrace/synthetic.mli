@@ -1,0 +1,27 @@
+(** Deterministic synthetic reference-stream generators.
+
+    These are used by tests and ablation benchmarks to produce streams with
+    known locality structure (sequential streams, strided sweeps, uniform
+    random, and loop-like re-walks). All generators are seeded and
+    reproducible. *)
+
+val sequential :
+  ?var:string -> ?gap:int -> base:int -> count:int -> stride:int -> unit -> Trace.t
+(** [sequential ~base ~count ~stride ()] touches [base], [base+stride], ... *)
+
+val repeat_walk :
+  ?var:string -> ?gap:int -> base:int -> len:int -> stride:int -> passes:int -> unit
+  -> Trace.t
+(** Walks a region of [len] elements [passes] times: high temporal locality
+    when the region fits in cache. *)
+
+val uniform_random :
+  ?var:string -> ?gap:int -> seed:int -> base:int -> span:int -> count:int -> unit
+  -> Trace.t
+(** [count] accesses uniformly distributed over [span] bytes above [base],
+    aligned to 4 bytes. *)
+
+val interleave : Trace.t list -> quantum:int -> Trace.t
+(** Round-robin interleave: take [quantum] accesses from each trace in turn
+    until all are exhausted. Used to model naive multiprogramming without a
+    full scheduler. *)

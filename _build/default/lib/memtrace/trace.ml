@@ -1,0 +1,111 @@
+type t = Access.t array
+
+let empty = [||]
+let of_list = Array.of_list
+let to_list = Array.to_list
+let of_array a = a
+let length = Array.length
+let is_empty t = Array.length t = 0
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Trace.get: index out of bounds";
+  t.(i)
+
+let append = Array.append
+let concat = Array.concat
+let sub t ~pos ~len = Array.sub t pos len
+let iter = Array.iter
+let iteri = Array.iteri
+let fold f init t = Array.fold_left f init t
+let map = Array.map
+let filter f t = Array.of_list (List.filter f (Array.to_list t))
+
+let instructions t =
+  Array.fold_left (fun acc a -> acc + Access.instructions a) 0 t
+
+let shift t ~offset = map (fun a -> Access.with_addr a (a.Access.addr + offset)) t
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let record a =
+    match a.Access.var with
+    | None -> ()
+    | Some v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+  in
+  iter record t;
+  List.rev !out
+
+let filter_var t v = filter (fun a -> a.Access.var = Some v) t
+
+let addr_range t =
+  let update acc a =
+    match acc with
+    | None -> Some (a.Access.addr, a.Access.addr)
+    | Some (lo, hi) -> Some (min lo a.Access.addr, max hi a.Access.addr)
+  in
+  fold update None t
+
+let footprint ~line_size t =
+  let lines = Hashtbl.create 256 in
+  iter (fun a -> Hashtbl.replace lines (Access.line ~line_size a) ()) t;
+  Hashtbl.length lines
+
+let equal a b =
+  Array.length a = Array.length b
+  && begin
+       let rec check i =
+         i >= Array.length a || (Access.equal a.(i) b.(i) && check (i + 1))
+       in
+       check 0
+     end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter (fun a -> Format.fprintf ppf "%a@," Access.pp a) t;
+  Format.fprintf ppf "@]"
+
+let to_string t =
+  let buf = Buffer.create (16 * Array.length t) in
+  iter
+    (fun a ->
+      Buffer.add_string buf (Access.to_string a);
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map Access.of_string
+  |> of_list
+
+module Builder = struct
+  type t = {
+    mutable data : Access.t array;
+    mutable len : int;
+  }
+
+  let dummy = Access.make 0
+
+  let create ?(initial_capacity = 1024) () =
+    { data = Array.make (max 1 initial_capacity) dummy; len = 0 }
+
+  let grow b =
+    let data = Array.make (2 * Array.length b.data) dummy in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+
+  let add b a =
+    if b.len = Array.length b.data then grow b;
+    b.data.(b.len) <- a;
+    b.len <- b.len + 1
+
+  let emit b ?kind ?var ?gap addr = add b (Access.make ?kind ?var ?gap addr)
+  let length b = b.len
+  let build b = Array.sub b.data 0 b.len
+end

@@ -1,0 +1,67 @@
+(** Immutable, array-backed sequences of memory accesses.
+
+    A trace is the interface between workloads and the simulators: workloads
+    emit traces, the layout pass profiles them, and the machine replays them
+    against a cache configuration. *)
+
+type t
+
+val empty : t
+val of_list : Access.t list -> t
+val to_list : t -> Access.t list
+
+val of_array : Access.t array -> t
+(** Takes ownership of the array; callers must not mutate it afterwards. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> Access.t
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val append : t -> t -> t
+val concat : t list -> t
+val sub : t -> pos:int -> len:int -> t
+val iter : (Access.t -> unit) -> t -> unit
+val iteri : (int -> Access.t -> unit) -> t -> unit
+val fold : ('a -> Access.t -> 'a) -> 'a -> t -> 'a
+val map : (Access.t -> Access.t) -> t -> t
+val filter : (Access.t -> bool) -> t -> t
+
+val instructions : t -> int
+(** Total instructions represented by the trace: sum of
+    {!Access.instructions} over all accesses. *)
+
+val shift : t -> offset:int -> t
+(** Relocate every address by [offset] bytes. *)
+
+val vars : t -> string list
+(** Distinct symbolic variables, in order of first appearance. *)
+
+val filter_var : t -> string -> t
+val addr_range : t -> (int * int) option
+
+val footprint : line_size:int -> t -> int
+(** Number of distinct cache lines touched. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One access per line, as {!Access.to_string}. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; blank lines are skipped. *)
+
+(** A builder accumulates accesses in O(1) amortized time; used by workload
+    generators and the IR interpreter. *)
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : ?initial_capacity:int -> unit -> t
+  val add : t -> Access.t -> unit
+  val emit : t -> ?kind:Access.kind -> ?var:string -> ?gap:int -> int -> unit
+  val length : t -> int
+  val build : t -> trace
+end

@@ -1,0 +1,47 @@
+let header_of trace = Printf.sprintf "colcache-trace v1 %d" (Trace.length trace)
+
+let save ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header_of trace);
+      output_char oc '\n';
+      Trace.iter
+        (fun a ->
+          output_string oc (Access.to_string a);
+          output_char oc '\n')
+        trace)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> "" in
+      let count =
+        match String.split_on_char ' ' header with
+        | [ "colcache-trace"; "v1"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 0 -> n
+            | Some _ | None ->
+                invalid_arg
+                  (Printf.sprintf "Trace_file.load %s: bad count %S" path n))
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Trace_file.load %s: bad header %S" path header)
+      in
+      let builder = Trace.Builder.create ~initial_capacity:(max 1 count) () in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             Trace.Builder.add builder (Access.of_string line)
+         done
+       with End_of_file -> ());
+      let trace = Trace.Builder.build builder in
+      if Trace.length trace <> count then
+        invalid_arg
+          (Printf.sprintf "Trace_file.load %s: header says %d accesses, found %d"
+             path count (Trace.length trace));
+      trace)

@@ -1,0 +1,16 @@
+(** Saving and loading traces.
+
+    A simple self-describing text format — one header line
+    ["colcache-trace v1 <count>"] followed by one access per line (see
+    {!Access.to_string}) — so traces can be captured once (e.g. from the IR
+    interpreter or an external tool) and replayed against many cache
+    configurations. *)
+
+val save : path:string -> Trace.t -> unit
+(** Overwrites [path]. Raises [Sys_error] on I/O failure. *)
+
+val load : path:string -> Trace.t
+(** Raises [Sys_error] on I/O failure and [Invalid_argument] on a bad
+    header, a count mismatch, or a malformed access line. *)
+
+val header_of : Trace.t -> string

@@ -1,0 +1,1 @@
+lib/profile/lifetime.ml: Array Float Format Hashtbl List Memtrace

@@ -1,0 +1,1 @@
+lib/profile/lifetime.mli: Format Memtrace

@@ -1,0 +1,97 @@
+type summary = {
+  accesses : float;
+  first : int;
+  last : int;
+  positions : int array option;
+}
+
+let summary ?positions ~accesses ~first ~last () =
+  if last < first then invalid_arg "Lifetime.summary: last < first";
+  if accesses < 0. then invalid_arg "Lifetime.summary: negative accesses";
+  (match positions with
+  | None -> ()
+  | Some ps ->
+      let n = Array.length ps in
+      for i = 0 to n - 2 do
+        if ps.(i) > ps.(i + 1) then
+          invalid_arg "Lifetime.summary: positions not ascending"
+      done;
+      if n > 0 && (ps.(0) < first || ps.(n - 1) > last) then
+        invalid_arg "Lifetime.summary: positions outside lifetime");
+  { accesses; first; last; positions }
+
+let of_trace_classified trace ~classify =
+  let tbl : (string, int list ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  Memtrace.Trace.iteri
+    (fun i a ->
+      match classify a with
+      | None -> ()
+      | Some v -> (
+          match Hashtbl.find_opt tbl v with
+          | Some (positions, count) ->
+              positions := i :: !positions;
+              incr count
+          | None ->
+              Hashtbl.add tbl v (ref [ i ], ref 1);
+              order := v :: !order))
+    trace;
+  List.rev_map
+    (fun v ->
+      match Hashtbl.find_opt tbl v with
+      | None -> assert false
+      | Some (positions, count) ->
+          let ps = Array.of_list (List.rev !positions) in
+          let n = Array.length ps in
+          ( v,
+            {
+              accesses = float_of_int !count;
+              first = ps.(0);
+              last = ps.(n - 1);
+              positions = Some ps;
+            } ))
+    !order
+
+let of_trace trace =
+  of_trace_classified trace ~classify:(fun a -> a.Memtrace.Access.var)
+
+let live_at s pos = pos >= s.first && pos <= s.last
+
+let overlap a b =
+  let lo = max a.first b.first and hi = min a.last b.last in
+  if lo > hi then None else Some (lo, hi)
+
+(* Index of the first element >= x in an ascending array. *)
+let lower_bound ps x =
+  let rec loop lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if ps.(mid) < x then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 (Array.length ps)
+
+let accesses_within s ~lo ~hi =
+  if hi < lo then 0.
+  else
+    match s.positions with
+    | Some ps ->
+        let i = lower_bound ps lo and j = lower_bound ps (hi + 1) in
+        float_of_int (j - i)
+    | None ->
+        let span = float_of_int (s.last - s.first + 1) in
+        let lo = max lo s.first and hi = min hi s.last in
+        if hi < lo then 0.
+        else s.accesses *. (float_of_int (hi - lo + 1) /. span)
+
+let weight a b =
+  match overlap a b with
+  | None -> 0
+  | Some (lo, hi) ->
+      let na = accesses_within a ~lo ~hi and nb = accesses_within b ~lo ~hi in
+      int_of_float (Float.round (Float.min na nb))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "accesses=%.1f lifetime=[%d,%d]%s" s.accesses s.first
+    s.last
+    (match s.positions with None -> " (estimated)" | Some _ -> "")

@@ -1,0 +1,1 @@
+lib/sched/round_robin.ml: Array Cache List Machine Memtrace

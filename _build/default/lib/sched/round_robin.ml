@@ -1,0 +1,110 @@
+type job = {
+  name : string;
+  trace : Memtrace.Trace.t;
+}
+
+type job_stats = {
+  job : string;
+  instructions : int;
+  cycles : int;
+  memory_accesses : int;
+  misses : int;
+  slices : int;
+}
+
+let cpi s =
+  if s.instructions = 0 then 0.
+  else float_of_int s.cycles /. float_of_int s.instructions
+
+type outcome = {
+  per_job : job_stats list;
+  switches : int;
+  total_cycles : int;
+}
+
+type running = {
+  def : job;
+  mutable pos : int;
+  mutable instructions : int;
+  mutable cycles : int;
+  mutable memory_accesses : int;
+  mutable misses : int;
+  mutable slices : int;
+}
+
+let run ?(flush_tlb_on_switch = false) ?(switch_cycles = 50) ~system ~quantum
+    jobs =
+  if quantum <= 0 then invalid_arg "Round_robin.run: quantum must be positive";
+  if jobs = [] then invalid_arg "Round_robin.run: no jobs";
+  let running =
+    List.map
+      (fun def ->
+        {
+          def;
+          pos = 0;
+          instructions = 0;
+          cycles = 0;
+          memory_accesses = 0;
+          misses = 0;
+          slices = 0;
+        })
+      jobs
+  in
+  let arr = Array.of_list running in
+  let n = Array.length arr in
+  let done_ j = j.pos >= Memtrace.Trace.length j.def.trace in
+  let all_done () = Array.for_all done_ arr in
+  let switches = ref 0 in
+  let total_cycles = ref 0 in
+  let cache_stats = Cache.Sassoc.stats (Machine.System.cache system) in
+  let turn = ref 0 in
+  let last_job = ref (-1) in
+  while not (all_done ()) do
+    let idx = !turn mod n in
+    let j = arr.(idx) in
+    incr turn;
+    if not (done_ j) then begin
+      j.slices <- j.slices + 1;
+      (* A switch happens when a different job gets the processor; its cost
+         is charged to system time, not to the incoming job. *)
+      if !last_job >= 0 && !last_job <> idx then begin
+        incr switches;
+        if flush_tlb_on_switch then Machine.System.flush_tlb system;
+        total_cycles := !total_cycles + switch_cycles
+      end;
+      last_job := idx;
+      let slice_insns = ref 0 in
+      while (not (done_ j)) && !slice_insns < quantum do
+        let a = Memtrace.Trace.get j.def.trace j.pos in
+        let misses_before = cache_stats.Cache.Stats.misses in
+        let c = Machine.System.access system a in
+        j.pos <- j.pos + 1;
+        let insns = Memtrace.Access.instructions a in
+        slice_insns := !slice_insns + insns;
+        j.instructions <- j.instructions + insns;
+        j.cycles <- j.cycles + c;
+        j.memory_accesses <- j.memory_accesses + 1;
+        j.misses <-
+          j.misses + (cache_stats.Cache.Stats.misses - misses_before);
+        total_cycles := !total_cycles + c
+      done
+    end
+  done;
+  {
+    per_job =
+      List.map
+        (fun j ->
+          {
+            job = j.def.name;
+            instructions = j.instructions;
+            cycles = j.cycles;
+            memory_accesses = j.memory_accesses;
+            misses = j.misses;
+            slices = j.slices;
+          })
+        running;
+    switches = !switches;
+    total_cycles = !total_cycles;
+  }
+
+let find_job outcome name = List.find_opt (fun s -> s.job = name) outcome.per_job

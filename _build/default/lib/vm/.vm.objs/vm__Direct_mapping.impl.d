@@ -1,0 +1,1 @@
+lib/vm/direct_mapping.ml: Cache Hashtbl

@@ -1,0 +1,1 @@
+lib/vm/direct_mapping.mli: Cache

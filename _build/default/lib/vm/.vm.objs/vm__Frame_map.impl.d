@@ -1,0 +1,1 @@
+lib/vm/frame_map.ml: Hashtbl Int List Printf

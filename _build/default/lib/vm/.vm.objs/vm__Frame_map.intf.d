@@ -1,0 +1,1 @@
+lib/vm/frame_map.mli:

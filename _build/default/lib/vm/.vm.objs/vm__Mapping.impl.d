@@ -1,0 +1,1 @@
+lib/vm/mapping.ml: Format Page_table Tint_table Tlb

@@ -1,0 +1,1 @@
+lib/vm/mapping.mli: Cache Format Page_table Tint Tint_table Tlb

@@ -1,0 +1,1 @@
+lib/vm/page_table.ml: Format Hashtbl Int List Tint

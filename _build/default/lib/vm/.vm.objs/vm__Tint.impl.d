@@ -1,0 +1,1 @@
+lib/vm/tint.ml: Format Hashtbl String

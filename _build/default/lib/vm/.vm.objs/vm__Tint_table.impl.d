@@ -1,0 +1,1 @@
+lib/vm/tint_table.ml: Cache Format Hashtbl Tint

@@ -1,0 +1,1 @@
+lib/vm/tint_table.mli: Cache Format Tint

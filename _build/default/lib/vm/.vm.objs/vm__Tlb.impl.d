@@ -1,0 +1,1 @@
+lib/vm/tlb.ml: Cache Hashtbl Page_table Tint

@@ -1,0 +1,39 @@
+module Bitmask = Cache.Bitmask
+
+type t = {
+  page_size : int;
+  columns : int;
+  entries : (int, Bitmask.t) Hashtbl.t;
+  mutable pte_writes : int;
+}
+
+let create ~page_size ~columns =
+  if page_size <= 0 || page_size land (page_size - 1) <> 0 then
+    invalid_arg "Direct_mapping.create: page_size must be a power of two";
+  if columns <= 0 || columns > Bitmask.max_columns then
+    invalid_arg "Direct_mapping.create: bad column count";
+  { page_size; columns; entries = Hashtbl.create 64; pte_writes = 0 }
+
+let columns t = t.columns
+let page_of_addr t addr = addr / t.page_size
+
+let set_mask t ~page mask =
+  if Bitmask.is_empty mask then invalid_arg "Direct_mapping.set_mask: empty mask";
+  Hashtbl.replace t.entries page mask;
+  t.pte_writes <- t.pte_writes + 1
+
+let set_mask_region t ~base ~size mask =
+  if size <= 0 then invalid_arg "Direct_mapping.set_mask_region: size must be positive";
+  let first = page_of_addr t base in
+  let last = page_of_addr t (base + size - 1) in
+  for page = first to last do
+    set_mask t ~page mask
+  done;
+  last - first + 1
+
+let mask_of t addr =
+  match Hashtbl.find_opt t.entries (page_of_addr t addr) with
+  | Some mask -> mask
+  | None -> Bitmask.full ~n:t.columns
+
+let pte_writes t = t.pte_writes

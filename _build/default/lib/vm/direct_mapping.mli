@@ -1,0 +1,24 @@
+(** The strawman the paper argues against in Figure 3: page-table entries
+    that store raw column bit vectors instead of tints.
+
+    Functionally equivalent to {!Mapping.t}, but any repartitioning that
+    changes the bit vector of many pages must rewrite every affected PTE
+    (and flush its TLB entry). The Figure 3 demo performs the same logical
+    remap through both schemes and compares the counted writes. *)
+
+type t
+
+val create : page_size:int -> columns:int -> t
+val columns : t -> int
+val page_of_addr : t -> int -> int
+
+val set_mask : t -> page:int -> Cache.Bitmask.t -> unit
+(** One PTE write (plus one TLB entry flush, counted together). *)
+
+val set_mask_region : t -> base:int -> size:int -> Cache.Bitmask.t -> int
+(** Returns PTE writes performed. *)
+
+val mask_of : t -> int -> Cache.Bitmask.t
+(** Pages never set resolve to all columns. *)
+
+val pte_writes : t -> int

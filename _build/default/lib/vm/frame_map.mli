@@ -1,0 +1,38 @@
+(** Virtual page → physical frame mapping.
+
+    Needed to model {e page coloring} (paper Section 5.1), the
+    software-only alternative to column caching: the OS picks physical
+    frames so that conflicting data lands in different cache colors.
+    The cache indexes physical addresses, so the machine translates through
+    this map on every access.
+
+    The cost asymmetry the paper highlights is captured here: changing a
+    page's frame means {e copying the page's bytes} ({!remap_page} counts
+    them), whereas a column cache remap is a table write. *)
+
+type t
+
+val create : page_size:int -> t
+(** Identity mapping: frame = page. *)
+
+val page_size : t -> int
+val translate : t -> int -> int
+(** Virtual byte address to physical byte address. *)
+
+val frame_of : t -> int -> int
+(** Current frame of a virtual page. *)
+
+val map_page : t -> page:int -> frame:int -> unit
+(** Initial placement (no copy counted): used when the OS first allocates
+    the page. Raises [Invalid_argument] if the frame is already in use by
+    another page. *)
+
+val remap_page : t -> page:int -> frame:int -> unit
+(** Move an already-placed page to a new frame; counts one page copy.
+    Raises like {!map_page}. *)
+
+val bytes_copied : t -> int
+(** Total bytes moved by {!remap_page} calls so far. *)
+
+val mapped_pages : t -> (int * int) list
+(** Explicit (page, frame) pairs, ascending by page. *)

@@ -1,0 +1,65 @@
+type t = {
+  page_table : Page_table.t;
+  tint_table : Tint_table.t;
+  tlb : Tlb.t;
+}
+
+let create ?(tlb_entries = 32) ~page_size ~columns () =
+  let page_table = Page_table.create ~page_size () in
+  let tint_table = Tint_table.create ~columns in
+  let tlb = Tlb.create ~entries:tlb_entries ~page_table in
+  { page_table; tint_table; tlb }
+
+let page_table t = t.page_table
+let tint_table t = t.tint_table
+let tlb t = t.tlb
+let columns t = Tint_table.columns t.tint_table
+
+let resolve t addr =
+  let tint, outcome = Tlb.lookup t.tlb addr in
+  (Tint_table.lookup t.tint_table tint, tint, outcome)
+
+let mask_of t addr =
+  let mask, _, outcome = resolve t addr in
+  (mask, outcome)
+
+let mask_of_quiet t addr =
+  Tint_table.lookup t.tint_table (Page_table.tint_of_addr t.page_table addr)
+
+let remap_tint t tint mask = Tint_table.set t.tint_table tint mask
+
+let retint_region t ~base ~size tint =
+  let pages = Page_table.set_tint_region t.page_table ~base ~size tint in
+  let first = Page_table.page_of_addr t.page_table base in
+  for page = first to first + pages - 1 do
+    ignore (Tlb.flush_page t.tlb page)
+  done;
+  pages
+
+type cost = {
+  pte_writes : int;
+  tint_table_writes : int;
+  tlb_entry_flushes : int;
+  tlb_full_flushes : int;
+}
+
+let cost t =
+  {
+    pte_writes = Page_table.pte_writes t.page_table;
+    tint_table_writes = Tint_table.writes t.tint_table;
+    tlb_entry_flushes = Tlb.entry_flushes t.tlb;
+    tlb_full_flushes = Tlb.flushes t.tlb;
+  }
+
+let cost_delta ~before ~after =
+  {
+    pte_writes = after.pte_writes - before.pte_writes;
+    tint_table_writes = after.tint_table_writes - before.tint_table_writes;
+    tlb_entry_flushes = after.tlb_entry_flushes - before.tlb_entry_flushes;
+    tlb_full_flushes = after.tlb_full_flushes - before.tlb_full_flushes;
+  }
+
+let pp_cost ppf c =
+  Format.fprintf ppf
+    "pte_writes=%d tint_table_writes=%d tlb_entry_flushes=%d tlb_full_flushes=%d"
+    c.pte_writes c.tint_table_writes c.tlb_entry_flushes c.tlb_full_flushes

@@ -1,0 +1,53 @@
+(** The composed software mapping: page table + tint table + TLB.
+
+    This is what the machine consults on every access: the address's page is
+    looked up in the TLB (filling from the page table on a miss), the tint is
+    resolved through the tint table, and the resulting column mask is handed
+    to the cache's replacement unit.
+
+    The two reconfiguration operations have deliberately different costs,
+    mirroring Section 2.2:
+    - {!remap_tint} changes a tint's bit vector: one tint-table write, no
+      page-table or TLB work — "almost instantaneous".
+    - {!retint_region} changes which tint pages carry: one PTE write and one
+      TLB entry flush per page — expected to be rare. *)
+
+type t
+
+val create : ?tlb_entries:int -> page_size:int -> columns:int -> unit -> t
+(** [tlb_entries] defaults to 32. *)
+
+val page_table : t -> Page_table.t
+val tint_table : t -> Tint_table.t
+val tlb : t -> Tlb.t
+val columns : t -> int
+
+val mask_of : t -> int -> Cache.Bitmask.t * Tlb.outcome
+(** Resolve an address to its column mask, updating TLB statistics. *)
+
+val resolve : t -> int -> Cache.Bitmask.t * Tint.t * Tlb.outcome
+(** Like {!mask_of} but also exposes the tint, for machinery that attaches
+    behaviour to tints (e.g. stream prefetching into a tint's columns). *)
+
+val mask_of_quiet : t -> int -> Cache.Bitmask.t
+(** Resolution straight from the page table, bypassing (and not perturbing)
+    the TLB. For tests and displays. *)
+
+val remap_tint : t -> Tint.t -> Cache.Bitmask.t -> unit
+
+val retint_region : t -> base:int -> size:int -> Tint.t -> int
+(** Returns the number of pages re-tinted; each costs a PTE write and a TLB
+    entry flush. *)
+
+(** Snapshot of cumulative reconfiguration costs, used by the Figure 3
+    demonstration. *)
+type cost = {
+  pte_writes : int;
+  tint_table_writes : int;
+  tlb_entry_flushes : int;
+  tlb_full_flushes : int;
+}
+
+val cost : t -> cost
+val cost_delta : before:cost -> after:cost -> cost
+val pp_cost : Format.formatter -> cost -> unit

@@ -1,0 +1,35 @@
+(** Page table storing a tint per page (paper Section 2.2).
+
+    The minimum column-mapping granularity is a page, so the page table is
+    the persistent store of mapping information; the TLB caches its entries.
+    Every entry update is counted, which is what the Figure 3 comparison
+    (tints vs raw bit vectors in PTEs) measures. *)
+
+type t
+
+val create : ?default_tint:Tint.t -> page_size:int -> unit -> t
+(** [page_size] must be a power of two. *)
+
+val page_size : t -> int
+val page_of_addr : t -> int -> int
+val base_of_page : t -> int -> int
+
+val set_tint : t -> page:int -> Tint.t -> unit
+(** One PTE write. *)
+
+val set_tint_region : t -> base:int -> size:int -> Tint.t -> int
+(** Tint every page overlapping [base, base+size); returns the number of
+    PTE writes performed. [size] must be positive. *)
+
+val tint_of_page : t -> int -> Tint.t
+(** Pages never explicitly tinted carry the default tint. *)
+
+val tint_of_addr : t -> int -> Tint.t
+val pages_with_tint : t -> Tint.t -> int list
+(** Explicitly-tinted pages currently carrying the tint, ascending. *)
+
+val entries : t -> int
+(** Number of explicitly-tinted pages. *)
+
+val pte_writes : t -> int
+val pp : Format.formatter -> t -> unit

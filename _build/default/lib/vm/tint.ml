@@ -1,0 +1,12 @@
+type t = string
+
+let make name =
+  if name = "" then invalid_arg "Tint.make: empty name";
+  name
+
+let default = "red"
+let name t = t
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp ppf t = Format.pp_print_string ppf t

@@ -1,0 +1,21 @@
+(** Tints: virtual groupings of address-space regions (paper Section 2.2).
+
+    Pages are mapped to tints, and tints — not raw column bit vectors — are
+    what page-table entries store. A separate, tiny {!Tint_table.t} maps each
+    tint to its current column bit vector, so repartitioning the cache is a
+    single table write instead of a sweep over page-table entries. *)
+
+type t
+
+val make : string -> t
+(** Tints are compared by name; [make "red"] twice yields equal tints. *)
+
+val default : t
+(** The tint every page starts with (the paper's "red"): by default it maps
+    to all columns, i.e. a standard cache. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

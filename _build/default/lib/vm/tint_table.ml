@@ -1,0 +1,46 @@
+module Bitmask = Cache.Bitmask
+
+type t = {
+  columns : int;
+  table : (Tint.t, Bitmask.t) Hashtbl.t;
+  mutable writes : int;
+}
+
+let create ~columns =
+  if columns <= 0 || columns > Bitmask.max_columns then
+    invalid_arg "Tint_table.create: bad column count";
+  { columns; table = Hashtbl.create 16; writes = 0 }
+
+let columns t = t.columns
+
+let set t tint mask =
+  if Bitmask.is_empty mask then invalid_arg "Tint_table.set: empty mask";
+  if not (Bitmask.subset mask (Bitmask.full ~n:t.columns)) then
+    invalid_arg "Tint_table.set: mask names a column beyond the cache";
+  Hashtbl.replace t.table tint mask;
+  t.writes <- t.writes + 1
+
+let lookup t tint =
+  match Hashtbl.find_opt t.table tint with
+  | Some mask -> mask
+  | None -> Bitmask.full ~n:t.columns
+
+let mem t tint = Hashtbl.mem t.table tint
+
+let remove t tint =
+  if Hashtbl.mem t.table tint then begin
+    Hashtbl.remove t.table tint;
+    t.writes <- t.writes + 1
+  end
+
+let writes t = t.writes
+let tints t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Hashtbl.iter
+    (fun tint mask ->
+      Format.fprintf ppf "%a -> %s@," Tint.pp tint
+        (Bitmask.to_string ~n:t.columns mask))
+    t.table;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+(** The tint → column-bit-vector table.
+
+    This is the small, fast structure the paper introduces so that common
+    repartitionings are "almost instantaneous": remapping a tint touches one
+    entry here instead of every page-table entry carrying that tint. Writes
+    are counted so experiments can report remap costs. *)
+
+type t
+
+val create : columns:int -> t
+(** Unmapped tints (including {!Tint.default}) resolve to all [columns]. *)
+
+val columns : t -> int
+
+val set : t -> Tint.t -> Cache.Bitmask.t -> unit
+(** Raises [Invalid_argument] on an empty mask or one naming a column beyond
+    [columns-1]: hardware must always have a permissible victim. *)
+
+val lookup : t -> Tint.t -> Cache.Bitmask.t
+val mem : t -> Tint.t -> bool
+val remove : t -> Tint.t -> unit
+val writes : t -> int
+(** Number of [set]/[remove] operations performed so far. *)
+
+val tints : t -> Tint.t list
+(** Explicitly-mapped tints, unspecified order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type outcome =
+  | Hit
+  | Miss
+
+type t = {
+  page_table : Page_table.t;
+  lru : Cache.Lru_set.t;
+  cached : (int, Tint.t) Hashtbl.t;  (* resident page -> tint snapshot *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+  mutable entry_flushes : int;
+}
+
+let create ~entries ~page_table =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  {
+    page_table;
+    lru = Cache.Lru_set.create ~capacity:entries;
+    cached = Hashtbl.create (2 * entries);
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+    entry_flushes = 0;
+  }
+
+let lookup_page t page =
+  match Hashtbl.find_opt t.cached page with
+  | Some tint ->
+      t.hits <- t.hits + 1;
+      ignore (Cache.Lru_set.touch t.lru page);
+      (tint, Hit)
+  | None ->
+      t.misses <- t.misses + 1;
+      let tint = Page_table.tint_of_page t.page_table page in
+      (match Cache.Lru_set.touch t.lru page with
+      | `Hit -> assert false
+      | `Miss (Some evicted) -> Hashtbl.remove t.cached evicted
+      | `Miss None -> ());
+      Hashtbl.replace t.cached page tint;
+      (tint, Miss)
+
+let lookup t addr = lookup_page t (Page_table.page_of_addr t.page_table addr)
+
+let flush t =
+  Cache.Lru_set.clear t.lru;
+  Hashtbl.reset t.cached;
+  t.flushes <- t.flushes + 1
+
+let flush_page t page =
+  let present = Cache.Lru_set.remove t.lru page in
+  if present then begin
+    Hashtbl.remove t.cached page;
+    t.entry_flushes <- t.entry_flushes + 1
+  end;
+  present
+
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+let entry_flushes t = t.entry_flushes
+let resident_pages t = Cache.Lru_set.to_list t.lru
+let capacity t = Cache.Lru_set.capacity t.lru

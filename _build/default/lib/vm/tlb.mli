@@ -1,0 +1,40 @@
+(** Translation look-aside buffer caching page-table tint entries.
+
+    Faithful to the paper's cost model: after a page is re-tinted in the
+    page table, the TLB keeps serving the {e stale} tint until that entry is
+    flushed or naturally evicted — re-tinting therefore requires explicit
+    flushes (Section 2.2), and those flushes are what the Figure 3 demo
+    counts. Remapping a tint's bit vector, by contrast, needs no TLB work at
+    all because TLB entries store tints, not bit vectors. *)
+
+type t
+
+val create : entries:int -> page_table:Page_table.t -> t
+
+type outcome =
+  | Hit
+  | Miss
+
+val lookup_page : t -> int -> Tint.t * outcome
+(** Look a page up, walking the page table and installing the entry on a
+    miss (possibly evicting the LRU entry). *)
+
+val lookup : t -> int -> Tint.t * outcome
+(** [lookup t addr] = [lookup_page t (page_of_addr addr)]. *)
+
+val flush : t -> unit
+val flush_page : t -> int -> bool
+(** Returns whether the page was resident. *)
+
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+(** Full flushes performed. *)
+
+val entry_flushes : t -> int
+(** Successful single-page flushes. *)
+
+val resident_pages : t -> int list
+(** Most- to least-recently-used. *)
+
+val capacity : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/jpeg.ml: Array Float Hashtbl Ir List Printf Stdlib

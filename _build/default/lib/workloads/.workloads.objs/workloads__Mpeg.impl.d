@@ -1,0 +1,1 @@
+lib/workloads/mpeg.ml: Float Hashtbl Ir List Printf Stdlib

@@ -1,0 +1,150 @@
+(* Geometry: one 16x16-pixel tile, three planes, 8x8 blocks. *)
+let pixels = 256 (* 16 x 16 *)
+let planes = 3
+let samples = pixels * planes (* 768 *)
+let blocks = samples / 64 (* 12 *)
+let two_pixels = 2 * pixels
+
+open Ir.Build
+
+let vars =
+  [
+    array "rgb" ~elems:samples ~elem_size:1 ();
+    array "ycc" ~elems:samples ~elem_size:2 ();
+    array "fcos" ~elems:64 ~elem_size:4 ();
+    array "qtab" ~elems:64 ~elem_size:2 ();
+    array "zigzag" ~elems:64 ~elem_size:2 ();
+    array "coeff_out" ~elems:samples ~elem_size:2 ();
+  ]
+
+(* RGB -> YCbCr with the usual integer approximation; input is interleaved
+   RGB, output planar (Y plane, then Cb, then Cr). *)
+let color_convert_proc =
+  proc "color_convert"
+    [
+      for_ "p" (i 0) (i pixels)
+        [
+          setr "red" (ld "rgb" (r "p" * i 3));
+          setr "green" (ld "rgb" ((r "p" * i 3) + i 1));
+          setr "blue" (ld "rgb" ((r "p" * i 3) + i 2));
+          st "ycc" (r "p")
+            (shr ((i 77 * r "red") + (i 150 * r "green") + (i 29 * r "blue")) (i 8));
+          st "ycc"
+            (i pixels + r "p")
+            (shr ((neg (i 43) * r "red") - (i 85 * r "green") + (i 128 * r "blue")) (i 8)
+            + i 128);
+          st "ycc"
+            (i two_pixels + r "p")
+            (shr ((i 128 * r "red") - (i 107 * r "green") - (i 21 * r "blue")) (i 8)
+            + i 128);
+        ];
+    ]
+
+(* Separable in-place forward DCT over every block: row pass then column
+   pass, eight inputs in registers per 1-D transform (same organization as
+   the MPEG idct, so the cross-pass reuse distance is the whole 1.5 KB ycc
+   array). *)
+let reg_name k = Printf.sprintf "s%d" k
+
+let transform_1d ~j =
+  let rec sum k acc =
+    if Stdlib.( >= ) k 8 then acc
+    else
+      sum
+        (Stdlib.( + ) k 1)
+        (acc + (r (reg_name k) * ld "fcos" (i Stdlib.((j * 8) + k))))
+  in
+  shr (sum 1 (r (reg_name 0) * ld "fcos" (i Stdlib.(j * 8)))) (i 8)
+
+let load_8 ~index_of =
+  List.init 8 (fun k -> setr (reg_name k) (ld "ycc" (index_of k)))
+
+let store_8 ~index_of =
+  List.init 8 (fun j -> st "ycc" (index_of j) (transform_1d ~j))
+
+let fdct_proc =
+  let row_index base k = base + (r "row" * i 8) + i k in
+  let col_index base k = base + (i k * i 8) + r "col" in
+  proc "fdct"
+    [
+      for_ "b" (i 0) (i blocks)
+        [
+          for_ "row" (i 0) (i 8)
+            (load_8 ~index_of:(row_index (r "b" * i 64))
+            @ store_8 ~index_of:(row_index (r "b" * i 64)));
+        ];
+      for_ "b" (i 0) (i blocks)
+        [
+          for_ "col" (i 0) (i 8)
+            (load_8 ~index_of:(col_index (r "b" * i 64))
+            @ store_8 ~index_of:(col_index (r "b" * i 64)));
+        ];
+    ]
+
+(* Quantize and reorder through the zigzag index table; most high-frequency
+   coefficients quantize to zero (the sparsity the entropy coder relies
+   on). *)
+let quant_zigzag_proc =
+  proc "quant_zigzag"
+    [
+      for_ "b" (i 0) (i blocks)
+        [
+          for_ "k" (i 0) (i 64)
+            [
+              setr "zz" (ld "zigzag" (r "k"));
+              setr "q" (ld "ycc" ((r "b" * i 64) + r "zz") / ld "qtab" (r "zz"));
+              if_else
+                (ne ~prob:0.4 (r "q") (i 0))
+                [ st "coeff_out" ((r "b" * i 64) + r "k") (r "q") ]
+                [ st "coeff_out" ((r "b" * i 64) + r "k") (i 0) ];
+            ];
+        ];
+    ]
+
+let main_proc =
+  proc "jpeg" [ call "color_convert"; call "fdct"; call "quant_zigzag" ]
+
+let program =
+  program ~vars [ color_convert_proc; fdct_proc; quant_zigzag_proc; main_proc ]
+
+let routines = [ "color_convert"; "fdct"; "quant_zigzag" ]
+let main = "jpeg"
+
+let init name idx =
+  let open Stdlib in
+  let h = Hashtbl.hash (name, idx) land 0x3FFFFFFF in
+  match name with
+  | "rgb" ->
+      (* a smooth gradient with mild texture: realistic images are mostly
+         low-frequency, which is what makes quantization sparse *)
+      let p = idx / 3 in
+      let x = p mod 16 and y = p / 16 mod 16 in
+      (((x * 9) + (y * 5)) mod 200) + (h mod 8)
+  | "fcos" ->
+      let u = idx / 8 and k = idx mod 8 in
+      let angle = Float.pi *. float_of_int ((2 * k) + 1) *. float_of_int u /. 16. in
+      int_of_float (Float.round (cos angle *. 256.))
+  | "qtab" -> 8 + ((idx / 8) + (idx mod 8) * 4) (* coarser for high freq *)
+  | "zigzag" ->
+      (* the standard zigzag scan order *)
+      let order =
+        [|
+          0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5;
+          12; 19; 26; 33; 40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28;
+          35; 42; 49; 56; 57; 50; 43; 36; 29; 22; 15; 23; 30; 37; 44; 51;
+          58; 59; 52; 45; 38; 31; 39; 46; 53; 60; 61; 54; 47; 55; 62; 63;
+        |]
+      in
+      order.(idx)
+  | _ -> 0
+
+let vars_for ~proc =
+  List.map
+    (fun name ->
+      match Ir.Ast.find_var program name with
+      | Some v -> (name, Ir.Ast.var_size_bytes v)
+      | None -> assert false)
+    (Ir.Ast.vars_referenced program ~proc)
+
+let total_bytes ~proc =
+  List.fold_left (fun acc (_, size) -> Stdlib.( + ) acc size) 0 (vars_for ~proc)

@@ -1,0 +1,29 @@
+(** A JPEG encoder front end, the second full application family.
+
+    The paper evaluates on MPEG decode; this workload checks that the layout
+    machinery generalizes to a different embedded pipeline with different
+    phase structure:
+
+    - ["color_convert"] streams an RGB tile into planar YCbCr (pure
+      streaming, no tables);
+    - ["fdct"] runs a separable in-place forward DCT over all blocks (hot
+      cosine table, cross-pass reuse of the whole sample array);
+    - ["quant_zigzag"] quantizes and reorders coefficients through two small
+      lookup tables with a sparsity branch;
+    - ["jpeg"] runs the three in order.
+
+    Data totals ~4.3 KB — more than twice the 2 KB on-chip memory — so, like
+    idct in the paper, no all-scratchpad configuration can hold it. *)
+
+val program : Ir.Ast.program
+val routines : string list
+(** [["color_convert"; "fdct"; "quant_zigzag"]]. *)
+
+val main : string
+(** ["jpeg"]. *)
+
+val init : string -> int -> int
+(** Deterministic image data, cosine/quantization/zigzag tables. *)
+
+val vars_for : proc:string -> (string * int) list
+val total_bytes : proc:string -> int

@@ -1,0 +1,122 @@
+(* [Ir.Build] shadows the integer operators, so size arithmetic is done
+   through these aliases. *)
+let imul a b = a * b
+let iadd a b = a + b
+
+open Ir.Build
+
+let matmul ~n =
+  program
+    ~vars:
+      [
+        array "a" ~elems:(imul n n) ~elem_size:4 ();
+        array "b" ~elems:(imul n n) ~elem_size:4 ();
+        array "c" ~elems:(imul n n) ~elem_size:4 ();
+      ]
+    [
+      proc "matmul"
+        [
+          for_ "row" (i 0) (i n)
+            [
+              for_ "col" (i 0) (i n)
+                [
+                  setr "acc" (i 0);
+                  for_ "k" (i 0) (i n)
+                    [
+                      setr "acc"
+                        (r "acc"
+                        + ld "a" ((r "row" * i n) + r "k")
+                          * ld "b" ((r "k" * i n) + r "col"));
+                    ];
+                  st "c" ((r "row" * i n) + r "col") (r "acc");
+                ];
+            ];
+        ];
+    ]
+
+let fir ~taps ~samples =
+  program
+    ~vars:
+      [
+        array "coeffs" ~elems:taps ~elem_size:4 ();
+        array "input" ~elems:(iadd samples taps) ~elem_size:2 ();
+        array "output" ~elems:samples ~elem_size:2 ();
+      ]
+    [
+      proc "fir"
+        [
+          for_ "t" (i 0) (i samples)
+            [
+              setr "acc" (i 0);
+              for_ "k" (i 0) (i taps)
+                [
+                  setr "acc"
+                    (r "acc" + (ld "coeffs" (r "k") * ld "input" (r "t" + r "k")));
+                ];
+              st "output" (r "t") (shr (r "acc") (i 8));
+            ];
+        ];
+    ]
+
+let histogram ~bins ~samples =
+  program
+    ~vars:
+      [
+        array "data" ~elems:samples ~elem_size:2 ();
+        array "bin" ~elems:bins ~elem_size:4 ();
+      ]
+    [
+      proc "histogram"
+        [
+          for_ "t" (i 0) (i samples)
+            [
+              setr "idx" (ld "data" (r "t") % i bins);
+              if_ (lt ~prob:0.5 (r "idx") (i 0)) [ setr "idx" (r "idx" + i bins) ];
+              st "bin" (r "idx") (ld "bin" (r "idx") + i 1);
+            ];
+        ];
+    ]
+
+(* A hot array re-walked many times, plus two small side arrays that stay
+   live throughout. The hot working set is sized by the caller: when it
+   exceeds one cache column, the paper's single-column restriction thrashes
+   it while a grouped (multi-column) partition holds it — the Section 2.1
+   argument for aggregating columns. *)
+let hot_walk ~hot_elems ~passes =
+  program
+    ~vars:
+      [
+        array "hot" ~elems:hot_elems ~elem_size:4 ();
+        array "aux1" ~elems:16 ~elem_size:4 ();
+        array "aux2" ~elems:16 ~elem_size:4 ();
+      ]
+    [
+      proc "hot_walk"
+        [
+          for_ "pass" (i 0) (i passes)
+            [
+              setr "acc" (i 0);
+              for_ "t" (i 0) (i hot_elems)
+                [ setr "acc" (r "acc" + ld "hot" (r "t")) ];
+              st "aux1" (r "pass" % i 16) (r "acc");
+              st "aux2" (r "pass" % i 16) (r "acc" - i 1);
+            ];
+        ];
+    ]
+
+let init name idx =
+  let open Stdlib in
+  let h = Hashtbl.hash (name, idx) land 0x3FFFFFFF in
+  match name with
+  | "coeffs" -> (h mod 512) - 256
+  | "a" | "b" -> (h mod 200) - 100
+  | "input" | "data" -> h mod 4096
+  | _ -> 0
+
+let vars_for program ~proc =
+  List.map
+    (fun name ->
+      match Ir.Ast.find_var program name with
+      | Some v -> (name, Ir.Ast.var_size_bytes v)
+      | None -> assert false)
+    (Ir.Ast.vars_referenced program ~proc)

@@ -1,0 +1,26 @@
+(** Additional embedded kernels used by the examples and ablations.
+
+    Like the MPEG routines these are IF programs, so the whole
+    profile → layout → simulate pipeline applies to them unchanged. *)
+
+val matmul : n:int -> Ir.Ast.program
+(** Dense [n x n] 32-bit matrix multiply C = A * B, procedure ["matmul"]. *)
+
+val fir : taps:int -> samples:int -> Ir.Ast.program
+(** FIR filter over a sample buffer, procedure ["fir"]: hot coefficient
+    array, streaming input, streaming output — a classic case where the
+    coefficients deserve a scratchpad column. *)
+
+val histogram : bins:int -> samples:int -> Ir.Ast.program
+(** Data-dependent scatter into a bin array, procedure ["histogram"]. *)
+
+val hot_walk : hot_elems:int -> passes:int -> Ir.Ast.program
+(** A hot array of [hot_elems] 4-byte elements re-walked [passes] times with
+    two small always-live side arrays, procedure ["hot_walk"]. Sized above
+    one column, the hot array demonstrates why grouped multi-column
+    partitions (paper Section 2.1) beat the single-column restriction. *)
+
+val init : string -> int -> int
+(** Deterministic initial data suitable for all three programs. *)
+
+val vars_for : Ir.Ast.program -> proc:string -> (string * int) list

@@ -1,0 +1,188 @@
+module Trace = Memtrace.Trace
+module Access = Memtrace.Access
+
+type token =
+  | Literal of char
+  | Match of { distance : int; length : int }
+
+type result = {
+  trace : Trace.t;
+  tokens : token list;
+  input : string;
+}
+
+let window_size = 8192
+let hash_entries = 1024
+let min_match = 3
+let max_match = 32
+let max_chain = 16
+let max_compare = 16
+
+(* Job-relative offsets of the data structures; page-aligned and disjoint. *)
+let inbuf_off = 0x0000 (* up to 16 KiB of input *)
+let window_off = 0x4000 (* window_size bytes *)
+let head_off = 0x6000 (* hash_entries x 2 bytes *)
+let prev_off = 0x6800 (* window_size x 2 bytes *)
+let outbuf_off = 0xA800
+
+let footprint_bytes =
+  window_size (* window *) + (hash_entries * 2) + (window_size * 2)
+  + 0x4000 (* inbuf *) + 0x2000 (* outbuf, nominal *)
+
+let synthetic_input ~seed ~len =
+  let vocabulary =
+    [|
+      "the"; "quick"; "embedded"; "cache"; "column"; "memory"; "stream";
+      "buffer"; "packet"; "filter"; "signal"; "frame"; "block"; "processor";
+    |]
+  in
+  let state = ref (Int64.of_int (if seed = 0 then 1 else seed)) in
+  let next () =
+    let x = !state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    state := x;
+    Int64.to_int (Int64.logand x 0x3FFFFFFFL)
+  in
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    let word = vocabulary.(next () mod Array.length vocabulary) in
+    Buffer.add_string buf word;
+    (* occasional repetition of a recent phrase boosts match rates *)
+    if next () mod 4 = 0 then Buffer.add_string buf word;
+    Buffer.add_char buf ' '
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+let hash3 s pos =
+  let b i = Char.code s.[pos + i] in
+  (b 0 lsl 6) lxor (b 1 lsl 3) lxor b 2 land (hash_entries - 1)
+
+let compress ?(base = 0) ~input () =
+  let len = String.length input in
+  if len > 0x4000 then invalid_arg "Lz77.compress: input exceeds 16 KiB buffer";
+  let b = Trace.Builder.create ~initial_capacity:(64 * 1024) () in
+  let emit ?(kind = Access.Read) ?(gap = 2) ~var off =
+    Trace.Builder.emit b ~kind ~var ~gap (base + off)
+  in
+  let read_in pos = emit ~var:"inbuf" (inbuf_off + pos) in
+  let read_window p = emit ~var:"window" (window_off + (p mod window_size)) in
+  let write_window p =
+    emit ~kind:Access.Write ~var:"window" (window_off + (p mod window_size))
+  in
+  let read_head h = emit ~var:"hash_head" (head_off + (h * 2)) in
+  let write_head h = emit ~kind:Access.Write ~var:"hash_head" (head_off + (h * 2)) in
+  let read_prev p = emit ~var:"hash_prev" (prev_off + (p mod window_size * 2)) in
+  let write_prev p =
+    emit ~kind:Access.Write ~var:"hash_prev" (prev_off + (p mod window_size * 2))
+  in
+  let write_out pos = emit ~kind:Access.Write ~var:"outbuf" (outbuf_off + pos) in
+  (* head.(h) = most recent position + 1 with that hash; prev chains
+     positions within the window. *)
+  let head = Array.make hash_entries 0 in
+  let prev = Array.make window_size 0 in
+  let tokens = ref [] in
+  let outpos = ref 0 in
+  let insert pos =
+    if pos + min_match <= len then begin
+      let h = hash3 input pos in
+      read_in pos;
+      read_head h;
+      prev.(pos mod window_size) <- head.(h);
+      write_prev pos;
+      head.(h) <- pos + 1;
+      write_head h;
+      write_window pos
+    end
+    else write_window pos
+  in
+  let match_length cand pos =
+    let limit = min max_compare (min max_match (len - pos)) in
+    let rec loop i =
+      if i >= limit || pos + i >= len then i
+      else begin
+        read_window (cand + i);
+        read_in (pos + i);
+        if input.[cand + i] = input.[pos + i] then loop (i + 1) else i
+      end
+    in
+    (* the encoder never compares past [pos] into unwritten window bytes *)
+    let avail = min limit (pos - cand) in
+    let rec capped i =
+      if i >= avail then i
+      else begin
+        read_window (cand + i);
+        read_in (pos + i);
+        if input.[cand + i] = input.[pos + i] then capped (i + 1) else i
+      end
+    in
+    if avail < limit then capped 0 else loop 0
+  in
+  let find_match pos =
+    if pos + min_match > len then None
+    else begin
+      let h = hash3 input pos in
+      read_in pos;
+      read_head h;
+      let rec walk cand chain best =
+        if cand = 0 || chain >= max_chain then best
+        else
+          let cpos = cand - 1 in
+          if cpos >= pos || pos - cpos > window_size then best
+          else begin
+            let l = match_length cpos pos in
+            let best =
+              match best with
+              | Some (_, bl) when bl >= l -> best
+              | _ when l >= min_match -> Some (cpos, l)
+              | _ -> best
+            in
+            read_prev cpos;
+            walk prev.(cpos mod window_size) (chain + 1) best
+          end
+      in
+      walk head.(h) 0 None
+    end
+  in
+  let rec step pos =
+    if pos < len then begin
+      match find_match pos with
+      | Some (cand, l) ->
+          tokens := Match { distance = pos - cand; length = l } :: !tokens;
+          write_out !outpos;
+          outpos := !outpos + 3;
+          for p = pos to pos + l - 1 do
+            insert p
+          done;
+          step (pos + l)
+      | None ->
+          read_in pos;
+          tokens := Literal input.[pos] :: !tokens;
+          write_out !outpos;
+          incr outpos;
+          insert pos;
+          step (pos + 1)
+    end
+  in
+  step 0;
+  { trace = Trace.Builder.build b; tokens = List.rev !tokens; input }
+
+let trace ?(seed = 1) ?(input_len = 16384) ~base () =
+  let input_len = min input_len 0x4000 in
+  (compress ~base ~input:(synthetic_input ~seed ~len:input_len) ()).trace
+
+let decompress tokens =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun token ->
+      match token with
+      | Literal c -> Buffer.add_char buf c
+      | Match { distance; length } ->
+          let start = Buffer.length buf - distance in
+          if start < 0 then invalid_arg "Lz77.decompress: bad distance";
+          for i = 0 to length - 1 do
+            Buffer.add_char buf (Buffer.nth buf (start + i))
+          done)
+    tokens;
+  Buffer.contents buf

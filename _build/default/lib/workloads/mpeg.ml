@@ -1,0 +1,143 @@
+(* Geometry: four 64-coefficient blocks flow through dequant and plus; idct
+   operates on a 16-block batch so its working set exceeds the paper's 2 KB
+   on-chip memory. *)
+let blocks_small = 4
+let blocks_idct = 16
+let coeffs = 64 * blocks_small (* 256 *)
+let idct_elems = 64 * blocks_idct (* 1024 *)
+
+open Ir.Build
+
+let vars =
+  [
+    array "coeff" ~elems:coeffs ~elem_size:2 ();
+    array "dq" ~elems:coeffs ~elem_size:2 ();
+    array "quant_tbl" ~elems:64 ~elem_size:2 ();
+    scalar "qscale" ();
+    array "pred" ~elems:coeffs ~elem_size:2 ();
+    array "recon" ~elems:coeffs ~elem_size:2 ();
+    array "blocks" ~elems:idct_elems ~elem_size:2 ();
+    array "cos_tbl" ~elems:64 ~elem_size:4 ();
+  ]
+
+(* Inverse quantization with the usual skip-zero-coefficient branch and
+   saturation to the 12-bit signed range. *)
+let dequant_proc =
+  proc "dequant"
+    [
+      for_ "b" (i 0) (i blocks_small)
+        [
+          for_ "k" (i 0) (i 64)
+            [
+              setr "idx" ((r "b" * i 64) + r "k");
+              setr "c" (ld "coeff" (r "idx"));
+              if_else
+                (ne ~prob:0.65 (r "c") (i 0))
+                [
+                  setr "v"
+                    (shr (r "c" * ld "quant_tbl" (r "k") * s "qscale") (i 4));
+                  st "dq" (r "idx") (max' (min' (r "v") (i 2047)) (i (-2048)));
+                ]
+                [ st "dq" (r "idx") (i 0) ];
+            ];
+        ];
+    ]
+
+(* Motion-compensation addition: reconstructed = clamp(pred + residual). *)
+let plus_proc =
+  proc "plus"
+    [
+      for_ "k" (i 0) (i coeffs)
+        [
+          setr "v" (ld "pred" (r "k") + ld "dq" (r "k"));
+          st "recon" (r "k") (max' (min' (r "v") (i 255)) (i 0));
+        ];
+    ]
+
+(* Separable in-place 8x8 inverse DCT over the whole batch: a row pass over
+   every block, then a column pass re-reading what the row pass wrote. The
+   eight inputs of each 1-D transform are loaded into registers, so no tmp
+   buffer is needed and the cross-pass reuse distance is the entire blocks
+   array — this is what makes idct's performance depend on how much of the
+   on-chip memory is cache. *)
+let reg_name k = Printf.sprintf "x%d" k
+
+(* out_j = sum_k x_k * cos_tbl[j*8+k], fixed-point. *)
+let transform_1d ~j =
+  let rec sum k acc =
+    if Stdlib.( >= ) k 8 then acc
+    else
+      sum
+        (Stdlib.( + ) k 1)
+        (acc + (r (reg_name k) * ld "cos_tbl" (i Stdlib.((j * 8) + k))))
+  in
+  shr (sum 1 (r (reg_name 0) * ld "cos_tbl" (i Stdlib.(j * 8)))) (i 8)
+
+let load_row ~index_of =
+  List.init 8 (fun k -> setr (reg_name k) (ld "blocks" (index_of k)))
+
+let store_row ~index_of ~clamp =
+  List.init 8 (fun j ->
+      let value = transform_1d ~j in
+      let value =
+        if clamp then max' (min' value (i 255)) (i (-256)) else value
+      in
+      st "blocks" (index_of j) value)
+
+let idct_proc =
+  let row_index base k = base + (r "row" * i 8) + i k in
+  let col_index base k = base + (i k * i 8) + r "col" in
+  proc "idct"
+    [
+      for_ "b" (i 0) (i blocks_idct)
+        [
+          for_ "row" (i 0) (i 8)
+            (load_row ~index_of:(row_index (r "b" * i 64))
+            @ store_row ~index_of:(row_index (r "b" * i 64)) ~clamp:false);
+        ];
+      for_ "b" (i 0) (i blocks_idct)
+        [
+          for_ "col" (i 0) (i 8)
+            (load_row ~index_of:(col_index (r "b" * i 64))
+            @ store_row ~index_of:(col_index (r "b" * i 64)) ~clamp:true);
+        ];
+    ]
+
+let main_proc = proc "mpeg" [ call "dequant"; call "plus"; call "idct" ]
+
+let program =
+  program ~vars [ dequant_proc; plus_proc; idct_proc; main_proc ]
+
+let routines = [ "dequant"; "plus"; "idct" ]
+let main = "mpeg"
+
+(* Deterministic pseudo-random but realistic initial data. *)
+let mix name idx =
+  let h = Hashtbl.hash (name, idx) in
+  h land 0x3FFFFFFF
+
+let init name idx =
+  let open Stdlib in
+  match name with
+  | "quant_tbl" -> 8 + (idx mod 24)
+  | "cos_tbl" ->
+      (* round(cos((2k+1) u pi / 16) * 256) pattern, u = idx/8, k = idx mod 8 *)
+      let u = idx / 8 and k = idx mod 8 in
+      let angle = Float.pi *. float_of_int ((2 * k) + 1) *. float_of_int u /. 16. in
+      int_of_float (Float.round (cos angle *. 256.))
+  | "qscale" -> 12
+  | "coeff" -> if mix name idx mod 100 < 35 then 0 else (mix name idx mod 400) - 200
+  | "pred" -> mix name idx mod 256
+  | "blocks" -> (mix name idx mod 2048) - 1024
+  | _ -> 0
+
+let vars_for ~proc =
+  List.map
+    (fun name ->
+      match Ir.Ast.find_var program name with
+      | Some v -> (name, Ir.Ast.var_size_bytes v)
+      | None -> assert false)
+    (Ir.Ast.vars_referenced program ~proc)
+
+let total_bytes ~proc =
+  List.fold_left (fun acc (_, size) -> Stdlib.( + ) acc size) 0 (vars_for ~proc)

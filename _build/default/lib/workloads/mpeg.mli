@@ -1,0 +1,35 @@
+(** The paper's embedded benchmark: three MPEG decoder routines (after
+    Panda et al., which the paper follows in Section 4.1).
+
+    Data sizes are chosen to reproduce the paper's structural facts for a
+    2 KB, 4-column on-chip memory:
+    - [dequant] and [plus] working sets fit comfortably (1.2 KB and 1.5 KB),
+      so a full-scratchpad configuration is optimal for them;
+    - [idct] operates on a 16-block batch (2.5 KB > 2 KB), so it cannot live
+      in the scratchpad and is better served by cache columns.
+
+    All three are written in the {!module:Ir} intermediate form, so they can
+    be profiled (interpreter) or statically analyzed, and the layout pass
+    places their variables. *)
+
+val program : Ir.Ast.program
+(** Declares all variables and the procedures ["dequant"], ["plus"],
+    ["idct"], plus ["mpeg"] which runs the three in sequence (one decoded
+    macroblock batch). *)
+
+val routines : string list
+(** [["dequant"; "plus"; "idct"]]. *)
+
+val main : string
+(** ["mpeg"]. *)
+
+val init : string -> int -> int
+(** Deterministic initial data: quantization table and cosine table with
+    realistic magnitudes, coefficient blocks ~35% zero (so dequant's
+    skip-zero branch actually branches both ways). *)
+
+val vars_for : proc:string -> (string * int) list
+(** (variable, size in bytes) pairs referenced by a routine, in first-use
+    order — the input the layout pass needs. *)
+
+val total_bytes : proc:string -> int

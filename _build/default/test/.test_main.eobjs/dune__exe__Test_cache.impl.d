@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache List Memtrace Printf QCheck QCheck_alcotest

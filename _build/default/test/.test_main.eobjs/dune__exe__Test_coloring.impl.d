@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Coloring Format List Printf QCheck QCheck_alcotest

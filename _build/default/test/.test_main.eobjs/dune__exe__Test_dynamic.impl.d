@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Cache Colcache Layout List Machine Memtrace Profile Workloads

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Cache Layout List Machine Memtrace Printf Profile QCheck QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cache List Machine Memtrace Printf Vm

@@ -1,0 +1,1 @@
+test/test_memtrace.ml: Alcotest Filename List Memtrace QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Ir List Memtrace Printf Workloads

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Filename Format Ir List Sys Workloads

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cache Colcache Filename Layout Lazy List Machine Memtrace Printf Sys Workloads

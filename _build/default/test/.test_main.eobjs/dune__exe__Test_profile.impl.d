@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Float Format List Memtrace Profile QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Cache List Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Ir List Memtrace Printf QCheck QCheck_alcotest String Workloads

@@ -1,0 +1,246 @@
+(* Tests for the coloring library: the graph structure, the exact DSATUR
+   branch-and-bound, and the paper's merge heuristic. *)
+
+module Graph = Coloring.Graph
+module Solver = Coloring.Solver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build edges n =
+  let g = Graph.create () in
+  for v = 0 to n - 1 do
+    ignore (Graph.add_vertex g ~label:(Printf.sprintf "v%d" v))
+  done;
+  List.iter (fun (u, v, w) -> Graph.set_weight g u v w) edges;
+  g
+
+(* --- graph --- *)
+
+let test_graph_basics () =
+  let g = build [ (0, 1, 5); (1, 2, 3) ] 3 in
+  check_int "weight" 5 (Graph.weight g 0 1);
+  check_int "symmetric" 5 (Graph.weight g 1 0);
+  check_int "absent" 0 (Graph.weight g 0 2);
+  check_int "degree" 2 (Graph.degree g 1);
+  check_int "total" 8 (Graph.total_weight g);
+  check_bool "edges" true (Graph.edges g = [ (0, 1, 5); (1, 2, 3) ])
+
+let test_graph_validation () =
+  let g = build [] 2 in
+  check_bool "self edge" true
+    (try Graph.set_weight g 0 0 1; false with Invalid_argument _ -> true);
+  check_bool "negative weight" true
+    (try Graph.set_weight g 0 1 (-1); false with Invalid_argument _ -> true);
+  check_bool "unknown vertex" true
+    (try ignore (Graph.weight g 0 9); false with Invalid_argument _ -> true)
+
+let test_graph_zero_removes () =
+  let g = build [ (0, 1, 5) ] 2 in
+  Graph.set_weight g 0 1 0;
+  check_bool "edge removed" true (Graph.edges g = []);
+  check_bool "no min edge" true (Graph.min_weight_edge g = None)
+
+let test_graph_min_weight_edge () =
+  let g = build [ (0, 1, 5); (1, 2, 2); (0, 2, 9) ] 3 in
+  check_bool "min" true (Graph.min_weight_edge g = Some (1, 2, 2))
+
+let test_graph_coloring_cost () =
+  let g = build [ (0, 1, 5); (1, 2, 3); (0, 2, 7) ] 3 in
+  check_int "all same color" 15 (Graph.coloring_cost g [| 0; 0; 0 |]);
+  check_int "proper" 0 (Graph.coloring_cost g [| 0; 1; 2 |]);
+  check_bool "proper detected" true (Graph.is_coloring_proper g [| 0; 1; 2 |]);
+  check_bool "improper detected" false (Graph.is_coloring_proper g [| 0; 0; 1 |]);
+  check_int "partial" 3 (Graph.coloring_cost g [| 0; 1; 1 |])
+
+let test_graph_labels () =
+  let g = Graph.create () in
+  let a = Graph.add_vertex g ~label:"alpha" in
+  check_int "first id 0" 0 a;
+  check_bool "label" true (Graph.label g a = "alpha");
+  check_bool "find" true (Graph.find_label g "alpha" = Some 0);
+  check_bool "missing" true (Graph.find_label g "nope" = None)
+
+(* --- exact coloring --- *)
+
+let test_chromatic_triangle () =
+  let g = build [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] 3 in
+  let n, coloring = Solver.chromatic g in
+  check_int "triangle needs 3" 3 n;
+  check_bool "witness proper" true (Graph.is_coloring_proper g coloring)
+
+let test_chromatic_bipartite () =
+  (* complete bipartite K33 is 2-chromatic *)
+  let edges =
+    List.concat_map (fun u -> List.map (fun v -> (u, v, 1)) [ 3; 4; 5 ]) [ 0; 1; 2 ]
+  in
+  let g = build edges 6 in
+  let n, coloring = Solver.chromatic g in
+  check_int "bipartite" 2 n;
+  check_bool "proper" true (Graph.is_coloring_proper g coloring)
+
+let test_chromatic_edgeless () =
+  let g = build [] 5 in
+  let n, _ = Solver.chromatic g in
+  check_int "edgeless is 1-chromatic" 1 n
+
+let test_chromatic_empty () =
+  let g = Graph.create () in
+  let n, coloring = Solver.chromatic g in
+  check_int "empty" 0 n;
+  check_int "empty witness" 0 (Array.length coloring)
+
+let test_chromatic_odd_cycle () =
+  (* C5 needs 3 colors; greedy alone can be fooled, B&B must not be *)
+  let g = build [ (0, 1, 1); (1, 2, 1); (2, 3, 1); (3, 4, 1); (4, 0, 1) ] 5 in
+  let n, _ = Solver.chromatic g in
+  check_int "C5" 3 n
+
+let test_chromatic_wheel () =
+  (* W6: hub + C5 rim -> chromatic number 4 *)
+  let rim = [ (1, 2, 1); (2, 3, 1); (3, 4, 1); (4, 5, 1); (5, 1, 1) ] in
+  let spokes = List.map (fun v -> (0, v, 1)) [ 1; 2; 3; 4; 5 ] in
+  let g = build (rim @ spokes) 6 in
+  let n, _ = Solver.chromatic g in
+  check_int "wheel W6" 4 n
+
+let test_exact_k () =
+  let g = build [ (0, 1, 1); (1, 2, 1); (0, 2, 1) ] 3 in
+  check_bool "3-colorable" true (Solver.exact_k g ~k:3 <> None);
+  check_bool "not 2-colorable" true (Solver.exact_k g ~k:2 = None)
+
+(* --- merge heuristic / greedy --- *)
+
+let test_assign_columns_enough_colors () =
+  let g = build [ (0, 1, 10); (1, 2, 10) ] 3 in
+  let colors = Solver.assign_columns g ~k:2 in
+  check_int "zero residual" 0 (Graph.coloring_cost g colors);
+  Array.iter (fun c -> check_bool "in range" true (c >= 0 && c < 2)) colors
+
+let test_assign_columns_merges_min_edge () =
+  (* triangle with one cheap edge, k=2: the cheap edge's endpoints merge *)
+  let g = build [ (0, 1, 100); (1, 2, 1); (0, 2, 100) ] 3 in
+  let colors = Solver.assign_columns g ~k:2 in
+  check_int "residual = cheapest edge" 1 (Graph.coloring_cost g colors);
+  check_bool "merged pair shares" true (colors.(1) = colors.(2));
+  check_bool "expensive separated" true (colors.(0) <> colors.(1))
+
+let test_assign_columns_k1 () =
+  let g = build [ (0, 1, 3); (1, 2, 4); (0, 2, 5) ] 3 in
+  let colors = Solver.assign_columns g ~k:1 in
+  check_int "everything together" 12 (Graph.coloring_cost g colors);
+  Array.iter (fun c -> check_int "single color" 0 c) colors
+
+let test_assign_columns_heat_tiebreak () =
+  (* two equal-weight edges; the colder pair must merge *)
+  let g = build [ (0, 1, 5); (1, 2, 5); (0, 2, 5) ] 3 in
+  let heat = [| 1000.; 2.; 3. |] in
+  let colors = Solver.assign_columns ~heat g ~k:2 in
+  check_bool "cold vertices 1,2 merged" true (colors.(1) = colors.(2));
+  check_bool "hot vertex alone" true (colors.(0) <> colors.(1))
+
+let test_assign_columns_rejects_bad_k () =
+  let g = build [] 1 in
+  check_bool "k=0 rejected" true
+    (try ignore (Solver.assign_columns g ~k:0); false
+     with Invalid_argument _ -> true);
+  check_bool "bad heat length rejected" true
+    (try ignore (Solver.assign_columns ~heat:[| 1.; 2. |] g ~k:1); false
+     with Invalid_argument _ -> true)
+
+let test_greedy_weighted_proper_when_possible () =
+  let g = build [ (0, 1, 5); (1, 2, 5) ] 3 in
+  let colors = Solver.greedy_weighted g ~k:2 in
+  check_int "path 2-colored greedily" 0 (Graph.coloring_cost g colors)
+
+(* --- properties --- *)
+
+let gen_graph =
+  QCheck.Gen.(
+    let* n = int_range 1 9 in
+    let* edges =
+      list_size (int_bound (n * (n - 1) / 2))
+        (triple (int_bound (n - 1)) (int_bound (n - 1)) (int_range 1 50))
+    in
+    let g = Graph.create () in
+    for v = 0 to n - 1 do
+      ignore (Graph.add_vertex g ~label:(string_of_int v))
+    done;
+    List.iter (fun (u, v, w) -> if u <> v then Graph.set_weight g u v w) edges;
+    return g)
+
+let arb_graph = QCheck.make ~print:(Format.asprintf "%a" Graph.pp) gen_graph
+
+let prop_chromatic_witness_proper =
+  QCheck.Test.make ~name:"chromatic witness is proper and uses n colors" ~count:200
+    arb_graph (fun g ->
+      let n, coloring = Solver.chromatic g in
+      Graph.is_coloring_proper g coloring
+      && Array.for_all (fun c -> c >= 0 && c < n) coloring)
+
+let prop_chromatic_minimal =
+  QCheck.Test.make ~name:"no proper coloring with chromatic-1 colors" ~count:100
+    arb_graph (fun g ->
+      let n, _ = Solver.chromatic g in
+      n <= 1 || Solver.exact_k g ~k:(n - 1) = None)
+
+let prop_assign_columns_within_k =
+  QCheck.Test.make ~name:"assign_columns uses at most k colors" ~count:200
+    (QCheck.pair arb_graph (QCheck.int_range 1 4)) (fun (g, k) ->
+      let colors = Solver.assign_columns g ~k in
+      Array.for_all (fun c -> c >= 0 && c < k) colors)
+
+let prop_assign_columns_zero_cost_when_k_enough =
+  QCheck.Test.make ~name:"assign_columns residual is 0 when k >= chromatic" ~count:100
+    arb_graph (fun g ->
+      let n, _ = Solver.chromatic g in
+      let k = max 1 n in
+      Graph.coloring_cost g (Solver.assign_columns g ~k) = 0)
+
+let prop_greedy_no_worse_than_everything_together =
+  QCheck.Test.make ~name:"greedy cost <= all-in-one-column cost" ~count:200
+    (QCheck.pair arb_graph (QCheck.int_range 1 4)) (fun (g, k) ->
+      Graph.coloring_cost g (Solver.greedy_weighted g ~k) <= Graph.total_weight g)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_chromatic_witness_proper;
+      prop_chromatic_minimal;
+      prop_assign_columns_within_k;
+      prop_assign_columns_zero_cost_when_k_enough;
+      prop_greedy_no_worse_than_everything_together;
+    ]
+
+let suites =
+  [
+    ( "coloring.graph",
+      [
+        Alcotest.test_case "basics" `Quick test_graph_basics;
+        Alcotest.test_case "validation" `Quick test_graph_validation;
+        Alcotest.test_case "zero removes edge" `Quick test_graph_zero_removes;
+        Alcotest.test_case "min weight edge" `Quick test_graph_min_weight_edge;
+        Alcotest.test_case "coloring cost" `Quick test_graph_coloring_cost;
+        Alcotest.test_case "labels" `Quick test_graph_labels;
+      ] );
+    ( "coloring.exact",
+      [
+        Alcotest.test_case "triangle" `Quick test_chromatic_triangle;
+        Alcotest.test_case "bipartite" `Quick test_chromatic_bipartite;
+        Alcotest.test_case "edgeless" `Quick test_chromatic_edgeless;
+        Alcotest.test_case "empty" `Quick test_chromatic_empty;
+        Alcotest.test_case "odd cycle" `Quick test_chromatic_odd_cycle;
+        Alcotest.test_case "wheel" `Quick test_chromatic_wheel;
+        Alcotest.test_case "exact_k" `Quick test_exact_k;
+      ] );
+    ( "coloring.assign",
+      [
+        Alcotest.test_case "enough colors" `Quick test_assign_columns_enough_colors;
+        Alcotest.test_case "merges min edge" `Quick test_assign_columns_merges_min_edge;
+        Alcotest.test_case "k = 1" `Quick test_assign_columns_k1;
+        Alcotest.test_case "heat tie-break" `Quick test_assign_columns_heat_tiebreak;
+        Alcotest.test_case "rejects bad input" `Quick test_assign_columns_rejects_bad_k;
+        Alcotest.test_case "greedy proper" `Quick test_greedy_weighted_proper_when_possible;
+      ] );
+    ("coloring.properties", qcheck_cases);
+  ]

@@ -1,0 +1,408 @@
+(* Tests for the IR: validation, the interpreter's semantics (values AND
+   emitted traces), and the static analysis. *)
+
+open Ir.Build
+module Ast = Ir.Ast
+module Interp = Ir.Interp
+module Static = Ir.Static_analysis
+module Access = Memtrace.Access
+module Trace = Memtrace.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let simple_layout program = Interp.sequential_layout program
+
+(* --- validation --- *)
+
+let test_validate_ok () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:4 (); scalar "s" () ]
+      [ proc "main" [ st "a" (i 0) (i 1); set "s" (ld "a" (i 0)) ] ]
+  in
+  check_int "vars" 2 (List.length p.Ast.vars)
+
+let expect_invalid f =
+  check_bool "Invalid_program raised" true
+    (try ignore (f ()); false with Ast.Invalid_program _ -> true)
+
+let test_validate_duplicate_var () =
+  expect_invalid (fun () ->
+      program ~vars:[ scalar "x" (); scalar "x" () ] [ proc "main" [] ])
+
+let test_validate_undeclared () =
+  expect_invalid (fun () ->
+      program ~vars:[] [ proc "main" [ set "ghost" (i 1) ] ])
+
+let test_validate_scalar_array_confusion () =
+  expect_invalid (fun () ->
+      program ~vars:[ scalar "x" () ] [ proc "main" [ st "x" (i 0) (i 1) ] ]);
+  expect_invalid (fun () ->
+      program ~vars:[ array "a" ~elems:4 () ] [ proc "main" [ set "a" (i 1) ] ])
+
+let test_validate_bad_probability () =
+  expect_invalid (fun () ->
+      program ~vars:[ scalar "x" () ]
+        [ proc "main" [ if_ (lt ~prob:2.0 (i 0) (i 1)) [ set "x" (i 1) ] ] ])
+
+let test_validate_unknown_call () =
+  expect_invalid (fun () -> program ~vars:[] [ proc "main" [ call "nope" ] ])
+
+let test_validate_recursion () =
+  expect_invalid (fun () ->
+      program ~vars:[]
+        [ proc "a" [ call "b" ]; proc "b" [ call "a" ]; proc "main" [ call "a" ] ])
+
+(* --- interpreter values --- *)
+
+let run_scalar ?init stmts =
+  let p = program ~vars:[ scalar "out" (); array "buf" ~elems:16 () ] [ proc "main" stmts ] in
+  let r = Interp.run ?init p ~proc:"main" ~layout:(simple_layout p) in
+  (r.Interp.memory "out").(0)
+
+let test_interp_arithmetic () =
+  check_int "((3+4)*5-1)/2" 17
+    (run_scalar [ set "out" (((i 3 + i 4) * i 5 - i 1) / i 2) ]);
+  check_int "mod" 2 (run_scalar [ set "out" (i 17 % i 5) ]);
+  check_int "shifts" 20 (run_scalar [ set "out" (shl (i 5) (i 2)) ]);
+  check_int "shr" 5 (run_scalar [ set "out" (shr (i 20) (i 2)) ]);
+  check_int "min" 3 (run_scalar [ set "out" (min' (i 3) (i 9)) ]);
+  check_int "max" 9 (run_scalar [ set "out" (max' (i 3) (i 9)) ]);
+  check_int "neg" (-7) (run_scalar [ set "out" (neg (i 7)) ])
+
+let test_interp_division_by_zero () =
+  check_bool "raises" true
+    (try ignore (run_scalar [ set "out" (i 1 / i 0) ]); false
+     with Interp.Interp_error _ -> true)
+
+let test_interp_loop_sum () =
+  (* sum 0..9 = 45 *)
+  check_int "loop sum" 45
+    (run_scalar
+       [
+         setr "acc" (i 0);
+         for_ "k" (i 0) (i 10) [ setr "acc" (r "acc" + r "k") ];
+         set "out" (r "acc");
+       ])
+
+let test_interp_nested_loop_order () =
+  (* buf.(i*4+j) = i*10+j; check a sample *)
+  let p =
+    program ~vars:[ array "buf" ~elems:16 () ]
+      [
+        proc "main"
+          [
+            for_ "a" (i 0) (i 4)
+              [
+                for_ "b" (i 0) (i 4)
+                  [ st "buf" ((r "a" * i 4) + r "b") ((r "a" * i 10) + r "b") ];
+              ];
+          ];
+      ]
+  in
+  let r = Interp.run p ~proc:"main" ~layout:(simple_layout p) in
+  check_int "buf[2*4+3]" 23 (r.Interp.memory "buf").(11)
+
+let test_interp_branches_on_data () =
+  let init name idx = if name = "buf" && idx = 0 then 42 else 0 in
+  check_int "then branch" 1
+    (run_scalar ~init
+       [ if_else (eq (ld "buf" (i 0)) (i 42)) [ set "out" (i 1) ] [ set "out" (i 2) ] ]);
+  check_int "else branch" 2
+    (run_scalar
+       [ if_else (eq (ld "buf" (i 0)) (i 42)) [ set "out" (i 1) ] [ set "out" (i 2) ] ])
+
+let test_interp_while () =
+  (* out = smallest power of 2 >= 100 *)
+  check_int "while" 128
+    (run_scalar
+       [
+         set "out" (i 1);
+         while_ (lt (s "out") (i 100)) ~est_iterations:7
+           [ set "out" (s "out" * i 2) ];
+       ])
+
+let test_interp_runaway_while_bounded () =
+  check_bool "max_steps" true
+    (try
+       let p =
+         program ~vars:[ scalar "x" () ]
+           [
+             proc "main"
+               [ while_ (eq (i 0) (i 0)) ~est_iterations:1 [ set "x" (i 1) ] ];
+           ]
+       in
+       ignore (Interp.run ~max_steps:1000 p ~proc:"main" ~layout:(simple_layout p));
+       false
+     with Interp.Interp_error _ -> true)
+
+let test_interp_out_of_bounds () =
+  check_bool "load OOB" true
+    (try ignore (run_scalar [ set "out" (ld "buf" (i 99)) ]); false
+     with Interp.Interp_error _ -> true);
+  check_bool "store OOB" true
+    (try ignore (run_scalar [ st "buf" (i (-1)) (i 0) ]); false
+     with Interp.Interp_error _ -> true)
+
+let test_interp_procedures () =
+  let p =
+    program ~vars:[ scalar "out" () ]
+      [
+        proc "inc" [ set "out" (s "out" + i 1) ];
+        proc "main" [ set "out" (i 0); call "inc"; call "inc"; call "inc" ];
+      ]
+  in
+  let r = Interp.run p ~proc:"main" ~layout:(simple_layout p) in
+  check_int "three calls" 3 (r.Interp.memory "out").(0)
+
+let test_interp_loop_reg_restored () =
+  (* the loop register is scoped to the loop *)
+  check_int "restored" 5
+    (run_scalar
+       [
+         setr "k" (i 5);
+         for_ "k" (i 0) (i 3) [ st "buf" (r "k") (i 1) ];
+         set "out" (r "k");
+       ])
+
+(* --- interpreter traces --- *)
+
+let test_trace_addresses_and_tags () =
+  let p =
+    program ~vars:[ array "a" ~elems:8 ~elem_size:4 (); scalar "x" () ]
+      [ proc "main" [ st "a" (i 3) (i 7); set "x" (ld "a" (i 3)) ] ]
+  in
+  let layout = [ ("a", 0x100); ("x", 0x200) ] in
+  let trace = Interp.trace_of p ~proc:"main" ~layout in
+  check_int "three accesses" 3 (Trace.length trace);
+  let a0 = Trace.get trace 0 in
+  check_int "store addr = base + 3*4" 0x10c a0.Access.addr;
+  check_bool "store kind" true (a0.Access.kind = Access.Write);
+  check_bool "store var" true (a0.Access.var = Some "a");
+  let a1 = Trace.get trace 1 in
+  check_bool "load kind" true (a1.Access.kind = Access.Read);
+  let a2 = Trace.get trace 2 in
+  check_int "scalar addr" 0x200 a2.Access.addr
+
+let test_trace_gap_accounting () =
+  let p =
+    program ~vars:[ scalar "x" () ]
+      [ proc "main" [ set "x" (i 1 + i 2 + i 3) ] ]
+  in
+  let trace = Interp.trace_of p ~proc:"main" ~layout:(simple_layout p) in
+  check_int "one access" 1 (Trace.length trace);
+  (* two additions become the store's gap *)
+  check_int "gap" 2 (Trace.get trace 0).Access.gap
+
+let test_sequential_layout_disjoint () =
+  let p =
+    program
+      ~vars:
+        [ array "a" ~elems:10 ~elem_size:4 (); array "b" ~elems:3 ~elem_size:2 () ]
+      [ proc "main" [] ]
+  in
+  let layout = Interp.sequential_layout ~align:16 p in
+  let a = List.assoc "a" layout and b = List.assoc "b" layout in
+  check_int "a at base" 0 a;
+  check_bool "b after a, aligned" true (b >= 40 && b mod 16 = 0)
+
+let test_address_of () =
+  let p =
+    program ~vars:[ array "a" ~elems:4 ~elem_size:8 () ] [ proc "main" [] ]
+  in
+  let layout = [ ("a", 0x40) ] in
+  check_int "element addr" 0x58 (Interp.address_of ~layout p "a" 3);
+  check_bool "OOB raises" true
+    (try ignore (Interp.address_of ~layout p "a" 4); false
+     with Interp.Interp_error _ -> true)
+
+(* --- static analysis --- *)
+
+let test_static_loop_counts () =
+  let p =
+    program ~vars:[ array "a" ~elems:64 () ]
+      [ proc "main" [ for_ "k" (i 0) (i 64) [ st "a" (r "k") (i 0) ] ] ]
+  in
+  let summary = List.assoc "a" (Static.analyze p ~proc:"main") in
+  check_bool "64 accesses estimated" true
+    (abs_float (summary.Profile.Lifetime.accesses -. 64.) < 1e-6)
+
+let test_static_branch_probability () =
+  let p =
+    program ~vars:[ array "a" ~elems:64 (); scalar "x" () ]
+      [
+        proc "main"
+          [
+            for_ "k" (i 0) (i 100)
+              [
+                if_ (lt ~prob:0.25 (r "k") (i 0)) [ set "x" (ld "a" (r "k")) ];
+              ];
+          ];
+      ]
+  in
+  let a = List.assoc "a" (Static.analyze p ~proc:"main") in
+  check_bool "25 accesses estimated" true
+    (abs_float (a.Profile.Lifetime.accesses -. 25.) < 1e-6)
+
+let test_static_sequential_phases_disjoint () =
+  (* two loops back to back: the analysis must see their variables as
+     lifetime-disjoint so they can share a column *)
+  let p =
+    program
+      ~vars:[ array "a" ~elems:32 (); array "b" ~elems:32 () ]
+      [
+        proc "main"
+          [
+            for_ "k" (i 0) (i 32) [ st "a" (r "k") (i 0) ];
+            for_ "k" (i 0) (i 32) [ st "b" (r "k") (i 0) ];
+          ];
+      ]
+  in
+  let summaries = Static.analyze p ~proc:"main" in
+  let a = List.assoc "a" summaries and b = List.assoc "b" summaries in
+  check_bool "disjoint phases" true (Profile.Lifetime.overlap a b = None);
+  check_int "zero weight" 0 (Profile.Lifetime.weight a b)
+
+let test_static_same_loop_overlaps () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:32 (); array "b" ~elems:32 () ]
+      [
+        proc "main"
+          [ for_ "k" (i 0) (i 32) [ st "a" (r "k") (ld "b" (r "k")) ] ];
+      ]
+  in
+  let summaries = Static.analyze p ~proc:"main" in
+  let a = List.assoc "a" summaries and b = List.assoc "b" summaries in
+  check_bool "same-loop overlap" true (Profile.Lifetime.overlap a b <> None);
+  check_bool "positive weight" true (Profile.Lifetime.weight a b > 0)
+
+let test_static_while_estimate () =
+  let p =
+    program ~vars:[ scalar "x" () ]
+      [
+        proc "main"
+          [ while_ (lt (s "x") (i 10)) ~est_iterations:10 [ set "x" (s "x" + i 1) ] ];
+      ]
+  in
+  let x = List.assoc "x" (Static.analyze p ~proc:"main") in
+  (* 10 writes + 10 body reads + 11 condition reads *)
+  check_bool "estimate near 31" true
+    (abs_float (x.Profile.Lifetime.accesses -. 31.) < 1e-6)
+
+let test_static_vs_profile_ordering () =
+  (* On the MPEG program both methods should agree on which variables are
+     the heaviest. *)
+  let p = Workloads.Mpeg.program in
+  let static = Static.analyze p ~proc:"idct" in
+  let layout = Interp.sequential_layout p in
+  let profile =
+    Profile.Lifetime.of_trace
+      (Interp.trace_of ~init:Workloads.Mpeg.init p ~proc:"idct" ~layout)
+  in
+  let heaviest summaries =
+    List.sort
+      (fun (_, a) (_, b) ->
+        compare b.Profile.Lifetime.accesses a.Profile.Lifetime.accesses)
+      summaries
+    |> List.map fst
+  in
+  (* both rank cos_tbl over blocks *)
+  check_bool "same top variable" true
+    (List.nth (heaviest static) 0 = List.nth (heaviest profile) 0)
+
+let test_cost_of_proc_scales () =
+  let mk n =
+    program ~vars:[ array "a" ~elems:128 () ]
+      [ proc "main" [ for_ "k" (i 0) (i n) [ st "a" (r "k" % i 128) (i 0) ] ] ]
+  in
+  let c10 = Static.cost_of_proc (mk 10) ~proc:"main" in
+  let c100 = Static.cost_of_proc (mk 100) ~proc:"main" in
+  check_bool "10x iterations ~10x cost" true (c100 > 8. *. c10 && c100 < 12. *. c10)
+
+(* --- properties --- *)
+
+(* Random straight-line programs: interpreter access count must equal the
+   static estimate when there are no branches and loop bounds are known. *)
+let prop_static_matches_interp_on_loops =
+  QCheck.Test.make ~name:"static access count exact for constant loop nests"
+    ~count:100
+    QCheck.(pair (int_range 1 8) (int_range 1 8))
+    (fun (outer, inner) ->
+      let p =
+        program ~vars:[ array "a" ~elems:64 () ]
+          [
+            proc "main"
+              [
+                for_ "x" (i 0) (i outer)
+                  [
+                    for_ "y" (i 0) (i inner)
+                      [ st "a" (((r "x" * i inner) + r "y") % i 64) (i 0) ];
+                  ];
+              ];
+          ]
+      in
+      let static = List.assoc "a" (Static.analyze p ~proc:"main") in
+      let trace = Interp.trace_of p ~proc:"main" ~layout:(simple_layout p) in
+      int_of_float static.Profile.Lifetime.accesses = Trace.length trace)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter is deterministic" ~count:50
+    (QCheck.int_range 1 20) (fun n ->
+      let p =
+        program ~vars:[ array "a" ~elems:32 () ]
+          [ proc "main" [ for_ "k" (i 0) (i n) [ st "a" (r "k" % i 32) (r "k") ] ] ]
+      in
+      let t1 = Interp.trace_of p ~proc:"main" ~layout:(simple_layout p) in
+      let t2 = Interp.trace_of p ~proc:"main" ~layout:(simple_layout p) in
+      Trace.equal t1 t2)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_static_matches_interp_on_loops; prop_interp_deterministic ]
+
+let suites =
+  [
+    ( "ir.validate",
+      [
+        Alcotest.test_case "ok" `Quick test_validate_ok;
+        Alcotest.test_case "duplicate var" `Quick test_validate_duplicate_var;
+        Alcotest.test_case "undeclared" `Quick test_validate_undeclared;
+        Alcotest.test_case "scalar/array confusion" `Quick test_validate_scalar_array_confusion;
+        Alcotest.test_case "bad probability" `Quick test_validate_bad_probability;
+        Alcotest.test_case "unknown call" `Quick test_validate_unknown_call;
+        Alcotest.test_case "recursion" `Quick test_validate_recursion;
+      ] );
+    ( "ir.interp",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_interp_arithmetic;
+        Alcotest.test_case "division by zero" `Quick test_interp_division_by_zero;
+        Alcotest.test_case "loop sum" `Quick test_interp_loop_sum;
+        Alcotest.test_case "nested loops" `Quick test_interp_nested_loop_order;
+        Alcotest.test_case "data-dependent branch" `Quick test_interp_branches_on_data;
+        Alcotest.test_case "while" `Quick test_interp_while;
+        Alcotest.test_case "runaway while bounded" `Quick test_interp_runaway_while_bounded;
+        Alcotest.test_case "out of bounds" `Quick test_interp_out_of_bounds;
+        Alcotest.test_case "procedures" `Quick test_interp_procedures;
+        Alcotest.test_case "loop register scoping" `Quick test_interp_loop_reg_restored;
+      ] );
+    ( "ir.trace",
+      [
+        Alcotest.test_case "addresses and tags" `Quick test_trace_addresses_and_tags;
+        Alcotest.test_case "gap accounting" `Quick test_trace_gap_accounting;
+        Alcotest.test_case "sequential layout" `Quick test_sequential_layout_disjoint;
+        Alcotest.test_case "address_of" `Quick test_address_of;
+      ] );
+    ( "ir.static_analysis",
+      [
+        Alcotest.test_case "loop counts" `Quick test_static_loop_counts;
+        Alcotest.test_case "branch probability" `Quick test_static_branch_probability;
+        Alcotest.test_case "sequential phases disjoint" `Quick test_static_sequential_phases_disjoint;
+        Alcotest.test_case "same loop overlaps" `Quick test_static_same_loop_overlaps;
+        Alcotest.test_case "while estimate" `Quick test_static_while_estimate;
+        Alcotest.test_case "static vs profile ordering" `Quick test_static_vs_profile_ordering;
+        Alcotest.test_case "cost scales with trips" `Quick test_cost_of_proc_scales;
+      ] );
+    ("ir.properties", qcheck_cases);
+  ]

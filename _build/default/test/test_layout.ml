@@ -1,0 +1,527 @@
+(* Tests for the layout pass: region splitting, the address map's
+   invariants, and the partition solver. *)
+
+module Lifetime = Profile.Lifetime
+module Region = Layout.Region
+module Address_map = Layout.Address_map
+module Partition = Layout.Partition
+module Bitmask = Cache.Bitmask
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sum ?positions ~accesses ~first ~last () =
+  Lifetime.summary ?positions ~accesses ~first ~last ()
+
+(* --- Region.split_vars --- *)
+
+let test_split_small_var_untouched () =
+  let regions =
+    Region.split_vars ~column_size:512
+      ~vars:[ ("a", 100) ]
+      ~summaries:[ ("a", sum ~accesses:10. ~first:0 ~last:5 ()) ]
+      ()
+  in
+  match regions with
+  | [ r ] ->
+      check_int "one region" 1 r.Region.parts;
+      check_int "size kept" 100 r.Region.size;
+      check_bool "name unsuffixed" true (Region.name r = "a")
+  | _ -> Alcotest.fail "expected one region"
+
+let test_split_large_var () =
+  let regions =
+    Region.split_vars ~column_size:512
+      ~vars:[ ("big", 1200) ]
+      ~summaries:[ ("big", sum ~accesses:300. ~first:0 ~last:99 ()) ]
+      ()
+  in
+  check_int "three parts" 3 (List.length regions);
+  let sizes = List.map (fun r -> r.Region.size) regions in
+  Alcotest.(check (list int)) "sizes" [ 512; 512; 176 ] sizes;
+  List.iteri
+    (fun k r ->
+      check_int "offset" (k * 512) r.Region.offset;
+      check_bool "accesses split" true
+        (abs_float (r.Region.summary.Lifetime.accesses -. 100.) < 1e-6);
+      check_bool "suffixed" true (Region.name r = Printf.sprintf "big#%d" k))
+    regions
+
+let test_split_skips_unreferenced () =
+  let regions =
+    Region.split_vars ~column_size:512 ~vars:[ ("dead", 64) ] ~summaries:[] ()
+  in
+  check_int "no regions" 0 (List.length regions)
+
+let test_density () =
+  let r =
+    List.hd
+      (Region.split_vars ~column_size:512 ~vars:[ ("a", 50) ]
+         ~summaries:[ ("a", sum ~accesses:200. ~first:0 ~last:9 ()) ]
+         ())
+  in
+  check_bool "density" true (abs_float (Region.density r -. 4.) < 1e-9)
+
+(* --- Address_map --- *)
+
+let map_of vars =
+  Address_map.build ~page_size:256 ~column_size:512 ~vars ()
+
+let test_address_map_page_exclusive () =
+  let m = map_of [ ("a", 100); ("b", 100); ("c", 700) ] in
+  let page b = b / 256 in
+  let a = Address_map.base_of m "a"
+  and b = Address_map.base_of m "b"
+  and c = Address_map.base_of m "c" in
+  check_bool "distinct pages" true
+    (page a <> page b && page b <> page c && page a <> page c)
+
+let test_address_map_no_wrap () =
+  (* many odd sizes: no small variable may straddle a column boundary *)
+  let vars = List.init 20 (fun k -> (Printf.sprintf "v%d" k, 48 + (k * 40))) in
+  let m = map_of vars in
+  List.iter
+    (fun (name, size) ->
+      let b = Address_map.base_of m name in
+      if size < 512 then
+        check_bool
+          (Printf.sprintf "%s does not wrap" name)
+          true
+          ((b mod 512) + size <= 512))
+    vars
+
+let test_address_map_multicolumn_aligned () =
+  let m = map_of [ ("pad", 10); ("big", 1500) ] in
+  check_int "column aligned" 0 (Address_map.base_of m "big" mod 512)
+
+let test_address_map_unknown () =
+  let m = map_of [ ("a", 4) ] in
+  check_bool "unknown raises" true
+    (try ignore (Address_map.base_of m "zz"); false with Not_found -> true)
+
+let test_column_interval () =
+  let m = map_of [ ("pad", 300); ("x", 200) ] in
+  let regions =
+    Region.split_vars ~column_size:512 ~vars:[ ("x", 200) ]
+      ~summaries:[ ("x", sum ~accesses:1. ~first:0 ~last:0 ()) ]
+      ()
+  in
+  match regions with
+  | [ r ] ->
+      let lo, hi = Address_map.column_interval m ~column_size:512 r in
+      check_bool "interval sane" true (lo >= 0 && hi <= 512 && hi - lo = 200)
+  | _ -> Alcotest.fail "one region expected"
+
+(* --- Partition --- *)
+
+let spec ~p = Partition.spec ~columns:4 ~column_size:512 ~scratchpad_columns:p
+
+let mk_setup vars summaries =
+  let m = map_of vars in
+  let regions = Region.split_vars ~column_size:512 ~vars ~summaries () in
+  (m, regions)
+
+let overlapping_summaries names =
+  List.mapi
+    (fun k name ->
+      (name, sum ~accesses:(float_of_int (100 * (k + 1))) ~first:0 ~last:999 ()))
+    names
+
+let test_partition_all_cached_when_p0 () =
+  let vars = [ ("a", 256); ("b", 256) ] in
+  let m, regions = mk_setup vars (overlapping_summaries [ "a"; "b" ]) in
+  let part = Partition.compute ~spec:(spec ~p:0) ~address_map:m regions in
+  check_int "no scratchpad" 0 (Partition.scratchpad_bytes part);
+  check_int "two cached" 2 (List.length (Partition.cached_regions part));
+  (* overlapping lifetimes, 4 columns available: conflict-free *)
+  check_int "no residual" 0 part.Partition.residual_conflict;
+  List.iter
+    (fun pl ->
+      match Partition.placement_column pl with
+      | Some c -> check_bool "cache column range" true (c >= 0 && c < 4)
+      | None -> Alcotest.fail "cached placement must have a column")
+    (Partition.cached_regions part)
+
+let test_partition_scratchpad_greedy_by_density () =
+  (* hot small var + cold big var, one scratchpad column: hot wins it *)
+  let vars = [ ("hot", 128); ("cold", 512) ] in
+  let summaries =
+    [
+      ("hot", sum ~accesses:10000. ~first:0 ~last:999 ());
+      ("cold", sum ~accesses:10. ~first:0 ~last:999 ());
+    ]
+  in
+  let m, regions = mk_setup vars summaries in
+  let part = Partition.compute ~spec:(spec ~p:1) ~address_map:m regions in
+  (match Partition.placement_of part "hot" with
+  | Some pl ->
+      check_bool "hot pinned" true (pl.Partition.role = Partition.Scratchpad);
+      check_bool "column 0" true (Partition.placement_column pl = Some 0)
+  | None -> Alcotest.fail "hot placed");
+  match Partition.placement_of part "cold" with
+  | Some pl -> check_bool "cold cached" true (pl.Partition.role = Partition.Cached)
+  | None -> Alcotest.fail "cold placed"
+
+let test_partition_packing_disjoint_intervals () =
+  (* two regions whose set intervals coexist in one scratchpad column *)
+  let vars = [ ("a", 256); ("b", 256) ] in
+  let m, regions = mk_setup vars (overlapping_summaries [ "a"; "b" ]) in
+  let part = Partition.compute ~spec:(spec ~p:1) ~address_map:m regions in
+  let scratch =
+    List.filter
+      (fun pl -> pl.Partition.role = Partition.Scratchpad)
+      part.Partition.placements
+  in
+  check_int "both fit in the single scratchpad column" 2 (List.length scratch);
+  List.iter
+    (fun pl -> check_bool "column 0" true (Partition.placement_column pl = Some 0))
+    scratch
+
+let test_partition_uncached_when_no_cache_left () =
+  (* p = 4 but data exceeds capacity: leftovers go uncached *)
+  let vars = [ ("big", 2048); ("more", 512) ] in
+  let m, regions = mk_setup vars (overlapping_summaries [ "big"; "more" ]) in
+  let part = Partition.compute ~spec:(spec ~p:4) ~address_map:m regions in
+  check_bool "some uncached" true (Partition.uncached_regions part <> []);
+  List.iter
+    (fun pl -> check_bool "no column" true (pl.Partition.columns = None))
+    (Partition.uncached_regions part)
+
+let test_partition_forced_scratchpad () =
+  let vars = [ ("hot", 256); ("forced", 256) ] in
+  let summaries =
+    [
+      ("hot", sum ~accesses:10000. ~first:0 ~last:999 ());
+      ("forced", sum ~accesses:1. ~first:0 ~last:999 ());
+    ]
+  in
+  let m, regions = mk_setup vars summaries in
+  let part =
+    Partition.compute ~forced_scratchpad:[ "forced" ] ~spec:(spec ~p:1)
+      ~address_map:m regions
+  in
+  match Partition.placement_of part "forced" with
+  | Some pl -> check_bool "forced pinned" true (pl.Partition.role = Partition.Scratchpad)
+  | None -> Alcotest.fail "forced placed"
+
+let test_partition_forced_too_big_rejected () =
+  let vars = [ ("huge", 512); ("other", 512) ] in
+  let m, regions = mk_setup vars (overlapping_summaries [ "huge"; "other" ]) in
+  check_bool "raises" true
+    (try
+       ignore
+         (Partition.compute
+            ~forced_scratchpad:[ "huge"; "other" ]
+            ~spec:(spec ~p:1) ~address_map:m regions);
+       false
+     with Invalid_argument _ -> true)
+
+let test_partition_spec_validation () =
+  check_bool "negative p" true
+    (try ignore (Partition.spec ~columns:4 ~column_size:512 ~scratchpad_columns:(-1)); false
+     with Invalid_argument _ -> true);
+  check_bool "p > k" true
+    (try ignore (Partition.spec ~columns:4 ~column_size:512 ~scratchpad_columns:5); false
+     with Invalid_argument _ -> true)
+
+(* --- Partition.apply against a live system --- *)
+
+let test_apply_configures_masks () =
+  let vars = [ ("hot", 256); ("cold", 256) ] in
+  let summaries = overlapping_summaries [ "hot"; "cold" ] in
+  let m, regions = mk_setup vars summaries in
+  let part = Partition.compute ~spec:(spec ~p:0) ~address_map:m regions in
+  let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+  let system = Machine.System.create (Machine.System.config cache) in
+  Partition.apply part system;
+  let mapping = Machine.System.mapping system in
+  List.iter
+    (fun pl ->
+      match pl.Partition.columns with
+      | Some expected ->
+          let mask = Vm.Mapping.mask_of_quiet mapping pl.Partition.base in
+          check_bool
+            (Printf.sprintf "%s restricted to its columns"
+               (Region.name pl.Partition.region))
+            true
+            (Bitmask.equal mask expected)
+      | None -> ())
+    part.Partition.placements
+
+let test_apply_scratchpad_is_missfree () =
+  let vars = [ ("table", 256) ] in
+  let summaries = [ ("table", sum ~accesses:500. ~first:0 ~last:999 ()) ] in
+  let m, regions = mk_setup vars summaries in
+  let part = Partition.compute ~spec:(spec ~p:1) ~address_map:m regions in
+  let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+  let system = Machine.System.create (Machine.System.config cache) in
+  Partition.apply part system;
+  (* hammer other addresses, then access the pinned table *)
+  let noise =
+    Memtrace.Synthetic.uniform_random ~seed:5 ~base:0x10000 ~span:32768
+      ~count:3000 ()
+  in
+  ignore (Machine.System.run system noise);
+  let base = Address_map.base_of m "table" in
+  let table_trace =
+    Memtrace.Synthetic.sequential ~base ~count:64 ~stride:4 ()
+  in
+  let stats = Machine.System.run system table_trace in
+  check_int "pinned region misses" 0
+    stats.Machine.Run_stats.cache.Cache.Stats.misses
+
+let test_apply_copy_in_charges () =
+  let vars = [ ("work", 256) ] in
+  let summaries = [ ("work", sum ~accesses:500. ~first:0 ~last:999 ()) ] in
+  let m, regions = mk_setup vars summaries in
+  let part = Partition.compute ~spec:(spec ~p:1) ~address_map:m regions in
+  let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+  let run copy_in =
+    let system = Machine.System.create (Machine.System.config cache) in
+    Partition.apply ~copy_in part system;
+    let stats = Machine.System.run system Memtrace.Trace.empty in
+    stats.Machine.Run_stats.cycles
+  in
+  let free = run [] in
+  let charged = run [ "work" ] in
+  check_int "free pin costs nothing" 0 free;
+  (* 16 lines x (1 + 20) cycles *)
+  check_int "charged pin costs lines x miss" (16 * 21) charged
+
+let test_apply_geometry_mismatch () =
+  let vars = [ ("a", 64) ] in
+  let m, regions = mk_setup vars (overlapping_summaries [ "a" ]) in
+  let part = Partition.compute ~spec:(spec ~p:0) ~address_map:m regions in
+  let wrong = Cache.Sassoc.config ~line_size:16 ~size_bytes:4096 ~ways:4 () in
+  let system = Machine.System.create (Machine.System.config wrong) in
+  check_bool "mismatch rejected" true
+    (try Partition.apply part system; false with Invalid_argument _ -> true)
+
+(* --- Page coloring baseline --- *)
+
+let dm_cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:1 ()
+
+let test_page_coloring_colors_of () =
+  check_int "2KB direct-mapped / 256B pages = 8 colors" 8
+    (Layout.Page_coloring.colors_of ~cache:dm_cache ~page_size:256);
+  let assoc = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+  check_int "4-way: way size 512 = 2 colors" 2
+    (Layout.Page_coloring.colors_of ~cache:assoc ~page_size:256)
+
+let test_page_coloring_separates_hot_pair () =
+  (* two overlapping hot variables must land on different colors *)
+  let vars = [ ("x", 256); ("y", 256) ] in
+  let m = map_of vars in
+  let summaries = overlapping_summaries [ "x"; "y" ] in
+  let pc =
+    Layout.Page_coloring.assign ~cache:dm_cache ~page_size:256 ~address_map:m
+      ~vars ~summaries
+  in
+  let cx = Layout.Page_coloring.color_of pc "x"
+  and cy = Layout.Page_coloring.color_of pc "y" in
+  check_bool "both colored" true (cx <> None && cy <> None);
+  check_bool "different colors" true (cx <> cy)
+
+let test_page_coloring_frames_realize_colors () =
+  let vars = [ ("x", 512); ("y", 256) ] in
+  let m = map_of vars in
+  let summaries = overlapping_summaries [ "x"; "y" ] in
+  let pc =
+    Layout.Page_coloring.assign ~cache:dm_cache ~page_size:256 ~address_map:m
+      ~vars ~summaries
+  in
+  let fm = Layout.Page_coloring.frame_map pc in
+  (* a page's physical color is frame mod colors: x's and y's pages must not
+     share a color with an interfering page *)
+  let color_of_page page = Vm.Frame_map.frame_of fm page mod 8 in
+  let pages name size =
+    let base = Address_map.base_of m name in
+    List.init ((size + 255) / 256) (fun i -> (base / 256) + i)
+  in
+  let x_colors = List.map color_of_page (pages "x" 512) in
+  let y_colors = List.map color_of_page (pages "y" 256) in
+  List.iter
+    (fun yc -> check_bool "y avoids x's colors" false (List.mem yc x_colors))
+    y_colors
+
+let test_page_coloring_reduces_conflict_misses () =
+  (* two hot interleaved 256B buffers that alias in a direct-mapped cache
+     under the naive layout: page coloring must fix them *)
+  let vars = [ ("x", 256); ("pad", 1792); ("y", 256) ] in
+  let m =
+    (* place x and y exactly one cache-size apart so they alias *)
+    Address_map.build ~page_size:256 ~column_size:2048 ~vars ()
+  in
+  let interleaved =
+    Memtrace.Trace.of_list
+      (List.concat_map
+         (fun i ->
+           [
+             Memtrace.Access.make ~var:"x" (Address_map.base_of m "x" + (i * 16 mod 256));
+             Memtrace.Access.make ~var:"y" (Address_map.base_of m "y" + (i * 16 mod 256));
+           ])
+         (List.init 400 (fun i -> i)))
+  in
+  let summaries = Profile.Lifetime.of_trace interleaved in
+  let run configure =
+    let system =
+      Machine.System.create (Machine.System.config ~page_size:256 dm_cache)
+    in
+    configure system;
+    let stats = Machine.System.run system interleaved in
+    stats.Machine.Run_stats.cache.Cache.Stats.misses
+  in
+  let naive = run (fun _ -> ()) in
+  let colored =
+    run (fun system ->
+        Layout.Page_coloring.apply
+          (Layout.Page_coloring.assign ~cache:dm_cache ~page_size:256
+             ~address_map:m ~vars ~summaries)
+          system)
+  in
+  check_bool
+    (Printf.sprintf "colored (%d) far fewer misses than naive (%d)" colored naive)
+    true
+    (colored * 5 < naive)
+
+let test_page_coloring_recolor_cost () =
+  let vars = [ ("x", 512); ("y", 512) ] in
+  let m = map_of vars in
+  let pc summaries =
+    Layout.Page_coloring.assign ~cache:dm_cache ~page_size:256 ~address_map:m
+      ~vars ~summaries
+  in
+  let a = pc (overlapping_summaries [ "x"; "y" ]) in
+  check_int "same placement costs nothing" 0
+    (Layout.Page_coloring.recolor_cost_bytes ~from_:a ~to_:a);
+  (* different interference structure -> placements differ -> copies *)
+  let b =
+    pc
+      [
+        ("x", sum ~accesses:10. ~first:0 ~last:10 ());
+        ("y", sum ~accesses:10. ~first:900 ~last:999 ());
+      ]
+  in
+  let cost = Layout.Page_coloring.recolor_cost_bytes ~from_:a ~to_:b in
+  check_bool "copies are page multiples" true (cost mod 256 = 0)
+
+(* --- properties --- *)
+
+let arb_vars =
+  QCheck.make
+    ~print:(fun vars ->
+      String.concat ","
+        (List.map (fun (n, s) -> Printf.sprintf "%s:%d" n s) vars))
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* sizes = list_size (return n) (int_range 8 1400) in
+      return (List.mapi (fun k s -> (Printf.sprintf "v%d" k, s)) sizes))
+
+let prop_every_region_placed =
+  QCheck.Test.make ~name:"every region gets exactly one placement" ~count:200
+    (QCheck.pair arb_vars (QCheck.int_range 0 4)) (fun (vars, p) ->
+      let summaries = overlapping_summaries (List.map fst vars) in
+      let m, regions = mk_setup vars summaries in
+      let part = Partition.compute ~spec:(spec ~p) ~address_map:m regions in
+      List.length part.Partition.placements = List.length regions
+      &&
+      let names =
+        List.sort_uniq compare
+          (List.map
+             (fun pl -> Region.name pl.Partition.region)
+             part.Partition.placements)
+      in
+      List.length names = List.length regions)
+
+let prop_scratchpad_capacity_respected =
+  QCheck.Test.make ~name:"scratchpad columns never overcommitted" ~count:200
+    (QCheck.pair arb_vars (QCheck.int_range 1 4)) (fun (vars, p) ->
+      let summaries = overlapping_summaries (List.map fst vars) in
+      let m, regions = mk_setup vars summaries in
+      let part = Partition.compute ~spec:(spec ~p) ~address_map:m regions in
+      (* per-column sums of scratchpad placements *)
+      let per_col = Array.make 4 0 in
+      List.iter
+        (fun pl ->
+          if pl.Partition.role = Partition.Scratchpad then
+            match Partition.placement_column pl with
+            | Some c -> per_col.(c) <- per_col.(c) + pl.Partition.region.Region.size
+            | None -> ())
+        part.Partition.placements;
+      Array.for_all (fun used -> used <= 512) per_col)
+
+let prop_cached_only_in_cache_columns =
+  QCheck.Test.make ~name:"cached regions stay out of scratchpad columns" ~count:200
+    (QCheck.pair arb_vars (QCheck.int_range 0 3)) (fun (vars, p) ->
+      let summaries = overlapping_summaries (List.map fst vars) in
+      let m, regions = mk_setup vars summaries in
+      let part = Partition.compute ~spec:(spec ~p) ~address_map:m regions in
+      List.for_all
+        (fun pl ->
+          match pl.Partition.columns with
+          | Some mask ->
+              List.for_all (fun c -> c >= p && c < 4) (Bitmask.to_list mask)
+          | None -> false)
+        (Partition.cached_regions part))
+
+let prop_no_uncached_with_cache_columns =
+  QCheck.Test.make ~name:"uncached only appears when p = k" ~count:200
+    (QCheck.pair arb_vars (QCheck.int_range 0 3)) (fun (vars, p) ->
+      let summaries = overlapping_summaries (List.map fst vars) in
+      let m, regions = mk_setup vars summaries in
+      let part = Partition.compute ~spec:(spec ~p) ~address_map:m regions in
+      Partition.uncached_regions part = [])
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_every_region_placed;
+      prop_scratchpad_capacity_respected;
+      prop_cached_only_in_cache_columns;
+      prop_no_uncached_with_cache_columns;
+    ]
+
+let suites =
+  [
+    ( "layout.region",
+      [
+        Alcotest.test_case "small var untouched" `Quick test_split_small_var_untouched;
+        Alcotest.test_case "large var split" `Quick test_split_large_var;
+        Alcotest.test_case "unreferenced skipped" `Quick test_split_skips_unreferenced;
+        Alcotest.test_case "density" `Quick test_density;
+      ] );
+    ( "layout.address_map",
+      [
+        Alcotest.test_case "page exclusive" `Quick test_address_map_page_exclusive;
+        Alcotest.test_case "no column wrap" `Quick test_address_map_no_wrap;
+        Alcotest.test_case "multicolumn aligned" `Quick test_address_map_multicolumn_aligned;
+        Alcotest.test_case "unknown var" `Quick test_address_map_unknown;
+        Alcotest.test_case "column interval" `Quick test_column_interval;
+      ] );
+    ( "layout.partition",
+      [
+        Alcotest.test_case "all cached at p=0" `Quick test_partition_all_cached_when_p0;
+        Alcotest.test_case "greedy by density" `Quick test_partition_scratchpad_greedy_by_density;
+        Alcotest.test_case "interval packing" `Quick test_partition_packing_disjoint_intervals;
+        Alcotest.test_case "uncached at p=k" `Quick test_partition_uncached_when_no_cache_left;
+        Alcotest.test_case "forced scratchpad" `Quick test_partition_forced_scratchpad;
+        Alcotest.test_case "forced too big" `Quick test_partition_forced_too_big_rejected;
+        Alcotest.test_case "spec validation" `Quick test_partition_spec_validation;
+      ] );
+    ( "layout.apply",
+      [
+        Alcotest.test_case "configures masks" `Quick test_apply_configures_masks;
+        Alcotest.test_case "scratchpad miss-free" `Quick test_apply_scratchpad_is_missfree;
+        Alcotest.test_case "copy-in charging" `Quick test_apply_copy_in_charges;
+        Alcotest.test_case "geometry mismatch" `Quick test_apply_geometry_mismatch;
+      ] );
+    ( "layout.page_coloring",
+      [
+        Alcotest.test_case "colors_of" `Quick test_page_coloring_colors_of;
+        Alcotest.test_case "separates hot pair" `Quick test_page_coloring_separates_hot_pair;
+        Alcotest.test_case "frames realize colors" `Quick test_page_coloring_frames_realize_colors;
+        Alcotest.test_case "reduces conflict misses" `Quick test_page_coloring_reduces_conflict_misses;
+        Alcotest.test_case "recolor cost" `Quick test_page_coloring_recolor_cost;
+      ] );
+    ("layout.properties", qcheck_cases);
+  ]

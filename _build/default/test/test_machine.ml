@@ -1,0 +1,295 @@
+(* Tests for the machine model: timing, scratchpad regions, column pinning
+   and CPI accounting. *)
+
+module Access = Memtrace.Access
+module Trace = Memtrace.Trace
+module Bitmask = Cache.Bitmask
+module Sassoc = Cache.Sassoc
+module System = Machine.System
+module Timing = Machine.Timing
+module Run_stats = Machine.Run_stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* 2KB cache, 4 columns, 16B lines (the paper's Section 4.1 geometry). *)
+let paper_cache = Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ()
+
+let make_system ?(timing = Timing.default) () =
+  System.create (System.config ~timing paper_cache)
+
+let test_hit_cycle_accounting () =
+  let sys = make_system () in
+  (* first access: TLB miss + cache miss; second: both hit *)
+  let c1 = System.access sys (Access.make 0) in
+  let c2 = System.access sys (Access.make 0) in
+  let t = Timing.default in
+  check_int "miss cost" (t.Timing.tlb_miss_penalty + t.Timing.hit_cycles + t.Timing.miss_penalty) c1;
+  check_int "hit cost" t.Timing.hit_cycles c2
+
+let test_gap_counts_instructions () =
+  let sys = make_system () in
+  let trace = Trace.of_list [ Access.make ~gap:4 0; Access.make ~gap:2 0 ] in
+  let r = System.run sys trace in
+  check_int "instructions" 8 r.Run_stats.instructions;
+  (* gaps cost one cycle per instruction *)
+  check_bool "cycles include gaps" true (r.Run_stats.cycles >= 6)
+
+let test_cpi_all_hits_is_one () =
+  let sys = make_system () in
+  (* warm one line and the TLB *)
+  ignore (System.access sys (Access.make 0));
+  let trace = Trace.of_list (List.init 100 (fun _ -> Access.make 0)) in
+  let r = System.run sys trace in
+  check_bool "CPI = 1 for pure hits"
+    true
+    (abs_float (Run_stats.cpi r -. 1.0) < 1e-9)
+
+let test_scratchpad_region () =
+  let sys = make_system () in
+  System.add_scratchpad sys ~base:0x8000 ~size:512;
+  check_bool "inside" true (System.in_scratchpad sys 0x8100);
+  check_bool "outside" false (System.in_scratchpad sys 0x7FFF);
+  check_int "bytes" 512 (System.scratchpad_bytes sys);
+  let r = System.run sys (Trace.of_list [ Access.make 0x8000; Access.make 0x8000 ]) in
+  check_int "both scratchpad" 2 r.Run_stats.scratchpad_accesses;
+  check_int "no cache traffic" 0 r.Run_stats.cache.Cache.Stats.accesses;
+  (* scratchpad accesses always cost scratchpad_cycles: fully predictable *)
+  check_int "cycles" (2 * Timing.default.Timing.scratchpad_cycles) r.Run_stats.cycles
+
+let test_scratchpad_overlap_rejected () =
+  let sys = make_system () in
+  System.add_scratchpad sys ~base:0 ~size:256;
+  check_bool "overlap raises" true
+    (try System.add_scratchpad sys ~base:128 ~size:256; false
+     with Invalid_argument _ -> true)
+
+let test_pin_region_behaves_like_scratchpad () =
+  let sys = make_system () in
+  let colsize = Sassoc.column_size_bytes paper_cache in
+  System.pin_region sys ~base:0 ~size:colsize ~mask:(Bitmask.singleton 0)
+    ~tint:(Vm.Tint.make "pinned");
+  (* route all other traffic away from column 0 *)
+  Vm.Mapping.remap_tint (System.mapping sys) Vm.Tint.default
+    (Bitmask.of_list [ 1; 2; 3 ]);
+  (* heavy interference elsewhere *)
+  let noise =
+    Memtrace.Synthetic.uniform_random ~seed:9 ~base:0x100000 ~span:65536
+      ~count:5000 ()
+  in
+  ignore (System.run sys noise);
+  (* the pinned region never misses *)
+  let pinned_trace =
+    Memtrace.Synthetic.sequential ~base:0 ~count:(colsize / 4) ~stride:4 ()
+  in
+  let r = System.run sys pinned_trace in
+  check_int "zero misses in pinned region" 0 r.Run_stats.cache.Cache.Stats.misses
+
+let test_pin_region_too_big_rejected () =
+  let sys = make_system () in
+  let colsize = Sassoc.column_size_bytes paper_cache in
+  check_bool "oversized pin raises" true
+    (try
+       System.pin_region sys ~base:0 ~size:(colsize + 1)
+         ~mask:(Bitmask.singleton 0) ~tint:(Vm.Tint.make "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_returns_delta () =
+  let sys = make_system () in
+  let t = Trace.of_list [ Access.make 0 ] in
+  ignore (System.run sys t);
+  let r2 = System.run sys t in
+  check_int "second run only one access" 1 r2.Run_stats.memory_accesses;
+  check_int "second run no misses" 0 r2.Run_stats.cache.Cache.Stats.misses;
+  let total = System.total sys in
+  check_int "total accumulates" 2 total.Run_stats.memory_accesses
+
+let test_writeback_penalty_charged () =
+  let t0 = Timing.default in
+  let sys = make_system () in
+  (* dirty a line in set 0, then evict it with 4 reads to the same set *)
+  ignore (System.access sys (Access.write 0));
+  let evicting =
+    (* set 0 recurs every sets*line = 32*16 = 512 bytes *)
+    List.init 4 (fun i -> Access.make ((i + 1) * 512))
+  in
+  let r = System.run sys (Trace.of_list evicting) in
+  check_int "one writeback" 1 r.Run_stats.cache.Cache.Stats.writebacks;
+  let expected_min =
+    (4 * (t0.Timing.hit_cycles + t0.Timing.miss_penalty)) + t0.Timing.writeback_penalty
+  in
+  check_bool "cycles include writeback penalty" true (r.Run_stats.cycles >= expected_min)
+
+let test_partitioned_job_insensitive_to_interference () =
+  (* The multitasking claim (Section 4.2) in miniature: job A's hit rate with
+     its own columns is unaffected by job B's footprint. *)
+  let run_with_interference mapped =
+    let sys = make_system () in
+    let mapping = System.mapping sys in
+    if mapped then begin
+      ignore
+        (Vm.Mapping.retint_region mapping ~base:0 ~size:1024 (Vm.Tint.make "jobA"));
+      Vm.Mapping.remap_tint mapping (Vm.Tint.make "jobA") (Bitmask.of_list [ 0; 1 ]);
+      Vm.Mapping.remap_tint mapping Vm.Tint.default (Bitmask.of_list [ 2; 3 ])
+    end;
+    let job_a i = Access.make ~var:"A" (i * 16 mod 1024) in
+    let job_b i = Access.make ~var:"B" (0x40000 + (i * 16)) in
+    let misses_a = ref 0 in
+    for i = 0 to 5000 do
+      (match System.access sys (job_a i), () with _ -> ());
+      ignore (System.access sys (job_b (4 * i)));
+      ignore (System.access sys (job_b ((4 * i) + 1)));
+      ignore (System.access sys (job_b ((4 * i) + 2)));
+      ignore (System.access sys (job_b ((4 * i) + 3)))
+    done;
+    (* measure A's steady-state misses over a second pass *)
+    let before = (System.total sys).Run_stats.cache.Cache.Stats.misses in
+    for i = 0 to 1000 do
+      ignore (System.access sys (job_a i));
+      misses_a :=
+        (System.total sys).Run_stats.cache.Cache.Stats.misses - before
+    done;
+    !misses_a
+  in
+  let shared = run_with_interference false in
+  let mapped = run_with_interference true in
+  check_bool
+    (Printf.sprintf "mapped (%d misses) < shared (%d misses)" mapped shared)
+    true (mapped < shared)
+
+(* --- L2 --- *)
+
+let l2_system () =
+  let l2 = Sassoc.config ~line_size:16 ~size_bytes:16384 ~ways:4 () in
+  System.create (System.config ~l2 paper_cache)
+
+let test_l2_absorbs_l1_misses () =
+  let t0 = Timing.default in
+  let sys = l2_system () in
+  (* fill line 0, evict it from L1 by walking its set, then return *)
+  ignore (System.access sys (Access.make 0));
+  for k = 1 to 4 do
+    ignore (System.access sys (Access.make (k * 512)))
+  done;
+  let cost = System.access sys (Access.make 0) in
+  check_int "L1 miss served from L2"
+    (t0.Timing.hit_cycles + t0.Timing.l2_hit_cycles)
+    cost;
+  let total = System.total sys in
+  check_bool "l2 hit counted" true (total.Run_stats.l2_hits >= 1)
+
+let test_l2_miss_costs_memory () =
+  let t0 = Timing.default in
+  let sys = l2_system () in
+  let cost = System.access sys (Access.make 0) in
+  check_int "cold miss misses both levels"
+    (t0.Timing.tlb_miss_penalty + t0.Timing.hit_cycles + t0.Timing.miss_penalty)
+    cost;
+  check_int "l2 miss counted" 1 (System.total sys).Run_stats.l2_misses
+
+let test_no_l2_no_counters () =
+  let sys = make_system () in
+  ignore (System.access sys (Access.make 0));
+  check_int "no l2 hits" 0 (System.total sys).Run_stats.l2_hits;
+  check_int "no l2 misses" 0 (System.total sys).Run_stats.l2_misses
+
+let test_l2_speeds_up_thrashing_workload () =
+  (* a working set larger than L1 but within L2 *)
+  let trace =
+    Memtrace.Synthetic.repeat_walk ~base:0 ~len:256 ~stride:16 ~passes:10 ()
+  in
+  let without = System.run (make_system ()) trace in
+  let with_l2 = System.run (l2_system ()) trace in
+  check_bool "L2 saves cycles" true
+    (with_l2.Run_stats.cycles < without.Run_stats.cycles)
+
+(* --- stream prefetch --- *)
+
+let streaming_setup () =
+  let sys = make_system () in
+  let mapping = System.mapping sys in
+  let stream = Vm.Tint.make "stream" in
+  (* a 1 KB streaming region in columns {0,1}; everything else in {2,3} *)
+  ignore (Vm.Mapping.retint_region mapping ~base:0 ~size:1024 stream);
+  Vm.Mapping.remap_tint mapping stream (Bitmask.of_list [ 0; 1 ]);
+  Vm.Mapping.remap_tint mapping Vm.Tint.default (Bitmask.of_list [ 2; 3 ]);
+  (sys, stream)
+
+let test_prefetch_hides_sequential_misses () =
+  let run ~streaming =
+    let sys, stream = streaming_setup () in
+    if streaming then System.set_streaming sys stream;
+    let walk = Memtrace.Synthetic.sequential ~base:0 ~count:256 ~stride:4 () in
+    let r = System.run sys walk in
+    (r.Run_stats.cache.Cache.Stats.misses, r.Run_stats.prefetches, r.Run_stats.cycles)
+  in
+  let m0, p0, c0 = run ~streaming:false in
+  let m1, p1, c1 = run ~streaming:true in
+  check_int "no prefetches without marking" 0 p0;
+  check_bool "prefetches issued" true (p1 > 50);
+  (* 1 KB / 16 B = 64 lines: all cold without prefetch, almost none with *)
+  check_int "misses without prefetch" 64 m0;
+  check_bool (Printf.sprintf "misses drop (%d -> %d)" m0 m1) true (m1 <= 8);
+  check_bool "cycles drop" true (c1 < c0)
+
+let test_prefetch_stays_in_stream_columns () =
+  let sys, stream = streaming_setup () in
+  System.set_streaming sys stream;
+  let walk = Memtrace.Synthetic.sequential ~base:0 ~count:256 ~stride:4 () in
+  ignore (System.run sys walk);
+  let cache = System.cache sys in
+  check_int "column 2 untouched" 0 (List.length (Sassoc.lines_in_column cache 2));
+  check_int "column 3 untouched" 0 (List.length (Sassoc.lines_in_column cache 3))
+
+let test_prefetch_stops_at_region_boundary () =
+  let sys, stream = streaming_setup () in
+  System.set_streaming sys stream;
+  (* touch the very last line of the streaming region: the next line lies in
+     a different-mask page, so no prefetch may be issued for it *)
+  let r =
+    System.run sys (Trace.of_list [ Access.make (1024 - 16) ])
+  in
+  check_int "no cross-mask prefetch" 0 r.Run_stats.prefetches;
+  check_bool "next region line not cached" true
+    (Sassoc.probe (System.cache sys) 1024 = None)
+
+let test_clear_streaming () =
+  let sys, stream = streaming_setup () in
+  System.set_streaming sys stream;
+  check_bool "marked" true (System.is_streaming sys stream);
+  System.clear_streaming sys stream;
+  check_bool "cleared" false (System.is_streaming sys stream);
+  let r = System.run sys (Trace.of_list [ Access.make 0 ]) in
+  check_int "no prefetch after clear" 0 r.Run_stats.prefetches
+
+let suites =
+  [
+    ( "machine.system",
+      [
+        Alcotest.test_case "hit cycle accounting" `Quick test_hit_cycle_accounting;
+        Alcotest.test_case "gap instructions" `Quick test_gap_counts_instructions;
+        Alcotest.test_case "CPI of pure hits" `Quick test_cpi_all_hits_is_one;
+        Alcotest.test_case "scratchpad region" `Quick test_scratchpad_region;
+        Alcotest.test_case "scratchpad overlap" `Quick test_scratchpad_overlap_rejected;
+        Alcotest.test_case "pin_region = scratchpad" `Quick test_pin_region_behaves_like_scratchpad;
+        Alcotest.test_case "oversized pin rejected" `Quick test_pin_region_too_big_rejected;
+        Alcotest.test_case "run returns delta" `Quick test_run_returns_delta;
+        Alcotest.test_case "writeback penalty" `Quick test_writeback_penalty_charged;
+        Alcotest.test_case "partition isolation" `Quick test_partitioned_job_insensitive_to_interference;
+      ] );
+    ( "machine.prefetch",
+      [
+        Alcotest.test_case "hides sequential misses" `Quick test_prefetch_hides_sequential_misses;
+        Alcotest.test_case "stays in stream columns" `Quick test_prefetch_stays_in_stream_columns;
+        Alcotest.test_case "stops at region boundary" `Quick test_prefetch_stops_at_region_boundary;
+        Alcotest.test_case "clear" `Quick test_clear_streaming;
+      ] );
+    ( "machine.l2",
+      [
+        Alcotest.test_case "L2 absorbs L1 misses" `Quick test_l2_absorbs_l1_misses;
+        Alcotest.test_case "L2 miss costs memory" `Quick test_l2_miss_costs_memory;
+        Alcotest.test_case "no L2 no counters" `Quick test_no_l2_no_counters;
+        Alcotest.test_case "L2 speeds up thrash" `Quick test_l2_speeds_up_thrashing_workload;
+      ] );
+  ]

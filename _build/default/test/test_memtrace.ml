@@ -1,0 +1,314 @@
+(* Tests for the memtrace library: access records, trace containers and the
+   synthetic generators. *)
+
+module Access = Memtrace.Access
+module Trace = Memtrace.Trace
+module Synthetic = Memtrace.Synthetic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Access --- *)
+
+let test_access_make () =
+  let a = Access.make ~kind:Access.Write ~var:"x" ~gap:3 0x100 in
+  check_int "addr" 0x100 a.Access.addr;
+  check_int "instructions" 4 (Access.instructions a);
+  check_bool "kind" true (a.Access.kind = Access.Write)
+
+let test_access_defaults () =
+  let a = Access.make 42 in
+  check_bool "read by default" true (a.Access.kind = Access.Read);
+  check_int "gap" 0 a.Access.gap;
+  check_bool "no var" true (a.Access.var = None)
+
+let test_access_invalid () =
+  Alcotest.check_raises "negative addr" (Invalid_argument "Access.make: negative address")
+    (fun () -> ignore (Access.make (-1)));
+  Alcotest.check_raises "negative gap" (Invalid_argument "Access.make: negative gap")
+    (fun () -> ignore (Access.make ~gap:(-2) 0))
+
+let test_access_line () =
+  let a = Access.make 0x47 in
+  check_int "line 16B" 4 (Access.line ~line_size:16 a);
+  check_int "line 32B" 2 (Access.line ~line_size:32 a)
+
+let test_access_string_roundtrip () =
+  let samples =
+    [
+      Access.make ~kind:Access.Write ~var:"buf" ~gap:7 0xdead0;
+      Access.make ~kind:Access.Ifetch 0;
+      Access.make ~var:"a_b.c" 12345;
+    ]
+  in
+  List.iter
+    (fun a ->
+      let b = Access.of_string (Access.to_string a) in
+      check_bool "roundtrip" true (Access.equal a b))
+    samples
+
+let test_access_of_string_errors () =
+  check_bool "garbage raises" true
+    (try
+       ignore (Access.of_string "nonsense");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad addr raises" true
+    (try
+       ignore (Access.of_string "R xyz - 0");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Trace --- *)
+
+let mk addrs = Trace.of_list (List.map Access.make addrs)
+
+let test_trace_basic () =
+  let t = mk [ 1; 2; 3 ] in
+  check_int "length" 3 (Trace.length t);
+  check_int "get" 2 (Trace.get t 1).Access.addr;
+  check_bool "empty" true (Trace.is_empty Trace.empty)
+
+let test_trace_get_out_of_bounds () =
+  let t = mk [ 1 ] in
+  check_bool "raises" true
+    (try
+       ignore (Trace.get t 5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_append_concat () =
+  let a = mk [ 1; 2 ] and b = mk [ 3 ] in
+  check_bool "append" true (Trace.equal (Trace.append a b) (mk [ 1; 2; 3 ]));
+  check_bool "concat" true
+    (Trace.equal (Trace.concat [ a; Trace.empty; b ]) (mk [ 1; 2; 3 ]))
+
+let test_trace_instructions () =
+  let t =
+    Trace.of_list [ Access.make ~gap:2 0; Access.make 4; Access.make ~gap:5 8 ]
+  in
+  check_int "instructions" 10 (Trace.instructions t)
+
+let test_trace_shift () =
+  let t = mk [ 0; 16 ] in
+  let s = Trace.shift t ~offset:32 in
+  check_int "shifted first" 32 (Trace.get s 0).Access.addr;
+  check_int "shifted second" 48 (Trace.get s 1).Access.addr
+
+let test_trace_vars () =
+  let t =
+    Trace.of_list
+      [
+        Access.make ~var:"a" 0;
+        Access.make 4;
+        Access.make ~var:"b" 8;
+        Access.make ~var:"a" 12;
+      ]
+  in
+  Alcotest.(check (list string)) "vars in order" [ "a"; "b" ] (Trace.vars t);
+  check_int "filter_var a" 2 (Trace.length (Trace.filter_var t "a"))
+
+let test_trace_addr_range () =
+  check_bool "empty none" true (Trace.addr_range Trace.empty = None);
+  check_bool "range" true (Trace.addr_range (mk [ 5; 1; 9 ]) = Some (1, 9))
+
+let test_trace_footprint () =
+  let t = mk [ 0; 4; 8; 16; 31; 32 ] in
+  check_int "lines" 3 (Trace.footprint ~line_size:16 t)
+
+let test_trace_string_roundtrip () =
+  let t =
+    Trace.of_list
+      [ Access.make ~var:"x" ~gap:1 0x10; Access.write ~gap:2 0x20 ]
+  in
+  check_bool "roundtrip" true (Trace.equal t (Trace.of_string (Trace.to_string t)))
+
+let test_builder () =
+  let b = Trace.Builder.create ~initial_capacity:1 () in
+  for i = 0 to 99 do
+    Trace.Builder.emit b (i * 4)
+  done;
+  check_int "builder length" 100 (Trace.Builder.length b);
+  let t = Trace.Builder.build b in
+  check_int "built length" 100 (Trace.length t);
+  check_int "last addr" 396 (Trace.get t 99).Access.addr
+
+(* --- Synthetic --- *)
+
+let test_sequential () =
+  let t = Synthetic.sequential ~base:100 ~count:5 ~stride:8 () in
+  Alcotest.(check (list int))
+    "addresses"
+    [ 100; 108; 116; 124; 132 ]
+    (List.map (fun a -> a.Access.addr) (Trace.to_list t))
+
+let test_repeat_walk () =
+  let t = Synthetic.repeat_walk ~base:0 ~len:3 ~stride:4 ~passes:2 () in
+  Alcotest.(check (list int))
+    "two passes"
+    [ 0; 4; 8; 0; 4; 8 ]
+    (List.map (fun a -> a.Access.addr) (Trace.to_list t))
+
+let test_uniform_random_deterministic () =
+  let t1 = Synthetic.uniform_random ~seed:7 ~base:0 ~span:1024 ~count:50 () in
+  let t2 = Synthetic.uniform_random ~seed:7 ~base:0 ~span:1024 ~count:50 () in
+  check_bool "same seed same trace" true (Trace.equal t1 t2);
+  let t3 = Synthetic.uniform_random ~seed:8 ~base:0 ~span:1024 ~count:50 () in
+  check_bool "different seed differs" false (Trace.equal t1 t3)
+
+let test_uniform_random_in_span () =
+  let t = Synthetic.uniform_random ~seed:3 ~base:4096 ~span:256 ~count:200 () in
+  Trace.iter
+    (fun a ->
+      check_bool "in span" true (a.Access.addr >= 4096 && a.Access.addr < 4096 + 256);
+      check_int "aligned" 0 (a.Access.addr mod 4))
+    t
+
+let test_interleave () =
+  let a = mk [ 1; 2; 3; 4 ] and b = mk [ 10; 20 ] in
+  let t = Synthetic.interleave [ a; b ] ~quantum:2 in
+  Alcotest.(check (list int))
+    "round robin"
+    [ 1; 2; 10; 20; 3; 4 ]
+    (List.map (fun x -> x.Access.addr) (Trace.to_list t))
+
+(* --- Trace_file --- *)
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_trace_file_roundtrip () =
+  let t =
+    Trace.of_list
+      [
+        Access.make ~var:"x" ~gap:3 0x100;
+        Access.write ~gap:1 0x200;
+        Access.make ~kind:Access.Ifetch 0x300;
+      ]
+  in
+  let path = tmp_path "colcache_test_roundtrip.trace" in
+  Memtrace.Trace_file.save ~path t;
+  let t' = Memtrace.Trace_file.load ~path in
+  Sys.remove path;
+  check_bool "roundtrip" true (Trace.equal t t')
+
+let test_trace_file_empty () =
+  let path = tmp_path "colcache_test_empty.trace" in
+  Memtrace.Trace_file.save ~path Trace.empty;
+  let t = Memtrace.Trace_file.load ~path in
+  Sys.remove path;
+  check_bool "empty roundtrip" true (Trace.is_empty t)
+
+let test_trace_file_bad_header () =
+  let path = tmp_path "colcache_test_bad.trace" in
+  let oc = open_out path in
+  output_string oc "not a trace
+";
+  close_out oc;
+  let raised =
+    try ignore (Memtrace.Trace_file.load ~path); false
+    with Invalid_argument _ -> true
+  in
+  Sys.remove path;
+  check_bool "bad header rejected" true raised
+
+let test_trace_file_count_mismatch () =
+  let path = tmp_path "colcache_test_mismatch.trace" in
+  let oc = open_out path in
+  output_string oc "colcache-trace v1 5
+R 0x0 - 0
+";
+  close_out oc;
+  let raised =
+    try ignore (Memtrace.Trace_file.load ~path); false
+    with Invalid_argument _ -> true
+  in
+  Sys.remove path;
+  check_bool "count mismatch rejected" true raised
+
+(* --- properties --- *)
+
+let gen_access =
+  QCheck.Gen.(
+    let* addr = int_bound 0xFFFFF in
+    let* gap = int_bound 20 in
+    let* kind = oneofl [ Access.Read; Access.Write; Access.Ifetch ] in
+    let* var = opt (oneofl [ "a"; "b"; "stream"; "tbl" ]) in
+    return (Access.make ~kind ?var ~gap addr))
+
+let arb_trace =
+  QCheck.make
+    ~print:(fun t -> Trace.to_string t)
+    QCheck.Gen.(map Trace.of_list (list_size (int_bound 60) gen_access))
+
+let prop_trace_string_roundtrip =
+  QCheck.Test.make ~name:"trace to_string/of_string roundtrip" ~count:200
+    arb_trace (fun t -> Trace.equal t (Trace.of_string (Trace.to_string t)))
+
+let prop_shift_preserves_structure =
+  QCheck.Test.make ~name:"shift preserves length and instruction count" ~count:200
+    arb_trace (fun t ->
+      let s = Trace.shift t ~offset:4096 in
+      Trace.length s = Trace.length t
+      && Trace.instructions s = Trace.instructions t)
+
+let prop_concat_length =
+  QCheck.Test.make ~name:"concat sums lengths" ~count:100
+    (QCheck.pair arb_trace arb_trace) (fun (a, b) ->
+      Trace.length (Trace.concat [ a; b ]) = Trace.length a + Trace.length b)
+
+let prop_footprint_bounded =
+  QCheck.Test.make ~name:"footprint <= length and >= 1 when non-empty" ~count:200
+    arb_trace (fun t ->
+      let f = Trace.footprint ~line_size:16 t in
+      if Trace.is_empty t then f = 0 else f >= 1 && f <= Trace.length t)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_trace_string_roundtrip;
+      prop_shift_preserves_structure;
+      prop_concat_length;
+      prop_footprint_bounded;
+    ]
+
+let suites =
+  [
+    ( "memtrace.access",
+      [
+        Alcotest.test_case "make" `Quick test_access_make;
+        Alcotest.test_case "defaults" `Quick test_access_defaults;
+        Alcotest.test_case "invalid args" `Quick test_access_invalid;
+        Alcotest.test_case "line address" `Quick test_access_line;
+        Alcotest.test_case "string roundtrip" `Quick test_access_string_roundtrip;
+        Alcotest.test_case "of_string errors" `Quick test_access_of_string_errors;
+      ] );
+    ( "memtrace.trace",
+      [
+        Alcotest.test_case "basic" `Quick test_trace_basic;
+        Alcotest.test_case "out of bounds" `Quick test_trace_get_out_of_bounds;
+        Alcotest.test_case "append/concat" `Quick test_trace_append_concat;
+        Alcotest.test_case "instructions" `Quick test_trace_instructions;
+        Alcotest.test_case "shift" `Quick test_trace_shift;
+        Alcotest.test_case "vars" `Quick test_trace_vars;
+        Alcotest.test_case "addr_range" `Quick test_trace_addr_range;
+        Alcotest.test_case "footprint" `Quick test_trace_footprint;
+        Alcotest.test_case "string roundtrip" `Quick test_trace_string_roundtrip;
+        Alcotest.test_case "builder" `Quick test_builder;
+      ] );
+    ( "memtrace.synthetic",
+      [
+        Alcotest.test_case "sequential" `Quick test_sequential;
+        Alcotest.test_case "repeat walk" `Quick test_repeat_walk;
+        Alcotest.test_case "random determinism" `Quick test_uniform_random_deterministic;
+        Alcotest.test_case "random span" `Quick test_uniform_random_in_span;
+        Alcotest.test_case "interleave" `Quick test_interleave;
+      ] );
+    ( "memtrace.trace_file",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_trace_file_roundtrip;
+        Alcotest.test_case "empty" `Quick test_trace_file_empty;
+        Alcotest.test_case "bad header" `Quick test_trace_file_bad_header;
+        Alcotest.test_case "count mismatch" `Quick test_trace_file_count_mismatch;
+      ] );
+    ("memtrace.properties", qcheck_cases);
+  ]

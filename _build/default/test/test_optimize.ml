@@ -1,0 +1,260 @@
+(* Tests for the IR optimizer: each pass in isolation, semantics
+   preservation on the real workloads, and access-count reductions. *)
+
+open Ir.Build
+module Ast = Ir.Ast
+module Interp = Ir.Interp
+module Optimize = Ir.Optimize
+module Trace = Memtrace.Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_out ?init p =
+  let r = Interp.run ?init p ~proc:"main" ~layout:(Interp.sequential_layout p) in
+  (r.Interp.memory "out").(0)
+
+let accesses_of ?init p proc =
+  Trace.length
+    (Interp.trace_of ?init p ~proc ~layout:(Interp.sequential_layout p))
+
+(* --- constant folding --- *)
+
+let test_fold_constants () =
+  let p =
+    program ~vars:[ scalar "out" () ]
+      [ proc "main" [ set "out" ((i 3 + i 4) * (i 10 - i 8)) ] ]
+  in
+  let p' = Optimize.fold p in
+  (match List.hd (List.hd p'.Ast.procs).Ast.body with
+  | Ast.Assign_scalar ("out", Ast.Int 14) -> ()
+  | _ -> Alcotest.fail "expected folded constant 14");
+  check_int "same value" (run_out p) (run_out p')
+
+let test_fold_identities () =
+  let p =
+    program ~vars:[ scalar "out" (); scalar "x" () ]
+      [ proc "main" [ set "out" ((s "x" + i 0) * i 1) ] ]
+  in
+  let p' = Optimize.fold p in
+  match List.hd (List.hd p'.Ast.procs).Ast.body with
+  | Ast.Assign_scalar ("out", Ast.Scalar "x") -> ()
+  | _ -> Alcotest.fail "identities not simplified"
+
+let test_fold_strength_reduction () =
+  let p =
+    program ~vars:[ scalar "out" (); scalar "x" () ]
+      [ proc "main" [ set "out" (s "x" * i 8) ] ]
+  in
+  let p' = Optimize.fold p in
+  (match List.hd (List.hd p'.Ast.procs).Ast.body with
+  | Ast.Assign_scalar ("out", Ast.Binop (Ast.Shl, Ast.Scalar "x", Ast.Int 3)) -> ()
+  | _ -> Alcotest.fail "x*8 not reduced to shift");
+  let init _ _ = 5 in
+  check_int "same value" (run_out ~init p) (run_out ~init p')
+
+let test_fold_keeps_division_fault () =
+  let p =
+    program ~vars:[ scalar "out" () ] [ proc "main" [ set "out" (i 1 / i 0) ] ]
+  in
+  let p' = Optimize.fold p in
+  check_bool "still faults" true
+    (try ignore (run_out p'); false with Interp.Interp_error _ -> true)
+
+let test_fold_annihilation_gated_on_purity () =
+  (* x*0 with a Load on the left must NOT be removed: the load could fault *)
+  let p =
+    program
+      ~vars:[ scalar "out" (); array "a" ~elems:4 () ]
+      [ proc "main" [ set "out" (ld "a" (i 2) * i 0) ] ]
+  in
+  let p' = Optimize.fold p in
+  (match List.hd (List.hd p'.Ast.procs).Ast.body with
+  | Ast.Assign_scalar ("out", Ast.Int 0) -> Alcotest.fail "load dropped"
+  | Ast.Assign_scalar ("out", _) -> ()
+  | _ -> Alcotest.fail "unexpected shape");
+  (* pure operand: fold away *)
+  let q =
+    program ~vars:[ scalar "out" () ]
+      [ proc "main" [ set "out" (r "k" * i 0) ] ]
+  in
+  let q' = Optimize.fold q in
+  match List.hd (List.hd q'.Ast.procs).Ast.body with
+  | Ast.Assign_scalar ("out", Ast.Int 0) -> ()
+  | _ -> Alcotest.fail "pure annihilation missed"
+
+(* --- dead register elimination --- *)
+
+let test_dead_reg_removed () =
+  let p =
+    program ~vars:[ scalar "out" () ]
+      [ proc "main" [ setr "unused" (i 5 + i 6); set "out" (i 1) ] ]
+  in
+  let p' = Optimize.eliminate_dead_registers p in
+  check_int "one statement left" 1 (List.length (List.hd p'.Ast.procs).Ast.body)
+
+let test_dead_reg_with_load_kept () =
+  let p =
+    program
+      ~vars:[ scalar "out" (); array "a" ~elems:4 () ]
+      [ proc "main" [ setr "unused" (ld "a" (i 0)); set "out" (i 1) ] ]
+  in
+  let p' = Optimize.eliminate_dead_registers p in
+  check_int "load kept (could fault / is an access)" 2
+    (List.length (List.hd p'.Ast.procs).Ast.body)
+
+let test_live_reg_kept () =
+  let p =
+    program ~vars:[ scalar "out" () ]
+      [ proc "main" [ setr "v" (i 5); set "out" (r "v") ] ]
+  in
+  let p' = Optimize.eliminate_dead_registers p in
+  check_int "kept" 2 (List.length (List.hd p'.Ast.procs).Ast.body)
+
+(* --- loop-invariant hoisting --- *)
+
+let test_hoist_scalar_out_of_loop () =
+  let p =
+    program
+      ~vars:[ scalar "gain" (); array "buf" ~elems:64 () ]
+      [
+        proc "main"
+          [ for_ "k" (i 0) (i 64) [ st "buf" (r "k") (s "gain" * r "k") ] ];
+      ]
+  in
+  let p' = Optimize.hoist_loop_invariants p in
+  let init name _ = if name = "gain" then 3 else 0 in
+  (* 64 scalar loads + 64 stores -> 1 load + 64 stores *)
+  check_int "before" 128 (accesses_of ~init p "main");
+  check_int "after" 65 (accesses_of ~init p' "main");
+  (* results identical *)
+  let mem p =
+    (Interp.run ~init p ~proc:"main" ~layout:(Interp.sequential_layout p)).Interp.memory
+      "buf"
+  in
+  check_bool "same buffer" true (mem p = mem p')
+
+let test_hoist_skips_written_scalar () =
+  let p =
+    program
+      ~vars:[ scalar "acc" (); array "buf" ~elems:8 () ]
+      [
+        proc "main"
+          [ for_ "k" (i 0) (i 8) [ set "acc" (s "acc" + ld "buf" (r "k")) ] ];
+      ]
+  in
+  let p' = Optimize.hoist_loop_invariants p in
+  check_int "accesses unchanged" (accesses_of p "main") (accesses_of p' "main")
+
+let test_hoist_skips_unknown_trip_count () =
+  let p =
+    program
+      ~vars:[ scalar "gain" (); array "buf" ~elems:64 () ]
+      [
+        proc "main"
+          [
+            setr "n" (i 0);
+            (* bounds involve a register: the loop might run zero times *)
+            for_ "k" (r "n") (r "n") [ st "buf" (r "k") (s "gain") ];
+          ];
+      ]
+  in
+  let p' = Optimize.hoist_loop_invariants p in
+  check_int "no access added to zero-trip loop" (accesses_of p "main")
+    (accesses_of p' "main")
+
+let test_hoist_cascades_through_nest () =
+  let p =
+    program
+      ~vars:[ scalar "gain" (); array "buf" ~elems:64 () ]
+      [
+        proc "main"
+          [
+            for_ "a" (i 0) (i 8)
+              [ for_ "b" (i 0) (i 8) [ st "buf" ((r "a" * i 8) + r "b") (s "gain") ] ];
+          ];
+      ]
+  in
+  let p' = Optimize.optimize p in
+  (* 64 loads + 64 stores -> 1 load + 64 stores *)
+  check_int "single hoisted load" 65 (accesses_of p' "main")
+
+(* --- whole-program semantics preservation --- *)
+
+let routines_agree program init routines =
+  let opt = Optimize.optimize program in
+  List.iter
+    (fun proc ->
+      let layout = Interp.sequential_layout program in
+      let before = Interp.run ~init program ~proc ~layout in
+      let after = Interp.run ~init opt ~proc ~layout in
+      List.iter
+        (fun v ->
+          check_bool
+            (Printf.sprintf "%s: %s unchanged" proc v.Ast.name)
+            true
+            (before.Interp.memory v.Ast.name = after.Interp.memory v.Ast.name))
+        program.Ast.vars;
+      check_bool
+        (Printf.sprintf "%s: accesses not increased" proc)
+        true
+        (Trace.length after.Interp.trace <= Trace.length before.Interp.trace))
+    routines
+
+let test_optimize_preserves_mpeg () =
+  routines_agree Workloads.Mpeg.program Workloads.Mpeg.init
+    (Workloads.Mpeg.main :: Workloads.Mpeg.routines)
+
+let test_optimize_preserves_jpeg () =
+  routines_agree Workloads.Jpeg.program Workloads.Jpeg.init
+    (Workloads.Jpeg.main :: Workloads.Jpeg.routines)
+
+let test_optimize_reduces_dequant_accesses () =
+  (* dequant reloads qscale per element; hoisting removes ~256 loads *)
+  let before = accesses_of ~init:Workloads.Mpeg.init Workloads.Mpeg.program "dequant" in
+  let after =
+    accesses_of ~init:Workloads.Mpeg.init
+      (Optimize.optimize Workloads.Mpeg.program)
+      "dequant"
+  in
+  check_bool
+    (Printf.sprintf "fewer accesses (%d -> %d)" before after)
+    true
+    (after < before)
+
+let test_optimize_validates () =
+  (* the optimizer's output must itself be a valid program *)
+  let p = Optimize.optimize Workloads.Mpeg.program in
+  Ast.validate p
+
+let suites =
+  [
+    ( "optimize.fold",
+      [
+        Alcotest.test_case "constants" `Quick test_fold_constants;
+        Alcotest.test_case "identities" `Quick test_fold_identities;
+        Alcotest.test_case "strength reduction" `Quick test_fold_strength_reduction;
+        Alcotest.test_case "division fault kept" `Quick test_fold_keeps_division_fault;
+        Alcotest.test_case "annihilation purity" `Quick test_fold_annihilation_gated_on_purity;
+      ] );
+    ( "optimize.dead_regs",
+      [
+        Alcotest.test_case "dead removed" `Quick test_dead_reg_removed;
+        Alcotest.test_case "load kept" `Quick test_dead_reg_with_load_kept;
+        Alcotest.test_case "live kept" `Quick test_live_reg_kept;
+      ] );
+    ( "optimize.hoist",
+      [
+        Alcotest.test_case "hoists invariant scalar" `Quick test_hoist_scalar_out_of_loop;
+        Alcotest.test_case "skips written scalar" `Quick test_hoist_skips_written_scalar;
+        Alcotest.test_case "skips unknown trips" `Quick test_hoist_skips_unknown_trip_count;
+        Alcotest.test_case "cascades through nests" `Quick test_hoist_cascades_through_nest;
+      ] );
+    ( "optimize.whole_program",
+      [
+        Alcotest.test_case "mpeg semantics preserved" `Quick test_optimize_preserves_mpeg;
+        Alcotest.test_case "jpeg semantics preserved" `Quick test_optimize_preserves_jpeg;
+        Alcotest.test_case "dequant accesses reduced" `Quick test_optimize_reduces_dequant_accesses;
+        Alcotest.test_case "output validates" `Quick test_optimize_validates;
+      ] );
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the IF parser: print/parse inversion on every shipped program,
+   hand-written syntax (precedence, comments, optional annotations), and
+   error reporting. *)
+
+module Ast = Ir.Ast
+module Parse = Ir.Parse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let roundtrip name p () =
+  let printed = Format.asprintf "%a" Ast.pp_program p in
+  let reparsed = Parse.program printed in
+  check_bool (name ^ " roundtrips") true (reparsed = p)
+
+(* --- expressions --- *)
+
+let e = Parse.expr
+
+let test_expr_precedence () =
+  check_bool "mul binds tighter than add" true
+    (e "1 + 2 * 3" = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  check_bool "left assoc" true
+    (e "1 - 2 - 3"
+    = Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Int 1, Ast.Int 2), Ast.Int 3));
+  check_bool "parens override" true
+    (e "(1 + 2) * 3"
+    = Ast.Binop (Ast.Mul, Ast.Binop (Ast.Add, Ast.Int 1, Ast.Int 2), Ast.Int 3));
+  check_bool "shift below add" true
+    (e "1 << 2 + 3"
+    = Ast.Binop (Ast.Shl, Ast.Int 1, Ast.Binop (Ast.Add, Ast.Int 2, Ast.Int 3)))
+
+let test_expr_atoms () =
+  check_bool "register" true (e "%k" = Ast.Reg "k");
+  check_bool "scalar" true (e "gain" = Ast.Scalar "gain");
+  check_bool "load" true (e "buf[%k + 1]" = Ast.Load ("buf", Ast.Binop (Ast.Add, Ast.Reg "k", Ast.Int 1)));
+  check_bool "negative literal" true (e "-42" = Ast.Int (-42));
+  check_bool "unary minus" true (e "-(%k)" = Ast.Unary_minus (Ast.Reg "k"));
+  check_bool "min call" true
+    (e "min(%a, 7)" = Ast.Binop (Ast.Min, Ast.Reg "a", Ast.Int 7));
+  check_bool "identifier named min without paren is a scalar" true
+    (e "min" = Ast.Scalar "min")
+
+let test_expr_mod_vs_register () =
+  (* '%' with a space is the modulo operator; glued to a name it is a
+     register sigil *)
+  check_bool "modulo" true
+    (e "%a % 4" = Ast.Binop (Ast.Mod, Ast.Reg "a", Ast.Int 4))
+
+(* --- programs --- *)
+
+let test_parse_hand_written () =
+  let p =
+    Parse.program
+      {|
+      # a comment
+      array buf : 16 x 4B
+      scalar total : 4B   # trailing comment
+      proc main {
+        total := 0
+        for %k = 0 .. 16 {
+          if buf[%k] > 0 @0.25 {
+            total := total + buf[%k]
+          } else {
+            total := total - 1
+          }
+        }
+        while total >= 100 est 3 {
+          total := total >> 1
+        }
+        call helper
+      }
+      proc helper { }
+      |}
+  in
+  check_int "vars" 2 (List.length p.Ast.vars);
+  check_int "procs" 2 (List.length p.Ast.procs);
+  (* optional annotations captured *)
+  let main = List.hd p.Ast.procs in
+  (match main.Ast.body with
+  | [ _; Ast.For { body = [ Ast.If { cond; _ } ]; _ }; Ast.While { est_iterations; _ }; Ast.Call "helper" ] ->
+      check_bool "probability" true (cond.Ast.prob = 0.25);
+      check_int "est" 3 est_iterations
+  | _ -> Alcotest.fail "unexpected structure");
+  (* it runs *)
+  let r =
+    Ir.Interp.run ~init:(fun _ i -> i) p ~proc:"main"
+      ~layout:(Ir.Interp.sequential_layout p)
+  in
+  check_int "(sum 1..15 minus one) halved below 100" 59 (r.Ir.Interp.memory "total").(0)
+
+let test_parse_defaults () =
+  let p =
+    Parse.program
+      "scalar x : 4B proc main { if x == 0 { x := 1 } while x < 3 { x := x + 1 } }"
+  in
+  match (List.hd p.Ast.procs).Ast.body with
+  | [ Ast.If { cond; _ }; Ast.While { est_iterations; cond = wc; _ } ] ->
+      check_bool "default prob" true (cond.Ast.prob = 0.5);
+      check_bool "default prob while" true (wc.Ast.prob = 0.5);
+      check_int "default est" 16 est_iterations
+  | _ -> Alcotest.fail "unexpected structure"
+
+let expect_parse_error ?line src =
+  match Parse.program src with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Parse.Parse_error { line = l; _ } -> (
+      match line with
+      | Some expected -> check_int "error line" expected l
+      | None -> ())
+
+let test_parse_errors () =
+  expect_parse_error "array buf 16 x 4B proc main { }";
+  expect_parse_error "proc main { %x := }";
+  expect_parse_error "proc main { for k = 0 .. 4 { } }";
+  (* undeclared variable is a semantic error, not a parse error *)
+  check_bool "semantic error" true
+    (try ignore (Parse.program "proc main { ghost := 1 }"); false
+     with Ast.Invalid_program _ -> true)
+
+let test_parse_error_line_numbers () =
+  expect_parse_error ~line:3 "scalar x : 4B\nproc main {\n  %y := +\n}"
+
+let test_parse_file_roundtrip () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "colcache_prog.ir" in
+  let oc = open_out path in
+  output_string oc (Format.asprintf "%a" Ast.pp_program Workloads.Mpeg.program);
+  close_out oc;
+  let p = Parse.program_of_file path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (p = Workloads.Mpeg.program)
+
+let suites =
+  [
+    ( "parse.expr",
+      [
+        Alcotest.test_case "precedence" `Quick test_expr_precedence;
+        Alcotest.test_case "atoms" `Quick test_expr_atoms;
+        Alcotest.test_case "mod vs register" `Quick test_expr_mod_vs_register;
+      ] );
+    ( "parse.programs",
+      [
+        Alcotest.test_case "hand-written" `Quick test_parse_hand_written;
+        Alcotest.test_case "defaults" `Quick test_parse_defaults;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "error line numbers" `Quick test_parse_error_line_numbers;
+        Alcotest.test_case "file roundtrip" `Quick test_parse_file_roundtrip;
+      ] );
+    ( "parse.roundtrip",
+      [
+        Alcotest.test_case "mpeg" `Quick (roundtrip "mpeg" Workloads.Mpeg.program);
+        Alcotest.test_case "jpeg" `Quick (roundtrip "jpeg" Workloads.Jpeg.program);
+        Alcotest.test_case "matmul" `Quick
+          (roundtrip "matmul" (Workloads.Kernels.matmul ~n:5));
+        Alcotest.test_case "fir" `Quick
+          (roundtrip "fir" (Workloads.Kernels.fir ~taps:4 ~samples:8));
+        Alcotest.test_case "histogram" `Quick
+          (roundtrip "histogram" (Workloads.Kernels.histogram ~bins:4 ~samples:8));
+        Alcotest.test_case "hot_walk" `Quick
+          (roundtrip "hot_walk" (Workloads.Kernels.hot_walk ~hot_elems:8 ~passes:2));
+        Alcotest.test_case "optimized mpeg" `Quick
+          (roundtrip "optimized mpeg" (Ir.Optimize.optimize Workloads.Mpeg.program));
+      ] );
+  ]

@@ -1,0 +1,216 @@
+(* Tests for the profile library: lifetime extraction, overlap computation
+   and the paper's conflict-weight function. *)
+
+module Access = Memtrace.Access
+module Trace = Memtrace.Trace
+module Lifetime = Profile.Lifetime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk specs =
+  (* specs: (var, addr) list, in trace order *)
+  Trace.of_list (List.map (fun (var, addr) -> Access.make ~var addr) specs)
+
+let summary_of trace var = List.assoc var (Lifetime.of_trace trace)
+
+(* --- summary construction --- *)
+
+let test_summary_validation () =
+  check_bool "last < first rejected" true
+    (try ignore (Lifetime.summary ~accesses:1. ~first:5 ~last:2 ()); false
+     with Invalid_argument _ -> true);
+  check_bool "negative accesses rejected" true
+    (try ignore (Lifetime.summary ~accesses:(-1.) ~first:0 ~last:2 ()); false
+     with Invalid_argument _ -> true);
+  check_bool "descending positions rejected" true
+    (try
+       ignore (Lifetime.summary ~positions:[| 3; 1 |] ~accesses:2. ~first:1 ~last:3 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "positions outside lifetime rejected" true
+    (try
+       ignore (Lifetime.summary ~positions:[| 0; 9 |] ~accesses:2. ~first:1 ~last:3 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- of_trace --- *)
+
+let test_of_trace_basic () =
+  let t = mk [ ("a", 0); ("b", 4); ("a", 8); ("b", 12); ("b", 16) ] in
+  let a = summary_of t "a" and b = summary_of t "b" in
+  check_int "a first" 0 a.Lifetime.first;
+  check_int "a last" 2 a.Lifetime.last;
+  check_bool "a accesses" true (a.Lifetime.accesses = 2.);
+  check_int "b first" 1 b.Lifetime.first;
+  check_int "b last" 4 b.Lifetime.last;
+  check_bool "b positions" true (b.Lifetime.positions = Some [| 1; 3; 4 |])
+
+let test_of_trace_order_and_untagged () =
+  let t =
+    Trace.of_list
+      [ Access.make 0; Access.make ~var:"z" 4; Access.make ~var:"a" 8 ]
+  in
+  Alcotest.(check (list string))
+    "first-appearance order" [ "z"; "a" ]
+    (List.map fst (Lifetime.of_trace t))
+
+let test_of_trace_empty () =
+  check_bool "empty trace empty summaries" true (Lifetime.of_trace Trace.empty = [])
+
+(* --- overlap / live_at --- *)
+
+let s ?positions ~accesses ~first ~last () =
+  Lifetime.summary ?positions ~accesses ~first ~last ()
+
+let test_overlap () =
+  let a = s ~accesses:5. ~first:0 ~last:10 () in
+  let b = s ~accesses:5. ~first:5 ~last:20 () in
+  let c = s ~accesses:5. ~first:11 ~last:12 () in
+  check_bool "overlapping" true (Lifetime.overlap a b = Some (5, 10));
+  check_bool "disjoint" true (Lifetime.overlap a c = None);
+  check_bool "touching endpoint" true (Lifetime.overlap b c = Some (11, 12));
+  check_bool "live inside" true (Lifetime.live_at a 10);
+  check_bool "dead outside" false (Lifetime.live_at a 11)
+
+(* --- accesses_within --- *)
+
+let test_accesses_within_exact () =
+  let a = s ~positions:[| 0; 2; 4; 6; 8 |] ~accesses:5. ~first:0 ~last:8 () in
+  check_bool "all" true (Lifetime.accesses_within a ~lo:0 ~hi:8 = 5.);
+  check_bool "window" true (Lifetime.accesses_within a ~lo:2 ~hi:5 = 2.);
+  check_bool "inclusive ends" true (Lifetime.accesses_within a ~lo:4 ~hi:4 = 1.);
+  check_bool "empty window" true (Lifetime.accesses_within a ~lo:5 ~hi:3 = 0.)
+
+let test_accesses_within_uniform () =
+  (* no positions: uniform approximation over the lifetime *)
+  let a = s ~accesses:10. ~first:0 ~last:9 () in
+  check_bool "half window half accesses" true
+    (abs_float (Lifetime.accesses_within a ~lo:0 ~hi:4 -. 5.) < 1e-9);
+  check_bool "clipped window" true
+    (abs_float (Lifetime.accesses_within a ~lo:5 ~hi:100 -. 5.) < 1e-9)
+
+(* --- weight --- *)
+
+let test_weight_disjoint_zero () =
+  let a = s ~accesses:100. ~first:0 ~last:10 () in
+  let b = s ~accesses:100. ~first:11 ~last:20 () in
+  check_int "disjoint weight" 0 (Lifetime.weight a b)
+
+let test_weight_min_rule () =
+  (* a has 2 accesses in the overlap, b has 30: w = 2 *)
+  let a = s ~positions:[| 0; 5; 50; 55 |] ~accesses:4. ~first:0 ~last:55 () in
+  let b =
+    s
+      ~positions:(Array.init 30 (fun i -> 10 + i))
+      ~accesses:30. ~first:10 ~last:39 ()
+  in
+  (* overlap = [10,39]; a has positions {} in [10,39]... none! w=0 *)
+  check_int "no access in overlap" 0 (Lifetime.weight a b);
+  let a' = s ~positions:[| 0; 12; 20; 55 |] ~accesses:4. ~first:0 ~last:55 () in
+  check_int "min of overlap counts" 2 (Lifetime.weight a' b)
+
+let test_weight_symmetry () =
+  let a = s ~accesses:17. ~first:0 ~last:30 () in
+  let b = s ~accesses:40. ~first:10 ~last:50 () in
+  check_int "symmetric" (Lifetime.weight a b) (Lifetime.weight b a)
+
+let test_weight_from_real_trace () =
+  (* interleaved a/b: both live together; weight = min(count, count) *)
+  let t =
+    mk
+      (List.concat_map
+         (fun i -> [ ("a", i * 8); ("b", 1000 + (i * 8)) ])
+         [ 0; 1; 2; 3; 4 ])
+  in
+  let a = summary_of t "a" and b = summary_of t "b" in
+  (* a's positions 0,2,4,6,8; b's 1,3,5,7,9; overlap [1,8]: a has 4, b 4 *)
+  check_int "interleaved weight" 4 (Lifetime.weight a b)
+
+(* --- properties --- *)
+
+let gen_summary =
+  QCheck.Gen.(
+    let* first = int_bound 100 in
+    let* len = int_bound 100 in
+    let* n = int_bound 20 in
+    let last = first + len in
+    if n = 0 then return (s ~accesses:0. ~first ~last ())
+    else
+      let* positions =
+        list_size (return n) (int_range first last)
+      in
+      let positions = Array.of_list (List.sort compare positions) in
+      (* force endpoints to match first/last *)
+      positions.(0) <- first;
+      positions.(Array.length positions - 1) <- last;
+      let positions = Array.of_list (List.sort compare (Array.to_list positions)) in
+      return
+        (s ~positions ~accesses:(float_of_int (Array.length positions)) ~first
+           ~last ()))
+
+let arb_summary =
+  QCheck.make
+    ~print:(fun x -> Format.asprintf "%a" Lifetime.pp_summary x)
+    gen_summary
+
+let prop_weight_symmetric =
+  QCheck.Test.make ~name:"weight is symmetric" ~count:300
+    (QCheck.pair arb_summary arb_summary) (fun (a, b) ->
+      Lifetime.weight a b = Lifetime.weight b a)
+
+let prop_weight_nonneg_bounded =
+  QCheck.Test.make ~name:"0 <= weight <= min(total accesses)" ~count:300
+    (QCheck.pair arb_summary arb_summary) (fun (a, b) ->
+      let w = Lifetime.weight a b in
+      w >= 0
+      && float_of_int w
+         <= Float.min a.Lifetime.accesses b.Lifetime.accesses +. 0.5)
+
+let prop_disjoint_zero =
+  QCheck.Test.make ~name:"disjoint lifetimes weigh zero" ~count:300
+    (QCheck.pair arb_summary arb_summary) (fun (a, b) ->
+      match Lifetime.overlap a b with
+      | None -> Lifetime.weight a b = 0
+      | Some _ -> true)
+
+let prop_of_trace_accesses_sum =
+  QCheck.Test.make ~name:"per-var access counts sum to tagged accesses" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_bound 60)
+       (QCheck.pair (QCheck.oneofl [ "a"; "b"; "c" ]) (QCheck.int_bound 1000)))
+    (fun specs ->
+      let t = mk specs in
+      let total =
+        List.fold_left
+          (fun acc (_, s) -> acc +. s.Lifetime.accesses)
+          0. (Lifetime.of_trace t)
+      in
+      total = float_of_int (List.length specs))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_weight_symmetric;
+      prop_weight_nonneg_bounded;
+      prop_disjoint_zero;
+      prop_of_trace_accesses_sum;
+    ]
+
+let suites =
+  [
+    ( "profile.lifetime",
+      [
+        Alcotest.test_case "summary validation" `Quick test_summary_validation;
+        Alcotest.test_case "of_trace basic" `Quick test_of_trace_basic;
+        Alcotest.test_case "of_trace order/untagged" `Quick test_of_trace_order_and_untagged;
+        Alcotest.test_case "of_trace empty" `Quick test_of_trace_empty;
+        Alcotest.test_case "overlap/live_at" `Quick test_overlap;
+        Alcotest.test_case "accesses_within exact" `Quick test_accesses_within_exact;
+        Alcotest.test_case "accesses_within uniform" `Quick test_accesses_within_uniform;
+        Alcotest.test_case "weight disjoint" `Quick test_weight_disjoint_zero;
+        Alcotest.test_case "weight min rule" `Quick test_weight_min_rule;
+        Alcotest.test_case "weight symmetry" `Quick test_weight_symmetry;
+        Alcotest.test_case "weight from trace" `Quick test_weight_from_real_trace;
+      ] );
+    ("profile.properties", qcheck_cases);
+  ]
