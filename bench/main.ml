@@ -80,6 +80,16 @@ let bench_generality () = ignore (Colcache.Experiments.Generality.run ())
 let bench_ablation_optimizer () =
   ignore (Ir.Optimize.optimize Workloads.Mpeg.program)
 
+(* One differential-oracle scenario, fixed ahead of time so every sample
+   replays identical work (generation excluded from the timed region). *)
+let check_scenario =
+  lazy (Check.Gen.scenario ~max_events:160 (Check.Prng.create ~seed:7))
+
+let bench_check () =
+  match Check.Diff.run_scenario (Lazy.force check_scenario) with
+  | Check.Diff.Agree -> ()
+  | Check.Diff.Diverge _ -> failwith "bench: differential divergence"
+
 let tests =
   Test.make_grouped ~name:"colcache"
     [
@@ -100,6 +110,7 @@ let tests =
       Test.make ~name:"ablation_prefetch" (Staged.stage bench_ablation_prefetch);
       Test.make ~name:"generality_jpeg" (Staged.stage bench_generality);
       Test.make ~name:"ablation_optimizer" (Staged.stage bench_ablation_optimizer);
+      Test.make ~name:"check_differential" (Staged.stage bench_check);
     ]
 
 let run_bechamel () =

@@ -12,7 +12,9 @@
      colcache dynamic             run the per-routine schedule, show remap costs
      colcache layout  <routine>   show the computed placement for a routine
      colcache simulate <routine>  run one routine under a chosen partition
-     colcache trace   <routine>   dump the head of a routine's memory trace *)
+     colcache trace   <routine>   dump the head of a routine's memory trace
+     colcache check               differential soak: simulators vs naive oracle
+     colcache validate <file>     parse and validate an IF program file *)
 
 open Cmdliner
 
@@ -249,7 +251,7 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump (and optionally save) a routine's memory trace.")
     Term.(const run $ app_arg $ optimize_arg $ routine_arg $ count $ out)
 
-let check_cmd =
+let validate_cmd =
   let file =
     Arg.(
       required & pos 0 (some file) None
@@ -269,8 +271,101 @@ let check_cmd =
         exit 1
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse and validate an IF program file.")
+    (Cmd.info "validate" ~doc:"Parse and validate an IF program file.")
     Term.(const run $ file)
+
+let check_cmd =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed; a seed fully determines the batch.")
+  in
+  let iters =
+    Arg.(
+      value & opt int 500
+      & info [ "iters" ] ~docv:"K" ~doc:"Number of random scenarios to replay.")
+  in
+  let max_events =
+    Arg.(
+      value & opt int 160
+      & info [ "max-events" ] ~docv:"N" ~doc:"Upper bound on events per scenario.")
+  in
+  let bug =
+    let bug_conv =
+      Arg.enum
+        [
+          ("mru", Check.Oracle.Mru_instead_of_lru);
+          ("ignore-mask", Check.Oracle.Ignore_mask);
+          ("skip-writeback", Check.Oracle.Skip_writeback_count);
+        ]
+    in
+    Arg.(
+      value & opt (some bug_conv) None
+      & info [ "inject-bug" ] ~docv:"BUG"
+          ~doc:
+            "Plant an intentional defect in the oracle ($(b,mru), \
+             $(b,ignore-mask) or $(b,skip-writeback)) to demonstrate that \
+             the harness catches and shrinks it. Exit status is inverted: \
+             the run fails if the bug is NOT caught.")
+  in
+  let replay =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one saved scenario (the format printed for shrunk repros) instead of generating a batch.")
+  in
+  let run seed iters max_events bug replay =
+    match replay with
+    | Some path ->
+        let ic = open_in path in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let sc =
+          try Check.Scenario.of_string text
+          with Invalid_argument msg ->
+            Format.eprintf "%s: %s@." path msg;
+            exit 1
+        in
+        (match Check.Diff.run_scenario ?bug sc with
+        | Check.Diff.Agree -> Format.fprintf ppf "%s: simulators and oracle agree@." path
+        | Check.Diff.Diverge d ->
+            Format.fprintf ppf "%s: DIVERGENCE %a@." path Check.Diff.pp_divergence d;
+            exit 1)
+    | None -> (
+        match Check.Diff.soak ?bug ~max_events ~seed ~iters () with
+        | Ok summary ->
+            Format.fprintf ppf "check ok: %a@." Check.Diff.pp_summary summary;
+            if bug <> None then begin
+              Format.eprintf
+                "check: injected bug %s was NOT caught in %d iterations@."
+                (Check.Oracle.bug_to_string (Option.get bug))
+                iters;
+              exit 1
+            end
+        | Error (failure, summary) ->
+            if bug <> None then
+              Format.fprintf ppf
+                "check ok: injected bug %s caught and shrunk@.%a@.(%a)@."
+                (Check.Oracle.bug_to_string (Option.get bug))
+                Check.Diff.pp_failure failure Check.Diff.pp_summary summary
+            else begin
+              Format.eprintf "check FAILED (seed %d): %a@.(%a)@." seed
+                Check.Diff.pp_failure failure Check.Diff.pp_summary summary;
+              exit 1
+            end)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential conformance soak: replay random column-cache + \
+          TLB/tint scenarios through the real simulators and through a \
+          naive, obviously-correct oracle, comparing every access and the \
+          final state; divergences are shrunk to a minimal replayable \
+          repro.")
+    Term.(const run $ seed $ iters $ max_events $ bug $ replay)
 
 let runfile_cmd =
   let file =
@@ -341,7 +436,7 @@ let main_cmd =
       fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
       export_cmd;
       dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd;
-      check_cmd; runfile_cmd;
+      check_cmd; validate_cmd; runfile_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -103,12 +103,18 @@ let update_shadow t line =
   | None -> ()
   | Some shadow -> ignore (Lru_set.touch shadow line)
 
-let access t ?mask ~kind addr =
-  let cfg = t.cfg in
-  let full = Bitmask.full ~n:cfg.ways in
+(* The single choke point for mask validation: the replacement hardware must
+   always receive at least one permissible column, so an effective mask that
+   selects no way of this cache is a programming error, not a no-op. *)
+let effective_mask t ~who mask =
+  let full = Bitmask.full ~n:t.cfg.ways in
   let mask = match mask with None -> full | Some m -> Bitmask.inter m full in
   if Bitmask.is_empty mask then
-    invalid_arg "Sassoc.access: empty column mask";
+    invalid_arg (Printf.sprintf "Sassoc.%s: empty column mask" who);
+  mask
+
+let access t ?mask ~kind addr =
+  let mask = effective_mask t ~who:"access" mask in
   let line = line_of_addr t addr in
   let set = set_of_line t line in
   let tag = tag_of_line t line in
@@ -148,10 +154,7 @@ let access_record t ?mask (a : Memtrace.Access.t) =
   access t ?mask ~kind:a.kind a.addr
 
 let fill t ?mask addr =
-  let cfg = t.cfg in
-  let full = Bitmask.full ~n:cfg.ways in
-  let mask = match mask with None -> full | Some m -> Bitmask.inter m full in
-  if Bitmask.is_empty mask then invalid_arg "Sassoc.fill: empty column mask";
+  let mask = effective_mask t ~who:"fill" mask in
   let line = line_of_addr t addr in
   let set = set_of_line t line in
   let tag = tag_of_line t line in
@@ -186,6 +189,29 @@ let probe t addr =
 let way_of_line t line =
   let set = set_of_line t line in
   find_way t ~set ~tag:(tag_of_line t line)
+
+let set_of_addr t addr = set_of_line t (line_of_addr t addr)
+
+let set_occupancy t set =
+  if set < 0 || set >= t.cfg.sets then invalid_arg "Sassoc.set_occupancy";
+  let n = ref 0 in
+  for way = 0 to t.cfg.ways - 1 do
+    if Bytes.get t.valid (slot t ~set ~way) = '\001' then incr n
+  done;
+  !n
+
+let lines_in_set t set =
+  if set < 0 || set >= t.cfg.sets then invalid_arg "Sassoc.lines_in_set";
+  let out = ref [] in
+  for way = t.cfg.ways - 1 downto 0 do
+    if Bytes.get t.valid (slot t ~set ~way) = '\001' then
+      out := (way, line_of_slot t ~set ~way) :: !out
+  done;
+  !out
+
+let occupied_ways t set =
+  List.fold_left (fun m (way, _) -> Bitmask.add m way) Bitmask.empty
+    (lines_in_set t set)
 
 let lines_in_column t way =
   if way < 0 || way >= t.cfg.ways then invalid_arg "Sassoc.lines_in_column";

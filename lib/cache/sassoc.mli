@@ -59,6 +59,21 @@ val probe : t -> int -> int option
 val way_of_line : t -> int -> int option
 (** Which way currently caches the given line address, if any. *)
 
+val set_of_addr : t -> int -> int
+(** The set the address indexes into. *)
+
+val set_occupancy : t -> int -> int
+(** Number of valid ways in a set. Raises [Invalid_argument] on an
+    out-of-range set index. *)
+
+val lines_in_set : t -> int -> (int * int) list
+(** [(way, line)] pairs of the valid ways of a set, ascending by way. These
+    inspection hooks exist for the differential oracle in [colcache.check]
+    and for invariant checks in tests; simulation code does not use them. *)
+
+val occupied_ways : t -> int -> Bitmask.t
+(** Mask of the valid ways of a set ([lines_in_set] projected to ways). *)
+
 val lines_in_column : t -> int -> int list
 (** Line addresses currently valid in a column, ascending. *)
 

@@ -1,0 +1,320 @@
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Stats = Cache.Stats
+module Tint = Vm.Tint
+
+type divergence = {
+  step : int;
+  detail : string;
+}
+
+type outcome =
+  | Agree
+  | Diverge of divergence
+
+exception Found of string
+
+let failf fmt = Format.kasprintf (fun s -> raise (Found s)) fmt
+
+let pp_result ppf = function
+  | Sassoc.Hit { way } -> Format.fprintf ppf "hit way=%d" way
+  | Sassoc.Miss { way; evicted_line = None } ->
+      Format.fprintf ppf "miss way=%d evicted=-" way
+  | Sassoc.Miss { way; evicted_line = Some l } ->
+      Format.fprintf ppf "miss way=%d evicted=line:%d" way l
+
+let pp_outcome ppf = function
+  | Vm.Tlb.Hit -> Format.fprintf ppf "hit"
+  | Vm.Tlb.Miss -> Format.fprintf ppf "miss"
+
+let check = function Ok () -> () | Error msg -> raise (Found msg)
+
+(* Compare the two sides after one access. *)
+let compare_access ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome ~rres ~ores
+    =
+  if not (Bitmask.equal rmask omask) then
+    failf "resolved mask differs: real %a, oracle %a" Bitmask.pp rmask
+      Bitmask.pp omask;
+  if not (Tint.equal rtint otint) then
+    failf "resolved tint differs: real %a, oracle %a" Tint.pp rtint Tint.pp
+      otint;
+  if routcome <> ooutcome then
+    failf "tlb outcome differs: real %a, oracle %a" pp_outcome routcome
+      pp_outcome ooutcome;
+  if rres <> ores then
+    failf "cache result differs: real %a, oracle %a" pp_result rres pp_result
+      ores
+
+let compare_stats (r : Stats.t) (o : Stats.t) =
+  let pair name a b = if a <> b then failf "final %s differ: real %d, oracle %d" name a b in
+  pair "accesses" r.accesses o.accesses;
+  pair "hits" r.hits o.hits;
+  pair "misses" r.misses o.misses;
+  pair "cold misses" r.cold_misses o.cold_misses;
+  pair "capacity misses" r.capacity_misses o.capacity_misses;
+  pair "conflict misses" r.conflict_misses o.conflict_misses;
+  pair "evictions" r.evictions o.evictions;
+  pair "writebacks" r.writebacks o.writebacks;
+  if r.fills_per_way <> o.fills_per_way then
+    failf "final fills-per-way differ: real [%s], oracle [%s]"
+      (String.concat ";" (Array.to_list (Array.map string_of_int r.fills_per_way)))
+      (String.concat ";" (Array.to_list (Array.map string_of_int o.fills_per_way)))
+
+let compare_costs (r : Vm.Mapping.cost) (o : Vm.Mapping.cost) =
+  if r <> o then
+    failf "final reconfiguration costs differ: real (%a), oracle (%a)"
+      Vm.Mapping.pp_cost r Vm.Mapping.pp_cost o
+
+let run_scenario ?bug (sc : Scenario.t) =
+  let cfg = sc.cache in
+  let real = Sassoc.create cfg in
+  let mapping =
+    Vm.Mapping.create ~tlb_entries:sc.tlb_entries ~page_size:sc.page_size
+      ~columns:cfg.Sassoc.ways ()
+  in
+  let oracle = Oracle.create ?bug cfg in
+  let resolver =
+    Resolver.create ~page_size:sc.page_size ~columns:cfg.Sassoc.ways
+      ~tlb_entries:sc.tlb_entries
+  in
+  let monitor =
+    if cfg.Sassoc.policy = Cache.Policy.Lru && bug = None then
+      Some (Invariant.Lru_monitor.create cfg)
+    else None
+  in
+  (* Union of the masks each set was filled under, for the occupancy
+     invariant. *)
+  let fill_masks = Hashtbl.create 16 in
+  let note_fill_mask set mask =
+    let prev =
+      Option.value ~default:Bitmask.empty (Hashtbl.find_opt fill_masks set)
+    in
+    Hashtbl.replace fill_masks set (Bitmask.union prev mask)
+  in
+  let step = ref 0 in
+  let apply event =
+    match (event : Scenario.event) with
+    | Scenario.Access a ->
+        let rmask, rtint, routcome = Vm.Mapping.resolve mapping a.addr in
+        let omask, otint, ooutcome = Resolver.resolve resolver a.addr in
+        let rres = Sassoc.access real ~mask:rmask ~kind:a.kind a.addr in
+        let ores = Oracle.access oracle ~mask:omask ~kind:a.kind a.addr in
+        compare_access ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome ~rres
+          ~ores;
+        check (Invariant.victim_in_mask ~mask:rmask rres);
+        check (Invariant.stats_conserved (Sassoc.stats real));
+        (match rres with
+        | Sassoc.Miss _ ->
+            let set = Sassoc.set_of_addr real a.addr in
+            note_fill_mask set rmask;
+            check
+              (Invariant.occupancy_within real ~set
+                 ~allowed:(Hashtbl.find fill_masks set))
+        | Sassoc.Hit _ -> ());
+        Option.iter
+          (fun m ->
+            check (Invariant.Lru_monitor.note m ~mask:rmask ~kind:a.kind a.addr rres))
+          monitor
+    | Scenario.Retint { base; size; tint } ->
+        let tint = Tint.make tint in
+        let rn = Vm.Mapping.retint_region mapping ~base ~size tint in
+        let on = Resolver.retint_region resolver ~base ~size tint in
+        if rn <> on then
+          failf "retint page count differs: real %d, oracle %d" rn on
+    | Scenario.Remap { tint; mask } ->
+        let tint = Tint.make tint in
+        Vm.Mapping.remap_tint mapping tint mask;
+        Resolver.remap_tint resolver tint mask
+    | Scenario.Flush_tlb ->
+        Vm.Tlb.flush (Vm.Mapping.tlb mapping);
+        Resolver.flush_tlb resolver
+    | Scenario.Flush_cache ->
+        Sassoc.flush real;
+        Oracle.flush oracle;
+        Option.iter Invariant.Lru_monitor.flush monitor
+  in
+  try
+    List.iter
+      (fun e ->
+        apply e;
+        incr step)
+      sc.events;
+    (* Final-state comparison: statistics, full contents, VM costs. *)
+    compare_stats (Sassoc.stats real) (Oracle.stats oracle);
+    for set = 0 to cfg.Sassoc.sets - 1 do
+      let r = Sassoc.lines_in_set real set in
+      let o = Oracle.lines_in_set oracle set in
+      if r <> o then
+        failf "final contents of set %d differ: real has %d lines, oracle %d \
+               (first mismatch: %s)"
+          set (List.length r) (List.length o)
+          (let pp (w, l) = Printf.sprintf "way %d line %d" w l in
+           match
+             List.find_opt (fun p -> not (List.mem p o)) r
+           with
+           | Some p -> "real-only " ^ pp p
+           | None -> (
+               match List.find_opt (fun p -> not (List.mem p r)) o with
+               | Some p -> "oracle-only " ^ pp p
+               | None -> "ordering"))
+    done;
+    compare_costs (Vm.Mapping.cost mapping) (Resolver.cost resolver);
+    let rtlb = Vm.Mapping.tlb mapping in
+    if Vm.Tlb.hits rtlb <> Resolver.tlb_hits resolver
+       || Vm.Tlb.misses rtlb <> Resolver.tlb_misses resolver
+    then
+      failf "final TLB counters differ: real %d/%d, oracle %d/%d"
+        (Vm.Tlb.hits rtlb) (Vm.Tlb.misses rtlb)
+        (Resolver.tlb_hits resolver)
+        (Resolver.tlb_misses resolver);
+    Agree
+  with Found detail -> Diverge { step = !step; detail }
+
+(* --- shrinking ---------------------------------------------------------- *)
+
+let diverges ?bug sc =
+  match run_scenario ?bug sc with Diverge _ -> true | Agree -> false
+
+let shrink ?bug sc =
+  match run_scenario ?bug sc with
+  | Agree -> sc
+  | Diverge { step; _ } ->
+      (* Shortest diverging prefix first: everything after the divergence is
+         noise by construction. *)
+      let sc = ref (Scenario.truncate sc (min (step + 1) (Scenario.length sc))) in
+      let progressed = ref true in
+      while !progressed do
+        progressed := false;
+        (* Re-truncate: a removal may have moved the divergence earlier. *)
+        (match run_scenario ?bug !sc with
+        | Diverge { step; _ } when step + 1 < Scenario.length !sc ->
+            sc := Scenario.truncate !sc (step + 1);
+            progressed := true
+        | _ -> ());
+        (* Greedy deletion: keep any single-event removal that still
+           diverges. *)
+        let i = ref 0 in
+        while !i < Scenario.length !sc do
+          let candidate = Scenario.remove_event !sc !i in
+          if diverges ?bug candidate then begin
+            sc := candidate;
+            progressed := true
+          end
+          else incr i
+        done
+      done;
+      !sc
+
+(* --- soak driver -------------------------------------------------------- *)
+
+type summary = {
+  iters : int;
+  events : int;
+  accesses : int;
+  retints : int;
+  remaps : int;
+  policies : string list;
+  min_ways : int;
+  max_ways : int;
+}
+
+type failure = {
+  iteration : int;
+  scenario : Scenario.t;
+  divergence : divergence;
+}
+
+let policy_family = function
+  | Cache.Policy.Lru -> "lru"
+  | Cache.Policy.Fifo -> "fifo"
+  | Cache.Policy.Bit_plru -> "plru"
+  | Cache.Policy.Random _ -> "random"
+
+(* The first iterations pin the dimensions the acceptance bar names: both
+   geometry extremes and every policy family. *)
+let forced_ways = [| 1; Bitmask.max_columns; 2; 4; 3; 8; 16; Bitmask.max_columns |]
+
+let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
+  let rng = Prng.create ~seed in
+  let summary =
+    ref
+      {
+        iters = 0;
+        events = 0;
+        accesses = 0;
+        retints = 0;
+        remaps = 0;
+        policies = [];
+        min_ways = max_int;
+        max_ways = 0;
+      }
+  in
+  let account (sc : Scenario.t) =
+    let s = !summary in
+    let count f = List.length (List.filter f sc.events) in
+    let ways = sc.cache.Sassoc.ways in
+    summary :=
+      {
+        iters = s.iters + 1;
+        events = s.events + Scenario.length sc;
+        accesses = s.accesses + Scenario.accesses sc;
+        retints =
+          s.retints
+          + count (function Scenario.Retint _ -> true | _ -> false);
+        remaps =
+          s.remaps + count (function Scenario.Remap _ -> true | _ -> false);
+        policies =
+          (let f = policy_family sc.cache.Sassoc.policy in
+           if List.mem f s.policies then s.policies
+           else List.sort String.compare (f :: s.policies));
+        min_ways = min s.min_ways ways;
+        max_ways = max s.max_ways ways;
+      }
+  in
+  let rec loop i =
+    if i >= iters then Ok !summary
+    else begin
+      let sc =
+        if i < Array.length forced_ways then
+          Gen.scenario ~ways:forced_ways.(i)
+            ~policy:(List.nth Cache.Policy.all_kinds (i mod 4))
+            ?max_events rng
+        else Gen.scenario ?max_events rng
+      in
+      account sc;
+      match run_scenario ?bug sc with
+      | Agree ->
+          progress i;
+          loop (i + 1)
+      | Diverge _ ->
+          let shrunk = shrink ?bug sc in
+          let divergence =
+            match run_scenario ?bug shrunk with
+            | Diverge d -> d
+            | Agree -> { step = 0; detail = "shrunk scenario stopped diverging" }
+          in
+          Error ({ iteration = i; scenario = shrunk; divergence }, !summary)
+    end
+  in
+  loop 0
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "at event %d: %s" d.step d.detail
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>divergence on iteration %d, %a@,@,minimal repro (%d events, %d \
+     accesses):@,%a@]"
+    f.iteration pp_divergence f.divergence
+    (Scenario.length f.scenario)
+    (Scenario.accesses f.scenario)
+    Scenario.pp f.scenario
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps; \
+     policies: %s; ways %s)"
+    s.iters s.events s.accesses s.retints s.remaps
+    (String.concat "," s.policies)
+    (if s.min_ways > s.max_ways then "-"
+     else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

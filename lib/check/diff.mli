@@ -1,0 +1,62 @@
+(** The differential runner.
+
+    Replays a {!Scenario} through the real simulator stack
+    ({!Cache.Sassoc} + {!Vm.Mapping}) and through the naive models
+    ({!Oracle} + {!Resolver}) in lockstep, comparing after every event:
+    resolved masks and TLB outcomes, hit/miss results, victim ways, evicted
+    lines — plus the {!Invariant} checks — and, at the end of the trace,
+    full cache contents, the complete statistics record and the Figure 3
+    cost counters. On divergence the scenario is {!shrink}-ed: first
+    truncated to the shortest diverging prefix, then greedily stripped of
+    events that do not contribute, leaving a minimal replayable repro. *)
+
+type divergence = {
+  step : int;
+      (** index of the event at which the divergence was observed; equal to
+          the event count when only the final-state comparison differs *)
+  detail : string;
+}
+
+type outcome =
+  | Agree
+  | Diverge of divergence
+
+val run_scenario : ?bug:Oracle.bug -> Scenario.t -> outcome
+(** [bug] plants the defect in the {e oracle} side, for mutation-testing
+    the harness itself. *)
+
+val shrink : ?bug:Oracle.bug -> Scenario.t -> Scenario.t
+(** Smallest diverging scenario found; returns the input unchanged if it
+    does not diverge. *)
+
+(** Aggregate coverage of a {!soak} run, so tests can assert the batch
+    really exercised all policies and the geometry extremes. *)
+type summary = {
+  iters : int;
+  events : int;
+  accesses : int;
+  retints : int;
+  remaps : int;
+  policies : string list;  (** distinct policy families seen, sorted *)
+  min_ways : int;
+  max_ways : int;
+}
+
+type failure = {
+  iteration : int;  (** 0-based iteration that diverged *)
+  scenario : Scenario.t;  (** already shrunk *)
+  divergence : divergence;  (** divergence of the shrunk scenario *)
+}
+
+val soak :
+  ?bug:Oracle.bug -> ?max_events:int -> ?progress:(int -> unit) ->
+  seed:int -> iters:int -> unit -> (summary, failure * summary) result
+(** Generate and check [iters] scenarios from [seed]. The first few
+    iterations force coverage of the extremes (1 way,
+    {!Cache.Bitmask.max_columns} ways, every policy family); the rest are
+    fully random. Stops at the first divergence. [progress] is called with
+    each completed iteration index. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+val pp_failure : Format.formatter -> failure -> unit
+val pp_summary : Format.formatter -> summary -> unit

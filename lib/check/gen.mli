@@ -1,0 +1,26 @@
+(** Seeded random generation of differential test cases.
+
+    All generation draws from a caller-supplied {!Prng.t}, so a seed fully
+    determines the batch: CI failures name a seed and an iteration index,
+    and both replay anywhere. Geometries are biased toward small, collision-
+    heavy caches (few sets, few ways) because those exercise replacement
+    hardest, but every call can also produce the extremes — one way, or
+    {!Cache.Bitmask.max_columns} ways. *)
+
+val tint_names : string list
+(** The tint vocabulary scenarios draw from ("blue", "green", ...). *)
+
+val mask : Prng.t -> ways:int -> Cache.Bitmask.t
+(** A uniformly random {e non-empty} mask over columns [0..ways-1]. *)
+
+val scenario :
+  ?ways:int -> ?policy:Cache.Policy.kind -> ?max_events:int -> Prng.t ->
+  Scenario.t
+(** A random scenario: geometry, VM configuration and an event stream that
+    is mostly accesses with re-tints, re-maps and flushes mixed in.
+    [ways]/[policy] pin those dimensions (used to force coverage of the
+    extremes); [max_events] bounds the stream length (default 160). *)
+
+val trace : ?max_len:int -> Prng.t -> Memtrace.Trace.t
+(** A random plain access trace (kinds, vars, gaps, addresses), for
+    round-trip tests of {!Memtrace.Trace_file}. May be empty. *)

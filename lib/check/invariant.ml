@@ -1,0 +1,116 @@
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Stats = Cache.Stats
+
+let errf fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let victim_in_mask ~mask result =
+  match result with
+  | Sassoc.Hit _ -> Ok ()
+  | Sassoc.Miss { way; _ } ->
+      if Bitmask.mem mask way then Ok ()
+      else
+        errf "victim way %d outside column mask %a" way Bitmask.pp mask
+
+let stats_conserved (s : Stats.t) =
+  if s.hits + s.misses <> s.accesses then
+    errf "stats not conserved: hits %d + misses %d <> accesses %d" s.hits
+      s.misses s.accesses
+  else if s.writebacks > s.evictions then
+    errf "writebacks %d exceed evictions %d" s.writebacks s.evictions
+  else if s.cold_misses + s.capacity_misses + s.conflict_misses > s.misses
+  then
+    errf "classified misses %d exceed misses %d"
+      (s.cold_misses + s.capacity_misses + s.conflict_misses)
+      s.misses
+  else Ok ()
+
+let occupancy_within cache ~set ~allowed =
+  let occupied = Sassoc.occupied_ways cache set in
+  if Bitmask.subset occupied allowed then Ok ()
+  else
+    errf "set %d occupies ways %a outside the masks it was filled under (%a)"
+      set Bitmask.pp occupied Bitmask.pp allowed
+
+module Lru_monitor = struct
+  (* Per set: (way, line, last-touch tick) for every way believed valid. *)
+  type t = {
+    cfg : Sassoc.config;
+    mutable clock : int;
+    slots : (int * int, int * int) Hashtbl.t;  (* (set, way) -> line, tick *)
+  }
+
+  let create cfg =
+    if cfg.Sassoc.policy <> Cache.Policy.Lru then
+      invalid_arg "Lru_monitor.create: policy is not LRU";
+    { cfg; clock = 0; slots = Hashtbl.create 64 }
+
+  let tick t =
+    t.clock <- t.clock + 1;
+    t.clock
+
+  let note t ~mask ~kind:_ addr result =
+    let line = addr / t.cfg.Sassoc.line_size in
+    let set = line mod t.cfg.Sassoc.sets in
+    match result with
+    | Sassoc.Hit { way } -> (
+        match Hashtbl.find_opt t.slots (set, way) with
+        | Some (l, _) when l = line ->
+            Hashtbl.replace t.slots (set, way) (line, tick t);
+            Ok ()
+        | Some (l, _) ->
+            errf "hit reported in set %d way %d but monitor tracks line %d, \
+                  not %d" set way l line
+        | None ->
+            errf "hit reported in set %d way %d which the monitor believes \
+                  invalid" set way)
+    | Sassoc.Miss { way; evicted_line } -> (
+        let allowed = List.filter (Bitmask.mem mask)
+            (List.init t.cfg.Sassoc.ways Fun.id) in
+        let valid w = Hashtbl.mem t.slots (set, w) in
+        let check =
+          match List.find_opt (fun w -> not (valid w)) allowed with
+          | Some _ ->
+              (* an allowed way is free: no live line may be displaced *)
+              if valid way then
+                errf "set %d: evicted a live way %d while an allowed way \
+                      was free" set way
+              else Ok ()
+          | None ->
+              (* full set: the victim must be the least recently used *)
+              let lru =
+                List.fold_left
+                  (fun acc w ->
+                    let _, tk = Hashtbl.find t.slots (set, w) in
+                    match acc with
+                    | Some (_, best) when best <= tk -> acc
+                    | _ -> Some (w, tk))
+                  None allowed
+              in
+              (match lru with
+              | Some (w, _) when w = way -> Ok ()
+              | Some (w, _) ->
+                  errf "set %d: evicted way %d but LRU among allowed ways \
+                        is %d" set way w
+              | None -> errf "set %d: no allowed way" set)
+        in
+        match check with
+        | Error _ as e -> e
+        | Ok () -> (
+            let previous = Hashtbl.find_opt t.slots (set, way) in
+            match (previous, evicted_line) with
+            | Some (l, _), Some l' when l <> l' ->
+                errf "set %d way %d: reported eviction of line %d but \
+                      monitor tracks line %d" set way l' l
+            | Some _, None ->
+                errf "set %d way %d: eviction of a live line not reported"
+                  set way
+            | None, Some l' ->
+                errf "set %d way %d: reported eviction of line %d from an \
+                      invalid way" set way l'
+            | _ ->
+                Hashtbl.replace t.slots (set, way) (line, tick t);
+                Ok ()))
+
+  let flush t = Hashtbl.reset t.slots
+end

@@ -1,0 +1,48 @@
+(** Invariant checkers usable from any test.
+
+    Each checker returns [Ok ()] or [Error message]; they assert structural
+    properties that must hold of {e any} correct column cache, independent of
+    the differential oracle:
+
+    - victims land inside the supplied column mask;
+    - statistics are conserved (hits + misses = accesses, the three-C
+      breakdown sums to the misses, writebacks never exceed evictions);
+    - a set never occupies ways outside the union of the masks its fills
+      were given;
+    - under LRU, each eviction removes the least recently used line among
+      the allowed ways ({!Lru_monitor}). *)
+
+val victim_in_mask :
+  mask:Cache.Bitmask.t -> Cache.Sassoc.result -> (unit, string) result
+(** On a miss, the chosen way must be a member of [mask]. *)
+
+val stats_conserved : Cache.Stats.t -> (unit, string) result
+(** [hits + misses = accesses]; [writebacks <= evictions]; when any
+    classified misses are present, [cold + capacity + conflict <= misses]
+    (equality only holds when every miss was a classified demand miss, so
+    only the upper bound is checked). *)
+
+val occupancy_within :
+  Cache.Sassoc.t -> set:int -> allowed:Cache.Bitmask.t -> (unit, string) result
+(** Every valid way of [set] lies inside [allowed] — hence the set's
+    occupancy is at most [Bitmask.count allowed]. Callers accumulate
+    [allowed] as the union of every mask under which the set was filled. *)
+
+(** An independent per-set recency tracker for LRU caches: feed it every
+    access (and nothing else — no [fill]s) and it checks that each eviction
+    removed the least recently used line among the ways the mask allowed. *)
+module Lru_monitor : sig
+  type t
+
+  val create : Cache.Sassoc.config -> t
+  (** Raises [Invalid_argument] if the configured policy is not LRU. *)
+
+  val note :
+    t -> mask:Cache.Bitmask.t -> kind:Memtrace.Access.kind -> int ->
+    Cache.Sassoc.result -> (unit, string) result
+  (** Record one access and its observed result; errors describe the first
+      recency violation found. *)
+
+  val flush : t -> unit
+  (** Forget all tracked lines; call alongside {!Cache.Sassoc.flush}. *)
+end

@@ -1,0 +1,293 @@
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Stats = Cache.Stats
+module Access = Memtrace.Access
+
+type bug =
+  | Mru_instead_of_lru
+  | Ignore_mask
+  | Skip_writeback_count
+
+let bug_to_string = function
+  | Mru_instead_of_lru -> "mru-instead-of-lru"
+  | Ignore_mask -> "ignore-mask"
+  | Skip_writeback_count -> "skip-writeback-count"
+
+(* One resident cache line. The oracle stores whole line addresses and never
+   splits them into tag/index; set membership is recomputed from the line on
+   every scan. *)
+type cell = {
+  set : int;
+  way : int;
+  line : int;
+  mutable dirty : bool;
+}
+
+type t = {
+  cfg : Sassoc.config;
+  bug : bug option;
+  mutable cells : cell list;
+  (* Explicit recency state, one list per policy concern:
+     - [recency]: (set, way) slots, most recently used first (LRU);
+     - [fill_order]: (set, way) slots, oldest fill first (FIFO);
+     - [mru_marked]: (set, way) slots whose bit-PLRU MRU bit is set. *)
+  mutable recency : (int * int) list;
+  mutable fill_order : (int * int) list;
+  mutable mru_marked : (int * int) list;
+  mutable rng : int64;  (* xorshift64* state, bit-compatible with Policy *)
+  (* Shadow structures for three-C classification: a fully-associative LRU
+     of the same total capacity (most recent first) and the set of lines
+     ever referenced. *)
+  mutable shadow : int list;
+  mutable seen : int list;
+  stats : Stats.t;
+}
+
+let create ?bug cfg =
+  (* Reuse the real validator: the oracle accepts exactly the geometries the
+     simulator accepts. *)
+  ignore (Sassoc.create cfg);
+  let seed =
+    match cfg.Sassoc.policy with
+    | Cache.Policy.Random s when s <> 0 -> s
+    | Cache.Policy.Random _ -> 1
+    | _ -> 1
+  in
+  {
+    cfg;
+    bug;
+    cells = [];
+    recency = [];
+    fill_order = [];
+    mru_marked = [];
+    rng = Int64.of_int seed;
+    shadow = [];
+    seen = [];
+    stats = Stats.create ~ways:cfg.Sassoc.ways;
+  }
+
+let geometry t = t.cfg
+let stats t = t.stats
+let line_of_addr t addr = addr / t.cfg.Sassoc.line_size
+let set_of_line t line = line mod t.cfg.Sassoc.sets
+
+let find_cell t ~set ~way =
+  List.find_opt (fun c -> c.set = set && c.way = way) t.cells
+
+let cell_of_line t line =
+  let set = set_of_line t line in
+  List.find_opt (fun c -> c.set = set && c.line = line) t.cells
+
+let remove_cell t ~set ~way =
+  t.cells <- List.filter (fun c -> not (c.set = set && c.way = way)) t.cells
+
+(* --- recency bookkeeping ------------------------------------------------ *)
+
+let promote t slot =
+  t.recency <- slot :: List.filter (fun s -> s <> slot) t.recency
+
+let record_fill_order t slot =
+  t.fill_order <- List.filter (fun s -> s <> slot) t.fill_order @ [ slot ]
+
+let plru_touch t ~set ~way =
+  let slot = (set, way) in
+  if not (List.mem slot t.mru_marked) then
+    t.mru_marked <- slot :: t.mru_marked;
+  let all_marked =
+    List.for_all
+      (fun w -> List.mem (set, w) t.mru_marked)
+      (List.init t.cfg.Sassoc.ways Fun.id)
+  in
+  if all_marked then
+    t.mru_marked <-
+      List.filter (fun (s, w) -> s <> set || w = way) t.mru_marked
+
+let on_hit t ~set ~way =
+  match t.cfg.Sassoc.policy with
+  | Cache.Policy.Lru -> promote t (set, way)
+  | Cache.Policy.Fifo -> ()
+  | Cache.Policy.Bit_plru -> plru_touch t ~set ~way
+  | Cache.Policy.Random _ -> ()
+
+let on_fill t ~set ~way =
+  match t.cfg.Sassoc.policy with
+  | Cache.Policy.Lru -> promote t (set, way)
+  | Cache.Policy.Fifo -> record_fill_order t (set, way)
+  | Cache.Policy.Bit_plru -> plru_touch t ~set ~way
+  | Cache.Policy.Random _ -> ()
+
+(* Same xorshift64* step as Policy.next_random, so that a shared seed yields
+   the same victim sequence. *)
+let next_random t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL)
+
+(* --- victim selection --------------------------------------------------- *)
+
+let victim t ~set ~mask =
+  let mask =
+    match t.bug with
+    | Some Ignore_mask -> Bitmask.full ~n:t.cfg.Sassoc.ways
+    | _ -> mask
+  in
+  let candidates =
+    List.filter (Bitmask.mem mask) (List.init t.cfg.Sassoc.ways Fun.id)
+  in
+  assert (candidates <> []);
+  match
+    List.find_opt (fun w -> find_cell t ~set ~way:w = None) candidates
+  with
+  | Some w -> w  (* an empty allowed way always wins over live data *)
+  | None -> (
+      match t.cfg.Sassoc.policy with
+      | Cache.Policy.Lru ->
+          (* Least recently used = the candidate deepest in the recency
+             list (with the planted MRU bug: shallowest). *)
+          let pos w =
+            let rec idx i = function
+              | [] -> max_int
+              | s :: tl -> if s = (set, w) then i else idx (i + 1) tl
+            in
+            idx 0 t.recency
+          in
+          let better a b =
+            match t.bug with
+            | Some Mru_instead_of_lru -> pos a < pos b
+            | _ -> pos a > pos b
+          in
+          List.fold_left
+            (fun acc w -> if better w acc then w else acc)
+            (List.hd candidates) (List.tl candidates)
+      | Cache.Policy.Fifo ->
+          (* Oldest fill first: scan the fill-order list front to back. *)
+          let rec first = function
+            | [] -> assert false
+            | (s, w) :: tl ->
+                if s = set && List.mem w candidates then w else first tl
+          in
+          first t.fill_order
+      | Cache.Policy.Bit_plru -> (
+          match
+            List.find_opt
+              (fun w -> not (List.mem (set, w) t.mru_marked))
+              candidates
+          with
+          | Some w -> w
+          | None -> List.hd candidates)
+      | Cache.Policy.Random _ ->
+          let n = List.length candidates in
+          List.nth candidates (next_random t mod n))
+
+(* --- shadow / classification -------------------------------------------- *)
+
+let classify_miss t line =
+  if t.cfg.Sassoc.classify then begin
+    let cold = not (List.mem line t.seen) in
+    if cold then begin
+      t.seen <- line :: t.seen;
+      t.stats.Stats.cold_misses <- t.stats.Stats.cold_misses + 1
+    end;
+    let shadow_hit = List.mem line t.shadow in
+    if not cold then
+      if shadow_hit then
+        t.stats.Stats.conflict_misses <- t.stats.Stats.conflict_misses + 1
+      else t.stats.Stats.capacity_misses <- t.stats.Stats.capacity_misses + 1
+  end
+
+let update_shadow t line =
+  if t.cfg.Sassoc.classify then begin
+    let capacity = t.cfg.Sassoc.sets * t.cfg.Sassoc.ways in
+    let without = List.filter (fun l -> l <> line) t.shadow in
+    let shadow = line :: without in
+    t.shadow <-
+      (if List.length shadow > capacity then
+         List.filteri (fun i _ -> i < capacity) shadow
+       else shadow)
+  end
+
+(* --- eviction + install ------------------------------------------------- *)
+
+let evict_and_install t ~set ~way ~line ~dirty ~count_writeback =
+  let evicted_line =
+    match find_cell t ~set ~way with
+    | Some c ->
+        t.stats.Stats.evictions <- t.stats.Stats.evictions + 1;
+        if c.dirty && count_writeback then
+          t.stats.Stats.writebacks <- t.stats.Stats.writebacks + 1;
+        remove_cell t ~set ~way;
+        Some c.line
+    | None -> None
+  in
+  t.cells <- { set; way; line; dirty } :: t.cells;
+  on_fill t ~set ~way;
+  t.stats.Stats.fills_per_way.(way) <- t.stats.Stats.fills_per_way.(way) + 1;
+  evicted_line
+
+let effective_mask t ~who mask =
+  let full = Bitmask.full ~n:t.cfg.Sassoc.ways in
+  let mask = match mask with None -> full | Some m -> Bitmask.inter m full in
+  if Bitmask.is_empty mask then
+    invalid_arg (Printf.sprintf "Oracle.%s: empty column mask" who);
+  mask
+
+let count_writeback t = t.bug <> Some Skip_writeback_count
+
+let access t ?mask ~kind addr =
+  let mask = effective_mask t ~who:"access" mask in
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  t.stats.Stats.accesses <- t.stats.Stats.accesses + 1;
+  match cell_of_line t line with
+  | Some c ->
+      t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      on_hit t ~set ~way:c.way;
+      if kind = Access.Write then c.dirty <- true;
+      update_shadow t line;
+      Sassoc.Hit { way = c.way }
+  | None ->
+      t.stats.Stats.misses <- t.stats.Stats.misses + 1;
+      classify_miss t line;
+      update_shadow t line;
+      let way = victim t ~set ~mask in
+      let evicted_line =
+        evict_and_install t ~set ~way ~line ~dirty:(kind = Access.Write)
+          ~count_writeback:(count_writeback t)
+      in
+      Sassoc.Miss { way; evicted_line }
+
+let fill t ?mask addr =
+  let mask = effective_mask t ~who:"fill" mask in
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  match cell_of_line t line with
+  | Some c -> Sassoc.Hit { way = c.way }
+  | None ->
+      let way = victim t ~set ~mask in
+      let evicted_line =
+        evict_and_install t ~set ~way ~line ~dirty:false
+          ~count_writeback:(count_writeback t)
+      in
+      update_shadow t line;
+      Sassoc.Miss { way; evicted_line }
+
+let probe t addr =
+  Option.map (fun c -> c.way) (cell_of_line t (line_of_addr t addr))
+
+let way_of_line t line = Option.map (fun c -> c.way) (cell_of_line t line)
+let valid_lines t = List.length t.cells
+
+let lines_in_set t set =
+  List.filter (fun c -> c.set = set) t.cells
+  |> List.map (fun c -> (c.way, c.line))
+  |> List.sort compare
+
+let invalidate_line t line =
+  match cell_of_line t line with
+  | None -> ()
+  | Some c -> remove_cell t ~set:c.set ~way:c.way
+
+let flush t = t.cells <- []

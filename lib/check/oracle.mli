@@ -1,0 +1,57 @@
+(** A deliberately naive, obviously-correct model of the column cache.
+
+    This is the trusted half of the differential harness: it implements the
+    exact observable semantics of {!Cache.Sassoc} — lookup over every way,
+    replacement restricted to a software-supplied column mask, the four
+    replacement policies, eviction/writeback accounting and the three-C miss
+    classification — but with the dumbest data structures that can possibly
+    work: an association list of resident lines, explicit per-policy recency
+    lists, linear scans everywhere. No packed arrays, no tag arithmetic, no
+    shared state with the real simulator. When {!Diff} replays the same
+    trace through both and they agree, the agreement is evidence, not
+    tautology.
+
+    The only sophistication retained is the {e random} policy's xorshift64*
+    stream, reproduced bit-for-bit so that a shared seed makes the two
+    simulators' random victim choices comparable. *)
+
+(** Intentional bugs for mutation-testing the harness itself: a conformance
+    harness that cannot catch a planted bug proves nothing. *)
+type bug =
+  | Mru_instead_of_lru
+      (** under LRU, evict the most recently used allowed way *)
+  | Ignore_mask  (** choose victims from all ways, ignoring the column mask *)
+  | Skip_writeback_count  (** forget to count writebacks of dirty victims *)
+
+val bug_to_string : bug -> string
+
+type t
+
+val create : ?bug:bug -> Cache.Sassoc.config -> t
+(** [bug] plants an intentional defect (default: none — faithful model). *)
+
+val geometry : t -> Cache.Sassoc.config
+val stats : t -> Cache.Stats.t
+
+val access :
+  t -> ?mask:Cache.Bitmask.t -> kind:Memtrace.Access.kind -> int ->
+  Cache.Sassoc.result
+(** Same contract as {!Cache.Sassoc.access}, including the
+    [Invalid_argument] on an empty effective mask. *)
+
+val fill : t -> ?mask:Cache.Bitmask.t -> int -> Cache.Sassoc.result
+(** Same contract as {!Cache.Sassoc.fill}. *)
+
+val probe : t -> int -> int option
+val way_of_line : t -> int -> int option
+val valid_lines : t -> int
+
+val lines_in_set : t -> int -> (int * int) list
+(** [(way, line)] pairs of a set, ascending by way — comparable directly
+    with {!Cache.Sassoc.lines_in_set}. *)
+
+val invalidate_line : t -> int -> unit
+
+val flush : t -> unit
+(** Like {!Cache.Sassoc.flush}: contents are dropped, statistics and
+    replacement state survive. *)

@@ -1,0 +1,115 @@
+module Bitmask = Cache.Bitmask
+module Tint = Vm.Tint
+
+type t = {
+  page_size : int;
+  columns : int;
+  tlb_entries : int;
+  (* page table: explicitly tinted pages only; everything else is default *)
+  mutable ptes : (int * Tint.t) list;
+  mutable pte_writes : int;
+  (* tint table: explicitly mapped tints only; everything else is full *)
+  mutable tints : (Tint.t * Bitmask.t) list;
+  mutable tint_writes : int;
+  (* TLB: resident pages with their tint snapshot, most recent first *)
+  mutable tlb : (int * Tint.t) list;
+  mutable hits : int;
+  mutable misses : int;
+  mutable full_flushes : int;
+  mutable entry_flushes : int;
+}
+
+let create ~page_size ~columns ~tlb_entries =
+  {
+    page_size;
+    columns;
+    tlb_entries;
+    ptes = [];
+    pte_writes = 0;
+    tints = [];
+    tint_writes = 0;
+    tlb = [];
+    hits = 0;
+    misses = 0;
+    full_flushes = 0;
+    entry_flushes = 0;
+  }
+
+let page_of_addr t addr = addr / t.page_size
+
+let pte_tint t page =
+  match List.assoc_opt page t.ptes with
+  | Some tint -> tint
+  | None -> Tint.default
+
+let mask_of_tint t tint =
+  match
+    List.find_opt (fun (tint', _) -> Tint.equal tint tint') t.tints
+  with
+  | Some (_, mask) -> mask
+  | None -> Bitmask.full ~n:t.columns
+
+let tlb_lookup t page =
+  match List.assoc_opt page t.tlb with
+  | Some snapshot ->
+      t.hits <- t.hits + 1;
+      t.tlb <- (page, snapshot) :: List.remove_assoc page t.tlb;
+      (snapshot, Vm.Tlb.Hit)
+  | None ->
+      t.misses <- t.misses + 1;
+      let tint = pte_tint t page in
+      let tlb = (page, tint) :: t.tlb in
+      t.tlb <-
+        (if List.length tlb > t.tlb_entries then
+           List.filteri (fun i _ -> i < t.tlb_entries) tlb
+         else tlb);
+      (tint, Vm.Tlb.Miss)
+
+let resolve t addr =
+  let tint, outcome = tlb_lookup t (page_of_addr t addr) in
+  (mask_of_tint t tint, tint, outcome)
+
+let remap_tint t tint mask =
+  if Bitmask.is_empty mask then invalid_arg "Resolver.remap_tint: empty mask";
+  if not (Bitmask.subset mask (Bitmask.full ~n:t.columns)) then
+    invalid_arg "Resolver.remap_tint: mask names a column beyond the cache";
+  t.tints <-
+    (tint, mask) :: List.filter (fun (tint', _) -> not (Tint.equal tint tint')) t.tints;
+  t.tint_writes <- t.tint_writes + 1
+
+let set_tint t ~page tint =
+  t.ptes <-
+    (if Tint.equal tint Tint.default then List.remove_assoc page t.ptes
+     else (page, tint) :: List.remove_assoc page t.ptes);
+  t.pte_writes <- t.pte_writes + 1
+
+let flush_page t page =
+  if List.mem_assoc page t.tlb then begin
+    t.tlb <- List.remove_assoc page t.tlb;
+    t.entry_flushes <- t.entry_flushes + 1
+  end
+
+let retint_region t ~base ~size tint =
+  if size <= 0 then invalid_arg "Resolver.retint_region: size must be positive";
+  let first = page_of_addr t base in
+  let last = page_of_addr t (base + size - 1) in
+  for page = first to last do
+    set_tint t ~page tint;
+    flush_page t page
+  done;
+  last - first + 1
+
+let flush_tlb t =
+  t.tlb <- [];
+  t.full_flushes <- t.full_flushes + 1
+
+let tlb_hits t = t.hits
+let tlb_misses t = t.misses
+
+let cost t =
+  {
+    Vm.Mapping.pte_writes = t.pte_writes;
+    tint_table_writes = t.tint_writes;
+    tlb_entry_flushes = t.entry_flushes;
+    tlb_full_flushes = t.full_flushes;
+  }

@@ -1,0 +1,25 @@
+(** A naive mirror of the {!Vm.Mapping} stack: page table, tint table, TLB.
+
+    Association lists and linear scans throughout, but the same observable
+    semantics — in particular the paper's staleness rule: the TLB caches
+    {e tint snapshots}, so after a page is re-tinted the stale tint keeps
+    being served until that entry is flushed or evicted, while remapping a
+    tint's bit vector is visible immediately because resolution goes through
+    the current tint table. All the Figure 3 cost counters (PTE writes,
+    tint-table writes, TLB entry/full flushes) are mirrored so {!Diff} can
+    compare them against the real stack. *)
+
+type t
+
+val create : page_size:int -> columns:int -> tlb_entries:int -> t
+
+val resolve : t -> int -> Cache.Bitmask.t * Vm.Tint.t * Vm.Tlb.outcome
+(** Same contract as {!Vm.Mapping.resolve}. *)
+
+val remap_tint : t -> Vm.Tint.t -> Cache.Bitmask.t -> unit
+val retint_region : t -> base:int -> size:int -> Vm.Tint.t -> int
+val flush_tlb : t -> unit
+
+val tlb_hits : t -> int
+val tlb_misses : t -> int
+val cost : t -> Vm.Mapping.cost

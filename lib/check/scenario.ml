@@ -1,0 +1,119 @@
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Access = Memtrace.Access
+
+type event =
+  | Access of Access.t
+  | Retint of { base : int; size : int; tint : string }
+  | Remap of { tint : string; mask : Bitmask.t }
+  | Flush_tlb
+  | Flush_cache
+
+type t = {
+  cache : Sassoc.config;
+  page_size : int;
+  tlb_entries : int;
+  events : event list;
+}
+
+let length t = List.length t.events
+
+let accesses t =
+  List.length
+    (List.filter (function Access _ -> true | _ -> false) t.events)
+
+let truncate t n = { t with events = List.filteri (fun i _ -> i < n) t.events }
+
+let remove_event t i =
+  { t with events = List.filteri (fun j _ -> j <> i) t.events }
+
+let pp_event ~ways ppf = function
+  | Access a -> Format.fprintf ppf "access %a" Access.pp a
+  | Retint { base; size; tint } ->
+      Format.fprintf ppf "retint 0x%x %d %s" base size tint
+  | Remap { tint; mask } ->
+      Format.fprintf ppf "remap %s %s" tint (Bitmask.to_string ~n:ways mask)
+  | Flush_tlb -> Format.fprintf ppf "flush-tlb"
+  | Flush_cache -> Format.fprintf ppf "flush-cache"
+
+let pp ppf t =
+  let c = t.cache in
+  Format.fprintf ppf "colcache-scenario v1@,";
+  Format.fprintf ppf "cache line_size=%d sets=%d ways=%d policy=%s classify=%b@,"
+    c.Sassoc.line_size c.Sassoc.sets c.Sassoc.ways
+    (Cache.Policy.kind_to_string c.Sassoc.policy)
+    c.Sassoc.classify;
+  Format.fprintf ppf "vm page_size=%d tlb_entries=%d" t.page_size t.tlb_entries;
+  List.iter
+    (fun e -> Format.fprintf ppf "@,%a" (pp_event ~ways:c.Sassoc.ways) e)
+    t.events
+
+let to_string t = Format.asprintf "@[<v>%a@]" pp t
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+(* "key=value" fields on the two config lines *)
+let field line key =
+  let prefix = key ^ "=" in
+  let tok =
+    List.find_opt
+      (fun tok -> String.length tok > String.length prefix
+                  && String.sub tok 0 (String.length prefix) = prefix)
+      (String.split_on_char ' ' line)
+  in
+  match tok with
+  | Some tok ->
+      String.sub tok (String.length prefix)
+        (String.length tok - String.length prefix)
+  | None -> fail "Scenario.of_string: missing %s in %S" key line
+
+let int_field line key =
+  match int_of_string_opt (field line key) with
+  | Some n -> n
+  | None -> fail "Scenario.of_string: bad %s in %S" key line
+
+let event_of_string line =
+  match String.split_on_char ' ' (String.trim line) with
+  | "access" :: rest -> Access (Access.of_string (String.concat " " rest))
+  | [ "retint"; base; size; tint ] -> (
+      match (int_of_string_opt base, int_of_string_opt size) with
+      | Some base, Some size -> Retint { base; size; tint }
+      | _ -> fail "Scenario.of_string: bad retint %S" line)
+  | [ "remap"; tint; mask ] -> Remap { tint; mask = Bitmask.of_string mask }
+  | [ "flush-tlb" ] -> Flush_tlb
+  | [ "flush-cache" ] -> Flush_cache
+  | _ -> fail "Scenario.of_string: bad event %S" line
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: cache_line :: vm_line :: events ->
+      if header <> "colcache-scenario v1" then
+        fail "Scenario.of_string: bad header %S" header;
+      let policy =
+        match Cache.Policy.kind_of_string (field cache_line "policy") with
+        | Some p -> p
+        | None -> fail "Scenario.of_string: bad policy in %S" cache_line
+      in
+      let cache =
+        {
+          Sassoc.line_size = int_field cache_line "line_size";
+          sets = int_field cache_line "sets";
+          ways = int_field cache_line "ways";
+          policy;
+          classify = bool_of_string (field cache_line "classify");
+        }
+      in
+      {
+        cache;
+        page_size = int_field vm_line "page_size";
+        tlb_entries = int_field vm_line "tlb_entries";
+        events = List.map event_of_string events;
+      }
+  | _ -> fail "Scenario.of_string: truncated scenario"
+
+let equal a b = a = b

@@ -1,0 +1,42 @@
+(** A self-contained differential test case.
+
+    A scenario bundles a cache geometry, a VM configuration and a sequence
+    of events — accesses interleaved with the two reconfiguration operations
+    (re-tint, re-map) and flushes — exactly what {!Diff} replays through the
+    real simulator and the {!Oracle}. Scenarios have a stable one-line-per-
+    event textual form so a shrunk counterexample can be pasted into a bug
+    report and replayed verbatim with {!of_string}. *)
+
+type event =
+  | Access of Memtrace.Access.t
+  | Retint of { base : int; size : int; tint : string }
+      (** re-tint the pages of [base, base+size) — PTE writes + TLB entry
+          flushes *)
+  | Remap of { tint : string; mask : Cache.Bitmask.t }
+      (** point a tint at a new column set — one tint-table write *)
+  | Flush_tlb
+  | Flush_cache
+
+type t = {
+  cache : Cache.Sassoc.config;
+  page_size : int;
+  tlb_entries : int;
+  events : event list;
+}
+
+val length : t -> int
+val accesses : t -> int
+(** Number of [Access] events. *)
+
+val truncate : t -> int -> t
+(** Keep the first [n] events. *)
+
+val remove_event : t -> int -> t
+(** Drop the event at an index. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t
+(** Inverse of {!to_string}. Raises [Invalid_argument] on malformed input. *)
+
+val equal : t -> t -> bool

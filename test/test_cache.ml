@@ -198,6 +198,50 @@ let test_sassoc_empty_mask_rejected () =
     (try ignore (read_addr c ~mask:Bitmask.empty 0); false
      with Invalid_argument _ -> true)
 
+(* Regression for the mask=0 path: the documented contract is that an empty
+   EFFECTIVE mask raises — including a non-empty mask whose columns all lie
+   beyond the cache's ways — on both access and fill, without perturbing
+   statistics or contents. *)
+let test_sassoc_effective_mask_zero () =
+  let c = Sassoc.create (tiny_config ()) in
+  (* tiny_config has 4 ways; column 5 exists in the mask type but not in
+     this cache, so the effective mask is empty *)
+  let beyond = Bitmask.singleton 5 in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check_bool "access: out-of-range-only mask" true
+    (raises (fun () -> ignore (read_addr c ~mask:beyond 0)));
+  check_bool "fill: empty mask" true
+    (raises (fun () -> ignore (Sassoc.fill c ~mask:Bitmask.empty 0)));
+  check_bool "fill: out-of-range-only mask" true
+    (raises (fun () -> ignore (Sassoc.fill c ~mask:beyond 0)));
+  let s = Sassoc.stats c in
+  check_int "no access counted" 0 s.Stats.accesses;
+  check_int "no miss counted" 0 s.Stats.misses;
+  check_int "nothing installed" 0 (Sassoc.valid_lines c);
+  (* a partially out-of-range mask keeps its in-range columns *)
+  match read_addr c ~mask:(Bitmask.of_list [ 2; 5 ]) 0 with
+  | Sassoc.Miss { way = 2; _ } -> ()
+  | _ -> Alcotest.fail "in-range column of a partial mask must be used"
+
+let test_sassoc_set_inspection () =
+  (* The hooks the differential oracle compares against. *)
+  let c = Sassoc.create (tiny_config ()) in
+  (* lines 0 and 4 both index set 0 (4 sets); line 1 indexes set 1 *)
+  ignore (read_addr c ~mask:(Bitmask.singleton 1) 0x0);
+  ignore (read_addr c ~mask:(Bitmask.singleton 3) 0x40);
+  ignore (read_addr c 0x10);
+  check_int "set of 0x0" 0 (Sassoc.set_of_addr c 0x0);
+  check_int "set of 0x10" 1 (Sassoc.set_of_addr c 0x10);
+  check_int "occupancy set 0" 2 (Sassoc.set_occupancy c 0);
+  check_int "occupancy set 1" 1 (Sassoc.set_occupancy c 1);
+  Alcotest.(check (list (pair int int)))
+    "lines in set 0" [ (1, 0); (3, 4) ] (Sassoc.lines_in_set c 0);
+  check_bool "occupied ways" true
+    (Bitmask.equal (Bitmask.of_list [ 1; 3 ]) (Sassoc.occupied_ways c 0));
+  check_bool "bad set rejected" true
+    (try ignore (Sassoc.set_occupancy c 4); false
+     with Invalid_argument _ -> true)
+
 let test_sassoc_lookup_ignores_mask () =
   (* Graceful repartitioning: data cached under one mapping is still found
      when accessed under a disjoint mapping (Section 2.1). *)
@@ -642,6 +686,8 @@ let suites =
         Alcotest.test_case "LRU eviction order" `Quick test_sassoc_lru_eviction_order;
         Alcotest.test_case "mask confines fills" `Quick test_sassoc_mask_confines_fills;
         Alcotest.test_case "empty mask rejected" `Quick test_sassoc_empty_mask_rejected;
+        Alcotest.test_case "effective mask zero" `Quick test_sassoc_effective_mask_zero;
+        Alcotest.test_case "set inspection hooks" `Quick test_sassoc_set_inspection;
         Alcotest.test_case "lookup ignores mask" `Quick test_sassoc_lookup_ignores_mask;
         Alcotest.test_case "scratchpad exclusivity" `Quick test_sassoc_scratchpad_exclusivity;
         Alcotest.test_case "full mask = standard" `Quick test_sassoc_full_mask_is_standard;

@@ -1,0 +1,231 @@
+(* The differential conformance harness: a fixed-seed soak of the real
+   simulators against the naive oracle, mutation tests proving the harness
+   catches (and shrinks) planted replacement bugs, and unit coverage of the
+   invariant checkers and the scenario format. *)
+
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Access = Memtrace.Access
+module Oracle = Check.Oracle
+module Gen = Check.Gen
+module Diff = Check.Diff
+module Scenario = Check.Scenario
+module Invariant = Check.Invariant
+module Prng = Check.Prng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- the fixed-seed batch --- *)
+
+let soak_result = lazy (Diff.soak ~seed:42 ~iters:500 ())
+
+let test_soak_agrees () =
+  match Lazy.force soak_result with
+  | Ok summary -> check_int "iterations" 500 summary.Diff.iters
+  | Error (failure, _) ->
+      Alcotest.failf "divergence: %a" Diff.pp_failure failure
+
+let test_soak_covers_policies () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      Alcotest.(check (list string))
+        "all four policy families exercised"
+        [ "fifo"; "lru"; "plru"; "random" ]
+        summary.Diff.policies
+
+let test_soak_covers_geometries () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      check_int "1-way cache exercised" 1 summary.Diff.min_ways;
+      check_int "max-way cache exercised" Bitmask.max_columns
+        summary.Diff.max_ways;
+      check_bool "re-tints happened mid-trace" true (summary.Diff.retints > 0);
+      check_bool "re-maps happened mid-trace" true (summary.Diff.remaps > 0)
+
+(* --- mutation tests: a harness that cannot catch a planted bug proves
+   nothing, so plant three and insist each is caught and shrunk small --- *)
+
+let mutation_caught bug =
+  match Diff.soak ~bug ~seed:42 ~iters:500 () with
+  | Ok _ ->
+      Alcotest.failf "injected bug %s survived 500 iterations"
+        (Oracle.bug_to_string bug)
+  | Error (failure, _) ->
+      let sc = failure.Diff.scenario in
+      check_bool "repro still diverges" true
+        (match Diff.run_scenario ~bug sc with
+        | Diff.Diverge _ -> true
+        | Diff.Agree -> false);
+      check_bool
+        (Printf.sprintf "repro is <= 20 accesses (got %d)"
+           (Scenario.accesses sc))
+        true
+        (Scenario.accesses sc <= 20);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal sc (Scenario.of_string (Scenario.to_string sc)))
+
+let test_mutation_mru () = mutation_caught Oracle.Mru_instead_of_lru
+let test_mutation_ignore_mask () = mutation_caught Oracle.Ignore_mask
+let test_mutation_writeback () = mutation_caught Oracle.Skip_writeback_count
+
+(* --- the oracle on its own: agreement with hand-computed semantics --- *)
+
+let test_oracle_direct_lru () =
+  (* 1 set, 2 ways, LRU: fill, fill, hit way 0, evict way 1. *)
+  let cfg = Sassoc.config ~line_size:16 ~size_bytes:32 ~ways:2 () in
+  let o = Oracle.create cfg in
+  (match Oracle.access o ~kind:Access.Read 0 with
+  | Sassoc.Miss { way = 0; evicted_line = None } -> ()
+  | _ -> Alcotest.fail "first access should miss into way 0");
+  ignore (Oracle.access o ~kind:Access.Read 16);
+  (* touch line 0 again so line 1 becomes LRU *)
+  (match Oracle.access o ~kind:Access.Read 4 with
+  | Sassoc.Hit { way = 0 } -> ()
+  | _ -> Alcotest.fail "expected hit in way 0");
+  match Oracle.access o ~kind:Access.Read 32 with
+  | Sassoc.Miss { way = 1; evicted_line = Some 1 } -> ()
+  | _ -> Alcotest.fail "expected eviction of LRU line 1 from way 1"
+
+let test_oracle_rejects_empty_mask () =
+  let cfg = Sassoc.config ~line_size:16 ~size_bytes:64 ~ways:2 () in
+  let o = Oracle.create cfg in
+  check_bool "empty mask" true
+    (try ignore (Oracle.access o ~mask:Bitmask.empty ~kind:Access.Read 0); false
+     with Invalid_argument _ -> true);
+  check_bool "out-of-range-only mask" true
+    (try
+       ignore (Oracle.access o ~mask:(Bitmask.singleton 5) ~kind:Access.Read 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- invariant checkers --- *)
+
+let test_invariant_victim_in_mask () =
+  let m = Bitmask.of_list [ 1; 2 ] in
+  check_bool "inside" true
+    (Invariant.victim_in_mask ~mask:m
+       (Sassoc.Miss { way = 2; evicted_line = None })
+     = Ok ());
+  check_bool "outside" true
+    (match
+       Invariant.victim_in_mask ~mask:m
+         (Sassoc.Miss { way = 0; evicted_line = None })
+     with
+    | Error _ -> true
+    | Ok () -> false);
+  check_bool "hits are exempt" true
+    (Invariant.victim_in_mask ~mask:m (Sassoc.Hit { way = 0 }) = Ok ())
+
+let test_invariant_stats_conserved () =
+  let s = Cache.Stats.create ~ways:2 in
+  s.Cache.Stats.accesses <- 10;
+  s.Cache.Stats.hits <- 6;
+  s.Cache.Stats.misses <- 4;
+  check_bool "conserved" true (Invariant.stats_conserved s = Ok ());
+  s.Cache.Stats.hits <- 7;
+  check_bool "violation detected" true
+    (match Invariant.stats_conserved s with Error _ -> true | Ok () -> false)
+
+let test_invariant_occupancy () =
+  let cfg = Sassoc.config ~line_size:16 ~size_bytes:64 ~ways:4 () in
+  let c = Sassoc.create cfg in
+  let m = Bitmask.of_list [ 1; 3 ] in
+  ignore (Sassoc.access c ~mask:m ~kind:Access.Read 0);
+  ignore (Sassoc.access c ~mask:m ~kind:Access.Read 16);
+  check_bool "stays inside fill masks" true
+    (Invariant.occupancy_within c ~set:0 ~allowed:m = Ok ());
+  check_int "occupancy" 2 (Sassoc.set_occupancy c 0);
+  check_bool "tighter mask flags it" true
+    (match Invariant.occupancy_within c ~set:0 ~allowed:(Bitmask.singleton 1) with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_invariant_lru_monitor () =
+  let cfg = Sassoc.config ~line_size:16 ~size_bytes:32 ~ways:2 () in
+  let mon = Invariant.Lru_monitor.create cfg in
+  let full = Bitmask.full ~n:2 in
+  let ok r = Alcotest.(check bool) "monitor accepts" true (r = Ok ()) in
+  ok (Invariant.Lru_monitor.note mon ~mask:full ~kind:Access.Read 0
+        (Sassoc.Miss { way = 0; evicted_line = None }));
+  ok (Invariant.Lru_monitor.note mon ~mask:full ~kind:Access.Read 16
+        (Sassoc.Miss { way = 1; evicted_line = None }));
+  (* claiming to evict way 1 (the MRU) must be rejected *)
+  check_bool "MRU eviction rejected" true
+    (match
+       Invariant.Lru_monitor.note mon ~mask:full ~kind:Access.Read 32
+         (Sassoc.Miss { way = 1; evicted_line = Some 1 })
+     with
+    | Error _ -> true
+    | Ok () -> false)
+
+(* --- scenario format --- *)
+
+let test_scenario_roundtrip () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 50 do
+    let sc = Gen.scenario rng in
+    let sc' = Scenario.of_string (Scenario.to_string sc) in
+    check_bool "textual round-trip" true (Scenario.equal sc sc')
+  done
+
+let test_scenario_rejects_garbage () =
+  check_bool "bad header" true
+    (try ignore (Scenario.of_string "nonsense\n"); false
+     with Invalid_argument _ -> true);
+  check_bool "bad event" true
+    (try
+       ignore
+         (Scenario.of_string
+            "colcache-scenario v1\n\
+             cache line_size=16 sets=2 ways=2 policy=lru classify=false\n\
+             vm page_size=64 tlb_entries=2\n\
+             frobnicate");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- determinism: same seed, same verdicts --- *)
+
+let test_soak_deterministic () =
+  let run () =
+    match Diff.soak ~seed:7 ~iters:40 () with
+    | Ok s -> (s.Diff.events, s.Diff.accesses, s.Diff.policies)
+    | Error _ -> Alcotest.fail "seed 7 diverged"
+  in
+  check_bool "two runs identical" true (run () = run ())
+
+let suites =
+  [
+    ( "check.differential",
+      [
+        Alcotest.test_case "fixed-seed soak agrees" `Quick test_soak_agrees;
+        Alcotest.test_case "covers all policies" `Quick test_soak_covers_policies;
+        Alcotest.test_case "covers geometry extremes" `Quick test_soak_covers_geometries;
+        Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
+      ] );
+    ( "check.mutation",
+      [
+        Alcotest.test_case "catches MRU-for-LRU" `Quick test_mutation_mru;
+        Alcotest.test_case "catches mask ignoring" `Quick test_mutation_ignore_mask;
+        Alcotest.test_case "catches writeback miscount" `Quick test_mutation_writeback;
+      ] );
+    ( "check.oracle",
+      [
+        Alcotest.test_case "hand-computed LRU" `Quick test_oracle_direct_lru;
+        Alcotest.test_case "rejects empty mask" `Quick test_oracle_rejects_empty_mask;
+      ] );
+    ( "check.invariants",
+      [
+        Alcotest.test_case "victim in mask" `Quick test_invariant_victim_in_mask;
+        Alcotest.test_case "stats conservation" `Quick test_invariant_stats_conserved;
+        Alcotest.test_case "occupancy within masks" `Quick test_invariant_occupancy;
+        Alcotest.test_case "LRU recency monitor" `Quick test_invariant_lru_monitor;
+      ] );
+    ( "check.scenario",
+      [
+        Alcotest.test_case "round-trip" `Quick test_scenario_roundtrip;
+        Alcotest.test_case "rejects garbage" `Quick test_scenario_rejects_garbage;
+      ] );
+  ]

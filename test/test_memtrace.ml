@@ -198,6 +198,32 @@ let test_trace_file_empty () =
   Sys.remove path;
   check_bool "empty roundtrip" true (Trace.is_empty t)
 
+let test_trace_file_random_roundtrip () =
+  (* Property-style round-trip over the conformance harness's generator:
+     write → read → structural equality, across random kinds, vars, gaps and
+     lengths — including length 0 (Check.Gen.trace may produce it, and the
+     last iteration forces it). *)
+  let rng = Check.Prng.create ~seed:271828 in
+  let path = tmp_path "colcache_test_gen_roundtrip.trace" in
+  let one trace =
+    Memtrace.Trace_file.save ~path trace;
+    let back = Memtrace.Trace_file.load ~path in
+    check_bool "header count" true
+      (Memtrace.Trace_file.header_of trace
+       = Printf.sprintf "colcache-trace v1 %d" (Trace.length trace));
+    check_bool "roundtrip" true (Trace.equal trace back)
+  in
+  let saw_empty = ref false in
+  for _ = 1 to 40 do
+    let trace = Check.Gen.trace rng in
+    if Trace.is_empty trace then saw_empty := true;
+    one trace
+  done;
+  one Trace.empty;
+  (* the explicit empty case always runs even if the generator produced none *)
+  check_bool "empty case covered" true (!saw_empty || Trace.is_empty Trace.empty);
+  Sys.remove path
+
 let test_trace_file_bad_header () =
   let path = tmp_path "colcache_test_bad.trace" in
   let oc = open_out path in
@@ -307,6 +333,8 @@ let suites =
       [
         Alcotest.test_case "roundtrip" `Quick test_trace_file_roundtrip;
         Alcotest.test_case "empty" `Quick test_trace_file_empty;
+        Alcotest.test_case "random roundtrip (Check.Gen)" `Quick
+          test_trace_file_random_roundtrip;
         Alcotest.test_case "bad header" `Quick test_trace_file_bad_header;
         Alcotest.test_case "count mismatch" `Quick test_trace_file_count_mismatch;
       ] );

@@ -136,6 +136,30 @@ let test_tlb_full_flush () =
   check_int "nothing resident" 0 (List.length (Tlb.resident_pages tlb));
   check_int "flush counted" 1 (Tlb.flushes tlb)
 
+let test_tlb_flush_mid_trace () =
+  (* Hand-computed trace with a full flush in the middle:
+       lookups 0,1,0,1 -> 2 misses then 2 hits;
+       flush;
+       lookups 0,1,0  -> 2 refetch misses then 1 hit.
+     A re-tint applied while the pages sit flushed must be visible on the
+     refetch without any per-page flushing. *)
+  let m = make_mapping () in
+  let tlb = Mapping.tlb m in
+  let pt = Mapping.page_table m in
+  List.iter (fun p -> ignore (Tlb.lookup_page tlb p)) [ 0; 1; 0; 1 ];
+  check_int "hits before flush" 2 (Tlb.hits tlb);
+  check_int "misses before flush" 2 (Tlb.misses tlb);
+  Tlb.flush tlb;
+  Page_table.set_tint pt ~page:0 (Tint.make "blue");
+  List.iter (fun p -> ignore (Tlb.lookup_page tlb p)) [ 0; 1; 0 ];
+  check_int "hits after flush" 3 (Tlb.hits tlb);
+  check_int "misses after flush" 4 (Tlb.misses tlb);
+  check_int "exactly one full flush" 1 (Tlb.flushes tlb);
+  check_int "no per-entry flushes" 0 (Tlb.entry_flushes tlb);
+  let tint, o = Tlb.lookup_page tlb 0 in
+  check_bool "refetch saw the new tint" true (Tint.equal tint (Tint.make "blue"));
+  check_bool "and it is now a hit" true (o = Tlb.Hit)
+
 (* --- Mapping --- *)
 
 let test_mapping_mask_resolution () =
@@ -211,6 +235,42 @@ let test_fig3_tints_vs_direct () =
       (Vm.Direct_mapping.mask_of dm addr)
       (Mapping.mask_of_quiet m addr)
   done
+
+let test_retint_vs_remap_cost () =
+  (* The paper's Section 2.2 asymmetry, hand-computed. Re-tinting pays one
+     PTE write per page plus one TLB entry flush per *resident* page;
+     re-mapping a tint is always a single tint-table write regardless of how
+     many pages wear the tint. *)
+  let m = make_mapping () in
+  let tlb = Mapping.tlb m in
+  let blue = Tint.make "blue" in
+  (* make pages 0..2 TLB-resident; pages 4..5 stay cold *)
+  List.iter (fun p -> ignore (Tlb.lookup_page tlb p)) [ 0; 1; 2 ];
+  let before = Mapping.cost m in
+  check_int "resident region re-tints 3 pages" 3
+    (Mapping.retint_region m ~base:0 ~size:(3 * 256) blue);
+  let d = Mapping.cost_delta ~before ~after:(Mapping.cost m) in
+  check_int "one PTE write per page" 3 d.Mapping.pte_writes;
+  check_int "one entry flush per resident page" 3 d.Mapping.tlb_entry_flushes;
+  check_int "no tint-table writes" 0 d.Mapping.tint_table_writes;
+  check_int "no full flushes" 0 d.Mapping.tlb_full_flushes;
+  (* cold region: PTE writes still accrue, entry flushes do not *)
+  let before = Mapping.cost m in
+  check_int "cold region re-tints 2 pages" 2
+    (Mapping.retint_region m ~base:(4 * 256) ~size:(2 * 256) blue);
+  let d = Mapping.cost_delta ~before ~after:(Mapping.cost m) in
+  check_int "cold pages: PTE writes" 2 d.Mapping.pte_writes;
+  check_int "cold pages: no entry flushes" 0 d.Mapping.tlb_entry_flushes;
+  (* remap: one table write moves all five blue pages at once *)
+  let before = Mapping.cost m in
+  Mapping.remap_tint m blue (Bitmask.singleton 3);
+  let d = Mapping.cost_delta ~before ~after:(Mapping.cost m) in
+  check_int "remap: single table write" 1 d.Mapping.tint_table_writes;
+  check_int "remap: no PTE writes" 0 d.Mapping.pte_writes;
+  check_int "remap: no entry flushes" 0 d.Mapping.tlb_entry_flushes;
+  Alcotest.check mask "every blue page resolves to the new mask"
+    (Bitmask.singleton 3)
+    (Mapping.mask_of_quiet m (5 * 256))
 
 (* --- Frame_map --- *)
 
@@ -311,6 +371,7 @@ let suites =
         Alcotest.test_case "capacity eviction" `Quick test_tlb_capacity_eviction;
         Alcotest.test_case "staleness until flush" `Quick test_tlb_staleness;
         Alcotest.test_case "full flush" `Quick test_tlb_full_flush;
+        Alcotest.test_case "flush mid-trace" `Quick test_tlb_flush_mid_trace;
       ] );
     ( "vm.frame_map",
       [
@@ -325,6 +386,7 @@ let suites =
         Alcotest.test_case "mask resolution" `Quick test_mapping_mask_resolution;
         Alcotest.test_case "remap is instant" `Quick test_mapping_remap_is_instant;
         Alcotest.test_case "fig3 tints vs direct" `Quick test_fig3_tints_vs_direct;
+        Alcotest.test_case "retint vs remap cost" `Quick test_retint_vs_remap_cost;
       ] );
     ("vm.properties", qcheck_cases);
   ]
