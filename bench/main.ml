@@ -3,7 +3,14 @@
    of work per experiment with Bechamel.
 
    Run: dune exec bench/main.exe
-   Skip the micro-benchmarks with: dune exec bench/main.exe -- --no-bechamel *)
+   Flags:
+     --no-bechamel          skip the micro-benchmarks
+     --quick                skip the figure regeneration and use a short
+                            Bechamel quota (the CI smoke configuration)
+     --json FILE            write the timings as JSON rows (Bench_json)
+     --baseline FILE        compare against a previous --json file...
+     --max-regression PCT   ...and exit 1 if any benchmark got more than
+                            PCT percent slower (default 50) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -90,9 +97,50 @@ let bench_check () =
   | Check.Diff.Agree -> ()
   | Check.Diff.Diverge _ -> failwith "bench: differential divergence"
 
+(* --- simulator hot path -------------------------------------------------
+   The raw cache replay cost, isolated from layout/VM/scheduling: the
+   Figure 5 job-A workload (LZ77, 12 KiB of input) against the Figure 5
+   cache geometry (16 KB, 8-way, LRU). [hot_access] replays it one access
+   at a time through the general entry point; [hot_access_trace] replays it
+   through the batched [Sassoc.access_trace] loop. Each bench reuses one
+   cache and flushes it per run: under LRU a flushed cache replays the trace
+   exactly like a fresh one (empty ways always win victim selection, and
+   every stamp consulted later is rewritten first), so runs are identical
+   work with no per-run allocation muddying the timing. These rows carry
+   accesses_per_sec in the JSON output; the regression harness watches them
+   the closest. *)
+
+let hot_trace = lazy (Workloads.Lz77.trace ~seed:1 ~input_len:12288 ~base:0 ())
+
+let hot_cache () =
+  Cache.Sassoc.create
+    (Cache.Sassoc.config ~line_size:16 ~size_bytes:(16 * 1024) ~ways:8 ())
+
+let hot_cache_access = lazy (hot_cache ())
+let hot_cache_trace = lazy (hot_cache ())
+
+let bench_hot_access () =
+  let cache = Lazy.force hot_cache_access in
+  Cache.Sassoc.flush cache;
+  Memtrace.Trace.iter
+    (fun a -> ignore (Cache.Sassoc.access_record cache a))
+    (Lazy.force hot_trace)
+
+let bench_hot_access_trace () =
+  let cache = Lazy.force hot_cache_trace in
+  Cache.Sassoc.flush cache;
+  Cache.Sassoc.access_trace cache (Lazy.force hot_trace)
+
+(* Access counts for the accesses_per_sec column, keyed by full row name. *)
+let access_counts () =
+  let n = float_of_int (Memtrace.Trace.length (Lazy.force hot_trace)) in
+  [ ("colcache/hot_access", n); ("colcache/hot_access_trace", n) ]
+
 let tests =
   Test.make_grouped ~name:"colcache"
     [
+      Test.make ~name:"hot_access" (Staged.stage bench_hot_access);
+      Test.make ~name:"hot_access_trace" (Staged.stage bench_hot_access_trace);
       Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);
       Test.make ~name:"fig4a_dequant" (Staged.stage (bench_fig4_routine "dequant"));
       Test.make ~name:"fig4b_plus" (Staged.stage (bench_fig4_routine "plus"));
@@ -113,14 +161,19 @@ let tests =
       Test.make ~name:"check_differential" (Staged.stage bench_check);
     ]
 
-let run_bechamel () =
+let run_bechamel ~quick () =
+  (* The figure regeneration above leaves a large, fragmented major heap;
+     collect it once so its GC debt is not billed to the first benchmarks. *)
+  Gc.compact ();
   let instances = [ Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let quota = if quick then Time.second 0.25 else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:50 ~quota ~stabilize:false () in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let counts = access_counts () in
   let rows =
     Hashtbl.fold
       (fun name o acc ->
@@ -137,13 +190,101 @@ let run_bechamel () =
   List.iter
     (fun (name, est) ->
       if Float.is_nan est then Format.printf "  %-40s (no estimate)@." name
-      else Format.printf "  %-40s %12.0f ns/run@." name est)
+      else
+        match List.assoc_opt name counts with
+        | Some n when est > 0. ->
+            Format.printf "  %-40s %12.0f ns/run  %11.0f accesses/sec@." name
+              est
+              (n /. (est *. 1e-9))
+        | _ -> Format.printf "  %-40s %12.0f ns/run@." name est)
+    rows;
+  (* JSON rows: drop benches Bechamel produced no estimate for rather than
+     writing NaN (not JSON) or a fake zero. *)
+  List.filter_map
+    (fun (name, est) ->
+      if Float.is_nan est then None
+      else
+        let accesses_per_sec =
+          match List.assoc_opt name counts with
+          | Some n when est > 0. -> n /. (est *. 1e-9)
+          | _ -> 0.
+        in
+        Some { Colcache.Bench_json.name; ns_per_run = est; accesses_per_sec })
     rows
 
+(* --- argument parsing ---------------------------------------------------- *)
+
+type opts = {
+  quick : bool;
+  no_bechamel : bool;
+  json : string option;
+  baseline : string option;
+  max_regression : float;
+}
+
+let usage () =
+  prerr_endline
+    "usage: bench/main.exe [--quick] [--no-bechamel] [--json FILE]\n\
+    \       [--baseline FILE] [--max-regression PCT]";
+  exit 2
+
+let parse_args () =
+  let rec go opts = function
+    | [] -> opts
+    | "--quick" :: rest -> go { opts with quick = true } rest
+    | "--no-bechamel" :: rest -> go { opts with no_bechamel = true } rest
+    | "--json" :: file :: rest -> go { opts with json = Some file } rest
+    | "--baseline" :: file :: rest -> go { opts with baseline = Some file } rest
+    | "--max-regression" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0. -> go { opts with max_regression = p } rest
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  go
+    {
+      quick = false;
+      no_bechamel = false;
+      json = None;
+      baseline = None;
+      max_regression = 50.;
+    }
+    (List.tl (Array.to_list Sys.argv))
+
 let () =
-  let args = Array.to_list Sys.argv in
-  experiments ();
-  if not (List.mem "--no-bechamel" args) then
-    try run_bechamel ()
-    with exn ->
-      Format.printf "bechamel reporting failed: %s@." (Printexc.to_string exn)
+  let opts = parse_args () in
+  if not opts.quick then experiments ();
+  if opts.no_bechamel then begin
+    if opts.json <> None || opts.baseline <> None then begin
+      prerr_endline "bench: --json/--baseline need the Bechamel run";
+      exit 2
+    end
+  end
+  else begin
+    let rows = run_bechamel ~quick:opts.quick () in
+    (match opts.json with
+    | None -> ()
+    | Some path ->
+        Colcache.Bench_json.write ~path rows;
+        Format.printf "wrote %d benchmark rows to %s@." (List.length rows) path);
+    match opts.baseline with
+    | None -> ()
+    | Some path ->
+        let baseline = Colcache.Bench_json.read ~path in
+        let regs =
+          Colcache.Bench_json.regressions ~baseline ~current:rows
+            ~max_pct:opts.max_regression
+        in
+        if regs = [] then
+          Format.printf "no regressions over %.0f%% against %s (%d rows)@."
+            opts.max_regression path (List.length baseline)
+        else begin
+          Format.printf "REGRESSIONS over %.0f%% against %s:@."
+            opts.max_regression path;
+          List.iter
+            (fun r ->
+              Format.printf "  %a@." Colcache.Bench_json.pp_regression r)
+            regs;
+          exit 1
+        end
+  end

@@ -168,8 +168,16 @@ let export_cmd =
     Term.(const run $ dir)
 
 let all_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the experiments on N domains. The output is byte-identical \
+             whatever N is; only the wall-clock time changes.")
+  in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const (fun () -> Colcache.Experiments.run_all ppf) $ const ())
+    Term.(const (fun jobs -> Colcache.Experiments.run_all ~jobs ppf) $ jobs)
 
 let dynamic_cmd =
   let run meth =
@@ -297,16 +305,18 @@ let check_cmd =
           ("mru", Check.Oracle.Mru_instead_of_lru);
           ("ignore-mask", Check.Oracle.Ignore_mask);
           ("skip-writeback", Check.Oracle.Skip_writeback_count);
+          ("fast-path", Check.Oracle.Fast_path);
         ]
     in
     Arg.(
       value & opt (some bug_conv) None
       & info [ "inject-bug" ] ~docv:"BUG"
           ~doc:
-            "Plant an intentional defect in the oracle ($(b,mru), \
-             $(b,ignore-mask) or $(b,skip-writeback)) to demonstrate that \
-             the harness catches and shrinks it. Exit status is inverted: \
-             the run fails if the bug is NOT caught.")
+            "Plant an intentional defect ($(b,mru), $(b,ignore-mask), \
+             $(b,skip-writeback) in the oracle, or $(b,fast-path) in the \
+             batched real-side driver) to demonstrate that the harness \
+             catches and shrinks it. Exit status is inverted: the run fails \
+             if the bug is NOT caught.")
   in
   let replay =
     Arg.(
@@ -314,7 +324,16 @@ let check_cmd =
       & info [ "replay" ] ~docv:"FILE"
           ~doc:"Replay one saved scenario (the format printed for shrunk repros) instead of generating a batch.")
   in
-  let run seed iters max_events bug replay =
+  let fast_path =
+    Arg.(
+      value & flag
+      & info [ "fast-path" ]
+          ~doc:
+            "With $(b,--replay): drive the real side through the batched \
+             access_trace entry point. Repros the soak reports as caught by \
+             the fast-path driver only diverge under this flag.")
+  in
+  let run seed iters max_events bug replay fast_path =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -329,7 +348,7 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        (match Check.Diff.run_scenario ?bug sc with
+        (match Check.Diff.run_scenario ?bug ~fast_path sc with
         | Check.Diff.Agree -> Format.fprintf ppf "%s: simulators and oracle agree@." path
         | Check.Diff.Diverge d ->
             Format.fprintf ppf "%s: DIVERGENCE %a@." path Check.Diff.pp_divergence d;
@@ -365,7 +384,7 @@ let check_cmd =
           naive, obviously-correct oracle, comparing every access and the \
           final state; divergences are shrunk to a minimal replayable \
           repro.")
-    Term.(const run $ seed $ iters $ max_events $ bug $ replay)
+    Term.(const run $ seed $ iters $ max_events $ bug $ replay $ fast_path)
 
 let runfile_cmd =
   let file =

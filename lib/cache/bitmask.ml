@@ -59,6 +59,9 @@ let min_elt t =
   let rec loop c = if t land (1 lsl c) <> 0 then c else loop (c + 1) in
   loop 0
 
+let bits t = t
+let of_bits b = b land ((1 lsl max_columns) - 1)
+
 let equal = Int.equal
 let compare = Int.compare
 

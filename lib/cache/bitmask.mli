@@ -35,6 +35,14 @@ val subset : t -> t -> bool
 val min_elt : t -> int
 (** Raises [Not_found] on the empty mask. *)
 
+val bits : t -> int
+(** The raw bit representation: bit [c] is set iff column [c] is in the mask.
+    Exposed so the cache's replacement hot path can scan a mask without
+    allocating; ordinary clients should use {!mem}/{!to_list}. *)
+
+val of_bits : int -> t
+(** Inverse of {!bits}. Bits at or above {!max_columns} are discarded. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

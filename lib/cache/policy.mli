@@ -3,7 +3,12 @@
     The column cache's only change relative to a standard cache is that the
     victim must be chosen {e within} a software-supplied column mask; every
     policy here therefore takes an [allowed] mask. Invalid (empty) ways inside
-    the mask are always preferred over evicting live data. *)
+    the mask are always preferred over evicting live data.
+
+    Victim selection is allocation-free: the mask is scanned as raw bits with
+    a per-kind loop precomputed at {!create}, so a miss never builds candidate
+    lists. The scan orders (and their tie-breaks) are pinned against a naive
+    list-based reference implementation by the differential test suite. *)
 
 type kind =
   | Lru  (** true least-recently-used via per-way timestamps *)
@@ -21,11 +26,46 @@ type t
 
 val create : kind -> sets:int -> ways:int -> t
 val kind : t -> kind
+val ways : t -> int
 
 val on_hit : t -> set:int -> way:int -> unit
 val on_fill : t -> set:int -> way:int -> unit
 
-val victim : t -> set:int -> allowed:Bitmask.t -> valid:(int -> bool) -> int
-(** Choose the way to evict in [set], restricted to [allowed]. Prefers an
-    invalid allowed way. Raises [Invalid_argument] if [allowed] selects no
-    way of the cache. *)
+val victim : t -> set:int -> allowed:Bitmask.t -> valid:Bitmask.t -> int
+(** Choose the way to evict in [set], restricted to [allowed]. [valid] is the
+    mask of ways currently holding live lines in [set]; an allowed way outside
+    it (an empty slot) is always preferred. Raises [Invalid_argument] if
+    [allowed] selects no way of the cache. *)
+
+(** {2 Hot-path state}
+
+    Raw views of the LRU state, consumed only by the batched replay loop in
+    [Sassoc.access_trace], which specializes the per-access bookkeeping per
+    kind instead of dispatching through {!on_hit}/{!on_fill}. The contract —
+    a hit or fill of a slot increments the clock and stamps the slot with the
+    new value, exactly as {!on_hit}/{!on_fill} do — is pinned by the
+    differential soak. Other code must not touch these. *)
+
+val lru_stamps : t -> int array option
+(** The per-slot stamp array (indexed [set * ways + way]) when the kind is
+    {!Lru}; [None] otherwise. *)
+
+val clock : t -> int
+val set_clock : t -> int -> unit
+
+(** {2 Inspection hooks}
+
+    Read-only views of the replacement state, consumed by the naive reference
+    implementation ([Check.Oracle.victim_ref]) that the allocation-free
+    {!victim} is differentially tested against. Simulation code does not use
+    them. *)
+
+val stamp : t -> set:int -> way:int -> int
+(** LRU last-use / FIFO fill timestamp of a slot (0 if never stamped). *)
+
+val mru_bit : t -> set:int -> way:int -> bool
+(** Bit-PLRU MRU bit of a slot. *)
+
+val next_random : t -> int
+(** Draw (and consume) the next value of the xorshift64* stream that the
+    Random policy picks victims with. *)

@@ -33,10 +33,25 @@ type result =
   | Hit of { way : int }
   | Miss of { way : int; evicted_line : int option }
 
+(* Empty slots hold this sentinel tag. Real tags are non-negative (addresses
+   are), so a lookup never has to consult validity: scanning [tags] alone
+   decides hit or miss, which is what keeps the replay loop to one array
+   probe per way. The per-set [vmask] bits remain the authority on validity
+   for the replacement unit and the inspection hooks. *)
+let invalid_tag = min_int
+
 type t = {
   cfg : config;
-  tags : int array;  (* sets * ways *)
-  valid : Bytes.t;
+  line_shift : int;  (* log2 line_size: addr -> line without dividing *)
+  set_mask : int;  (* sets - 1 *)
+  tag_shift : int;  (* log2 sets: line -> tag without recomputing log2 *)
+  tags : int array;  (* sets * ways; [invalid_tag] when the slot is empty *)
+  vmask : int array;  (* per-set bit mask of valid ways *)
+  pred : int array;
+      (* per-set way prediction: the way that hit or filled last. Purely a
+         lookup shortcut — a tag matches at most one way, so probing the
+         predicted way before scanning changes no observable behavior; with
+         line-level locality it turns most scans into one probe. *)
   dirty : Bytes.t;
   policy : Policy.t;
   stats : Stats.t;
@@ -44,13 +59,21 @@ type t = {
   shadow : Lru_set.t option;  (* fully-associative same-capacity LRU *)
 }
 
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
 let create cfg =
   validate_config cfg;
   let n = cfg.sets * cfg.ways in
   {
     cfg;
-    tags = Array.make n 0;
-    valid = Bytes.make n '\000';
+    line_shift = log2 cfg.line_size;
+    set_mask = cfg.sets - 1;
+    tag_shift = log2 cfg.sets;
+    tags = Array.make n invalid_tag;
+    vmask = Array.make cfg.sets 0;
+    pred = Array.make cfg.sets 0;
     dirty = Bytes.make n '\000';
     policy = Policy.create cfg.policy ~sets:cfg.sets ~ways:cfg.ways;
     stats = Stats.create ~ways:cfg.ways;
@@ -61,26 +84,31 @@ let create cfg =
 let geometry t = t.cfg
 let stats t = t.stats
 let slot t ~set ~way = (set * t.cfg.ways) + way
-let line_of_addr t addr = addr / t.cfg.line_size
-let set_of_line t line = line land (t.cfg.sets - 1)
-let tag_of_line t line = line lsr (
-  (* log2 sets *)
-  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
-  log2 t.cfg.sets 0)
+let valid_way t ~set ~way = t.vmask.(set) land (1 lsl way) <> 0
+let line_of_addr t addr = addr lsr t.line_shift
+let set_of_line t line = line land t.set_mask
+let tag_of_line t line = line lsr t.tag_shift
 
 let line_of_slot t ~set ~way =
   let tag = t.tags.(slot t ~set ~way) in
-  (tag * t.cfg.sets) + set
+  (tag lsl t.tag_shift) lor set
+
+(* -1 when the line is absent; allocation-free (no option). The predicted
+   way is probed before the scan (see [pred]). *)
+let find_way_idx t ~set ~tag =
+  let base = set * t.cfg.ways in
+  let p = t.pred.(set) in
+  if t.tags.(base + p) = tag then p
+  else
+    let rec loop w =
+      if w >= t.cfg.ways then -1
+      else if t.tags.(base + w) = tag then w
+      else loop (w + 1)
+    in
+    loop 0
 
 let find_way t ~set ~tag =
-  let rec loop w =
-    if w >= t.cfg.ways then None
-    else
-      let s = slot t ~set ~way:w in
-      if Bytes.get t.valid s = '\001' && t.tags.(s) = tag then Some w
-      else loop (w + 1)
-  in
-  loop 0
+  match find_way_idx t ~set ~tag with -1 -> None | w -> Some w
 
 let classify_miss t line =
   (* Must be called before updating seen/shadow. *)
@@ -119,23 +147,19 @@ let access t ?mask ~kind addr =
   let set = set_of_line t line in
   let tag = tag_of_line t line in
   t.stats.accesses <- t.stats.accesses + 1;
-  match find_way t ~set ~tag with
-  | Some way ->
-      t.stats.hits <- t.stats.hits + 1;
-      Policy.on_hit t.policy ~set ~way;
-      if kind = Memtrace.Access.Write then
-        Bytes.set t.dirty (slot t ~set ~way) '\001';
-      update_shadow t line;
-      Hit { way }
-  | None ->
+  match find_way_idx t ~set ~tag with
+  | -1 ->
       t.stats.misses <- t.stats.misses + 1;
       classify_miss t line;
       update_shadow t line;
-      let valid w = Bytes.get t.valid (slot t ~set ~way:w) = '\001' in
-      let way = Policy.victim t.policy ~set ~allowed:mask ~valid in
+      (* Peek the victim's line before installing over the slot. *)
+      let way =
+        Policy.victim t.policy ~set ~allowed:mask
+          ~valid:(Bitmask.of_bits t.vmask.(set))
+      in
       let s = slot t ~set ~way in
       let evicted_line =
-        if Bytes.get t.valid s = '\001' then begin
+        if valid_way t ~set ~way then begin
           t.stats.evictions <- t.stats.evictions + 1;
           if Bytes.get t.dirty s = '\001' then
             t.stats.writebacks <- t.stats.writebacks + 1;
@@ -144,28 +168,192 @@ let access t ?mask ~kind addr =
         else None
       in
       t.tags.(s) <- tag;
-      Bytes.set t.valid s '\001';
+      t.vmask.(set) <- t.vmask.(set) lor (1 lsl way);
+      t.pred.(set) <- way;
       Bytes.set t.dirty s (if kind = Memtrace.Access.Write then '\001' else '\000');
       Policy.on_fill t.policy ~set ~way;
       t.stats.fills_per_way.(way) <- t.stats.fills_per_way.(way) + 1;
       Miss { way; evicted_line }
+  | way ->
+      t.stats.hits <- t.stats.hits + 1;
+      t.pred.(set) <- way;
+      Policy.on_hit t.policy ~set ~way;
+      if kind = Memtrace.Access.Write then
+        Bytes.set t.dirty (slot t ~set ~way) '\001';
+      update_shadow t line;
+      Hit { way }
 
 let access_record t ?mask (a : Memtrace.Access.t) =
   access t ?mask ~kind:a.kind a.addr
+
+(* The batched hot path: replays a whole trace under one mask without
+   constructing per-access [result] values (or any other heap block on the
+   non-classifying path). Observable state afterwards — statistics, contents,
+   replacement state — is identical to folding [access_record] over the
+   trace, a property the differential soak checks continuously.
+
+   The non-classifying loops are specialized: the trace's backing array is
+   walked directly and every index is provably in range ([set] is masked,
+   [way] scans below [ways]), so unchecked accesses are safe. LRU — the
+   dominant configuration — gets its own loop that writes the policy's stamp
+   array directly instead of calling through [Policy.on_hit]/[on_fill]: the
+   stamp discipline (increment the clock, stamp the touched slot) is exactly
+   theirs, and [Policy.victim] for LRU reads only the stamps, so keeping the
+   clock in a local until the loop ends is invisible to victim choice. *)
+let trace_loop_lru t ~mask ~(arr : Memtrace.Access.t array) ~stamps =
+  let stats = t.stats in
+  let tags = t.tags and vmask = t.vmask and dirty = t.dirty and pred = t.pred in
+  let policy = t.policy in
+  let ways = t.cfg.ways in
+  let line_shift = t.line_shift
+  and set_mask = t.set_mask
+  and tag_shift = t.tag_shift in
+  let clock = ref (Policy.clock policy) in
+  (* Hit/access counters are batched: every access is a hit or a miss, so
+     counting misses in a local and adding [length] accesses at the end
+     leaves the statistics exactly as the per-access path would — and the
+     whole replay is one call, so no observer can see the intermediate
+     counts. *)
+  let miss_count = ref 0 in
+  for i = 0 to Array.length arr - 1 do
+    let a = Array.unsafe_get arr i in
+    let line = a.Memtrace.Access.addr lsr line_shift in
+    let set = line land set_mask in
+    let tag = line lsr tag_shift in
+    let base = set * ways in
+    let pw = Array.unsafe_get pred set in
+    let way =
+      if Array.unsafe_get tags (base + pw) = tag then pw
+      else
+        let rec scan w =
+          if w = ways then -1
+          else if Array.unsafe_get tags (base + w) = tag then w
+          else scan (w + 1)
+        in
+        scan 0
+    in
+    if way >= 0 then begin
+      if way <> pw then Array.unsafe_set pred set way;
+      incr clock;
+      Array.unsafe_set stamps (base + way) !clock;
+      match a.Memtrace.Access.kind with
+      | Memtrace.Access.Write -> Bytes.unsafe_set dirty (base + way) '\001'
+      | Memtrace.Access.Read | Memtrace.Access.Ifetch -> ()
+    end
+    else begin
+      incr miss_count;
+      let vm = Array.unsafe_get vmask set in
+      let way =
+        Policy.victim policy ~set ~allowed:mask ~valid:(Bitmask.of_bits vm)
+      in
+      let s = base + way in
+      if vm land (1 lsl way) <> 0 then begin
+        stats.evictions <- stats.evictions + 1;
+        if Bytes.unsafe_get dirty s = '\001' then
+          stats.writebacks <- stats.writebacks + 1
+      end;
+      Array.unsafe_set tags s tag;
+      Array.unsafe_set vmask set (vm lor (1 lsl way));
+      Bytes.unsafe_set dirty s
+        (match a.Memtrace.Access.kind with
+        | Memtrace.Access.Write -> '\001'
+        | Memtrace.Access.Read | Memtrace.Access.Ifetch -> '\000');
+      Array.unsafe_set pred set way;
+      incr clock;
+      Array.unsafe_set stamps s !clock;
+      stats.fills_per_way.(way) <- stats.fills_per_way.(way) + 1
+    end
+  done;
+  stats.accesses <- stats.accesses + Array.length arr;
+  stats.misses <- stats.misses + !miss_count;
+  stats.hits <- stats.hits + (Array.length arr - !miss_count);
+  Policy.set_clock policy !clock
+
+let trace_loop_generic t ~mask ~(arr : Memtrace.Access.t array) =
+  let stats = t.stats in
+  let tags = t.tags and vmask = t.vmask and dirty = t.dirty and pred = t.pred in
+  let policy = t.policy in
+  let ways = t.cfg.ways in
+  let line_shift = t.line_shift
+  and set_mask = t.set_mask
+  and tag_shift = t.tag_shift in
+  for i = 0 to Array.length arr - 1 do
+    let a = Array.unsafe_get arr i in
+    let line = a.Memtrace.Access.addr lsr line_shift in
+    let set = line land set_mask in
+    let tag = line lsr tag_shift in
+    let base = set * ways in
+    stats.accesses <- stats.accesses + 1;
+    let pw = Array.unsafe_get pred set in
+    let way =
+      if Array.unsafe_get tags (base + pw) = tag then pw
+      else
+        let rec scan w =
+          if w = ways then -1
+          else if Array.unsafe_get tags (base + w) = tag then w
+          else scan (w + 1)
+        in
+        scan 0
+    in
+    if way >= 0 then begin
+      if way <> pw then Array.unsafe_set pred set way;
+      stats.hits <- stats.hits + 1;
+      Policy.on_hit policy ~set ~way;
+      match a.Memtrace.Access.kind with
+      | Memtrace.Access.Write -> Bytes.unsafe_set dirty (base + way) '\001'
+      | Memtrace.Access.Read | Memtrace.Access.Ifetch -> ()
+    end
+    else begin
+      stats.misses <- stats.misses + 1;
+      let vm = Array.unsafe_get vmask set in
+      let way =
+        Policy.victim policy ~set ~allowed:mask ~valid:(Bitmask.of_bits vm)
+      in
+      let s = base + way in
+      if vm land (1 lsl way) <> 0 then begin
+        stats.evictions <- stats.evictions + 1;
+        if Bytes.unsafe_get dirty s = '\001' then
+          stats.writebacks <- stats.writebacks + 1
+      end;
+      Array.unsafe_set tags s tag;
+      Array.unsafe_set vmask set (vm lor (1 lsl way));
+      Bytes.unsafe_set dirty s
+        (match a.Memtrace.Access.kind with
+        | Memtrace.Access.Write -> '\001'
+        | Memtrace.Access.Read | Memtrace.Access.Ifetch -> '\000');
+      Array.unsafe_set pred set way;
+      Policy.on_fill policy ~set ~way;
+      stats.fills_per_way.(way) <- stats.fills_per_way.(way) + 1
+    end
+  done
+
+let access_trace t ?mask trace =
+  let mask = effective_mask t ~who:"access_trace" mask in
+  match t.shadow with
+  | None -> (
+      let arr = Memtrace.Trace.raw trace in
+      match Policy.lru_stamps t.policy with
+      | Some stamps -> trace_loop_lru t ~mask ~arr ~stamps
+      | None -> trace_loop_generic t ~mask ~arr)
+  | Some _ ->
+      Memtrace.Trace.iter
+        (fun a -> ignore (access t ~mask ~kind:a.Memtrace.Access.kind a.addr))
+        trace
 
 let fill t ?mask addr =
   let mask = effective_mask t ~who:"fill" mask in
   let line = line_of_addr t addr in
   let set = set_of_line t line in
   let tag = tag_of_line t line in
-  match find_way t ~set ~tag with
-  | Some way -> Hit { way }
-  | None ->
-      let valid w = Bytes.get t.valid (slot t ~set ~way:w) = '\001' in
-      let way = Policy.victim t.policy ~set ~allowed:mask ~valid in
+  match find_way_idx t ~set ~tag with
+  | -1 ->
+      let way =
+        Policy.victim t.policy ~set ~allowed:mask
+          ~valid:(Bitmask.of_bits t.vmask.(set))
+      in
       let s = slot t ~set ~way in
       let evicted_line =
-        if Bytes.get t.valid s = '\001' then begin
+        if valid_way t ~set ~way then begin
           t.stats.evictions <- t.stats.evictions + 1;
           if Bytes.get t.dirty s = '\001' then
             t.stats.writebacks <- t.stats.writebacks + 1;
@@ -174,12 +362,14 @@ let fill t ?mask addr =
         else None
       in
       t.tags.(s) <- tag;
-      Bytes.set t.valid s '\001';
+      t.vmask.(set) <- t.vmask.(set) lor (1 lsl way);
+      t.pred.(set) <- way;
       Bytes.set t.dirty s '\000';
       Policy.on_fill t.policy ~set ~way;
       t.stats.fills_per_way.(way) <- t.stats.fills_per_way.(way) + 1;
       update_shadow t line;
       Miss { way; evicted_line }
+  | way -> Hit { way }
 
 let probe t addr =
   let line = line_of_addr t addr in
@@ -194,50 +384,46 @@ let set_of_addr t addr = set_of_line t (line_of_addr t addr)
 
 let set_occupancy t set =
   if set < 0 || set >= t.cfg.sets then invalid_arg "Sassoc.set_occupancy";
-  let n = ref 0 in
-  for way = 0 to t.cfg.ways - 1 do
-    if Bytes.get t.valid (slot t ~set ~way) = '\001' then incr n
-  done;
-  !n
+  Bitmask.count (Bitmask.of_bits t.vmask.(set))
 
 let lines_in_set t set =
   if set < 0 || set >= t.cfg.sets then invalid_arg "Sassoc.lines_in_set";
   let out = ref [] in
   for way = t.cfg.ways - 1 downto 0 do
-    if Bytes.get t.valid (slot t ~set ~way) = '\001' then
-      out := (way, line_of_slot t ~set ~way) :: !out
+    if valid_way t ~set ~way then out := (way, line_of_slot t ~set ~way) :: !out
   done;
   !out
 
 let occupied_ways t set =
-  List.fold_left (fun m (way, _) -> Bitmask.add m way) Bitmask.empty
-    (lines_in_set t set)
+  if set < 0 || set >= t.cfg.sets then invalid_arg "Sassoc.occupied_ways";
+  Bitmask.of_bits t.vmask.(set)
 
 let lines_in_column t way =
   if way < 0 || way >= t.cfg.ways then invalid_arg "Sassoc.lines_in_column";
   let out = ref [] in
   for set = t.cfg.sets - 1 downto 0 do
-    if Bytes.get t.valid (slot t ~set ~way) = '\001' then
-      out := line_of_slot t ~set ~way :: !out
+    if valid_way t ~set ~way then out := line_of_slot t ~set ~way :: !out
   done;
   !out
 
 let valid_lines t =
-  let n = ref 0 in
-  Bytes.iter (fun c -> if c = '\001' then incr n) t.valid;
-  !n
+  Array.fold_left
+    (fun acc vm -> acc + Bitmask.count (Bitmask.of_bits vm))
+    0 t.vmask
 
 let invalidate_line t line =
   let set = set_of_line t line in
-  match find_way t ~set ~tag:(tag_of_line t line) with
-  | None -> ()
-  | Some way ->
+  match find_way_idx t ~set ~tag:(tag_of_line t line) with
+  | -1 -> ()
+  | way ->
       let s = slot t ~set ~way in
-      Bytes.set t.valid s '\000';
+      t.tags.(s) <- invalid_tag;
+      t.vmask.(set) <- t.vmask.(set) land lnot (1 lsl way);
       Bytes.set t.dirty s '\000'
 
 let flush t =
-  Bytes.fill t.valid 0 (Bytes.length t.valid) '\000';
-  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000'
+  Array.fill t.tags 0 (Array.length t.tags) invalid_tag;
+  Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000';
+  Array.fill t.vmask 0 (Array.length t.vmask) 0
 
 let reset_stats t = Stats.reset t.stats

@@ -46,6 +46,14 @@ val access : t -> ?mask:Bitmask.t -> kind:Memtrace.Access.kind -> int -> result
 
 val access_record : t -> ?mask:Bitmask.t -> Memtrace.Access.t -> result
 
+val access_trace : t -> ?mask:Bitmask.t -> Memtrace.Trace.t -> unit
+(** Replay a whole trace of demand accesses under one mask. Equivalent to
+    [Trace.iter (fun a -> ignore (access_record t ?mask a)) trace] — same
+    statistics, contents and replacement state afterwards — but without
+    constructing per-access [result] values: the non-classifying path
+    performs no heap allocation at all. This is the simulation hot path;
+    callers that need per-access results keep using {!access}. *)
+
 val fill : t -> ?mask:Bitmask.t -> int -> result
 (** Install the line holding the address as a prefetch would: victim
     selection and eviction behave exactly like {!access}, but the operation
@@ -61,6 +69,22 @@ val way_of_line : t -> int -> int option
 
 val set_of_addr : t -> int -> int
 (** The set the address indexes into. *)
+
+(** {2 Address decomposition}
+
+    How an address splits into (line, set, tag) under this geometry. The
+    shifts involved are precomputed at {!create}; these accessors exist so
+    tests can pin the decomposition across geometries (1 way, max ways,
+    1 set) independently of the replacement machinery. *)
+
+val line_of_addr : t -> int -> int
+(** [addr lsr log2 line_size]. *)
+
+val set_of_line : t -> int -> int
+(** [line land (sets - 1)]. *)
+
+val tag_of_line : t -> int -> int
+(** [line lsr log2 sets]. *)
 
 val set_occupancy : t -> int -> int
 (** Number of valid ways in a set. Raises [Invalid_argument] on an

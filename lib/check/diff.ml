@@ -29,9 +29,8 @@ let pp_outcome ppf = function
 
 let check = function Ok () -> () | Error msg -> raise (Found msg)
 
-(* Compare the two sides after one access. *)
-let compare_access ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome ~rres ~ores
-    =
+(* Compare the VM-resolution half of one access (available on both drivers). *)
+let compare_resolution ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome =
   if not (Bitmask.equal rmask omask) then
     failf "resolved mask differs: real %a, oracle %a" Bitmask.pp rmask
       Bitmask.pp omask;
@@ -40,7 +39,12 @@ let compare_access ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome ~rres ~ores
       otint;
   if routcome <> ooutcome then
     failf "tlb outcome differs: real %a, oracle %a" pp_outcome routcome
-      pp_outcome ooutcome;
+      pp_outcome ooutcome
+
+(* Compare the two sides after one access (per-access driver only). *)
+let compare_access ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome ~rres ~ores
+    =
+  compare_resolution ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome;
   if rres <> ores then
     failf "cache result differs: real %a, oracle %a" pp_result rres pp_result
       ores
@@ -65,7 +69,7 @@ let compare_costs (r : Vm.Mapping.cost) (o : Vm.Mapping.cost) =
     failf "final reconfiguration costs differ: real (%a), oracle (%a)"
       Vm.Mapping.pp_cost r Vm.Mapping.pp_cost o
 
-let run_scenario ?bug (sc : Scenario.t) =
+let run_scenario ?bug ?(fast_path = false) (sc : Scenario.t) =
   let cfg = sc.cache in
   let real = Sassoc.create cfg in
   let mapping =
@@ -77,8 +81,10 @@ let run_scenario ?bug (sc : Scenario.t) =
     Resolver.create ~page_size:sc.page_size ~columns:cfg.Sassoc.ways
       ~tlb_entries:sc.tlb_entries
   in
+  (* The LRU monitor consumes per-access results, which the batched driver
+     does not produce. *)
   let monitor =
-    if cfg.Sassoc.policy = Cache.Policy.Lru && bug = None then
+    if cfg.Sassoc.policy = Cache.Policy.Lru && bug = None && not fast_path then
       Some (Invariant.Lru_monitor.create cfg)
     else None
   in
@@ -92,8 +98,61 @@ let run_scenario ?bug (sc : Scenario.t) =
     Hashtbl.replace fill_masks set (Bitmask.union prev mask)
   in
   let step = ref 0 in
+  (* Fast-path batching: consecutive accesses that resolve to the same column
+     mask are queued and replayed through [Sassoc.access_trace] in one call —
+     the same batching shape real callers use. The oracle still steps one
+     access at a time; per-access result comparison is impossible here (the
+     batched entry point returns none), so divergence is caught by the
+     final-state comparison plus the per-batch invariants. *)
+  let pending = ref [] in
+  let pending_mask = ref Bitmask.empty in
+  let pending_sets = ref [] in
+  let flush_batch () =
+    match !pending with
+    | [] -> ()
+    | evs ->
+        let arr = Array.of_list (List.rev evs) in
+        (* The planted fast-path bug lives here, on the real side: writes are
+           demoted to reads when building the batch, losing dirty bits. *)
+        let arr =
+          if bug = Some Oracle.Fast_path then
+            Array.map
+              (fun (a : Memtrace.Access.t) ->
+                match a.kind with
+                | Memtrace.Access.Write -> { a with kind = Memtrace.Access.Read }
+                | Memtrace.Access.Read | Memtrace.Access.Ifetch -> a)
+              arr
+          else arr
+        in
+        Sassoc.access_trace real ~mask:!pending_mask
+          (Memtrace.Trace.of_array arr);
+        pending := [];
+        check (Invariant.stats_conserved (Sassoc.stats real));
+        List.iter
+          (fun set ->
+            check
+              (Invariant.occupancy_within real ~set
+                 ~allowed:(Hashtbl.find fill_masks set)))
+          (List.sort_uniq compare !pending_sets);
+        pending_sets := []
+  in
   let apply event =
     match (event : Scenario.event) with
+    | Scenario.Access a when fast_path ->
+        let rmask, rtint, routcome = Vm.Mapping.resolve mapping a.addr in
+        let omask, otint, ooutcome = Resolver.resolve resolver a.addr in
+        ignore (Oracle.access oracle ~mask:omask ~kind:a.kind a.addr);
+        compare_resolution ~rmask ~omask ~rtint ~otint ~routcome ~ooutcome;
+        if !pending <> [] && not (Bitmask.equal rmask !pending_mask) then
+          flush_batch ();
+        pending_mask := rmask;
+        pending := a :: !pending;
+        (* Note the mask for every batched access, not just misses: a sound
+           over-approximation of the fill-mask union the per-access driver
+           tracks, keeping the occupancy invariant checkable per batch. *)
+        let set = Sassoc.set_of_addr real a.addr in
+        note_fill_mask set rmask;
+        pending_sets := set :: !pending_sets
     | Scenario.Access a ->
         let rmask, rtint, routcome = Vm.Mapping.resolve mapping a.addr in
         let omask, otint, ooutcome = Resolver.resolve resolver a.addr in
@@ -129,6 +188,8 @@ let run_scenario ?bug (sc : Scenario.t) =
         Vm.Tlb.flush (Vm.Mapping.tlb mapping);
         Resolver.flush_tlb resolver
     | Scenario.Flush_cache ->
+        (* Deferred accesses must land before the flush discards contents. *)
+        flush_batch ();
         Sassoc.flush real;
         Oracle.flush oracle;
         Option.iter Invariant.Lru_monitor.flush monitor
@@ -139,6 +200,7 @@ let run_scenario ?bug (sc : Scenario.t) =
         apply e;
         incr step)
       sc.events;
+    flush_batch ();
     (* Final-state comparison: statistics, full contents, VM costs. *)
     compare_stats (Sassoc.stats real) (Oracle.stats oracle);
     for set = 0 to cfg.Sassoc.sets - 1 do
@@ -172,11 +234,11 @@ let run_scenario ?bug (sc : Scenario.t) =
 
 (* --- shrinking ---------------------------------------------------------- *)
 
-let diverges ?bug sc =
-  match run_scenario ?bug sc with Diverge _ -> true | Agree -> false
+let diverges ?bug ?fast_path sc =
+  match run_scenario ?bug ?fast_path sc with Diverge _ -> true | Agree -> false
 
-let shrink ?bug sc =
-  match run_scenario ?bug sc with
+let shrink ?bug ?fast_path sc =
+  match run_scenario ?bug ?fast_path sc with
   | Agree -> sc
   | Diverge { step; _ } ->
       (* Shortest diverging prefix first: everything after the divergence is
@@ -186,7 +248,7 @@ let shrink ?bug sc =
       while !progressed do
         progressed := false;
         (* Re-truncate: a removal may have moved the divergence earlier. *)
-        (match run_scenario ?bug !sc with
+        (match run_scenario ?bug ?fast_path !sc with
         | Diverge { step; _ } when step + 1 < Scenario.length !sc ->
             sc := Scenario.truncate !sc (step + 1);
             progressed := true
@@ -196,7 +258,7 @@ let shrink ?bug sc =
         let i = ref 0 in
         while !i < Scenario.length !sc do
           let candidate = Scenario.remove_event !sc !i in
-          if diverges ?bug candidate then begin
+          if diverges ?bug ?fast_path candidate then begin
             sc := candidate;
             progressed := true
           end
@@ -216,12 +278,14 @@ type summary = {
   policies : string list;
   min_ways : int;
   max_ways : int;
+  fast_path_iters : int;
 }
 
 type failure = {
   iteration : int;
   scenario : Scenario.t;
   divergence : divergence;
+  fast_path : bool;
 }
 
 let policy_family = function
@@ -247,9 +311,10 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         policies = [];
         min_ways = max_int;
         max_ways = 0;
+        fast_path_iters = 0;
       }
   in
-  let account (sc : Scenario.t) =
+  let account (sc : Scenario.t) ~fast_path =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -269,6 +334,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
            else List.sort String.compare (f :: s.policies));
         min_ways = min s.min_ways ways;
         max_ways = max s.max_ways ways;
+        fast_path_iters = s.fast_path_iters + (if fast_path then 1 else 0);
       }
   in
   let rec loop i =
@@ -281,19 +347,24 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
             ?max_events rng
         else Gen.scenario ?max_events rng
       in
-      account sc;
-      match run_scenario ?bug sc with
+      (* Every other scenario replays the real side through the batched
+         [Sassoc.access_trace] driver, so both entry points soak equally. *)
+      let fast_path = i mod 2 = 1 in
+      account sc ~fast_path;
+      match run_scenario ?bug ~fast_path sc with
       | Agree ->
           progress i;
           loop (i + 1)
       | Diverge _ ->
-          let shrunk = shrink ?bug sc in
+          let shrunk = shrink ?bug ~fast_path sc in
           let divergence =
-            match run_scenario ?bug shrunk with
+            match run_scenario ?bug ~fast_path shrunk with
             | Diverge d -> d
             | Agree -> { step = 0; detail = "shrunk scenario stopped diverging" }
           in
-          Error ({ iteration = i; scenario = shrunk; divergence }, !summary)
+          Error
+            ( { iteration = i; scenario = shrunk; divergence; fast_path },
+              !summary )
     end
   in
   loop 0
@@ -303,18 +374,20 @@ let pp_divergence ppf d =
 
 let pp_failure ppf f =
   Format.fprintf ppf
-    "@[<v>divergence on iteration %d, %a@,@,minimal repro (%d events, %d \
-     accesses):@,%a@]"
-    f.iteration pp_divergence f.divergence
+    "@[<v>divergence on iteration %d (%s driver), %a@,@,minimal repro (%d \
+     events, %d accesses):@,%a@]"
+    f.iteration
+    (if f.fast_path then "batched fast-path" else "per-access")
+    pp_divergence f.divergence
     (Scenario.length f.scenario)
     (Scenario.accesses f.scenario)
     Scenario.pp f.scenario
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps; \
-     policies: %s; ways %s)"
-    s.iters s.events s.accesses s.retints s.remaps
+    "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
+     %d via the batched fast path; policies: %s; ways %s)"
+    s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

@@ -21,13 +21,20 @@ type outcome =
   | Agree
   | Diverge of divergence
 
-val run_scenario : ?bug:Oracle.bug -> Scenario.t -> outcome
-(** [bug] plants the defect in the {e oracle} side, for mutation-testing
-    the harness itself. *)
+val run_scenario : ?bug:Oracle.bug -> ?fast_path:bool -> Scenario.t -> outcome
+(** [bug] plants the defect in the {e oracle} side ({!Oracle.Fast_path} is
+    the exception: it corrupts the real-side batch builder), for
+    mutation-testing the harness itself. [fast_path] (default [false])
+    replays the real side through the batched {!Cache.Sassoc.access_trace}
+    entry point, batching consecutive accesses that resolve to the same
+    column mask; per-access result comparison is skipped (the batched entry
+    point returns no results) and divergence is caught by per-batch
+    invariants plus the final-state comparison. *)
 
-val shrink : ?bug:Oracle.bug -> Scenario.t -> Scenario.t
+val shrink : ?bug:Oracle.bug -> ?fast_path:bool -> Scenario.t -> Scenario.t
 (** Smallest diverging scenario found; returns the input unchanged if it
-    does not diverge. *)
+    does not diverge. [fast_path] selects the driver, as in
+    {!run_scenario}. *)
 
 (** Aggregate coverage of a {!soak} run, so tests can assert the batch
     really exercised all policies and the geometry extremes. *)
@@ -40,12 +47,16 @@ type summary = {
   policies : string list;  (** distinct policy families seen, sorted *)
   min_ways : int;
   max_ways : int;
+  fast_path_iters : int;
+      (** scenarios replayed through the batched fast-path driver *)
 }
 
 type failure = {
   iteration : int;  (** 0-based iteration that diverged *)
   scenario : Scenario.t;  (** already shrunk *)
   divergence : divergence;  (** divergence of the shrunk scenario *)
+  fast_path : bool;
+      (** which driver diverged; replay the repro with the same one *)
 }
 
 val soak :
@@ -54,8 +65,10 @@ val soak :
 (** Generate and check [iters] scenarios from [seed]. The first few
     iterations force coverage of the extremes (1 way,
     {!Cache.Bitmask.max_columns} ways, every policy family); the rest are
-    fully random. Stops at the first divergence. [progress] is called with
-    each completed iteration index. *)
+    fully random. Every other iteration replays the real side through the
+    batched fast-path driver so both entry points soak equally. Stops at the
+    first divergence. [progress] is called with each completed iteration
+    index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

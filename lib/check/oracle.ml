@@ -7,11 +7,13 @@ type bug =
   | Mru_instead_of_lru
   | Ignore_mask
   | Skip_writeback_count
+  | Fast_path
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
   | Ignore_mask -> "ignore-mask"
   | Skip_writeback_count -> "skip-writeback-count"
+  | Fast_path -> "fast-path"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on
@@ -291,3 +293,41 @@ let invalidate_line t line =
   | Some c -> remove_cell t ~set:c.set ~way:c.way
 
 let flush t = t.cells <- []
+
+(* --- naive reference for Policy.victim ---------------------------------- *)
+
+let victim_ref policy ~set ~allowed ~valid =
+  let ways = Cache.Policy.ways policy in
+  let candidates =
+    List.filter (Bitmask.mem allowed) (List.init ways Fun.id)
+  in
+  if candidates = [] then invalid_arg "Oracle.victim_ref: empty column mask";
+  (* An empty (invalid) allowed way always beats evicting live data; the
+     first such way front to back. *)
+  match List.find_opt (fun w -> not (Bitmask.mem valid w)) candidates with
+  | Some w -> w
+  | None -> (
+      match Cache.Policy.kind policy with
+      | Cache.Policy.Lru | Cache.Policy.Fifo ->
+          (* Smallest stamp (last use / fill time) wins; equal stamps go to
+             the highest way. *)
+          let stamp w = Cache.Policy.stamp policy ~set ~way:w in
+          List.fold_left
+            (fun best w ->
+              if stamp w < stamp best || (stamp w = stamp best && w > best)
+              then w
+              else best)
+            (List.hd candidates) (List.tl candidates)
+      | Cache.Policy.Bit_plru -> (
+          (* First candidate whose MRU bit is clear; all marked -> first
+             candidate. *)
+          match
+            List.find_opt
+              (fun w -> not (Cache.Policy.mru_bit policy ~set ~way:w))
+              candidates
+          with
+          | Some w -> w
+          | None -> List.hd candidates)
+      | Cache.Policy.Random _ ->
+          let n = List.length candidates in
+          List.nth candidates (Cache.Policy.next_random policy mod n))

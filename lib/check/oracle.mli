@@ -22,6 +22,10 @@ type bug =
       (** under LRU, evict the most recently used allowed way *)
   | Ignore_mask  (** choose victims from all ways, ignoring the column mask *)
   | Skip_writeback_count  (** forget to count writebacks of dirty victims *)
+  | Fast_path
+      (** planted in {!Diff}'s batched real-side driver, not here: the batch
+          fed to [Sassoc.access_trace] demotes writes to reads, losing dirty
+          bits. Proves the fast-path routing can catch batching bugs. *)
 
 val bug_to_string : bug -> string
 
@@ -55,3 +59,15 @@ val invalidate_line : t -> int -> unit
 val flush : t -> unit
 (** Like {!Cache.Sassoc.flush}: contents are dropped, statistics and
     replacement state survive. *)
+
+val victim_ref :
+  Cache.Policy.t -> set:int -> allowed:Cache.Bitmask.t ->
+  valid:Cache.Bitmask.t -> int
+(** The naive, list-based specification of {!Cache.Policy.victim}: build the
+    candidate list, prefer the lowest empty allowed way, otherwise scan per
+    policy (smallest stamp with ties to the highest way for LRU/FIFO; first
+    clear MRU bit, else first candidate, for bit-PLRU; the n-th candidate
+    from the shared xorshift64* stream for Random). The allocation-free
+    bitwise scans in [Policy] are property-tested against this — give each
+    side its own [Policy.t] with identical history, since Random draws from
+    (and advances) the stream. *)

@@ -1,0 +1,258 @@
+type row = {
+  name : string;
+  ns_per_run : float;
+  accesses_per_sec : float;
+}
+
+(* --- writer ------------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string x =
+  if not (Float.is_finite x) then
+    invalid_arg "Bench_json: non-finite number has no JSON rendering";
+  (* %.17g round-trips every float; strip no digits for the sake of it. *)
+  let s = Printf.sprintf "%.17g" x in
+  (* "1e+08" is a valid JSON number, "1." is not; %g never emits the latter. *)
+  s
+
+let to_string rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  { \"name\": \"%s\", \"ns_per_run\": %s, \"accesses_per_sec\": %s }"
+           (escape_string r.name)
+           (number_to_string r.ns_per_run)
+           (number_to_string r.accesses_per_sec)))
+    rows;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+(* --- parser ------------------------------------------------------------- *)
+
+(* Recursive descent over the one shape we emit: an array of flat objects
+   with string or number values. Anything else is a schema violation and
+   fails loudly — CI uses this as the schema check. *)
+
+type state = { text : string; mutable pos : int }
+
+let fail st msg =
+  invalid_arg (Printf.sprintf "Bench_json.of_string: %s at offset %d" msg st.pos)
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.text
+    && match st.text.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  skip_ws st;
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | Some '"' -> Buffer.add_char buf '"'; st.pos <- st.pos + 1; loop ()
+        | Some '\\' -> Buffer.add_char buf '\\'; st.pos <- st.pos + 1; loop ()
+        | Some 'n' -> Buffer.add_char buf '\n'; st.pos <- st.pos + 1; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; st.pos <- st.pos + 1; loop ()
+        | Some 'r' -> Buffer.add_char buf '\r'; st.pos <- st.pos + 1; loop ()
+        | Some '/' -> Buffer.add_char buf '/'; st.pos <- st.pos + 1; loop ()
+        | Some 'u' ->
+            if st.pos + 4 >= String.length st.text then
+              fail st "truncated \\u escape";
+            let hex = String.sub st.text (st.pos + 1) 4 in
+            let code =
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some c -> c
+              | None -> fail st (Printf.sprintf "bad \\u escape %S" hex)
+            in
+            (* benchmark names are ASCII; reject anything else rather than
+               carrying a UTF-8 encoder around *)
+            if code > 0x7f then fail st "non-ASCII \\u escape unsupported";
+            Buffer.add_char buf (Char.chr code);
+            st.pos <- st.pos + 5;
+            loop ()
+        | _ -> fail st "unknown escape")
+    | Some c -> Buffer.add_char buf c; st.pos <- st.pos + 1; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  skip_ws st;
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.text && is_num_char st.text.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then fail st "expected a number";
+  let s = String.sub st.text start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some x -> x
+  | None -> fail st (Printf.sprintf "malformed number %S" s)
+
+let parse_field st =
+  let key = parse_string st in
+  expect st ':';
+  skip_ws st;
+  let value =
+    match peek st with
+    | Some '"' -> `String (parse_string st)
+    | Some ('-' | '0' .. '9') -> `Number (parse_number st)
+    | _ -> fail st (Printf.sprintf "field %S: expected string or number" key)
+  in
+  (key, value)
+
+let parse_row st =
+  expect st '{';
+  let fields = ref [] in
+  skip_ws st;
+  (match peek st with
+  | Some '}' -> st.pos <- st.pos + 1
+  | _ ->
+      let rec loop () =
+        skip_ws st;
+        fields := parse_field st :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; loop ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or '}' in object"
+      in
+      loop ());
+  let fields = !fields in
+  let get key =
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> fail st (Printf.sprintf "missing field %S" key)
+  in
+  let num key =
+    match get key with
+    | `Number x -> x
+    | `String _ -> fail st (Printf.sprintf "field %S must be a number" key)
+  in
+  let str key =
+    match get key with
+    | `String s -> s
+    | `Number _ -> fail st (Printf.sprintf "field %S must be a string" key)
+  in
+  List.iter
+    (fun (key, _) ->
+      match key with
+      | "name" | "ns_per_run" | "accesses_per_sec" -> ()
+      | other -> fail st (Printf.sprintf "unknown field %S" other))
+    fields;
+  {
+    name = str "name";
+    ns_per_run = num "ns_per_run";
+    accesses_per_sec = num "accesses_per_sec";
+  }
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  expect st '[';
+  let rows = ref [] in
+  skip_ws st;
+  (match peek st with
+  | Some ']' -> st.pos <- st.pos + 1
+  | _ ->
+      let rec loop () =
+        skip_ws st;
+        rows := parse_row st :: !rows;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; loop ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> fail st "expected ',' or ']' in array"
+      in
+      loop ());
+  skip_ws st;
+  if st.pos <> String.length text then fail st "trailing garbage after array";
+  List.rev !rows
+
+(* --- files -------------------------------------------------------------- *)
+
+let write ~path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string rows))
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* --- regression compare ------------------------------------------------- *)
+
+type regression = {
+  bench : string;
+  baseline_ns : float;
+  current_ns : float;
+  slowdown_pct : float;
+}
+
+let regressions ~baseline ~current ~max_pct =
+  List.filter_map
+    (fun cur ->
+      match List.find_opt (fun b -> b.name = cur.name) baseline with
+      | None -> None
+      | Some base when base.ns_per_run <= 0. -> None
+      | Some base ->
+          let slowdown_pct =
+            (cur.ns_per_run -. base.ns_per_run) /. base.ns_per_run *. 100.
+          in
+          if slowdown_pct > max_pct then
+            Some
+              {
+                bench = cur.name;
+                baseline_ns = base.ns_per_run;
+                current_ns = cur.ns_per_run;
+                slowdown_pct;
+              }
+          else None)
+    current
+
+let pp_regression ppf r =
+  Format.fprintf ppf "%s: %.0f ns/run -> %.0f ns/run (%+.1f%%)" r.bench
+    r.baseline_ns r.current_ns r.slowdown_pct

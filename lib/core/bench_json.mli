@@ -1,0 +1,55 @@
+(** Benchmark results as JSON, for the regression harness.
+
+    The bench executable emits one row per micro-benchmark; CI re-runs the
+    benches and compares against the committed baseline ([BENCH_PR2.json]).
+    The format is a JSON array of flat objects:
+
+    {v
+    [
+      { "name": "colcache/hot_access_trace",
+        "ns_per_run": 3278515.2,
+        "accesses_per_sec": 99262794.0 },
+      ...
+    ]
+    v}
+
+    No JSON library is vendored, so both the writer and the (deliberately
+    minimal) parser live here; the parser accepts exactly the shape above —
+    an array of objects whose fields are strings or numbers — which keeps it
+    honest as a schema validator for the CI smoke test. *)
+
+type row = {
+  name : string;
+  ns_per_run : float;
+  accesses_per_sec : float;
+      (** accesses replayed per second, when the benchmark is a trace replay
+          with a known access count; 0 for benchmarks without one. *)
+}
+
+val to_string : row list -> string
+(** Render as JSON. Raises [Invalid_argument] on a non-finite number — NaN
+    and infinities are not JSON. *)
+
+val of_string : string -> row list
+(** Parse rows back. Raises [Invalid_argument] with a position-carrying
+    message on anything that is not the schema above (unknown field, missing
+    field, trailing garbage, malformed JSON). *)
+
+val write : path:string -> row list -> unit
+val read : path:string -> row list
+
+type regression = {
+  bench : string;
+  baseline_ns : float;
+  current_ns : float;
+  slowdown_pct : float;  (** positive = slower than baseline *)
+}
+
+val regressions :
+  baseline:row list -> current:row list -> max_pct:float -> regression list
+(** Rows present in both sets whose [ns_per_run] grew by more than [max_pct]
+    percent over the baseline. Rows only one side knows about are ignored:
+    benchmarks come and go across PRs, and the committed baseline is
+    regenerated whenever the set changes. *)
+
+val pp_regression : Format.formatter -> regression -> unit

@@ -18,3 +18,4 @@ module Sched = Sched
 module Pipeline = Pipeline
 module Experiments = Experiments
 module Csv_export = Csv_export
+module Bench_json = Bench_json

@@ -942,18 +942,54 @@ module Generality = struct
     Format.fprintf ppf "@]@."
 end
 
-let run_all ppf =
-  Fig3.print ppf (Fig3.run ());
-  Fig4_routines.print ppf (Fig4_routines.run ());
-  Fig4_combined.print ppf (Fig4_combined.run ());
-  Fig5.print ppf (Fig5.run ());
-  Ablation_policy.print ppf (Ablation_policy.run ());
-  Ablation_columns.print ppf (Ablation_columns.run ());
-  Ablation_weights.print ppf (Ablation_weights.run ());
-  Ablation_grouping.print ppf (Ablation_grouping.run ());
-  Ablation_page_coloring.print ppf (Ablation_page_coloring.run ());
-  Ablation_l2.print ppf (Ablation_l2.run ());
-  Ablation_prefetch.print ppf (Ablation_prefetch.run ());
-  Ablation_tlb.print ppf (Ablation_tlb.run ());
-  Ablation_optimizer.print ppf (Ablation_optimizer.run ());
-  Generality.print ppf (Generality.run ())
+(* Every experiment above is self-contained — each [run] builds its own
+   pipelines, systems and caches, and no library module keeps toplevel mutable
+   state — so the tasks can execute on separate domains. Each task renders its
+   figure to a string with [Format.asprintf]; the serial path renders through
+   the exact same strings, so for any [jobs] the bytes written to [ppf] are
+   identical by construction (EXPERIMENTS.md relies on this). *)
+let all_tasks : (unit -> string) list =
+  let render print run () = Format.asprintf "%a" print (run ()) in
+  [
+    render Fig3.print (fun () -> Fig3.run ());
+    render Fig4_routines.print (fun () -> Fig4_routines.run ());
+    render Fig4_combined.print (fun () -> Fig4_combined.run ());
+    render Fig5.print (fun () -> Fig5.run ());
+    render Ablation_policy.print Ablation_policy.run;
+    render Ablation_columns.print (fun () -> Ablation_columns.run ());
+    render Ablation_weights.print Ablation_weights.run;
+    render Ablation_grouping.print Ablation_grouping.run;
+    render Ablation_page_coloring.print Ablation_page_coloring.run;
+    render Ablation_l2.print Ablation_l2.run;
+    render Ablation_prefetch.print Ablation_prefetch.run;
+    render Ablation_tlb.print (fun () -> Ablation_tlb.run ());
+    render Ablation_optimizer.print Ablation_optimizer.run;
+    render Generality.print Generality.run;
+  ]
+
+let run_all ?(jobs = 1) ppf =
+  if jobs < 1 then invalid_arg "Experiments.run_all: jobs must be >= 1";
+  let tasks = Array.of_list all_tasks in
+  let results = Array.make (Array.length tasks) "" in
+  if jobs = 1 then Array.iteri (fun i task -> results.(i) <- task ()) tasks
+  else begin
+    (* Work-stealing over an atomic counter: domains grab the next undone
+       task index until none remain. Results land in [results] slots, so
+       completion order cannot affect output order. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length tasks then begin
+          results.(i) <- tasks.(i) ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = min jobs (Array.length tasks) - 1 in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains
+  end;
+  Array.iter (Format.pp_print_string ppf) results

@@ -242,6 +242,9 @@ module Generality : sig
   val print : Format.formatter -> t -> unit
 end
 
-val run_all : Format.formatter -> unit
+val run_all : ?jobs:int -> Format.formatter -> unit
 (** Run every experiment and print all series (the bench harness's output
-    body). *)
+    body). [jobs] (default 1) is the number of domains the independent
+    experiments are spread over; whatever the value, the bytes printed are
+    identical — each experiment renders to its own buffer and the buffers
+    are emitted in a fixed order. Raises [Invalid_argument] if [jobs < 1]. *)

@@ -23,7 +23,9 @@ let line ~line_size a =
   if line_size <= 0 then invalid_arg "Access.line: line_size must be positive";
   a.addr / line_size
 
-let with_addr a addr = { a with addr }
+let with_addr a addr =
+  if addr < 0 then invalid_arg "Access.with_addr: negative address";
+  { a with addr }
 
 let equal a b =
   a.addr = b.addr && a.kind = b.kind && a.var = b.var && a.gap = b.gap

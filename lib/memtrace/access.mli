@@ -38,6 +38,10 @@ val line : line_size:int -> t -> int
 (** Cache-line address (byte address divided by [line_size]). *)
 
 val with_addr : t -> int -> t
+(** Same access at a new address. Raises [Invalid_argument] on a negative
+    address, upholding the invariant {!make} establishes — which is what
+    lets {!Trace.shift} reject an offset that would wrap below zero. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val kind_to_string : kind -> string

@@ -4,6 +4,7 @@ let empty = [||]
 let of_list = Array.of_list
 let to_list = Array.to_list
 let of_array a = a
+let raw t = t
 let length = Array.length
 let is_empty t = Array.length t = 0
 
@@ -18,7 +19,26 @@ let iter = Array.iter
 let iteri = Array.iteri
 let fold f init t = Array.fold_left f init t
 let map = Array.map
-let filter f t = Array.of_list (List.filter f (Array.to_list t))
+(* Count-then-fill: two passes over the array (the predicate runs twice per
+   element) but no intermediate list — the old array->list->array round-trip
+   allocated three cells per access on multi-megabyte traces. *)
+let filter f t =
+  let n = ref 0 in
+  Array.iter (fun a -> if f a then incr n) t;
+  if !n = Array.length t then t
+  else if !n = 0 then [||]
+  else begin
+    let out = Array.make !n t.(0) in
+    let j = ref 0 in
+    Array.iter
+      (fun a ->
+        if f a then begin
+          out.(!j) <- a;
+          incr j
+        end)
+      t;
+    out
+  end
 
 let instructions t =
   Array.fold_left (fun acc a -> acc + Access.instructions a) 0 t

@@ -13,6 +13,10 @@ val to_list : t -> Access.t list
 val of_array : Access.t array -> t
 (** Takes ownership of the array; callers must not mutate it afterwards. *)
 
+val raw : t -> Access.t array
+(** The backing array, for zero-overhead replay loops (the simulators' batched
+    hot path). Callers must not mutate it. *)
+
 val length : t -> int
 val is_empty : t -> bool
 
@@ -27,13 +31,17 @@ val iteri : (int -> Access.t -> unit) -> t -> unit
 val fold : ('a -> Access.t -> 'a) -> 'a -> t -> 'a
 val map : (Access.t -> Access.t) -> t -> t
 val filter : (Access.t -> bool) -> t -> t
+(** Keeps accesses satisfying the predicate, in order. The predicate may be
+    applied more than once per access (count-then-fill, no intermediate
+    list); when everything is kept the trace is returned as-is. *)
 
 val instructions : t -> int
 (** Total instructions represented by the trace: sum of
     {!Access.instructions} over all accesses. *)
 
 val shift : t -> offset:int -> t
-(** Relocate every address by [offset] bytes. *)
+(** Relocate every address by [offset] bytes. Raises [Invalid_argument] if
+    any shifted address would be negative. *)
 
 val vars : t -> string list
 (** Distinct symbolic variables, in order of first appearance. *)

@@ -1,0 +1,90 @@
+(* Tests for Core.Bench_json: the writer/parser pair the benchmark
+   regression harness (and the CI smoke step) depends on. *)
+
+module Bj = Colcache.Bench_json
+
+let rows =
+  [
+    { Bj.name = "colcache/hot_access_trace";
+      ns_per_run = 2397684.3;
+      accesses_per_sec = 135872786.1 };
+    { Bj.name = "colcache/fig5_multitask";
+      ns_per_run = 74144335.0;
+      accesses_per_sec = 0. };
+    { Bj.name = "odd \"name\",\\with\tescapes";
+      ns_per_run = 1.;
+      accesses_per_sec = 2. };
+  ]
+
+let test_roundtrip () =
+  let back = Bj.of_string (Bj.to_string rows) in
+  Alcotest.(check bool) "round-trip" true (rows = back);
+  Alcotest.(check bool) "empty round-trip" true (Bj.of_string (Bj.to_string []) = [])
+
+let test_file_roundtrip () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ()) "colcache_bench.json"
+  in
+  Bj.write ~path rows;
+  let back = Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> Bj.read ~path) in
+  Alcotest.(check bool) "file round-trip" true (rows = back)
+
+let rejects text =
+  match Bj.of_string text with
+  | _ -> Alcotest.failf "accepted malformed input %S" text
+  | exception Invalid_argument _ -> ()
+
+let test_schema_rejections () =
+  rejects "";
+  rejects "{}";
+  rejects "[ { \"name\": \"x\" } ]" (* missing fields *);
+  rejects
+    "[ { \"name\": \"x\", \"ns_per_run\": 1, \"accesses_per_sec\": 2, \
+     \"extra\": 3 } ]" (* unknown field *);
+  rejects
+    "[ { \"name\": 7, \"ns_per_run\": 1, \"accesses_per_sec\": 2 } ]"
+    (* name must be a string *);
+  rejects
+    "[ { \"name\": \"x\", \"ns_per_run\": \"1\", \"accesses_per_sec\": 2 } ]"
+    (* numbers must be numbers *);
+  rejects "[] trailing";
+  rejects "[ { \"name\": \"x\", \"ns_per_run\": 1, \"accesses_per_sec\": 2 }"
+
+let test_non_finite_rejected () =
+  Alcotest.(check bool) "NaN has no rendering" true
+    (try
+       ignore
+         (Bj.to_string
+            [ { Bj.name = "x"; ns_per_run = Float.nan; accesses_per_sec = 0. } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_regressions () =
+  let base n ns = { Bj.name = n; ns_per_run = ns; accesses_per_sec = 0. } in
+  let baseline = [ base "a" 100.; base "b" 100.; base "gone" 50. ] in
+  let current = [ base "a" 140.; base "b" 160.; base "new" 1000. ] in
+  let regs = Bj.regressions ~baseline ~current ~max_pct:50. in
+  (match regs with
+  | [ r ] ->
+      Alcotest.(check string) "only b regressed over 50%" "b" r.Bj.bench;
+      Alcotest.(check bool) "slowdown is 60%" true
+        (abs_float (r.Bj.slowdown_pct -. 60.) < 1e-9)
+  | _ -> Alcotest.failf "expected exactly one regression, got %d" (List.length regs));
+  Alcotest.(check bool) "tighter threshold catches both" true
+    (List.length (Bj.regressions ~baseline ~current ~max_pct:10.) = 2);
+  Alcotest.(check bool) "zero-ns baseline rows are skipped" true
+    (Bj.regressions ~baseline:[ base "z" 0. ] ~current:[ base "z" 10. ]
+       ~max_pct:50.
+    = [])
+
+let suites =
+  [
+    ( "core.bench_json",
+      [
+        Alcotest.test_case "string round-trip" `Quick test_roundtrip;
+        Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
+        Alcotest.test_case "schema rejections" `Quick test_schema_rejections;
+        Alcotest.test_case "non-finite rejected" `Quick test_non_finite_rejected;
+        Alcotest.test_case "regression compare" `Quick test_regressions;
+      ] );
+  ]

@@ -1,0 +1,102 @@
+(* Tests for Core.Csv_export.write_rows: golden output (exact bytes for a
+   fixed input, so the quoting rules can't drift silently) and a parse-back
+   round-trip covering the quoting edge cases. *)
+
+module Csv = Colcache.Csv_export
+
+let tmp_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_rows ~header rows f =
+  let path = tmp_path "colcache_test_csv.csv" in
+  Csv.write_rows ~path ~header rows;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f (read_file path))
+
+(* A minimal RFC-4180 reader, independent of the writer: split records on
+   newlines outside quotes, fields on commas outside quotes, undouble "". *)
+let parse_csv text =
+  let records = ref [] and fields = ref [] and buf = Buffer.create 16 in
+  let in_quotes = ref false in
+  let n = String.length text in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    (if !in_quotes then
+       match c with
+       | '"' when !i + 1 < n && text.[!i + 1] = '"' ->
+           Buffer.add_char buf '"';
+           incr i
+       | '"' -> in_quotes := false
+       | c -> Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' -> flush_field ()
+       | '\n' -> flush_record ()
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let test_golden () =
+  let header = [ "name"; "value"; "note" ] in
+  let rows =
+    [
+      [ "plain"; "1"; "no quoting needed" ];
+      [ "comma,inside"; "2"; "gets quoted" ];
+      [ "say \"hi\""; "3"; "quotes doubled" ];
+      [ "multi\nline"; "4"; "newline quoted" ];
+      [ ""; ""; "" ];
+    ]
+  in
+  let expected =
+    "name,value,note\n" ^ "plain,1,no quoting needed\n"
+    ^ "\"comma,inside\",2,gets quoted\n"
+    ^ "\"say \"\"hi\"\"\",3,quotes doubled\n"
+    ^ "\"multi\nline\",4,newline quoted\n" ^ ",,\n"
+  in
+  with_rows ~header rows (fun got ->
+      Alcotest.(check string) "exact bytes" expected got)
+
+let test_roundtrip () =
+  let header = [ "a"; "b" ] in
+  let rows =
+    [
+      [ "x,y"; "\"quoted\"" ];
+      [ "line\nbreak"; "trailing," ];
+      [ ",,,"; "\"\"" ];
+      [ "plain"; "also plain" ];
+    ]
+  in
+  with_rows ~header rows (fun text ->
+      Alcotest.(check (list (list string)))
+        "reader recovers writer input" (header :: rows) (parse_csv text))
+
+let test_empty_rows () =
+  with_rows ~header:[ "only"; "header" ] [] (fun got ->
+      Alcotest.(check string) "header line only" "only,header\n" got)
+
+let suites =
+  [
+    ( "core.csv_export",
+      [
+        Alcotest.test_case "golden quoting" `Quick test_golden;
+        Alcotest.test_case "round-trip through a reader" `Quick test_roundtrip;
+        Alcotest.test_case "no rows" `Quick test_empty_rows;
+      ] );
+  ]

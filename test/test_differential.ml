@@ -45,6 +45,13 @@ let test_soak_covers_geometries () =
       check_bool "re-tints happened mid-trace" true (summary.Diff.retints > 0);
       check_bool "re-maps happened mid-trace" true (summary.Diff.remaps > 0)
 
+let test_soak_covers_fast_path () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      check_int "half the scenarios replayed through access_trace" 250
+        summary.Diff.fast_path_iters
+
 (* --- mutation tests: a harness that cannot catch a planted bug proves
    nothing, so plant three and insist each is caught and shrunk small --- *)
 
@@ -55,8 +62,10 @@ let mutation_caught bug =
         (Oracle.bug_to_string bug)
   | Error (failure, _) ->
       let sc = failure.Diff.scenario in
+      (* Replay with the driver that caught it: a fast-path repro only
+         diverges through the batched driver. *)
       check_bool "repro still diverges" true
-        (match Diff.run_scenario ~bug sc with
+        (match Diff.run_scenario ~bug ~fast_path:failure.Diff.fast_path sc with
         | Diff.Diverge _ -> true
         | Diff.Agree -> false);
       check_bool
@@ -70,6 +79,27 @@ let mutation_caught bug =
 let test_mutation_mru () = mutation_caught Oracle.Mru_instead_of_lru
 let test_mutation_ignore_mask () = mutation_caught Oracle.Ignore_mask
 let test_mutation_writeback () = mutation_caught Oracle.Skip_writeback_count
+
+let test_mutation_fast_path () =
+  (* The planted batching bug only exists in the fast-path driver, so the
+     divergence must be caught on a fast-path iteration. *)
+  match Diff.soak ~bug:Oracle.Fast_path ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "fast-path bug survived 500 iterations"
+  | Error (failure, _) ->
+      check_bool "caught by the batched driver" true failure.Diff.fast_path;
+      check_bool "repro diverges under the batched driver" true
+        (match
+           Diff.run_scenario ~bug:Oracle.Fast_path ~fast_path:true
+             failure.Diff.scenario
+         with
+        | Diff.Diverge _ -> true
+        | Diff.Agree -> false);
+      check_bool "repro agrees without the planted bug" true
+        (match
+           Diff.run_scenario ~fast_path:true failure.Diff.scenario
+         with
+        | Diff.Agree -> true
+        | Diff.Diverge _ -> false)
 
 (* --- the oracle on its own: agreement with hand-computed semantics --- *)
 
@@ -203,6 +233,7 @@ let suites =
         Alcotest.test_case "fixed-seed soak agrees" `Quick test_soak_agrees;
         Alcotest.test_case "covers all policies" `Quick test_soak_covers_policies;
         Alcotest.test_case "covers geometry extremes" `Quick test_soak_covers_geometries;
+        Alcotest.test_case "covers the batched fast path" `Quick test_soak_covers_fast_path;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
       ] );
     ( "check.mutation",
@@ -210,6 +241,7 @@ let suites =
         Alcotest.test_case "catches MRU-for-LRU" `Quick test_mutation_mru;
         Alcotest.test_case "catches mask ignoring" `Quick test_mutation_ignore_mask;
         Alcotest.test_case "catches writeback miscount" `Quick test_mutation_writeback;
+        Alcotest.test_case "catches fast-path batching bug" `Quick test_mutation_fast_path;
       ] );
     ( "check.oracle",
       [

@@ -93,7 +93,50 @@ let test_trace_shift () =
   let t = mk [ 0; 16 ] in
   let s = Trace.shift t ~offset:32 in
   check_int "shifted first" 32 (Trace.get s 0).Access.addr;
-  check_int "shifted second" 48 (Trace.get s 1).Access.addr
+  check_int "shifted second" 48 (Trace.get s 1).Access.addr;
+  (* shifting down is fine as long as no address goes negative... *)
+  let back = Trace.shift s ~offset:(-32) in
+  check_bool "round-trip shift" true (Trace.equal back t);
+  (* ...and rejected the moment one would *)
+  Alcotest.check_raises "negative result rejected"
+    (Invalid_argument "Access.with_addr: negative address") (fun () ->
+      ignore (Trace.shift t ~offset:(-1)));
+  check_bool "empty trace shifts to empty" true
+    (Trace.is_empty (Trace.shift Trace.empty ~offset:(-4096)))
+
+let test_trace_filter () =
+  let t = mk [ 0; 16; 32; 48 ] in
+  let even a = a.Access.addr mod 32 = 0 in
+  check_bool "partial filter" true
+    (Trace.equal (Trace.filter even t) (mk [ 0; 32 ]));
+  check_bool "full filter keeps everything" true
+    (Trace.equal (Trace.filter (fun _ -> true) t) t);
+  check_bool "empty result" true
+    (Trace.is_empty (Trace.filter (fun _ -> false) t));
+  check_bool "empty input" true
+    (Trace.is_empty (Trace.filter (fun _ -> true) Trace.empty));
+  (* order of survivors is preserved *)
+  let odd a = a.Access.addr mod 32 <> 0 in
+  Alcotest.(check (list int))
+    "order preserved" [ 16; 48 ]
+    (List.map (fun a -> a.Access.addr) (Trace.to_list (Trace.filter odd t)))
+
+let test_trace_sub () =
+  let t = mk [ 1; 2; 3; 4 ] in
+  check_bool "middle slice" true
+    (Trace.equal (Trace.sub t ~pos:1 ~len:2) (mk [ 2; 3 ]));
+  check_bool "empty slice" true (Trace.is_empty (Trace.sub t ~pos:2 ~len:0));
+  check_bool "whole trace" true (Trace.equal (Trace.sub t ~pos:0 ~len:4) t);
+  check_bool "out-of-bounds raises" true
+    (try
+       ignore (Trace.sub t ~pos:3 ~len:2);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "negative pos raises" true
+    (try
+       ignore (Trace.sub t ~pos:(-1) ~len:1);
+       false
+     with Invalid_argument _ -> true)
 
 let test_trace_vars () =
   let t =
@@ -315,6 +358,8 @@ let suites =
         Alcotest.test_case "append/concat" `Quick test_trace_append_concat;
         Alcotest.test_case "instructions" `Quick test_trace_instructions;
         Alcotest.test_case "shift" `Quick test_trace_shift;
+        Alcotest.test_case "filter" `Quick test_trace_filter;
+        Alcotest.test_case "sub" `Quick test_trace_sub;
         Alcotest.test_case "vars" `Quick test_trace_vars;
         Alcotest.test_case "addr_range" `Quick test_trace_addr_range;
         Alcotest.test_case "footprint" `Quick test_trace_footprint;

@@ -1,0 +1,123 @@
+(* Property test pinning the allocation-free Policy.victim bit scans against
+   the naive list-based specification Check.Oracle.victim_ref.
+
+   Each case builds TWO policies of the same kind/geometry (Random shares a
+   seed), drives both through the same warm-up history of hits and fills so
+   their stamps / MRU bits / rng streams are identical, then compares victim
+   choices over random (set, allowed-mask, valid-mask) queries. Separate twin
+   policies matter because Random's query consumes a draw from the stream. *)
+
+module Policy = Cache.Policy
+module Bitmask = Cache.Bitmask
+
+type case = {
+  kind : Policy.kind;
+  sets : int;
+  ways : int;
+  history : (bool * int * int) list;  (* (is_hit, set, way) warm-up events *)
+  queries : (int * int * int) list;  (* (set, allowed bits, valid bits) *)
+}
+
+let pp_case c =
+  Format.asprintf "{%s sets=%d ways=%d history=%d queries=[%s]}"
+    (Policy.kind_to_string c.kind)
+    c.sets c.ways (List.length c.history)
+    (String.concat "; "
+       (List.map
+          (fun (s, a, v) -> Printf.sprintf "set=%d allowed=%#x valid=%#x" s a v)
+          c.queries))
+
+let gen_case =
+  QCheck.Gen.(
+    let* kind =
+      oneof
+        [
+          return Policy.Lru;
+          return Policy.Fifo;
+          return Policy.Bit_plru;
+          map (fun s -> Policy.Random s) (int_range 1 1000);
+        ]
+    in
+    let* sets_log = int_range 0 4 in
+    let sets = 1 lsl sets_log in
+    (* span 1-way, mid-range, and the max_columns edge *)
+    let* ways = oneofl [ 1; 2; 3; 7; 8; 13; 62 ] in
+    let* history =
+      list_size (int_bound 80)
+        (triple bool (int_bound (sets - 1)) (int_bound (ways - 1)))
+    in
+    let full = (1 lsl ways) - 1 in
+    let* queries =
+      list_size (int_range 1 8)
+        (triple (int_bound (sets - 1))
+           (map (fun m -> 1 + (m land (full - 1))) (int_bound full))
+           (int_bound full))
+    in
+    return { kind; sets; ways; history; queries })
+
+let arb_case = QCheck.make ~print:pp_case gen_case
+
+let prop_victim_matches_ref { kind; sets; ways; history; queries } =
+  let fast = Policy.create kind ~sets ~ways in
+  let naive = Policy.create kind ~sets ~ways in
+  List.iter
+    (fun (is_hit, set, way) ->
+      let f = if is_hit then Policy.on_hit else Policy.on_fill in
+      f fast ~set ~way;
+      f naive ~set ~way)
+    history;
+  List.for_all
+    (fun (set, allowed_bits, valid_bits) ->
+      let allowed = Bitmask.of_bits allowed_bits
+      and valid = Bitmask.of_bits valid_bits in
+      let got = Policy.victim fast ~set ~allowed ~valid in
+      let want = Check.Oracle.victim_ref naive ~set ~allowed ~valid in
+      if got <> want then
+        QCheck.Test.fail_reportf
+          "victim mismatch: %s sets=%d ways=%d set=%d allowed=%#x valid=%#x: \
+           fast=%d ref=%d"
+          (Policy.kind_to_string kind)
+          sets ways set allowed_bits valid_bits got want
+      else true)
+    queries
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      QCheck.Test.make ~name:"Policy.victim agrees with Oracle.victim_ref"
+        ~count:2000 arb_case prop_victim_matches_ref;
+    ]
+
+(* Deterministic spot checks of the pinned tie-breaks, so a regression names
+   the exact rule it broke instead of a shrunk counterexample. *)
+
+let full ways = Bitmask.full ~n:ways
+
+let test_tie_breaks () =
+  (* LRU, equal stamps (fresh policy): highest allowed way wins. *)
+  let p = Policy.create Policy.Lru ~sets:1 ~ways:4 in
+  Alcotest.(check int)
+    "LRU all-equal stamps -> highest way" 3
+    (Policy.victim p ~set:0 ~allowed:(full 4) ~valid:(full 4));
+  (* Empty allowed way beats live data, lowest such way first. *)
+  let p = Policy.create Policy.Lru ~sets:1 ~ways:4 in
+  Alcotest.(check int)
+    "empty way -> lowest empty" 1
+    (Policy.victim p ~set:0 ~allowed:(full 4)
+       ~valid:(Bitmask.of_bits 0b1001));
+  (* Bit-PLRU with every candidate marked falls back to the lowest one. *)
+  let p = Policy.create Policy.Bit_plru ~sets:1 ~ways:3 in
+  Policy.on_fill p ~set:0 ~way:0;
+  Policy.on_fill p ~set:0 ~way:1;
+  (* ways 0 and 1 marked; restrict the mask to them *)
+  Alcotest.(check int)
+    "PLRU all-marked candidates -> lowest" 0
+    (Policy.victim p ~set:0 ~allowed:(Bitmask.of_bits 0b011)
+       ~valid:(full 3))
+
+let suites =
+  [
+    ( "policy-ref",
+      Alcotest.test_case "pinned tie-breaks" `Quick test_tie_breaks
+      :: qcheck_tests );
+  ]
