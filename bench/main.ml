@@ -131,16 +131,54 @@ let bench_hot_access_trace () =
   Cache.Sassoc.flush cache;
   Cache.Sassoc.access_trace cache (Lazy.force hot_trace)
 
+(* --- whole-system replay ------------------------------------------------
+   The same LZ77 workload replayed through the full machine model — TLB,
+   tint resolution, timing — not just the bare cache. [sys_replay_scalar]
+   drives [System.run], one boxed access at a time; [sys_replay_batched]
+   drives [System.run_packed] over the columnar trace, the page-crossing
+   memoized loop the experiments use. Per run the cache and TLB are
+   flushed: under LRU a flushed machine replays the trace exactly like a
+   fresh one, so every sample is identical work. The batched/scalar ratio
+   of these two rows is the headline number for the columnar replay
+   path. *)
+
+let sys_config () =
+  Machine.System.config
+    (Cache.Sassoc.config ~line_size:16 ~size_bytes:(16 * 1024) ~ways:8 ())
+
+let hot_packed = lazy (Workloads.Lz77.packed_trace ~seed:1 ~input_len:12288 ~base:0 ())
+let sys_scalar = lazy (Machine.System.create (sys_config ()))
+let sys_batched = lazy (Machine.System.create (sys_config ()))
+
+let bench_sys_replay_scalar () =
+  let sys = Lazy.force sys_scalar in
+  Machine.System.flush_cache sys;
+  Machine.System.flush_tlb sys;
+  ignore (Machine.System.run sys (Lazy.force hot_trace))
+
+let bench_sys_replay_batched () =
+  let sys = Lazy.force sys_batched in
+  Machine.System.flush_cache sys;
+  Machine.System.flush_tlb sys;
+  ignore (Machine.System.run_packed sys (Lazy.force hot_packed))
+
 (* Access counts for the accesses_per_sec column, keyed by full row name. *)
 let access_counts () =
   let n = float_of_int (Memtrace.Trace.length (Lazy.force hot_trace)) in
-  [ ("colcache/hot_access", n); ("colcache/hot_access_trace", n) ]
+  [
+    ("colcache/hot_access", n);
+    ("colcache/hot_access_trace", n);
+    ("colcache/sys_replay_scalar", n);
+    ("colcache/sys_replay_batched", n);
+  ]
 
 let tests =
   Test.make_grouped ~name:"colcache"
     [
       Test.make ~name:"hot_access" (Staged.stage bench_hot_access);
       Test.make ~name:"hot_access_trace" (Staged.stage bench_hot_access_trace);
+      Test.make ~name:"sys_replay_scalar" (Staged.stage bench_sys_replay_scalar);
+      Test.make ~name:"sys_replay_batched" (Staged.stage bench_sys_replay_batched);
       Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);
       Test.make ~name:"fig4a_dequant" (Staged.stage (bench_fig4_routine "dequant"));
       Test.make ~name:"fig4b_plus" (Staged.stage (bench_fig4_routine "plus"));

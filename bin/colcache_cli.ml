@@ -176,8 +176,16 @@ let all_cmd =
             "Run the experiments on N domains. The output is byte-identical \
              whatever N is; only the wall-clock time changes.")
   in
+  let run jobs =
+    if jobs <= 0 then
+      `Error
+        ( false,
+          Printf.sprintf "--jobs must be a positive domain count, got %d" jobs
+        )
+    else `Ok (Colcache.Experiments.run_all ~jobs ppf)
+  in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment.")
-    Term.(const (fun jobs -> Colcache.Experiments.run_all ~jobs ppf) $ jobs)
+    Term.(ret (const run $ jobs))
 
 let dynamic_cmd =
   let run meth =
@@ -306,6 +314,7 @@ let check_cmd =
           ("ignore-mask", Check.Oracle.Ignore_mask);
           ("skip-writeback", Check.Oracle.Skip_writeback_count);
           ("fast-path", Check.Oracle.Fast_path);
+          ("machine-fast-path", Check.Oracle.Machine_fast_path);
         ]
     in
     Arg.(
@@ -313,8 +322,9 @@ let check_cmd =
       & info [ "inject-bug" ] ~docv:"BUG"
           ~doc:
             "Plant an intentional defect ($(b,mru), $(b,ignore-mask), \
-             $(b,skip-writeback) in the oracle, or $(b,fast-path) in the \
-             batched real-side driver) to demonstrate that the harness \
+             $(b,skip-writeback) in the oracle, $(b,fast-path) in the \
+             batched real-side driver, or $(b,machine-fast-path) in the \
+             machine-level batched replay) to demonstrate that the harness \
              catches and shrinks it. Exit status is inverted: the run fails \
              if the bug is NOT caught.")
   in
@@ -333,7 +343,18 @@ let check_cmd =
              access_trace entry point. Repros the soak reports as caught by \
              the fast-path driver only diverge under this flag.")
   in
-  let run seed iters max_events bug replay fast_path =
+  let machine_fast_path =
+    Arg.(
+      value & flag
+      & info [ "machine-fast-path" ]
+          ~doc:
+            "With $(b,--replay): replay the scenario through the \
+             machine-level differential (scalar System.access vs batched \
+             System.run_packed) instead of the cache-level oracle diff. \
+             Repros the soak reports as caught by the machine batched-replay \
+             driver only diverge under this flag.")
+  in
+  let run seed iters max_events bug replay fast_path machine_fast_path =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -348,11 +369,21 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        (match Check.Diff.run_scenario ?bug ~fast_path sc with
-        | Check.Diff.Agree -> Format.fprintf ppf "%s: simulators and oracle agree@." path
-        | Check.Diff.Diverge d ->
-            Format.fprintf ppf "%s: DIVERGENCE %a@." path Check.Diff.pp_divergence d;
-            exit 1)
+        if machine_fast_path then
+          match Check.Machine_diff.run_scenario ?bug sc with
+          | Check.Machine_diff.Agree ->
+              Format.fprintf ppf
+                "%s: scalar and batched machine replay agree@." path
+          | Check.Machine_diff.Diverge { step; detail } ->
+              Format.fprintf ppf "%s: DIVERGENCE at event %d: %s@." path step
+                detail;
+              exit 1
+        else (
+          match Check.Diff.run_scenario ?bug ~fast_path sc with
+          | Check.Diff.Agree -> Format.fprintf ppf "%s: simulators and oracle agree@." path
+          | Check.Diff.Diverge d ->
+              Format.fprintf ppf "%s: DIVERGENCE %a@." path Check.Diff.pp_divergence d;
+              exit 1)
     | None -> (
         match Check.Diff.soak ?bug ~max_events ~seed ~iters () with
         | Ok summary ->
@@ -384,7 +415,9 @@ let check_cmd =
           naive, obviously-correct oracle, comparing every access and the \
           final state; divergences are shrunk to a minimal replayable \
           repro.")
-    Term.(const run $ seed $ iters $ max_events $ bug $ replay $ fast_path)
+    Term.(
+      const run $ seed $ iters $ max_events $ bug $ replay $ fast_path
+      $ machine_fast_path)
 
 let runfile_cmd =
   let file =
@@ -437,7 +470,7 @@ let replay_cmd =
     let trace = Memtrace.Trace_file.load ~path:file in
     let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:size ~ways () in
     let system = Machine.System.create (Machine.System.config cache) in
-    let stats = Machine.System.run system trace in
+    let stats = Machine.System.run_trace system trace in
     Format.fprintf ppf "%a@." Machine.Run_stats.pp stats
   in
   Cmd.v

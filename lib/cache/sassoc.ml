@@ -186,6 +186,54 @@ let access t ?mask ~kind addr =
 let access_record t ?mask (a : Memtrace.Access.t) =
   access t ?mask ~kind:a.kind a.addr
 
+(* [access] without the [result] block: the outcome is returned as two bits
+   (bit 0: miss, bit 1: a dirty victim was written back), so per-access
+   callers that only need hit/miss/writeback — the machine's batched replay
+   loop — allocate nothing. State and statistics updates are identical to
+   [access], a property the machine-level differential soak checks. *)
+let access_coded t ?mask ~kind addr =
+  let mask = effective_mask t ~who:"access_coded" mask in
+  let line = line_of_addr t addr in
+  let set = set_of_line t line in
+  let tag = tag_of_line t line in
+  t.stats.accesses <- t.stats.accesses + 1;
+  match find_way_idx t ~set ~tag with
+  | -1 ->
+      t.stats.misses <- t.stats.misses + 1;
+      classify_miss t line;
+      update_shadow t line;
+      let way =
+        Policy.victim t.policy ~set ~allowed:mask
+          ~valid:(Bitmask.of_bits t.vmask.(set))
+      in
+      let s = slot t ~set ~way in
+      let wrote_back =
+        if valid_way t ~set ~way then begin
+          t.stats.evictions <- t.stats.evictions + 1;
+          if Bytes.get t.dirty s = '\001' then begin
+            t.stats.writebacks <- t.stats.writebacks + 1;
+            true
+          end
+          else false
+        end
+        else false
+      in
+      t.tags.(s) <- tag;
+      t.vmask.(set) <- t.vmask.(set) lor (1 lsl way);
+      t.pred.(set) <- way;
+      Bytes.set t.dirty s (if kind = Memtrace.Access.Write then '\001' else '\000');
+      Policy.on_fill t.policy ~set ~way;
+      t.stats.fills_per_way.(way) <- t.stats.fills_per_way.(way) + 1;
+      if wrote_back then 3 else 1
+  | way ->
+      t.stats.hits <- t.stats.hits + 1;
+      t.pred.(set) <- way;
+      Policy.on_hit t.policy ~set ~way;
+      if kind = Memtrace.Access.Write then
+        Bytes.set t.dirty (slot t ~set ~way) '\001';
+      update_shadow t line;
+      0
+
 (* The batched hot path: replays a whole trace under one mask without
    constructing per-access [result] values (or any other heap block on the
    non-classifying path). Observable state afterwards — statistics, contents,

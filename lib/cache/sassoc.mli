@@ -46,6 +46,15 @@ val access : t -> ?mask:Bitmask.t -> kind:Memtrace.Access.kind -> int -> result
 
 val access_record : t -> ?mask:Bitmask.t -> Memtrace.Access.t -> result
 
+val access_coded : t -> ?mask:Bitmask.t -> kind:Memtrace.Access.kind -> int -> int
+(** Exactly {!access} — same state and statistics updates, same
+    [Invalid_argument] on an empty effective mask — but the outcome comes
+    back as two bits instead of a [result] block, so the caller allocates
+    nothing: bit 0 is set on a miss, bit 1 when a dirty victim was written
+    back ([0] hit, [1] clean miss, [3] miss with writeback). The victim way
+    and evicted line are not reported; callers that need them use
+    {!access}. *)
+
 val access_trace : t -> ?mask:Bitmask.t -> Memtrace.Trace.t -> unit
 (** Replay a whole trace of demand accesses under one mask. Equivalent to
     [Trace.iter (fun a -> ignore (access_record t ?mask a)) trace] — same

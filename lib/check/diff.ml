@@ -232,13 +232,17 @@ let run_scenario ?bug ?(fast_path = false) (sc : Scenario.t) =
     Agree
   with Found detail -> Diverge { step = !step; detail }
 
+(* The machine-level driver lives in [Machine_diff]; adapt its outcome so
+   the shrinker and the soak treat both drivers uniformly. *)
+let run_machine ?bug sc =
+  match Machine_diff.run_scenario ?bug sc with
+  | Machine_diff.Agree -> Agree
+  | Machine_diff.Diverge { step; detail } -> Diverge { step; detail }
+
 (* --- shrinking ---------------------------------------------------------- *)
 
-let diverges ?bug ?fast_path sc =
-  match run_scenario ?bug ?fast_path sc with Diverge _ -> true | Agree -> false
-
-let shrink ?bug ?fast_path sc =
-  match run_scenario ?bug ?fast_path sc with
+let shrink_by (run : Scenario.t -> outcome) sc =
+  match run sc with
   | Agree -> sc
   | Diverge { step; _ } ->
       (* Shortest diverging prefix first: everything after the divergence is
@@ -248,7 +252,7 @@ let shrink ?bug ?fast_path sc =
       while !progressed do
         progressed := false;
         (* Re-truncate: a removal may have moved the divergence earlier. *)
-        (match run_scenario ?bug ?fast_path !sc with
+        (match run !sc with
         | Diverge { step; _ } when step + 1 < Scenario.length !sc ->
             sc := Scenario.truncate !sc (step + 1);
             progressed := true
@@ -258,14 +262,16 @@ let shrink ?bug ?fast_path sc =
         let i = ref 0 in
         while !i < Scenario.length !sc do
           let candidate = Scenario.remove_event !sc !i in
-          if diverges ?bug ?fast_path candidate then begin
-            sc := candidate;
-            progressed := true
-          end
-          else incr i
+          match run candidate with
+          | Diverge _ ->
+              sc := candidate;
+              progressed := true
+          | Agree -> incr i
         done
       done;
       !sc
+
+let shrink ?bug ?fast_path sc = shrink_by (run_scenario ?bug ?fast_path) sc
 
 (* --- soak driver -------------------------------------------------------- *)
 
@@ -279,6 +285,7 @@ type summary = {
   min_ways : int;
   max_ways : int;
   fast_path_iters : int;
+  machine_iters : int;
 }
 
 type failure = {
@@ -286,6 +293,7 @@ type failure = {
   scenario : Scenario.t;
   divergence : divergence;
   fast_path : bool;
+  machine : bool;
 }
 
 let policy_family = function
@@ -312,9 +320,10 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         min_ways = max_int;
         max_ways = 0;
         fast_path_iters = 0;
+        machine_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path =
+  let account (sc : Scenario.t) ~fast_path ~machine =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -335,6 +344,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         min_ways = min s.min_ways ways;
         max_ways = max s.max_ways ways;
         fast_path_iters = s.fast_path_iters + (if fast_path then 1 else 0);
+        machine_iters = s.machine_iters + (if machine then 1 else 0);
       }
   in
   let rec loop i =
@@ -347,24 +357,36 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
             ?max_events rng
         else Gen.scenario ?max_events rng
       in
-      (* Every other scenario replays the real side through the batched
-         [Sassoc.access_trace] driver, so both entry points soak equally. *)
+      (* Odd iterations replay the real side through the batched
+         [Sassoc.access_trace] driver; even iterations additionally replay
+         the whole scenario through the machine-level differential
+         ([Machine.System.run_packed] vs scalar [System.access]), so every
+         batched entry point soaks equally. *)
       let fast_path = i mod 2 = 1 in
-      account sc ~fast_path;
+      let machine = i mod 2 = 0 in
+      account sc ~fast_path ~machine;
+      let fail driver ~fast_path ~machine =
+        let shrunk = shrink_by driver sc in
+        let divergence =
+          match driver shrunk with
+          | Diverge d -> d
+          | Agree -> { step = 0; detail = "shrunk scenario stopped diverging" }
+        in
+        Error
+          ( { iteration = i; scenario = shrunk; divergence; fast_path;
+              machine },
+            !summary )
+      in
       match run_scenario ?bug ~fast_path sc with
-      | Agree ->
-          progress i;
-          loop (i + 1)
       | Diverge _ ->
-          let shrunk = shrink ?bug ~fast_path sc in
-          let divergence =
-            match run_scenario ?bug ~fast_path shrunk with
-            | Diverge d -> d
-            | Agree -> { step = 0; detail = "shrunk scenario stopped diverging" }
-          in
-          Error
-            ( { iteration = i; scenario = shrunk; divergence; fast_path },
-              !summary )
+          fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
+      | Agree -> (
+          match if machine then run_machine ?bug sc else Agree with
+          | Diverge _ ->
+              fail (run_machine ?bug) ~fast_path:false ~machine:true
+          | Agree ->
+              progress i;
+              loop (i + 1))
     end
   in
   loop 0
@@ -377,7 +399,9 @@ let pp_failure ppf f =
     "@[<v>divergence on iteration %d (%s driver), %a@,@,minimal repro (%d \
      events, %d accesses):@,%a@]"
     f.iteration
-    (if f.fast_path then "batched fast-path" else "per-access")
+    (if f.machine then "machine batched-replay"
+     else if f.fast_path then "batched fast-path"
+     else "per-access")
     pp_divergence f.divergence
     (Scenario.length f.scenario)
     (Scenario.accesses f.scenario)
@@ -386,8 +410,10 @@ let pp_failure ppf f =
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
-     %d via the batched fast path; policies: %s; ways %s)"
+     %d via the batched fast path, %d via the machine batched replay; \
+     policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
+    s.machine_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

@@ -49,6 +49,9 @@ type summary = {
   max_ways : int;
   fast_path_iters : int;
       (** scenarios replayed through the batched fast-path driver *)
+  machine_iters : int;
+      (** scenarios additionally replayed through the machine-level
+          differential ({!Machine_diff}) *)
 }
 
 type failure = {
@@ -57,6 +60,9 @@ type failure = {
   divergence : divergence;  (** divergence of the shrunk scenario *)
   fast_path : bool;
       (** which driver diverged; replay the repro with the same one *)
+  machine : bool;
+      (** the divergence came from the machine-level differential
+          ({!Machine_diff.run_scenario}); [fast_path] is [false] then *)
 }
 
 val soak :
@@ -65,10 +71,11 @@ val soak :
 (** Generate and check [iters] scenarios from [seed]. The first few
     iterations force coverage of the extremes (1 way,
     {!Cache.Bitmask.max_columns} ways, every policy family); the rest are
-    fully random. Every other iteration replays the real side through the
-    batched fast-path driver so both entry points soak equally. Stops at the
-    first divergence. [progress] is called with each completed iteration
-    index. *)
+    fully random. Odd iterations replay the real side through the batched
+    fast-path driver; even iterations additionally run the whole scenario
+    through the machine-level differential ({!Machine_diff}), so every
+    batched entry point soaks equally. Stops at the first divergence.
+    [progress] is called with each completed iteration index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

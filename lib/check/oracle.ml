@@ -8,12 +8,14 @@ type bug =
   | Ignore_mask
   | Skip_writeback_count
   | Fast_path
+  | Machine_fast_path
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
   | Ignore_mask -> "ignore-mask"
   | Skip_writeback_count -> "skip-writeback-count"
   | Fast_path -> "fast-path"
+  | Machine_fast_path -> "machine-fast-path"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

@@ -26,6 +26,11 @@ type bug =
       (** planted in {!Diff}'s batched real-side driver, not here: the batch
           fed to [Sassoc.access_trace] demotes writes to reads, losing dirty
           bits. Proves the fast-path routing can catch batching bugs. *)
+  | Machine_fast_path
+      (** planted in {!Machine_diff}'s batched side, not here: the packed
+          batch fed to [Machine.System.run_packed] zeroes every access's
+          [gap], corrupting instruction and cycle accounting. Proves the
+          machine-level soak can catch batched-replay bugs. *)
 
 val bug_to_string : bug -> string
 

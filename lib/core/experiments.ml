@@ -450,7 +450,7 @@ module Ablation_page_coloring = struct
       let stats =
         List.fold_left
           (fun acc trace ->
-            Machine.Run_stats.add acc (Machine.System.run system trace))
+            Machine.Run_stats.add acc (Machine.System.run_trace system trace))
           (Machine.Run_stats.zero ~ways:1)
           traces
       in
@@ -556,6 +556,11 @@ module Ablation_l2 = struct
     let t = mpeg_pipeline () in
     let procs = Workloads.Mpeg.routines in
     let traces = List.map (fun proc -> (proc, Pipeline.trace_of t ~proc)) procs in
+    (* the standard arm replays each routine twice (with and without L2):
+       pack once, replay the columns *)
+    let packed =
+      List.map (fun (_, trace) -> Memtrace.Packed.of_trace trace) traces
+    in
     let system ~l2 =
       let cfg =
         match l2 with
@@ -567,10 +572,10 @@ module Ablation_l2 = struct
     let standard ~l2 =
       let system = system ~l2 in
       List.fold_left
-        (fun acc (_, trace) ->
-          Machine.Run_stats.add acc (Machine.System.run system trace))
+        (fun acc p ->
+          Machine.Run_stats.add acc (Machine.System.run_packed system p))
         (Machine.Run_stats.zero ~ways:4)
-        traces
+        packed
     in
     let column ~l2 =
       let schedule, traces =
@@ -624,7 +629,8 @@ module Ablation_prefetch = struct
     let t =
       Pipeline.make ~init:Workloads.Kernels.init ~cache:(paper_cache ()) program
     in
-    let trace = Pipeline.trace_of t ~proc:"fir" in
+    (* one trace, four configurations: pack once, replay the columns *)
+    let packed = Pipeline.packed_trace_of t ~proc:"fir" in
     let streaming_vars = [ "input"; "output" ] in
     let row config (stats : Machine.Run_stats.t) =
       {
@@ -640,7 +646,7 @@ module Ablation_prefetch = struct
       row
         (if prefetch then "standard + prefetch-all"
          else "standard, no prefetch")
-        (Machine.System.run system trace)
+        (Machine.System.run_packed system packed)
     in
     let column ~prefetch =
       let part =
@@ -659,7 +665,7 @@ module Ablation_prefetch = struct
           part.Layout.Partition.placements;
       row
         (if prefetch then "column + stream prefetch" else "column, no prefetch")
-        (Machine.System.run system trace)
+        (Machine.System.run_packed system packed)
     in
     [
       standard ~prefetch:false;
@@ -755,7 +761,8 @@ module Ablation_grouping = struct
     let t =
       Pipeline.make ~init:Workloads.Kernels.init ~cache:(paper_cache ()) program
     in
-    let trace = Pipeline.trace_of t ~proc:"hot_walk" in
+    (* the same trace replays under every tint layout: pack once *)
+    let packed = Pipeline.packed_trace_of t ~proc:"hot_walk" in
     let coarse_run masks =
       (* whole-variable tints with explicit masks, no splitting *)
       let system = Pipeline.fresh_system t in
@@ -772,7 +779,7 @@ module Ablation_grouping = struct
             (Vm.Mapping.retint_region mapping ~base ~size (Vm.Tint.make var));
           Vm.Mapping.remap_tint mapping (Vm.Tint.make var) mask)
         masks;
-      let stats = Machine.System.run system trace in
+      let stats = Machine.System.run_packed system packed in
       (stats.Machine.Run_stats.cycles,
        stats.Machine.Run_stats.cache.Cache.Stats.misses)
     in

@@ -33,6 +33,10 @@ let trace_of t ~proc =
   Ir.Interp.trace_of ~init:t.init t.program ~proc
     ~layout:(Layout.Address_map.to_ir_layout t.address_map)
 
+let packed_trace_of t ~proc =
+  Ir.Interp.packed_trace_of ~init:t.init t.program ~proc
+    ~layout:(Layout.Address_map.to_ir_layout t.address_map)
+
 let vars_of_proc t ~proc =
   List.map
     (fun name ->
@@ -120,12 +124,12 @@ let run_partitioned ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth =
   let system = fresh_system t in
   let trace = trace_of t ~proc in
   Layout.Partition.apply ~copy_in:(copy_in_vars trace) part system;
-  let stats = Machine.System.run system trace in
+  let stats = Machine.System.run_trace system trace in
   (stats, part)
 
 let run_standard t ~proc =
   let system = fresh_system t in
-  Machine.System.run system (trace_of t ~proc)
+  Machine.System.run_packed system (packed_trace_of t ~proc)
 
 let best_split ?(allow_uncached = true) ?mode t ~proc ~meth =
   let k = columns t in
@@ -246,6 +250,6 @@ let run_static_app ?mode t ~procs ~scratchpad_columns ~meth =
   Layout.Partition.apply ~copy_in:(copy_in_vars combined) part system;
   List.fold_left
     (fun acc trace ->
-      Machine.Run_stats.add acc (Machine.System.run system trace))
+      Machine.Run_stats.add acc (Machine.System.run_trace system trace))
     (Machine.Run_stats.zero ~ways:(columns t))
     traces

@@ -35,6 +35,11 @@ val columns : t -> int
 val column_size : t -> int
 
 val trace_of : t -> proc:string -> Memtrace.Trace.t
+
+val packed_trace_of : t -> proc:string -> Memtrace.Packed.t
+(** [trace_of] in columnar form, with no boxed [Access.t] built along the
+    way — feed it to {!Machine.System.run_packed}. *)
+
 val summaries :
   t -> proc:string -> meth:weight_method -> (string * Profile.Lifetime.summary) list
 

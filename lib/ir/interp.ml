@@ -33,14 +33,14 @@ type state = {
   layout : (string * int) list;
   cells : (string, int array) Hashtbl.t;
   regs : (string, int) Hashtbl.t;
-  builder : Memtrace.Trace.Builder.t;
+  builder : Memtrace.Packed.Builder.t;
   mutable gap : int;  (* ALU/control instructions since the last access *)
   mutable steps : int;
   max_steps : int;
 }
 
 let emit st ~kind ~var addr =
-  Memtrace.Trace.Builder.emit st.builder ~kind ~var ~gap:st.gap addr;
+  Memtrace.Packed.Builder.emit st.builder ~kind ~var ~gap:st.gap addr;
   st.gap <- 0
 
 let alu st n = st.gap <- st.gap + n
@@ -185,7 +185,11 @@ type result = {
   memory : string -> int array;
 }
 
-let run ?(init = fun _ _ -> 0) ?(max_steps = 50_000_000) program ~proc ~layout =
+(* The interpreter emits into packed columns (no per-access heap record);
+   [run] boxes the result once at the end for [trace]-typed consumers, while
+   [packed_trace_of] hands the columns straight to the batched replay. *)
+let run_packed ?(init = fun _ _ -> 0) ?(max_steps = 50_000_000) program ~proc
+    ~layout =
   let cells = Hashtbl.create 16 in
   List.iter
     (fun v -> Hashtbl.replace cells v.name (Array.init v.elems (init v.name)))
@@ -196,7 +200,7 @@ let run ?(init = fun _ _ -> 0) ?(max_steps = 50_000_000) program ~proc ~layout =
       layout;
       cells;
       regs = Hashtbl.create 16;
-      builder = Memtrace.Trace.Builder.create ();
+      builder = Memtrace.Packed.Builder.create ();
       gap = 0;
       steps = 0;
       max_steps;
@@ -205,14 +209,18 @@ let run ?(init = fun _ _ -> 0) ?(max_steps = 50_000_000) program ~proc ~layout =
   (match find_proc program proc with
   | None -> error "unknown procedure %s" proc
   | Some pr -> List.iter (exec st) pr.body);
-  {
-    trace = Memtrace.Trace.Builder.build st.builder;
-    memory =
-      (fun name ->
-        match Hashtbl.find_opt cells name with
-        | Some a -> Array.copy a
-        | None -> raise Not_found);
-  }
+  ( Memtrace.Packed.Builder.build st.builder,
+    fun name ->
+      match Hashtbl.find_opt cells name with
+      | Some a -> Array.copy a
+      | None -> raise Not_found )
+
+let run ?init ?max_steps program ~proc ~layout =
+  let packed, memory = run_packed ?init ?max_steps program ~proc ~layout in
+  { trace = Memtrace.Packed.to_trace packed; memory }
 
 let trace_of ?init program ~proc ~layout =
   (run ?init program ~proc ~layout).trace
+
+let packed_trace_of ?init ?max_steps program ~proc ~layout =
+  fst (run_packed ?init ?max_steps program ~proc ~layout)

@@ -46,3 +46,14 @@ val trace_of :
   layout:(string * int) list ->
   Memtrace.Trace.t
 (** [run] and keep only the trace. *)
+
+val packed_trace_of :
+  ?init:(string -> int -> int) ->
+  ?max_steps:int ->
+  Ast.program ->
+  proc:string ->
+  layout:(string * int) list ->
+  Memtrace.Packed.t
+(** Like {!trace_of}, but the columnar form the interpreter accumulates
+    internally, with no boxed [Access.t] built along the way — feed it to
+    {!Machine.System.run_packed}. *)

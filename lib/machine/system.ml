@@ -137,73 +137,85 @@ let charge_cycles t n =
   if n < 0 then invalid_arg "System.charge_cycles: negative charge";
   t.pending_setup_cycles <- t.pending_setup_cycles + n
 
-let access t (a : Access.t) =
+(* The cached half of one access, after VM resolution: cache lookup,
+   optional L2, stream prefetch, cycle accounting. The TLB miss penalty is
+   the caller's job (the scalar path and the batched loop account for it at
+   different points). *)
+let access_cached t ~addr ~kind ~mask ~tint =
   let timing = t.cfg.timing in
-  let before = t.cycles in
-  t.instructions <- t.instructions + Access.instructions a;
-  t.cycles <- t.cycles + a.Access.gap;
+  let stats = Sassoc.stats t.cache in
+  let wb_before = stats.Cache.Stats.writebacks in
+  (* Stream prefetch (Section 2: a prefetch buffer carved out of the
+     general cache). Tagged next-line prefetching: both a miss and the
+     first use of a previously-prefetched line fetch the line after it —
+     into the stream's own columns, overlapped with memory time (no extra
+     latency in this model). Prefetching stops where the next line's mask
+     differs (region boundary). *)
+  let maybe_prefetch () =
+    if Hashtbl.mem t.streaming_tints tint then begin
+      let line = t.cfg.cache.Sassoc.line_size in
+      let next = addr + line in
+      let next_mask = Vm.Mapping.mask_of_quiet t.mapping next in
+      let next_phys = physical t next in
+      if
+        Bitmask.equal next_mask mask
+        && Sassoc.probe t.cache next_phys = None
+      then begin
+        ignore (Sassoc.fill t.cache ~mask next_phys);
+        Hashtbl.replace t.prefetch_tagged (next_phys / line) ();
+        t.prefetches <- t.prefetches + 1
+      end
+    end
+  in
+  let phys = physical t addr in
+  let phys_line = phys / t.cfg.cache.Sassoc.line_size in
+  match Sassoc.access t.cache ~mask ~kind phys with
+  | Sassoc.Hit _ ->
+      t.cycles <- t.cycles + timing.Timing.hit_cycles;
+      if Hashtbl.mem t.prefetch_tagged phys_line then begin
+        Hashtbl.remove t.prefetch_tagged phys_line;
+        maybe_prefetch ()
+      end
+  | Sassoc.Miss _ ->
+      t.cycles <- t.cycles + timing.Timing.hit_cycles;
+      (* the line comes from L2 when one is configured and holds it *)
+      (match t.l2 with
+      | None -> t.cycles <- t.cycles + timing.Timing.miss_penalty
+      | Some l2 -> (
+          match Sassoc.access l2 ~kind phys with
+          | Sassoc.Hit _ ->
+              t.l2_hits <- t.l2_hits + 1;
+              t.cycles <- t.cycles + timing.Timing.l2_hit_cycles
+          | Sassoc.Miss _ ->
+              t.l2_misses <- t.l2_misses + 1;
+              t.cycles <- t.cycles + timing.Timing.miss_penalty));
+      if stats.Cache.Stats.writebacks > wb_before then
+        t.cycles <- t.cycles + timing.Timing.writeback_penalty;
+      maybe_prefetch ()
+
+(* One access, scalar reference path. *)
+let access_scalar t ~addr ~kind ~gap =
+  let timing = t.cfg.timing in
+  t.instructions <- t.instructions + gap + 1;
+  t.cycles <- t.cycles + gap;
   t.memory_accesses <- t.memory_accesses + 1;
-  if in_scratchpad t a.Access.addr then begin
+  if in_scratchpad t addr then begin
     t.scratchpad_accesses <- t.scratchpad_accesses + 1;
     t.cycles <- t.cycles + timing.Timing.scratchpad_cycles
   end
-  else if in_uncached t a.Access.addr then
+  else if in_uncached t addr then
     t.cycles <- t.cycles + timing.Timing.uncached_cycles
   else begin
-    let mask, tint, outcome = Vm.Mapping.resolve t.mapping a.Access.addr in
+    let mask, tint, outcome = Vm.Mapping.resolve t.mapping addr in
     (match outcome with
     | Vm.Tlb.Hit -> ()
     | Vm.Tlb.Miss -> t.cycles <- t.cycles + timing.Timing.tlb_miss_penalty);
-    let stats = Sassoc.stats t.cache in
-    let wb_before = stats.Cache.Stats.writebacks in
-    (* Stream prefetch (Section 2: a prefetch buffer carved out of the
-       general cache). Tagged next-line prefetching: both a miss and the
-       first use of a previously-prefetched line fetch the line after it —
-       into the stream's own columns, overlapped with memory time (no extra
-       latency in this model). Prefetching stops where the next line's mask
-       differs (region boundary). *)
-    let maybe_prefetch () =
-      if Hashtbl.mem t.streaming_tints tint then begin
-        let line = t.cfg.cache.Sassoc.line_size in
-        let next = a.Access.addr + line in
-        let next_mask = Vm.Mapping.mask_of_quiet t.mapping next in
-        let next_phys = physical t next in
-        if
-          Bitmask.equal next_mask mask
-          && Sassoc.probe t.cache next_phys = None
-        then begin
-          ignore (Sassoc.fill t.cache ~mask next_phys);
-          Hashtbl.replace t.prefetch_tagged (next_phys / line) ();
-          t.prefetches <- t.prefetches + 1
-        end
-      end
-    in
-    let phys = physical t a.Access.addr in
-    let phys_line = phys / t.cfg.cache.Sassoc.line_size in
-    (match Sassoc.access t.cache ~mask ~kind:a.Access.kind phys with
-    | Sassoc.Hit _ ->
-        t.cycles <- t.cycles + timing.Timing.hit_cycles;
-        if Hashtbl.mem t.prefetch_tagged phys_line then begin
-          Hashtbl.remove t.prefetch_tagged phys_line;
-          maybe_prefetch ()
-        end
-    | Sassoc.Miss _ ->
-        t.cycles <- t.cycles + timing.Timing.hit_cycles;
-        (* the line comes from L2 when one is configured and holds it *)
-        (match t.l2 with
-        | None -> t.cycles <- t.cycles + timing.Timing.miss_penalty
-        | Some l2 -> (
-            match Sassoc.access l2 ~kind:a.Access.kind phys with
-            | Sassoc.Hit _ ->
-                t.l2_hits <- t.l2_hits + 1;
-                t.cycles <- t.cycles + timing.Timing.l2_hit_cycles
-            | Sassoc.Miss _ ->
-                t.l2_misses <- t.l2_misses + 1;
-                t.cycles <- t.cycles + timing.Timing.miss_penalty));
-        if stats.Cache.Stats.writebacks > wb_before then
-          t.cycles <- t.cycles + timing.Timing.writeback_penalty;
-        maybe_prefetch ())
-  end;
+    access_cached t ~addr ~kind ~mask ~tint
+  end
+
+let access t (a : Access.t) =
+  let before = t.cycles in
+  access_scalar t ~addr:a.Access.addr ~kind:a.Access.kind ~gap:a.Access.gap;
   t.cycles - before
 
 let snapshot t =
@@ -220,11 +232,263 @@ let snapshot t =
     cache = Cache.Stats.copy (Sassoc.stats t.cache);
   }
 
-let run t trace =
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+(* Batched replay over packed columns. Byte-identical to folding [access]
+   over the same accesses (the machine-level differential soak pins this),
+   but organized around the invariant that during one replay the page table,
+   tint table, regions, frame map and streaming set are all constant — only
+   the TLB mutates, and only through our own lookups. Hence:
+
+   - a small K-entry memo caches (page, tint, mask, streaming?) for recently
+     seen pages. A memo hit is a guaranteed TLB hit — memo entries are
+     invalidated whenever a real lookup evicts their page, so memoized
+     implies resident — and costs no hash lookups at all: the hit is
+     credited in bulk via [Tlb.note_hits] and its LRU touch is {e deferred}.
+     A run of guaranteed hits only reorders the touched entries to the front
+     of the LRU, so replaying one touch per memoized page, oldest last-use
+     first ([Tlb.touch_resident]), immediately before the next real TLB
+     operation reproduces the exact LRU state the per-access path builds;
+   - tint -> mask is constant, so the tint-table lookup (a string-keyed
+     hash) is memoized on the last tint seen;
+   - counters accrue in local ints and land in [t]'s fields once at the end
+     (every counter is a sum, so interleaving with the scalar path's direct
+     field updates commutes).
+
+   Pages overlapping a scratchpad/uncached region take the scalar path per
+   access (the region test is per-address, not per-page) and are never
+   memoized; the scalar path's resolve can evict any TLB entry, so the memo
+   is cleared after it. Streaming pages and accesses while prefetch-tagged
+   lines are outstanding use the always-correct [access_cached] cache path
+   (the scalar hit path consults the tag table on every hit), but their TLB
+   behaviour is one lookup per access just like any other page, so they
+   memoize fine. *)
+let replay_packed t (p : Memtrace.Packed.t) =
+  let n = Memtrace.Packed.length p in
+  if n > 0 then begin
+    let addrs = Memtrace.Packed.raw_addrs p in
+    let gaps = Memtrace.Packed.raw_gaps p in
+    let kinds = Memtrace.Packed.raw_kinds p in
+    let timing = t.cfg.timing in
+    let hit_cycles = timing.Timing.hit_cycles in
+    let miss_penalty = timing.Timing.miss_penalty in
+    let l2_hit_cycles = timing.Timing.l2_hit_cycles in
+    let writeback_penalty = timing.Timing.writeback_penalty in
+    let tlb_miss_penalty = timing.Timing.tlb_miss_penalty in
+    let cache = t.cache in
+    let l2 = t.l2 in
+    let fm = t.frame_map in
+    let tlb = Vm.Mapping.tlb t.mapping in
+    let tint_table = Vm.Mapping.tint_table t.mapping in
+    let page_size = t.cfg.page_size in
+    let page_shift = log2 page_size in
+    (* local counters, flushed into [t] after the loop. Per-access constants
+       are derived rather than accumulated: every non-scalar access
+       contributes gap+1 instructions, one memory access and (on the plain
+       cache path) hit_cycles — so the loop only tracks [gap_sum] and a few
+       small counts, and the arithmetic happens once at the end *)
+    let cycles = ref 0 in
+    let gap_sum = ref 0 in
+    let nonscalar_n = ref 0 in
+    let crossing_n = ref 0 in
+    let cached_n = ref 0 in
+    let l2_hits = ref 0 in
+    let l2_misses = ref 0 in
+    (* direct-mapped page memo with deferred LRU touches: slot = low bits of
+       the page number, one compare per probe. Collisions merely evict the
+       memo entry (the next access to that page pays a real — and guaranteed
+       to hit — TLB lookup); correctness never depends on memo capacity *)
+    let memo_bits = 7 in
+    let memo_size = 1 lsl memo_bits in
+    let memo_mask = memo_size - 1 in
+    let m_page = Array.make memo_size min_int in
+    let m_seq = Array.make memo_size min_int in
+    let m_mask = Array.make memo_size Bitmask.empty in
+    let m_tint = Array.make memo_size Vm.Tint.default in
+    let m_stream = Array.make memo_size false in
+    let m_pending = Array.make memo_size false in
+    (* slots with a deferred touch, in first-pending order; sorted by
+       last-use seq at flush time *)
+    let pending_slots = Array.make memo_size 0 in
+    let pending_count = ref 0 in
+    let flush_touches () =
+      let c = !pending_count in
+      if c > 0 then begin
+        (* insertion sort by last-use seq, ascending; runs are short *)
+        for a = 1 to c - 1 do
+          let sl = pending_slots.(a) in
+          let key = m_seq.(sl) in
+          let b = ref (a - 1) in
+          while !b >= 0 && m_seq.(pending_slots.(!b)) > key do
+            pending_slots.(!b + 1) <- pending_slots.(!b);
+            decr b
+          done;
+          pending_slots.(!b + 1) <- sl
+        done;
+        for a = 0 to c - 1 do
+          let sl = pending_slots.(a) in
+          m_pending.(sl) <- false;
+          Vm.Tlb.touch_resident tlb m_page.(sl)
+        done;
+        pending_count := 0
+      end
+    in
+    let drop_page page =
+      let sl = page land memo_mask in
+      if m_page.(sl) = page then begin
+        m_page.(sl) <- min_int;
+        m_seq.(sl) <- min_int
+      end
+    in
+    let clear_memo () =
+      Array.fill m_page 0 memo_size min_int;
+      Array.fill m_seq 0 memo_size min_int;
+      Array.fill m_pending 0 memo_size false;
+      pending_count := 0
+    in
+    let last_tint = ref None in
+    let last_mask = ref Bitmask.empty in
+    let mask_of_tint tint =
+      match !last_tint with
+      | Some lt when Vm.Tint.equal lt tint -> !last_mask
+      | _ ->
+          let m = Vm.Tint_table.lookup tint_table tint in
+          last_tint := Some tint;
+          last_mask := m;
+          m
+    in
+    let page_touches_region page =
+      (t.scratchpads != [] || t.uncached != [])
+      &&
+      let base = page lsl page_shift in
+      let hit r = r.base < base + page_size && base < r.base + r.size in
+      List.exists hit t.scratchpads || List.exists hit t.uncached
+    in
+    (* the streaming set is constant during a replay, and with it empty no
+       prefetch tag can ever be inserted — so if both tables are empty at
+       entry the tag-aware cache path is unreachable for the whole replay *)
+    let tags_possible =
+      Hashtbl.length t.streaming_tints > 0
+      || Hashtbl.length t.prefetch_tagged > 0
+    in
+    let fast_cache_access ~mask ~addr ~kind =
+      let phys =
+        match fm with None -> addr | Some fm -> Vm.Frame_map.translate fm addr
+      in
+      let code = Sassoc.access_coded cache ~mask ~kind phys in
+      (* base hit_cycles charged arithmetically at the end *)
+      if code <> 0 then begin
+        (match l2 with
+        | None -> cycles := !cycles + miss_penalty
+        | Some l2c ->
+            if Sassoc.access_coded l2c ~kind phys land 1 = 0 then begin
+              incr l2_hits;
+              cycles := !cycles + l2_hit_cycles
+            end
+            else begin
+              incr l2_misses;
+              cycles := !cycles + miss_penalty
+            end);
+        if code land 2 <> 0 then cycles := !cycles + writeback_penalty
+      end
+    in
+    for i = 0 to n - 1 do
+      let addr = Array.unsafe_get addrs i in
+      let gap = Array.unsafe_get gaps i in
+      let kind =
+        match Bytes.unsafe_get kinds i with
+        | '\001' -> Access.Write
+        | '\002' -> Access.Ifetch
+        | _ -> Access.Read
+      in
+      let page = addr lsr page_shift in
+      let j = page land memo_mask in
+      if Array.unsafe_get m_page j = page then begin
+        (* memoized page: guaranteed TLB hit (credited in bulk after the
+           loop) with its LRU touch deferred *)
+        Array.unsafe_set m_seq j i;
+        if not (Array.unsafe_get m_pending j) then begin
+          Array.unsafe_set m_pending j true;
+          Array.unsafe_set pending_slots !pending_count j;
+          incr pending_count
+        end;
+        gap_sum := !gap_sum + gap;
+        incr nonscalar_n;
+        if
+          tags_possible
+          && (Array.unsafe_get m_stream j
+             || Hashtbl.length t.prefetch_tagged > 0)
+        then begin
+          incr cached_n;
+          access_cached t ~addr ~kind
+            ~mask:(Array.unsafe_get m_mask j)
+            ~tint:(Array.unsafe_get m_tint j)
+        end
+        else fast_cache_access ~mask:(Array.unsafe_get m_mask j) ~addr ~kind
+      end
+      else if page_touches_region page then begin
+        (* mixed page: scratchpad/uncached membership is per-address, and
+           the scalar resolve can evict any TLB entry — drop the memo *)
+        flush_touches ();
+        access_scalar t ~addr ~kind ~gap;
+        clear_memo ()
+      end
+      else begin
+        (* memo miss on a pure page: settle deferred touches, then do the
+           real lookup and install the page in the memo *)
+        flush_touches ();
+        let m0 = Vm.Tlb.misses tlb in
+        let tint = Vm.Tlb.lookup_page_quick tlb page in
+        let tlb_missed = Vm.Tlb.misses tlb <> m0 in
+        if tlb_missed then begin
+          let ev = Vm.Tlb.last_evicted tlb in
+          if ev <> min_int then drop_page ev
+        end;
+        let mask = mask_of_tint tint in
+        let stream =
+          Hashtbl.length t.streaming_tints > 0
+          && Hashtbl.mem t.streaming_tints tint
+        in
+        m_page.(j) <- page;
+        m_seq.(j) <- i;
+        m_mask.(j) <- mask;
+        m_tint.(j) <- tint;
+        m_stream.(j) <- stream;
+        m_pending.(j) <- false;
+        gap_sum := !gap_sum + gap;
+        incr nonscalar_n;
+        incr crossing_n;
+        if tlb_missed then cycles := !cycles + tlb_miss_penalty;
+        if tags_possible && (stream || Hashtbl.length t.prefetch_tagged > 0)
+        then begin
+          incr cached_n;
+          access_cached t ~addr ~kind ~mask ~tint
+        end
+        else fast_cache_access ~mask ~addr ~kind
+      end
+    done;
+    flush_touches ();
+    (* non-scalar accesses: gap+1 instructions and one memory access each;
+       the (nonscalar_n - cached_n) that took [fast_cache_access] each owe
+       the base hit_cycles ([access_cached] charged its own); memoized
+       accesses were exactly the non-crossing ones, all guaranteed hits *)
+    t.instructions <- t.instructions + !gap_sum + !nonscalar_n;
+    t.cycles <-
+      t.cycles + !cycles + !gap_sum
+      + ((!nonscalar_n - !cached_n) * hit_cycles);
+    t.memory_accesses <- t.memory_accesses + !nonscalar_n;
+    t.l2_hits <- t.l2_hits + !l2_hits;
+    t.l2_misses <- t.l2_misses + !l2_misses;
+    Vm.Tlb.note_hits tlb (!nonscalar_n - !crossing_n)
+  end
+
+let run_with t replay =
   let before = snapshot t in
   t.cycles <- t.cycles + t.pending_setup_cycles;
   t.pending_setup_cycles <- 0;
-  Trace.iter (fun a -> ignore (access t a)) trace;
+  replay ();
   let after = snapshot t in
   {
     Run_stats.instructions = after.instructions - before.instructions;
@@ -239,6 +503,12 @@ let run t trace =
     prefetches = after.prefetches - before.prefetches;
     cache = Cache.Stats.sub after.cache before.cache;
   }
+
+let run t trace =
+  run_with t (fun () -> Trace.iter (fun a -> ignore (access t a)) trace)
+
+let run_packed t packed = run_with t (fun () -> replay_packed t packed)
+let run_trace t trace = run_packed t (Memtrace.Packed.of_trace trace)
 
 let total t = snapshot t
 let flush_cache t = Sassoc.flush t.cache

@@ -93,7 +93,23 @@ val access : t -> Memtrace.Access.t -> int
     instruction cycles). *)
 
 val run : t -> Memtrace.Trace.t -> Run_stats.t
-(** Replay a trace and return statistics for {e this run only}. *)
+(** Replay a trace one access at a time (the scalar reference path) and
+    return statistics for {e this run only}. *)
+
+val run_trace : t -> Memtrace.Trace.t -> Run_stats.t
+(** Like {!run} — byte-identical {!Run_stats}, pinned by the machine-level
+    differential soak — but replayed through the batched loop: the trace is
+    packed into columnar form ({!Memtrace.Packed}) and replayed with the
+    current page's (mask, tint) resolution memoized, so the TLB and tint
+    table are only consulted on page crossings and all counters stay in
+    local ints. Accesses the memoization cannot cover exactly — pages
+    overlapping scratchpad/uncached regions, streaming tints, outstanding
+    prefetch tags — fall back to the scalar path per access. This is the
+    replay entry point the experiments use. *)
+
+val run_packed : t -> Memtrace.Packed.t -> Run_stats.t
+(** {!run_trace} without the conversion, for callers that already hold a
+    packed trace. *)
 
 val total : t -> Run_stats.t
 (** Cumulative statistics since creation (preloads excluded). *)

@@ -1,0 +1,185 @@
+(* Struct-of-arrays trace storage. The boxed [Access.t array] form keeps one
+   heap block per access (plus an option per tagged access); replaying a
+   multi-megabyte trace through it is bound by pointer chasing. Here the four
+   fields live in parallel unboxed columns — ints for addresses and gaps, one
+   byte per access for the kind, and an int index into a small interned
+   variable table — so the machine's batched replay loop touches only flat
+   arrays. *)
+
+type t = {
+  len : int;
+  addrs : int array;
+  gaps : int array;
+  kinds : Bytes.t; (* '\000' Read, '\001' Write, '\002' Ifetch *)
+  tags : int array; (* index into [vars]; -1 = untagged *)
+  vars : string array; (* distinct variable names, first-appearance order *)
+}
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let kind_code = function
+  | Access.Read -> 0
+  | Access.Write -> 1
+  | Access.Ifetch -> 2
+
+let kind_of_code = function
+  | 0 -> Access.Read
+  | 1 -> Access.Write
+  | 2 -> Access.Ifetch
+  | c -> invalid_arg (Printf.sprintf "Packed.kind_of_code: %d" c)
+
+let check_index t i =
+  if i < 0 || i >= t.len then invalid_arg "Packed: index out of bounds"
+
+let addr t i =
+  check_index t i;
+  t.addrs.(i)
+
+let gap t i =
+  check_index t i;
+  t.gaps.(i)
+
+let kind t i =
+  check_index t i;
+  kind_of_code (Char.code (Bytes.get t.kinds i))
+
+let var t i =
+  check_index t i;
+  let tag = t.tags.(i) in
+  if tag < 0 then None else Some t.vars.(tag)
+
+let get t i =
+  check_index t i;
+  Access.make
+    ~kind:(kind_of_code (Char.code (Bytes.get t.kinds i)))
+    ?var:(let tag = t.tags.(i) in
+          if tag < 0 then None else Some t.vars.(tag))
+    ~gap:t.gaps.(i) t.addrs.(i)
+
+let raw_addrs t = t.addrs
+let raw_gaps t = t.gaps
+let raw_kinds t = t.kinds
+let raw_tags t = t.tags
+let var_table t = t.vars
+
+let instructions t =
+  let total = ref t.len in
+  for i = 0 to t.len - 1 do
+    total := !total + Array.unsafe_get t.gaps i
+  done;
+  !total
+
+module Builder = struct
+  type packed = t
+
+  type t = {
+    mutable len : int;
+    mutable addrs : int array;
+    mutable gaps : int array;
+    mutable kinds : Bytes.t;
+    mutable tags : int array;
+    intern : (string, int) Hashtbl.t;
+    mutable vars : string list; (* reversed first-appearance order *)
+    mutable var_count : int;
+  }
+
+  let create ?(initial_capacity = 1024) () =
+    let cap = max 1 initial_capacity in
+    {
+      len = 0;
+      addrs = Array.make cap 0;
+      gaps = Array.make cap 0;
+      kinds = Bytes.make cap '\000';
+      tags = Array.make cap (-1);
+      intern = Hashtbl.create 16;
+      vars = [];
+      var_count = 0;
+    }
+
+  let grow b =
+    let cap = 2 * Array.length b.addrs in
+    let addrs = Array.make cap 0 in
+    Array.blit b.addrs 0 addrs 0 b.len;
+    let gaps = Array.make cap 0 in
+    Array.blit b.gaps 0 gaps 0 b.len;
+    let kinds = Bytes.make cap '\000' in
+    Bytes.blit b.kinds 0 kinds 0 b.len;
+    let tags = Array.make cap (-1) in
+    Array.blit b.tags 0 tags 0 b.len;
+    b.addrs <- addrs;
+    b.gaps <- gaps;
+    b.kinds <- kinds;
+    b.tags <- tags
+
+  let tag_of b = function
+    | None -> -1
+    | Some v -> (
+        match Hashtbl.find_opt b.intern v with
+        | Some i -> i
+        | None ->
+            let i = b.var_count in
+            Hashtbl.add b.intern v i;
+            b.vars <- v :: b.vars;
+            b.var_count <- i + 1;
+            i)
+
+  let emit b ?(kind = Access.Read) ?var ?(gap = 0) addr =
+    if addr < 0 then invalid_arg "Packed.Builder.emit: negative address";
+    if gap < 0 then invalid_arg "Packed.Builder.emit: negative gap";
+    if b.len = Array.length b.addrs then grow b;
+    let i = b.len in
+    b.addrs.(i) <- addr;
+    b.gaps.(i) <- gap;
+    Bytes.set b.kinds i (Char.chr (kind_code kind));
+    b.tags.(i) <- tag_of b var;
+    b.len <- i + 1
+
+  let add b (a : Access.t) =
+    emit b ~kind:a.kind ?var:a.var ~gap:a.gap a.addr
+
+  let length b = b.len
+
+  let build b : packed =
+    {
+      len = b.len;
+      addrs = Array.sub b.addrs 0 b.len;
+      gaps = Array.sub b.gaps 0 b.len;
+      kinds = Bytes.sub b.kinds 0 b.len;
+      tags = Array.sub b.tags 0 b.len;
+      vars = Array.of_list (List.rev b.vars);
+    }
+end
+
+let of_trace trace =
+  let arr = Trace.raw trace in
+  let b = Builder.create ~initial_capacity:(max 1 (Array.length arr)) () in
+  Array.iter (fun a -> Builder.add b a) arr;
+  Builder.build b
+
+let of_list accesses =
+  let b = Builder.create () in
+  List.iter (fun a -> Builder.add b a) accesses;
+  Builder.build b
+
+let to_trace t = Trace.of_array (Array.init t.len (fun i -> get t i))
+let to_list t = List.init t.len (fun i -> get t i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let equal a b =
+  a.len = b.len
+  && begin
+       let rec check i =
+         i >= a.len || (Access.equal (get a i) (get b i) && check (i + 1))
+       in
+       check 0
+     end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter (fun a -> Format.fprintf ppf "%a@," Access.pp a) t;
+  Format.fprintf ppf "@]"

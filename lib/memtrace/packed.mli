@@ -1,0 +1,73 @@
+(** Packed, struct-of-arrays trace storage.
+
+    Semantically a {!Trace.t} — the same accesses in the same order — but
+    stored as parallel unboxed columns: addresses and instruction gaps in
+    [int array]s, kinds in one byte each, and variable tags as indices into
+    a small interned name table. Conversion to and from the boxed form is
+    lossless ({!of_trace} / {!to_trace} round-trip exactly), and the raw
+    columns are exposed for the machine's batched replay loop, which walks
+    them without allocating. *)
+
+type t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val addr : t -> int -> int
+val gap : t -> int -> int
+val kind : t -> int -> Access.kind
+val var : t -> int -> string option
+(** Bounds-checked per-field accessors; raise [Invalid_argument] when the
+    index is out of range. *)
+
+val get : t -> int -> Access.t
+(** Reconstruct the boxed access at an index. *)
+
+val kind_code : Access.kind -> int
+(** [Read] = 0, [Write] = 1, [Ifetch] = 2 — the byte stored in
+    {!raw_kinds}. *)
+
+val kind_of_code : int -> Access.kind
+(** Inverse of {!kind_code}; raises [Invalid_argument] on other values. *)
+
+val raw_addrs : t -> int array
+val raw_gaps : t -> int array
+val raw_kinds : t -> Bytes.t
+val raw_tags : t -> int array
+(** The backing columns, for zero-overhead replay loops; entries of
+    {!raw_tags} are indices into {!var_table}, [-1] for untagged accesses.
+    Callers must not mutate any of them. *)
+
+val var_table : t -> string array
+(** Distinct variable names in order of first appearance. Callers must not
+    mutate it. *)
+
+val instructions : t -> int
+(** Total instructions represented: sum of [gap + 1] over all accesses. *)
+
+val of_trace : Trace.t -> t
+val to_trace : t -> Trace.t
+val of_list : Access.t list -> t
+val to_list : t -> Access.t list
+
+val iter : (Access.t -> unit) -> t -> unit
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Accumulates accesses in O(1) amortized time directly into the packed
+    columns, so workload generators emit without building per-access heap
+    records first. *)
+module Builder : sig
+  type packed := t
+  type t
+
+  val create : ?initial_capacity:int -> unit -> t
+
+  val emit : t -> ?kind:Access.kind -> ?var:string -> ?gap:int -> int -> unit
+  (** Append one access. Same validation as {!Access.make}: negative
+      addresses and negative gaps are rejected with [Invalid_argument]. *)
+
+  val add : t -> Access.t -> unit
+  val length : t -> int
+  val build : t -> packed
+end

@@ -10,6 +10,10 @@ type t = {
   mutable misses : int;
   mutable flushes : int;
   mutable entry_flushes : int;
+  (* page evicted by the most recent [lookup_page_quick] miss; [min_int]
+     when it hit or evicted nothing. Lets the batched replay invalidate its
+     page memo without allocating an option per lookup. *)
+  mutable last_evicted : int;
 }
 
 let create ~entries ~page_table =
@@ -22,6 +26,7 @@ let create ~entries ~page_table =
     misses = 0;
     flushes = 0;
     entry_flushes = 0;
+    last_evicted = min_int;
   }
 
 let lookup_page t page =
@@ -41,6 +46,51 @@ let lookup_page t page =
       (tint, Miss)
 
 let lookup t addr = lookup_page t (Page_table.page_of_addr t.page_table addr)
+
+(* [lookup_page] minus the tuple: the tint comes back bare and the outcome
+   is observable as a delta on [misses]. [Hashtbl.find] + exception instead
+   of [find_opt] keeps the hit path allocation-free — this is the per-access
+   entry the machine's batched replay loop uses. *)
+let lookup_page_quick t page =
+  match Hashtbl.find t.cached page with
+  | tint ->
+      t.hits <- t.hits + 1;
+      t.last_evicted <- min_int;
+      ignore (Cache.Lru_set.touch t.lru page);
+      tint
+  | exception Not_found ->
+      t.misses <- t.misses + 1;
+      let tint = Page_table.tint_of_page t.page_table page in
+      (match Cache.Lru_set.touch t.lru page with
+      | `Hit -> assert false
+      | `Miss (Some evicted) ->
+          Hashtbl.remove t.cached evicted;
+          t.last_evicted <- evicted
+      | `Miss None -> t.last_evicted <- min_int);
+      Hashtbl.replace t.cached page tint;
+      tint
+
+let last_evicted t = t.last_evicted
+
+(* Re-apply the LRU touch of a page that is guaranteed resident, without
+   counting a hit (the hit was credited in bulk via [note_hits]). The
+   batched replay defers touches of its memoized pages and replays them in
+   last-use order before any real lookup: a sequence of hits only reorders
+   the touched entries to the front, so touching each once, oldest last-use
+   first, reproduces the exact LRU state. *)
+let touch_resident t page =
+  match Cache.Lru_set.touch t.lru page with
+  | `Hit -> ()
+  | `Miss _ -> assert false
+
+(* Credit [n] hits without performing the lookups. Only sound when every
+   skipped lookup is guaranteed to hit AND to leave the LRU state unchanged
+   — i.e. repeated references to the page that is already most recently
+   used, where [Lru_set.touch] is the identity. The machine's batched
+   replay uses this for runs of consecutive same-page accesses. *)
+let note_hits t n =
+  if n < 0 then invalid_arg "Tlb.note_hits: negative count";
+  t.hits <- t.hits + n
 
 let flush t =
   Cache.Lru_set.clear t.lru;

@@ -59,13 +59,14 @@ let hash3 s pos =
   let b i = Char.code s.[pos + i] in
   (b 0 lsl 6) lxor (b 1 lsl 3) lxor b 2 land (hash_entries - 1)
 
-let compress ?(base = 0) ~input () =
+(* The compressor core is generic over the access sink, so the same code
+   emits either boxed traces ([compress]) or packed columns
+   ([packed_trace]) with no duplication. *)
+let compress_core
+    ~(emit : ?kind:Access.kind -> ?gap:int -> var:string -> int -> unit)
+    ~input =
   let len = String.length input in
   if len > 0x4000 then invalid_arg "Lz77.compress: input exceeds 16 KiB buffer";
-  let b = Trace.Builder.create ~initial_capacity:(64 * 1024) () in
-  let emit ?(kind = Access.Read) ?(gap = 2) ~var off =
-    Trace.Builder.emit b ~kind ~var ~gap (base + off)
-  in
   let read_in pos = emit ~var:"inbuf" (inbuf_off + pos) in
   let read_window p = emit ~var:"window" (window_off + (p mod window_size)) in
   let write_window p =
@@ -166,7 +167,26 @@ let compress ?(base = 0) ~input () =
     end
   in
   step 0;
-  { trace = Trace.Builder.build b; tokens = List.rev !tokens; input }
+  List.rev !tokens
+
+let compress ?(base = 0) ~input () =
+  let b = Memtrace.Packed.Builder.create ~initial_capacity:(64 * 1024) () in
+  let emit ?(kind = Access.Read) ?(gap = 2) ~var off =
+    Memtrace.Packed.Builder.emit b ~kind ~var ~gap (base + off)
+  in
+  let tokens = compress_core ~emit ~input in
+  { trace = Memtrace.Packed.to_trace (Memtrace.Packed.Builder.build b);
+    tokens; input }
+
+let packed_trace ?(seed = 1) ?(input_len = 16384) ~base () =
+  let input_len = min input_len 0x4000 in
+  let input = synthetic_input ~seed ~len:input_len in
+  let b = Memtrace.Packed.Builder.create ~initial_capacity:(64 * 1024) () in
+  let emit ?(kind = Access.Read) ?(gap = 2) ~var off =
+    Memtrace.Packed.Builder.emit b ~kind ~var ~gap (base + off)
+  in
+  ignore (compress_core ~emit ~input);
+  Memtrace.Packed.Builder.build b
 
 let trace ?(seed = 1) ?(input_len = 16384) ~base () =
   let input_len = min input_len 0x4000 in

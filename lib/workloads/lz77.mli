@@ -45,4 +45,10 @@ val trace : ?seed:int -> ?input_len:int -> base:int -> unit -> Memtrace.Trace.t
 (** [compress] over a {!synthetic_input}; trace only. Default input length
     16 KiB. *)
 
+val packed_trace :
+  ?seed:int -> ?input_len:int -> base:int -> unit -> Memtrace.Packed.t
+(** {!trace} in columnar form: the compressor emits straight into packed
+    columns, with no boxed [Access.t] built along the way — feed it to
+    {!Machine.System.run_packed}. *)
+
 val decompress : token list -> string

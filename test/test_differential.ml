@@ -52,6 +52,13 @@ let test_soak_covers_fast_path () =
       check_int "half the scenarios replayed through access_trace" 250
         summary.Diff.fast_path_iters
 
+let test_soak_covers_machine () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      check_int "half the scenarios replayed through the machine diff" 250
+        summary.Diff.machine_iters
+
 (* --- mutation tests: a harness that cannot catch a planted bug proves
    nothing, so plant three and insist each is caught and shrunk small --- *)
 
@@ -100,6 +107,29 @@ let test_mutation_fast_path () =
          with
         | Diff.Agree -> true
         | Diff.Diverge _ -> false)
+
+let test_mutation_machine_fast_path () =
+  (* The planted gap-zeroing bug only exists in the machine-level batched
+     replay, so the divergence must be caught on a machine iteration. *)
+  match Diff.soak ~bug:Oracle.Machine_fast_path ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "machine-fast-path bug survived 500 iterations"
+  | Error (failure, _) ->
+      check_bool "caught by the machine batched-replay driver" true
+        failure.Diff.machine;
+      check_bool "repro diverges under the machine driver" true
+        (match
+           Check.Machine_diff.run_scenario ~bug:Oracle.Machine_fast_path
+             failure.Diff.scenario
+         with
+        | Check.Machine_diff.Diverge _ -> true
+        | Check.Machine_diff.Agree -> false);
+      check_bool "repro agrees without the planted bug" true
+        (match Check.Machine_diff.run_scenario failure.Diff.scenario with
+        | Check.Machine_diff.Agree -> true
+        | Check.Machine_diff.Diverge _ -> false);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal failure.Diff.scenario
+           (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
 
 (* --- the oracle on its own: agreement with hand-computed semantics --- *)
 
@@ -234,6 +264,8 @@ let suites =
         Alcotest.test_case "covers all policies" `Quick test_soak_covers_policies;
         Alcotest.test_case "covers geometry extremes" `Quick test_soak_covers_geometries;
         Alcotest.test_case "covers the batched fast path" `Quick test_soak_covers_fast_path;
+        Alcotest.test_case "covers the machine batched replay" `Quick
+          test_soak_covers_machine;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
       ] );
     ( "check.mutation",
@@ -242,6 +274,8 @@ let suites =
         Alcotest.test_case "catches mask ignoring" `Quick test_mutation_ignore_mask;
         Alcotest.test_case "catches writeback miscount" `Quick test_mutation_writeback;
         Alcotest.test_case "catches fast-path batching bug" `Quick test_mutation_fast_path;
+        Alcotest.test_case "catches machine batched-replay bug" `Quick
+          test_mutation_machine_fast_path;
       ] );
     ( "check.oracle",
       [

@@ -263,6 +263,200 @@ let test_clear_streaming () =
   let r = System.run sys (Trace.of_list [ Access.make 0 ]) in
   check_int "no prefetch after clear" 0 r.Run_stats.prefetches
 
+(* --- Run_stats arithmetic --- *)
+
+let test_run_stats_add_cpi () =
+  let a =
+    {
+      (Run_stats.zero ~ways:4) with
+      Run_stats.instructions = 10;
+      cycles = 25;
+      memory_accesses = 9;
+      scratchpad_accesses = 4;
+      tlb_hits = 7;
+      tlb_misses = 1;
+      l2_hits = 3;
+      l2_misses = 2;
+      prefetches = 5;
+    }
+  in
+  let b =
+    { a with Run_stats.instructions = 30; cycles = 35; l2_hits = 1; prefetches = 2 }
+  in
+  let s = Run_stats.add a b in
+  check_int "instructions" 40 s.Run_stats.instructions;
+  check_int "cycles" 60 s.Run_stats.cycles;
+  check_int "memory accesses" 18 s.Run_stats.memory_accesses;
+  check_int "scratchpad accesses" 8 s.Run_stats.scratchpad_accesses;
+  check_int "tlb hits" 14 s.Run_stats.tlb_hits;
+  check_int "tlb misses" 2 s.Run_stats.tlb_misses;
+  check_int "l2 hits" 4 s.Run_stats.l2_hits;
+  check_int "l2 misses" 4 s.Run_stats.l2_misses;
+  check_int "prefetches" 7 s.Run_stats.prefetches;
+  check_bool "cpi is cycles/instructions" true
+    (abs_float (Run_stats.cpi s -. 1.5) < 1e-9);
+  check_bool "cpi of zero is zero" true
+    (Run_stats.cpi (Run_stats.zero ~ways:4) = 0.)
+
+let test_scratchpad_overlap_variants () =
+  let sys = make_system () in
+  System.add_scratchpad sys ~base:0x1000 ~size:256;
+  (* back-to-back regions do not overlap *)
+  System.add_scratchpad sys ~base:0x1100 ~size:256;
+  List.iter
+    (fun (base, size) ->
+      check_bool (Printf.sprintf "overlap [0x%x,+%d) rejected" base size) true
+        (try
+           System.add_scratchpad sys ~base ~size;
+           false
+         with Invalid_argument _ -> true))
+    [ (0x1000, 256); (0x10FF, 2); (0xF00, 0x200); (0x1000, 1); (0x11FF, 1) ];
+  check_int "rejected regions don't count" 512 (System.scratchpad_bytes sys)
+
+(* --- batched replay vs the scalar reference ---
+   [System.run_trace] promises byte-identical [Run_stats]; pin it across
+   every machine feature the memoized fast path must respect. *)
+
+let check_run_stats name (a : Run_stats.t) (b : Run_stats.t) =
+  let f field proj = check_int (name ^ " " ^ field) (proj a) (proj b) in
+  f "instructions" (fun r -> r.Run_stats.instructions);
+  f "cycles" (fun r -> r.Run_stats.cycles);
+  f "memory accesses" (fun r -> r.Run_stats.memory_accesses);
+  f "scratchpad accesses" (fun r -> r.Run_stats.scratchpad_accesses);
+  f "tlb hits" (fun r -> r.Run_stats.tlb_hits);
+  f "tlb misses" (fun r -> r.Run_stats.tlb_misses);
+  f "l2 hits" (fun r -> r.Run_stats.l2_hits);
+  f "l2 misses" (fun r -> r.Run_stats.l2_misses);
+  f "prefetches" (fun r -> r.Run_stats.prefetches);
+  let c field proj =
+    check_int
+      (name ^ " cache " ^ field)
+      (proj a.Run_stats.cache) (proj b.Run_stats.cache)
+  in
+  c "accesses" (fun (s : Cache.Stats.t) -> s.Cache.Stats.accesses);
+  c "hits" (fun s -> s.Cache.Stats.hits);
+  c "misses" (fun s -> s.Cache.Stats.misses);
+  c "evictions" (fun s -> s.Cache.Stats.evictions);
+  c "writebacks" (fun s -> s.Cache.Stats.writebacks);
+  check_bool
+    (name ^ " cache fills-per-way")
+    true
+    (a.Run_stats.cache.Cache.Stats.fills_per_way
+    = b.Run_stats.cache.Cache.Stats.fills_per_way)
+
+let mixed_trace =
+  (* same-page runs, page-crossing writes, varying gaps *)
+  Trace.of_list
+    (List.concat_map
+       (fun i ->
+         [
+           Access.make ~gap:(i mod 5) (i * 4 mod 2048);
+           Access.make ~kind:Access.Write ~gap:1 (0x4000 + (i * 64 mod 4096));
+           Access.make ~var:"hot" (i * 4 mod 2048);
+         ])
+       (List.init 400 Fun.id))
+
+let both_drivers mk trace =
+  let scalar = mk () in
+  let batched = mk () in
+  let rs = System.run scalar trace in
+  let rb = System.run_trace batched trace in
+  (rs, rb, scalar, batched)
+
+let test_batched_matches_scalar_plain () =
+  let rs, rb, s, b = both_drivers make_system mixed_trace in
+  check_run_stats "plain delta" rs rb;
+  check_run_stats "plain total" (System.total s) (System.total b)
+
+let test_batched_matches_scalar_streaming () =
+  let mk () =
+    let sys, stream = streaming_setup () in
+    System.set_streaming sys stream;
+    sys
+  in
+  let walk = Memtrace.Synthetic.sequential ~base:0 ~count:256 ~stride:4 () in
+  let rs, rb, _, _ = both_drivers mk walk in
+  check_bool "prefetches actually happened" true (rs.Run_stats.prefetches > 0);
+  check_run_stats "streaming" rs rb
+
+let test_batched_matches_scalar_regions () =
+  let mk () =
+    let sys = make_system () in
+    System.add_scratchpad sys ~base:0x8000 ~size:512;
+    System.add_uncached sys ~base:0x9000 ~size:512;
+    sys
+  in
+  let trace =
+    Trace.of_list
+      (List.concat_map
+         (fun i ->
+           [
+             Access.make ~gap:(i mod 3) (i * 8 mod 1024);
+             Access.make ~kind:Access.Write (0x8000 + (i * 4 mod 512));
+             Access.make (0x9000 + (i * 16 mod 512));
+           ])
+         (List.init 200 Fun.id))
+  in
+  let rs, rb, _, _ = both_drivers mk trace in
+  check_bool "scratchpad actually hit" true
+    (rs.Run_stats.scratchpad_accesses > 0);
+  check_run_stats "regions" rs rb
+
+let test_batched_matches_scalar_l2 () =
+  let thrash =
+    (* 4 KB region: overflows the 2 KB L1, fits the 16 KB L2 *)
+    Memtrace.Synthetic.repeat_walk ~base:0 ~len:256 ~stride:16 ~passes:8 ()
+  in
+  let rs, rb, _, _ = both_drivers l2_system thrash in
+  check_bool "L2 actually hit" true (rs.Run_stats.l2_hits > 0);
+  check_run_stats "l2" rs rb
+
+let test_batched_matches_scalar_frame_map () =
+  let mk () =
+    let sys = make_system () in
+    let fm = Vm.Frame_map.create ~page_size:256 in
+    (* swap two distant pages so virtual and physical indices disagree *)
+    Vm.Frame_map.map_page fm ~page:0 ~frame:16;
+    Vm.Frame_map.map_page fm ~page:16 ~frame:0;
+    System.set_frame_map sys fm;
+    sys
+  in
+  let trace =
+    Trace.of_list
+      (List.concat_map
+         (fun i -> [ Access.make (i * 4 mod 256); Access.make (0x1000 + (i * 4 mod 256)) ])
+         (List.init 150 Fun.id))
+  in
+  let rs, rb, _, _ = both_drivers mk trace in
+  check_run_stats "frame map" rs rb
+
+let test_batched_matches_scalar_retint () =
+  (* reconfigure between replays: memoized state must not leak across *)
+  let scalar = make_system () in
+  let batched = make_system () in
+  let hot = Vm.Tint.make "hot" in
+  let reconfigure sys =
+    ignore (Vm.Mapping.retint_region (System.mapping sys) ~base:0 ~size:1024 hot);
+    Vm.Mapping.remap_tint (System.mapping sys) hot (Bitmask.of_list [ 0; 1 ]);
+    Vm.Mapping.remap_tint (System.mapping sys) Vm.Tint.default
+      (Bitmask.of_list [ 2; 3 ])
+  in
+  let t1 = Memtrace.Synthetic.sequential ~base:0 ~count:256 ~stride:8 () in
+  let t2 = Memtrace.Synthetic.uniform_random ~seed:5 ~base:0 ~span:8192 ~count:800 () in
+  check_run_stats "before retint" (System.run scalar t1)
+    (System.run_trace batched t1);
+  reconfigure scalar;
+  reconfigure batched;
+  check_run_stats "after retint" (System.run scalar t2)
+    (System.run_trace batched t2);
+  System.flush_tlb scalar;
+  System.flush_tlb batched;
+  System.flush_cache scalar;
+  System.flush_cache batched;
+  check_run_stats "after flushes" (System.run scalar t1)
+    (System.run_trace batched t1);
+  check_run_stats "grand total" (System.total scalar) (System.total batched)
+
 let suites =
   [
     ( "machine.system",
@@ -291,5 +485,24 @@ let suites =
         Alcotest.test_case "L2 miss costs memory" `Quick test_l2_miss_costs_memory;
         Alcotest.test_case "no L2 no counters" `Quick test_no_l2_no_counters;
         Alcotest.test_case "L2 speeds up thrash" `Quick test_l2_speeds_up_thrashing_workload;
+      ] );
+    ( "machine.run_stats",
+      [
+        Alcotest.test_case "add and cpi" `Quick test_run_stats_add_cpi;
+        Alcotest.test_case "scratchpad overlap variants" `Quick
+          test_scratchpad_overlap_variants;
+      ] );
+    ( "machine.batched_replay",
+      [
+        Alcotest.test_case "plain" `Quick test_batched_matches_scalar_plain;
+        Alcotest.test_case "streaming prefetch" `Quick
+          test_batched_matches_scalar_streaming;
+        Alcotest.test_case "scratchpad + uncached" `Quick
+          test_batched_matches_scalar_regions;
+        Alcotest.test_case "L2" `Quick test_batched_matches_scalar_l2;
+        Alcotest.test_case "frame map" `Quick
+          test_batched_matches_scalar_frame_map;
+        Alcotest.test_case "retint between runs" `Quick
+          test_batched_matches_scalar_retint;
       ] );
   ]

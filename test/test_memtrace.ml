@@ -331,6 +331,73 @@ let prop_footprint_bounded =
       let f = Trace.footprint ~line_size:16 t in
       if Trace.is_empty t then f = 0 else f >= 1 && f <= Trace.length t)
 
+(* --- packed (columnar) storage --- *)
+
+module Packed = Memtrace.Packed
+
+let prop_packed_trace_roundtrip =
+  QCheck.Test.make ~name:"packed of_trace/to_trace identity" ~count:200
+    arb_trace (fun t ->
+      Trace.equal t (Packed.to_trace (Packed.of_trace t)))
+
+let prop_packed_builder_agrees =
+  QCheck.Test.make ~name:"packed Builder agrees with of_list" ~count:200
+    arb_trace (fun t ->
+      let accesses = Trace.to_list t in
+      let b = Packed.Builder.create () in
+      List.iter (Packed.Builder.add b) accesses;
+      Packed.equal (Packed.Builder.build b) (Packed.of_list accesses))
+
+let prop_packed_preserves_columns =
+  QCheck.Test.make ~name:"packed columns match per-access fields" ~count:200
+    arb_trace (fun t ->
+      let p = Packed.of_trace t in
+      Packed.length p = Trace.length t
+      && Packed.instructions p = Trace.instructions t
+      && List.for_all2
+           (fun (a : Access.t) i ->
+             Packed.addr p i = a.Access.addr
+             && Packed.gap p i = a.Access.gap
+             && Packed.kind p i = a.Access.kind
+             && Packed.var p i = a.Access.var
+             && Access.equal (Packed.get p i) a)
+           (Trace.to_list t)
+           (List.init (Trace.length t) Fun.id))
+
+let test_packed_rejects_negative () =
+  let b = Packed.Builder.create () in
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Packed.Builder.emit: negative address") (fun () ->
+      Packed.Builder.emit b (-1));
+  Alcotest.check_raises "negative gap"
+    (Invalid_argument "Packed.Builder.emit: negative gap") (fun () ->
+      Packed.Builder.emit b ~gap:(-3) 0x40);
+  check_int "rejected accesses are not recorded" 0 (Packed.Builder.length b)
+
+let test_packed_max_address () =
+  let b = Packed.Builder.create ~initial_capacity:1 () in
+  Packed.Builder.emit b ~kind:Access.Write ~var:"edge" ~gap:0 max_int;
+  Packed.Builder.emit b max_int;
+  let p = Packed.Builder.build b in
+  check_int "max address survives" max_int (Packed.addr p 0);
+  check_int "and again past a growth" max_int (Packed.addr p 1);
+  let t = Packed.to_trace p in
+  check_bool "round-trips through the boxed form" true
+    (Packed.equal p (Packed.of_trace t))
+
+let test_packed_var_interning () =
+  let b = Packed.Builder.create () in
+  for i = 0 to 99 do
+    Packed.Builder.emit b ~var:(if i mod 2 = 0 then "even" else "odd") i
+  done;
+  Packed.Builder.emit b 100;
+  let p = Packed.Builder.build b in
+  check_int "two interned names" 2 (Array.length (Packed.var_table p));
+  check_bool "tags index the table" true
+    (Packed.var p 0 = Some "even"
+    && Packed.var p 1 = Some "odd"
+    && Packed.var p 100 = None)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -338,6 +405,9 @@ let qcheck_cases =
       prop_shift_preserves_structure;
       prop_concat_length;
       prop_footprint_bounded;
+      prop_packed_trace_roundtrip;
+      prop_packed_builder_agrees;
+      prop_packed_preserves_columns;
     ]
 
 let suites =
@@ -382,6 +452,15 @@ let suites =
           test_trace_file_random_roundtrip;
         Alcotest.test_case "bad header" `Quick test_trace_file_bad_header;
         Alcotest.test_case "count mismatch" `Quick test_trace_file_count_mismatch;
+      ] );
+    ( "memtrace.packed",
+      [
+        Alcotest.test_case "builder rejects negatives" `Quick
+          test_packed_rejects_negative;
+        Alcotest.test_case "max address round-trip" `Quick
+          test_packed_max_address;
+        Alcotest.test_case "variable interning" `Quick
+          test_packed_var_interning;
       ] );
     ("memtrace.properties", qcheck_cases);
   ]

@@ -68,6 +68,27 @@ let test_run_standard_matches_full_mask_cache () =
   let b = (Machine.System.run system (Pipeline.trace_of t ~proc:"plus")).Run_stats.cycles in
   check_int "same cycles" a b
 
+let test_packed_trace_of_matches_boxed () =
+  let t = Lazy.force mpeg in
+  let packed = Pipeline.packed_trace_of t ~proc:"plus" in
+  let boxed = Pipeline.trace_of t ~proc:"plus" in
+  check_bool "same accesses" true
+    (Memtrace.Trace.equal boxed (Memtrace.Packed.to_trace packed))
+
+let test_run_all_rejects_bad_jobs () =
+  List.iter
+    (fun jobs ->
+      check_bool
+        (Printf.sprintf "jobs=%d rejected" jobs)
+        true
+        (try
+           Experiments.run_all ~jobs
+             (Format.make_formatter (fun _ _ _ -> ()) ignore);
+           false
+         with Invalid_argument msg ->
+           msg = "Experiments.run_all: jobs must be >= 1"))
+    [ 0; -1; -3 ]
+
 (* --- paper shape assertions (Figure 4 a-c) --- *)
 
 let test_fig4_dequant_scratchpad_optimal () =
@@ -226,6 +247,10 @@ let suites =
         Alcotest.test_case "full scratchpad miss-free" `Quick test_run_partitioned_zero_misses_full_scratchpad;
         Alcotest.test_case "best_split minimal" `Quick test_best_split_finds_minimum;
         Alcotest.test_case "standard = unmapped" `Quick test_run_standard_matches_full_mask_cache;
+        Alcotest.test_case "packed trace = boxed trace" `Quick
+          test_packed_trace_of_matches_boxed;
+        Alcotest.test_case "run_all rejects bad jobs" `Quick
+          test_run_all_rejects_bad_jobs;
       ] );
     ( "pipeline.paper_shapes",
       [
