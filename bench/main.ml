@@ -162,14 +162,71 @@ let bench_sys_replay_batched () =
   Machine.System.flush_tlb sys;
   ignore (Machine.System.run_packed sys (Lazy.force hot_packed))
 
-(* Access counts for the accesses_per_sec column, keyed by full row name. *)
+(* --- stack-distance engine ----------------------------------------------
+   The single-pass sweep machinery on the same workloads. [mrc_histogram]
+   replays the LZ77 packed trace through one fresh Stack_dist engine and
+   reads the miss curve — the one pass that prices every associativity 1..8
+   of the Figure 5 geometry at once (compare against sys_replay_batched,
+   which prices exactly one configuration per replay). [mrc_per_tag] runs
+   the per-variable split the MRC allocator consumes, one engine per
+   interned tag of the hot-walk trace. A fresh engine per run keeps every
+   sample identical work (Stack_dist has state but no flush). *)
+
+let bench_mrc_histogram () =
+  let engine =
+    Cache.Stack_dist.create ~line_size:16 ~sets:128 ~max_ways:8 ()
+  in
+  Cache.Stack_dist.access_packed engine (Lazy.force hot_packed);
+  ignore (Cache.Stack_dist.miss_curve engine)
+
+let hot_walk_packed =
+  lazy
+    (let t =
+       Colcache.Pipeline.make ~init:Workloads.Kernels.init
+         ~cache:(Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 ())
+         (Workloads.Kernels.hot_walk ~hot_elems:192 ~passes:20)
+     in
+     Colcache.Pipeline.packed_trace_of t ~proc:"hot_walk")
+
+let bench_mrc_per_tag () =
+  ignore
+    (Cache.Stack_dist.per_tag_of_packed ~line_size:16 ~sets:32 ~max_ways:4
+       (Lazy.force hot_walk_packed))
+
+(* Access counts for the accesses_per_sec column, keyed by full row name.
+   Only benches whose sample replays a fixed trace get a count: one
+   run_partitioned/run_static_app sample replays its routine's trace once
+   (the layout work around it is memoized in the pipeline), the differential
+   scenario has a fixed access count, and the hot-path/system/stack-distance
+   rows replay their traces whole. Multi-configuration experiment rows
+   (fig3, fig5, the ablation sweeps) replay several traces per sample, so no
+   single count describes them. *)
 let access_counts () =
   let n = float_of_int (Memtrace.Trace.length (Lazy.force hot_trace)) in
+  let t = Lazy.force mpeg in
+  let routine proc =
+    float_of_int
+      (Memtrace.Packed.length (Colcache.Pipeline.packed_trace_of t ~proc))
+  in
+  let fig4d =
+    List.fold_left (fun acc p -> acc +. routine p) 0. Workloads.Mpeg.routines
+  in
   [
     ("colcache/hot_access", n);
     ("colcache/hot_access_trace", n);
     ("colcache/sys_replay_scalar", n);
     ("colcache/sys_replay_batched", n);
+    ("colcache/mrc_histogram", n);
+    ( "colcache/mrc_per_tag",
+      float_of_int (Memtrace.Packed.length (Lazy.force hot_walk_packed)) );
+    ("colcache/fig4a_dequant", routine "dequant");
+    ("colcache/fig4b_plus", routine "plus");
+    ("colcache/fig4c_idct", routine "idct");
+    ("colcache/fig4d_combined", fig4d);
+    ("colcache/ablation_policy", routine "plus");
+    ("colcache/ablation_weights", routine "dequant");
+    ( "colcache/check_differential",
+      float_of_int (Check.Scenario.accesses (Lazy.force check_scenario)) );
   ]
 
 let tests =
@@ -179,6 +236,8 @@ let tests =
       Test.make ~name:"hot_access_trace" (Staged.stage bench_hot_access_trace);
       Test.make ~name:"sys_replay_scalar" (Staged.stage bench_sys_replay_scalar);
       Test.make ~name:"sys_replay_batched" (Staged.stage bench_sys_replay_batched);
+      Test.make ~name:"mrc_histogram" (Staged.stage bench_mrc_histogram);
+      Test.make ~name:"mrc_per_tag" (Staged.stage bench_mrc_per_tag);
       Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);
       Test.make ~name:"fig4a_dequant" (Staged.stage (bench_fig4_routine "dequant"));
       Test.make ~name:"fig4b_plus" (Staged.stage (bench_fig4_routine "plus"));

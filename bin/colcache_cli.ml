@@ -138,6 +138,8 @@ let ablations_cmd =
       (Colcache.Experiments.Ablation_weights.run ());
     Colcache.Experiments.Ablation_grouping.print ppf
       (Colcache.Experiments.Ablation_grouping.run ());
+    Colcache.Experiments.Mrc_layout.print ppf
+      (Colcache.Experiments.Mrc_layout.run ());
     Colcache.Experiments.Ablation_page_coloring.print ppf
       (Colcache.Experiments.Ablation_page_coloring.run ());
     Colcache.Experiments.Ablation_l2.print ppf
@@ -315,6 +317,7 @@ let check_cmd =
           ("skip-writeback", Check.Oracle.Skip_writeback_count);
           ("fast-path", Check.Oracle.Fast_path);
           ("machine-fast-path", Check.Oracle.Machine_fast_path);
+          ("mrc", Check.Oracle.Mrc);
         ]
     in
     Arg.(
@@ -323,10 +326,11 @@ let check_cmd =
           ~doc:
             "Plant an intentional defect ($(b,mru), $(b,ignore-mask), \
              $(b,skip-writeback) in the oracle, $(b,fast-path) in the \
-             batched real-side driver, or $(b,machine-fast-path) in the \
-             machine-level batched replay) to demonstrate that the harness \
-             catches and shrinks it. Exit status is inverted: the run fails \
-             if the bug is NOT caught.")
+             batched real-side driver, $(b,machine-fast-path) in the \
+             machine-level batched replay, or $(b,mrc) in the stack-distance \
+             engine's access feed) to demonstrate that the harness catches \
+             and shrinks it. Exit status is inverted: the run fails if the \
+             bug is NOT caught.")
   in
   let replay =
     Arg.(
@@ -354,7 +358,18 @@ let check_cmd =
              Repros the soak reports as caught by the machine batched-replay \
              driver only diverge under this flag.")
   in
-  let run seed iters max_events bug replay fast_path machine_fast_path =
+  let mrc =
+    Arg.(
+      value & flag
+      & info [ "mrc" ]
+          ~doc:
+            "With $(b,--replay): replay the scenario through the \
+             stack-distance differential (single-pass Stack_dist engine vs \
+             exact per-associativity LRU Sassoc replays) instead of the \
+             cache-level oracle diff. Repros the soak reports as caught by \
+             the stack-distance mrc driver only diverge under this flag.")
+  in
+  let run seed iters max_events bug replay fast_path machine_fast_path mrc =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -369,7 +384,16 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        if machine_fast_path then
+        if mrc then
+          match Check.Mrc_diff.run_scenario ?bug sc with
+          | Check.Mrc_diff.Agree ->
+              Format.fprintf ppf
+                "%s: stack-distance engine and exact LRU replays agree@." path
+          | Check.Mrc_diff.Diverge { step; detail } ->
+              Format.fprintf ppf "%s: DIVERGENCE at event %d: %s@." path step
+                detail;
+              exit 1
+        else if machine_fast_path then
           match Check.Machine_diff.run_scenario ?bug sc with
           | Check.Machine_diff.Agree ->
               Format.fprintf ppf
@@ -417,7 +441,7 @@ let check_cmd =
           repro.")
     Term.(
       const run $ seed $ iters $ max_events $ bug $ replay $ fast_path
-      $ machine_fast_path)
+      $ machine_fast_path $ mrc)
 
 let runfile_cmd =
   let file =

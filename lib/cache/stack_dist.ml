@@ -1,0 +1,206 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+type t = {
+  translate : (int -> int) option;
+  line_shift : int;
+  set_mask : int;
+  n_sets : int;
+  w : int;
+  (* Per-set recency stacks, flattened: slot [set * w + d] holds the line at
+     depth d (most-recent first), or -1 when the stack is shorter. *)
+  lines : int array;
+  (* dirty_min of the line in the same slot: the line is dirty in every
+     a-way cache with a >= dirty_min. Sentinel w + 1 = clean everywhere
+     tracked. Meaningless in empty slots. *)
+  dirty_min : int array;
+  len : int array;  (* stack length per set *)
+  (* counters *)
+  hist : int array;  (* exact depth d re-accesses, 0 <= d < w *)
+  cross : int array;  (* cross.(a) = boundary-a crossings = evictions at a; 1..w *)
+  wbs : int array;  (* wbs.(a) = writebacks at associativity a; 1..w *)
+  mutable cold : int;
+  mutable overflow : int;
+  mutable n_accesses : int;
+  seen : (int, unit) Hashtbl.t;  (* lines ever referenced (cold detection) *)
+}
+
+let create ?translate ~line_size ~sets ~max_ways () =
+  if not (is_power_of_two line_size) then
+    invalid_arg "Stack_dist.create: line_size must be a power of two";
+  if not (is_power_of_two sets) then
+    invalid_arg "Stack_dist.create: sets must be a power of two";
+  if max_ways < 1 then invalid_arg "Stack_dist.create: max_ways must be >= 1";
+  {
+    translate;
+    line_shift = log2 line_size;
+    set_mask = sets - 1;
+    n_sets = sets;
+    w = max_ways;
+    lines = Array.make (sets * max_ways) (-1);
+    dirty_min = Array.make (sets * max_ways) (max_ways + 1);
+    len = Array.make sets 0;
+    hist = Array.make max_ways 0;
+    cross = Array.make (max_ways + 1) 0;
+    wbs = Array.make (max_ways + 1) 0;
+    cold = 0;
+    overflow = 0;
+    n_accesses = 0;
+    seen = Hashtbl.create 1024;
+  }
+
+let max_ways t = t.w
+let sets t = t.n_sets
+
+(* The stack update shared by demand accesses and preloads. [write] marks the
+   accessed line dirty at every associativity; [counted] says whether the
+   reference contributes to the distance histogram and access count
+   (preloads do not, exactly like a pre-run [Sassoc.access] burst that a
+   snapshot delta excludes — but the evictions/writebacks their shifts cause
+   at each associativity are still crossings of live state, which
+   [reset_counts] then discards along with everything else). *)
+let touch t ~write ~counted addr =
+  let addr = match t.translate with None -> addr | Some f -> f addr in
+  let line = addr lsr t.line_shift in
+  let set = line land t.set_mask in
+  let w = t.w in
+  let base = set * w in
+  let lines = t.lines in
+  let l = Array.unsafe_get t.len set in
+  (* depth of the accessed line, -1 when absent *)
+  let d = ref (-1) in
+  let i = ref 0 in
+  while !d < 0 && !i < l do
+    if Array.unsafe_get lines (base + !i) = line then d := !i;
+    incr i
+  done;
+  if counted then begin
+    t.n_accesses <- t.n_accesses + 1;
+    if !d >= 0 then t.hist.(!d) <- t.hist.(!d) + 1
+    else if Hashtbl.mem t.seen line then t.overflow <- t.overflow + 1
+    else t.cold <- t.cold + 1
+  end;
+  if not (Hashtbl.mem t.seen line) then Hashtbl.add t.seen line ();
+  (* the accessed line's own dirtiness before the shift overwrites its slot *)
+  let old_dirty = if !d >= 0 then Array.unsafe_get t.dirty_min (base + !d) else w + 1 in
+  (* Shift positions 0..shift-1 down one. The line leaving position a-1 for
+     position a is evicted from the a-way cache (one boundary crossing); if
+     dirty there, that is its writeback, after which it is clean there. The
+     line leaving position w-1 falls off the stack entirely. *)
+  let shift = if !d >= 0 then !d else l in
+  for j = shift - 1 downto 0 do
+    let a = j + 1 in
+    t.cross.(a) <- t.cross.(a) + 1;
+    let dm = Array.unsafe_get t.dirty_min (base + j) in
+    let dm = if dm <= a then begin t.wbs.(a) <- t.wbs.(a) + 1; a + 1 end else dm in
+    if a < w then begin
+      Array.unsafe_set lines (base + a) (Array.unsafe_get lines (base + j));
+      Array.unsafe_set t.dirty_min (base + a) dm
+    end
+  done;
+  Array.unsafe_set lines base line;
+  Array.unsafe_set t.dirty_min base
+    (if write then 1
+     else if !d >= 0 then min (w + 1) (max old_dirty (!d + 1))
+     else w + 1);
+  if !d < 0 && l < w then Array.unsafe_set t.len set (l + 1)
+
+let access t ~kind addr =
+  touch t ~write:(kind = Memtrace.Access.Write) ~counted:true addr
+
+let preload t addr = touch t ~write:false ~counted:false addr
+
+let access_packed t p =
+  let n = Memtrace.Packed.length p in
+  let addrs = Memtrace.Packed.raw_addrs p in
+  let kinds = Memtrace.Packed.raw_kinds p in
+  for i = 0 to n - 1 do
+    touch t
+      ~write:(Bytes.unsafe_get kinds i = '\001')
+      ~counted:true
+      (Array.unsafe_get addrs i)
+  done
+
+let reset_counts t =
+  Array.fill t.hist 0 t.w 0;
+  Array.fill t.cross 0 (t.w + 1) 0;
+  Array.fill t.wbs 0 (t.w + 1) 0;
+  t.cold <- 0;
+  t.overflow <- 0;
+  t.n_accesses <- 0
+
+let accesses t = t.n_accesses
+let cold_misses t = t.cold
+let overflows t = t.overflow
+let histogram t = Array.copy t.hist
+
+let check_ways t a name =
+  if a < 1 || a > t.w then
+    invalid_arg (Printf.sprintf "Stack_dist.%s: ways %d outside 1..%d" name a t.w)
+
+let misses t ~ways =
+  check_ways t ways "misses";
+  let deep = ref (t.cold + t.overflow) in
+  for d = ways to t.w - 1 do
+    deep := !deep + t.hist.(d)
+  done;
+  !deep
+
+let hits t ~ways = t.n_accesses - misses t ~ways
+
+let evictions t ~ways =
+  check_ways t ways "evictions";
+  t.cross.(ways)
+
+let writebacks t ~ways =
+  check_ways t ways "writebacks";
+  t.wbs.(ways)
+
+let miss_curve t =
+  let c = Array.make (t.w + 1) 0 in
+  c.(t.w) <- t.cold + t.overflow;
+  for a = t.w - 1 downto 1 do
+    c.(a) <- c.(a + 1) + t.hist.(a)
+  done;
+  c.(0) <- t.n_accesses;
+  c
+
+let mrc t =
+  let c = miss_curve t in
+  if t.n_accesses = 0 then Array.map (fun _ -> 0.) c
+  else
+    let n = float_of_int t.n_accesses in
+    Array.map (fun m -> float_of_int m /. n) c
+
+let stats t ~ways =
+  let s = Stats.create ~ways in
+  s.Stats.accesses <- t.n_accesses;
+  s.Stats.misses <- misses t ~ways;
+  s.Stats.hits <- t.n_accesses - s.Stats.misses;
+  s.Stats.evictions <- evictions t ~ways;
+  s.Stats.writebacks <- writebacks t ~ways;
+  s
+
+let per_tag_of_packed ?translate ~line_size ~sets ~max_ways p =
+  let global = create ?translate ~line_size ~sets ~max_ways () in
+  let table = Memtrace.Packed.var_table p in
+  let engines =
+    Array.map
+      (fun name -> (name, create ?translate ~line_size ~sets ~max_ways ()))
+      table
+  in
+  let n = Memtrace.Packed.length p in
+  let addrs = Memtrace.Packed.raw_addrs p in
+  let kinds = Memtrace.Packed.raw_kinds p in
+  let tags = Memtrace.Packed.raw_tags p in
+  for i = 0 to n - 1 do
+    let addr = Array.unsafe_get addrs i in
+    let write = Bytes.unsafe_get kinds i = '\001' in
+    touch global ~write ~counted:true addr;
+    let tag = Array.unsafe_get tags i in
+    if tag >= 0 then touch (snd engines.(tag)) ~write ~counted:true addr
+  done;
+  (global, engines)

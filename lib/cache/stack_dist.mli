@@ -1,0 +1,113 @@
+(** Single-pass LRU stack-distance simulation (Mattson et al., 1970).
+
+    Under true LRU with a fixed set count, the contents of an [a]-way cache
+    are always the top [a] entries of each set's recency stack — the
+    inclusion property. One pass over a trace therefore yields, for {e every}
+    associativity [1..max_ways] simultaneously:
+
+    - exact miss counts: an access at stack depth [d] (0-indexed) hits in
+      the [a]-way cache iff [d < a], so [misses a] is the tail mass of the
+      depth histogram plus the cold and overflow accesses;
+    - exact eviction counts: a line leaves the [a]-way cache exactly when it
+      sinks from depth [a-1] to depth [a], so evictions are boundary
+      crossings, counted as the stacks shift;
+    - exact writeback counts: a line's dirtiness {e as a function of
+      capacity} is an up-set [dirty in every a >= dirty_min]: a write dirties
+      the line at all capacities, a read re-access at depth [d] reinstalls it
+      clean in the caches that had missed ([a <= d]), and crossing boundary
+      [a] while [dirty_min <= a] is precisely one writeback of the [a]-way
+      cache (after which the line is clean there).
+
+    The numbers agree field-for-field with {!Sassoc} under
+    [policy = Lru, classify = false] for each associativity — the
+    [Check.Mrc_diff] differential driver and the mutation tests pin this.
+    The three-C classification and [fills_per_way] are not derivable from
+    stack distances (way choice is history-dependent); {!stats} reports them
+    as zeros, exactly like a non-classifying [Sassoc] for the three-C
+    fields.
+
+    Stacks are depth-truncated at [max_ways]: re-accesses deeper than that
+    land in a single overflow bucket (they miss at every tracked
+    associativity), keeping the per-access cost O(max_ways). *)
+
+type t
+
+val create :
+  ?translate:(int -> int) -> line_size:int -> sets:int -> max_ways:int ->
+  unit -> t
+(** [line_size] and [sets] must be powers of two, [max_ways >= 1].
+    [translate] maps each address before line extraction (a physical frame
+    placement, e.g. {!Layout.Page_coloring}'s); it must preserve
+    line-in-page containment, which every page-granular frame map does. *)
+
+val max_ways : t -> int
+val sets : t -> int
+
+val access : t -> kind:Memtrace.Access.kind -> int -> unit
+(** Record one reference. [Write] dirties the line at every associativity;
+    [Read]/[Ifetch] install clean. *)
+
+val access_packed : t -> Memtrace.Packed.t -> unit
+(** Replay a whole packed trace through {!access} without boxing. *)
+
+val preload : t -> int -> unit
+(** Install the line holding the address clean and most-recently-used,
+    without counting an access (the shift of displaced lines still counts
+    evictions/writebacks, as {!Sassoc.access} during a preload would). Used
+    to reproduce scratchpad pinning's warm start before {!reset_counts}. *)
+
+val reset_counts : t -> unit
+(** Zero every counter, keeping contents and the cold-line memory — the
+    stack-distance analogue of snapshotting statistics before a run. *)
+
+(** {2 Readings}
+
+    All [ways] arguments must lie in [1..max_ways]. *)
+
+val accesses : t -> int
+
+val cold_misses : t -> int
+(** First-touch accesses: infinite stack distance, a miss at every
+    associativity (and at any capacity). *)
+
+val overflows : t -> int
+(** Re-accesses beyond the tracked depth: distance [>= max_ways], a miss at
+    every tracked associativity. *)
+
+val histogram : t -> int array
+(** [h.(d)] = re-accesses at exact stack depth [d], [0 <= d < max_ways],
+    aggregated over sets. [accesses = cold + overflows + sum h]. *)
+
+val misses : t -> ways:int -> int
+val hits : t -> ways:int -> int
+val evictions : t -> ways:int -> int
+val writebacks : t -> ways:int -> int
+
+val miss_curve : t -> int array
+(** [c.(a)] = [misses ~ways:a] for [a] in [1..max_ways]; [c.(0)] =
+    [accesses] (no cache at all misses everything). Length
+    [max_ways + 1]. *)
+
+val mrc : t -> float array
+(** {!miss_curve} normalized by {!accesses} — the miss-ratio curve. All
+    zeros when the engine saw no accesses. *)
+
+val stats : t -> ways:int -> Stats.t
+(** The {!Stats.t} an [ways]-way non-classifying {!Sassoc} LRU cache would
+    report after the same accesses: accesses/hits/misses/evictions/
+    writebacks exact, three-C fields and [fills_per_way] zero. *)
+
+(** {2 Per-tag curves}
+
+    One engine per interned variable tag of a packed trace, each fed only
+    its own tag's accesses: the per-variable miss-ratio curves predict
+    exactly how each variable behaves when given [a] columns of its own
+    (its column group is an isolated LRU cache with the same sets), which
+    is what MRC-driven column allocation consumes. *)
+
+val per_tag_of_packed :
+  ?translate:(int -> int) -> line_size:int -> sets:int -> max_ways:int ->
+  Memtrace.Packed.t -> t * (string * t) array
+(** One pass: returns the global engine over every access, and one engine
+    per entry of {!Memtrace.Packed.var_table} (in table order) over that
+    tag's accesses alone. Untagged accesses reach only the global engine. *)

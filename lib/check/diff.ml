@@ -239,6 +239,12 @@ let run_machine ?bug sc =
   | Machine_diff.Agree -> Agree
   | Machine_diff.Diverge { step; detail } -> Diverge { step; detail }
 
+(* Likewise for the stack-distance differential ([Mrc_diff]). *)
+let run_mrc ?bug sc =
+  match Mrc_diff.run_scenario ?bug sc with
+  | Mrc_diff.Agree -> Agree
+  | Mrc_diff.Diverge { step; detail } -> Diverge { step; detail }
+
 (* --- shrinking ---------------------------------------------------------- *)
 
 let shrink_by (run : Scenario.t -> outcome) sc =
@@ -286,6 +292,7 @@ type summary = {
   max_ways : int;
   fast_path_iters : int;
   machine_iters : int;
+  mrc_iters : int;
 }
 
 type failure = {
@@ -294,6 +301,7 @@ type failure = {
   divergence : divergence;
   fast_path : bool;
   machine : bool;
+  mrc : bool;
 }
 
 let policy_family = function
@@ -321,9 +329,10 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         max_ways = 0;
         fast_path_iters = 0;
         machine_iters = 0;
+        mrc_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -345,6 +354,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         max_ways = max s.max_ways ways;
         fast_path_iters = s.fast_path_iters + (if fast_path then 1 else 0);
         machine_iters = s.machine_iters + (if machine then 1 else 0);
+        mrc_iters = s.mrc_iters + (if mrc then 1 else 0);
       }
   in
   let rec loop i =
@@ -361,11 +371,14 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
          [Sassoc.access_trace] driver; even iterations additionally replay
          the whole scenario through the machine-level differential
          ([Machine.System.run_packed] vs scalar [System.access]), so every
-         batched entry point soaks equally. *)
+         batched entry point soaks equally; every fourth iteration also
+         checks the stack-distance engine against exact per-associativity
+         LRU replays ([Mrc_diff] — iteration 1 pins the max-ways extreme). *)
       let fast_path = i mod 2 = 1 in
       let machine = i mod 2 = 0 in
-      account sc ~fast_path ~machine;
-      let fail driver ~fast_path ~machine =
+      let mrc = i mod 4 = 1 in
+      account sc ~fast_path ~machine ~mrc;
+      let fail driver ~fast_path ~machine ~mrc =
         let shrunk = shrink_by driver sc in
         let divergence =
           match driver shrunk with
@@ -374,19 +387,24 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine },
+              machine; mrc },
             !summary )
       in
       match run_scenario ?bug ~fast_path sc with
       | Diverge _ ->
           fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
+            ~mrc:false
       | Agree -> (
           match if machine then run_machine ?bug sc else Agree with
           | Diverge _ ->
-              fail (run_machine ?bug) ~fast_path:false ~machine:true
-          | Agree ->
-              progress i;
-              loop (i + 1))
+              fail (run_machine ?bug) ~fast_path:false ~machine:true ~mrc:false
+          | Agree -> (
+              match if mrc then run_mrc ?bug sc else Agree with
+              | Diverge _ ->
+                  fail (run_mrc ?bug) ~fast_path:false ~machine:false ~mrc:true
+              | Agree ->
+                  progress i;
+                  loop (i + 1)))
     end
   in
   loop 0
@@ -400,6 +418,7 @@ let pp_failure ppf f =
      events, %d accesses):@,%a@]"
     f.iteration
     (if f.machine then "machine batched-replay"
+     else if f.mrc then "stack-distance mrc"
      else if f.fast_path then "batched fast-path"
      else "per-access")
     pp_divergence f.divergence
@@ -410,10 +429,10 @@ let pp_failure ppf f =
 let pp_summary ppf s =
   Format.fprintf ppf
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
-     %d via the batched fast path, %d via the machine batched replay; \
-     policies: %s; ways %s)"
+     %d via the batched fast path, %d via the machine batched replay, %d \
+     via the stack-distance mrc differential; policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
-    s.machine_iters
+    s.machine_iters s.mrc_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

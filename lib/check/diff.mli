@@ -52,6 +52,9 @@ type summary = {
   machine_iters : int;
       (** scenarios additionally replayed through the machine-level
           differential ({!Machine_diff}) *)
+  mrc_iters : int;
+      (** scenarios additionally checked through the stack-distance
+          differential ({!Mrc_diff}) *)
 }
 
 type failure = {
@@ -63,6 +66,10 @@ type failure = {
   machine : bool;
       (** the divergence came from the machine-level differential
           ({!Machine_diff.run_scenario}); [fast_path] is [false] then *)
+  mrc : bool;
+      (** the divergence came from the stack-distance differential
+          ({!Mrc_diff.run_scenario}); [fast_path] and [machine] are [false]
+          then *)
 }
 
 val soak :
@@ -74,8 +81,10 @@ val soak :
     fully random. Odd iterations replay the real side through the batched
     fast-path driver; even iterations additionally run the whole scenario
     through the machine-level differential ({!Machine_diff}), so every
-    batched entry point soaks equally. Stops at the first divergence.
-    [progress] is called with each completed iteration index. *)
+    batched entry point soaks equally; every fourth iteration also validates
+    the stack-distance engine against exact per-associativity LRU replays
+    ({!Mrc_diff}). Stops at the first divergence. [progress] is called with
+    each completed iteration index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -9,6 +9,7 @@ type bug =
   | Skip_writeback_count
   | Fast_path
   | Machine_fast_path
+  | Mrc
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
@@ -16,6 +17,7 @@ let bug_to_string = function
   | Skip_writeback_count -> "skip-writeback-count"
   | Fast_path -> "fast-path"
   | Machine_fast_path -> "machine-fast-path"
+  | Mrc -> "mrc"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

@@ -31,6 +31,11 @@ type bug =
           batch fed to [Machine.System.run_packed] zeroes every access's
           [gap], corrupting instruction and cycle accounting. Proves the
           machine-level soak can catch batched-replay bugs. *)
+  | Mrc
+      (** planted in {!Mrc_diff}'s stack-distance side, not here: the
+          accesses fed to [Cache.Stack_dist] demote writes to reads, losing
+          dirty bits and hence writeback counts. Proves the stack-distance
+          differential can catch engine bugs. *)
 
 val bug_to_string : bug -> string
 

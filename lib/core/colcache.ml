@@ -16,6 +16,7 @@ module Layout = Layout
 module Workloads = Workloads
 module Sched = Sched
 module Pipeline = Pipeline
+module Sweep = Sweep
 module Experiments = Experiments
 module Csv_export = Csv_export
 module Bench_json = Bench_json

@@ -442,17 +442,32 @@ module Ablation_page_coloring = struct
         Workloads.Mpeg.program
     in
     let procs = Workloads.Mpeg.routines in
-    let traces = List.map (fun proc -> Pipeline.trace_of t_dm ~proc) procs in
-    let combined = Memtrace.Trace.concat traces in
-    let run_configured configure =
-      let system = Pipeline.fresh_system t_dm in
-      configure system;
+    let combined =
+      Memtrace.Trace.concat
+        (List.map (fun proc -> Pipeline.trace_of t_dm ~proc) procs)
+    in
+    let packed = List.map (fun proc -> Pipeline.packed_trace_of t_dm ~proc) procs in
+    (* Both direct-mapped arms are plain LRU sweeps over the same traces:
+       one stack-distance pass each, the colored one translated through the
+       coloring's frame placement (the cache is physically indexed; the TLB
+       is virtual and unaffected). The exact machine replay remains as the
+       fallback for configurations the closed form cannot express. *)
+    let run_configured ?translate configure =
       let stats =
-        List.fold_left
-          (fun acc trace ->
-            Machine.Run_stats.add acc (Machine.System.run_trace system trace))
-          (Machine.Run_stats.zero ~ways:1)
-          traces
+        match
+          Sweep.standard ?translate ~cache:dm_cache
+            ~timing:Machine.Timing.default ~page_size
+            ~tlb_entries:t_dm.Pipeline.tlb_entries packed
+        with
+        | Some stats -> stats
+        | None ->
+            let system = Pipeline.fresh_system t_dm in
+            configure system;
+            List.fold_left
+              (fun acc p ->
+                Machine.Run_stats.add acc (Machine.System.run_packed system p))
+              (Machine.Run_stats.zero ~ways:1)
+              packed
       in
       {
         config = "";
@@ -471,10 +486,11 @@ module Ablation_page_coloring = struct
     in
     let naive = run_configured (fun _ -> ()) in
     let colored =
-      run_configured (fun system ->
-          Layout.Page_coloring.apply
-            (coloring_for (Profile.Lifetime.of_trace combined))
-            system)
+      let coloring = coloring_for (Profile.Lifetime.of_trace combined) in
+      run_configured
+        ~translate:
+          (Vm.Frame_map.translate (Layout.Page_coloring.frame_map coloring))
+        (fun system -> Layout.Page_coloring.apply coloring system)
     in
     (* column cache on the same 2 KB, 4 columns *)
     let t_col = mpeg_pipeline () in
@@ -555,12 +571,7 @@ module Ablation_l2 = struct
   let run () =
     let t = mpeg_pipeline () in
     let procs = Workloads.Mpeg.routines in
-    let traces = List.map (fun proc -> (proc, Pipeline.trace_of t ~proc)) procs in
-    (* the standard arm replays each routine twice (with and without L2):
-       pack once, replay the columns *)
-    let packed =
-      List.map (fun (_, trace) -> Memtrace.Packed.of_trace trace) traces
-    in
+    let packed = List.map (fun proc -> Pipeline.packed_trace_of t ~proc) procs in
     let system ~l2 =
       let cfg =
         match l2 with
@@ -569,18 +580,34 @@ module Ablation_l2 = struct
       in
       Machine.System.create cfg
     in
+    (* the standard arm replays each routine twice (with and without L2):
+       the no-L2 point is a plain LRU sweep the stack-distance engine reads
+       off directly; the L2 point needs the machine *)
     let standard ~l2 =
-      let system = system ~l2 in
-      List.fold_left
-        (fun acc p ->
-          Machine.Run_stats.add acc (Machine.System.run_packed system p))
-        (Machine.Run_stats.zero ~ways:4)
-        packed
+      let exact () =
+        let system = system ~l2 in
+        List.fold_left
+          (fun acc p ->
+            Machine.Run_stats.add acc (Machine.System.run_packed system p))
+          (Machine.Run_stats.zero ~ways:4)
+          packed
+      in
+      if l2 then exact ()
+      else
+        match
+          Sweep.standard ~cache:t.Pipeline.cache ~timing:Machine.Timing.default
+            ~page_size:t.Pipeline.page_size
+            ~tlb_entries:t.Pipeline.tlb_entries packed
+        with
+        | Some stats -> stats
+        | None -> exact ()
+    in
+    (* the schedule does not depend on the L2: compute it once, replay it
+       against both machines *)
+    let schedule, traces =
+      Pipeline.dynamic_schedule t ~procs ~meth:Pipeline.Profile_based
     in
     let column ~l2 =
-      let schedule, traces =
-        Pipeline.dynamic_schedule t ~procs ~meth:Pipeline.Profile_based
-      in
       fst (Layout.Dynamic.run ~system:(system ~l2) ~traces schedule)
     in
     let row config (stats : Machine.Run_stats.t) =
@@ -832,6 +859,144 @@ module Ablation_grouping = struct
     Format.fprintf ppf "@]@."
 end
 
+module Mrc_layout = struct
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  type t = {
+    rows : row list;
+    allocation : (string * int) list;
+    predicted_misses : int;
+        (** read off the per-variable miss-ratio curves before any replay *)
+    measured_misses : int;  (** the machine's count under that allocation *)
+    naive_predicted_misses : int;
+        (** the curves' price for the one-column-per-variable split *)
+    naive_measured_misses : int;
+  }
+
+  (* MRC-driven column allocation: one stack-distance pass over the packed
+     trace yields every variable's miss-ratio curve, the greedy allocator
+     hands columns to whichever curve's next column removes the most
+     misses, and the curves PREDICT the resulting miss count exactly —
+     compared here against the interference-graph coloring the layout
+     algorithm uses, on the grouping ablation's hot-walk workload (where
+     group sizing is the whole game). *)
+  let run () =
+    let program = Workloads.Kernels.hot_walk ~hot_elems:192 ~passes:20 in
+    let t =
+      Pipeline.make ~init:Workloads.Kernels.init ~cache:(paper_cache ()) program
+    in
+    let packed = Pipeline.packed_trace_of t ~proc:"hot_walk" in
+    let cache = t.Pipeline.cache in
+    let _global, per_tag =
+      Cache.Stack_dist.per_tag_of_packed
+        ~line_size:cache.Cache.Sassoc.line_size ~sets:cache.Cache.Sassoc.sets
+        ~max_ways:cache.Cache.Sassoc.ways packed
+    in
+    let curves =
+      Array.to_list
+        (Array.map
+           (fun (name, engine) -> (name, Cache.Stack_dist.miss_curve engine))
+           per_tag)
+    in
+    let allocation =
+      Layout.Mrc_alloc.allocate ~columns:(Pipeline.columns t) curves
+    in
+    let predicted_misses = Layout.Mrc_alloc.predicted_misses curves allocation in
+    let run_masks masks =
+      (* whole-variable tints with explicit masks, as in the grouping
+         ablation *)
+      let system = Pipeline.fresh_system t in
+      let mapping = Machine.System.mapping system in
+      List.iter
+        (fun (var, mask) ->
+          if not (Cache.Bitmask.is_empty mask) then begin
+            let base = Layout.Address_map.base_of t.Pipeline.address_map var in
+            let size =
+              match Ir.Ast.find_var program var with
+              | Some v -> Ir.Ast.var_size_bytes v
+              | None -> assert false
+            in
+            ignore
+              (Vm.Mapping.retint_region mapping ~base ~size (Vm.Tint.make var));
+            Vm.Mapping.remap_tint mapping (Vm.Tint.make var) mask
+          end)
+        masks;
+      let stats = Machine.System.run_packed system packed in
+      ( stats.Machine.Run_stats.cycles,
+        stats.Machine.Run_stats.cache.Cache.Stats.misses )
+    in
+    let mrc_cycles, mrc_misses =
+      run_masks (Layout.Mrc_alloc.to_masks allocation)
+    in
+    (* The curve-blind baseline: one column per variable, the paper's
+       footnote restriction. The curves price this allocation too — hot's
+       curve at one column already says it will thrash. *)
+    let naive = List.map (fun (name, _) -> (name, 1)) curves in
+    let naive_predicted_misses =
+      Layout.Mrc_alloc.predicted_misses curves naive
+    in
+    let naive_cycles, naive_misses =
+      run_masks (Layout.Mrc_alloc.to_masks naive)
+    in
+    let coloring =
+      let stats, _ =
+        Pipeline.run_partitioned t ~proc:"hot_walk" ~scratchpad_columns:0
+          ~meth:Pipeline.Profile_based
+      in
+      ( stats.Machine.Run_stats.cycles,
+        stats.Machine.Run_stats.cache.Cache.Stats.misses )
+    in
+    let standard =
+      let stats = Pipeline.run_standard t ~proc:"hot_walk" in
+      ( stats.Machine.Run_stats.cycles,
+        stats.Machine.Run_stats.cache.Cache.Stats.misses )
+    in
+    {
+      rows =
+        List.map
+          (fun (config, (cycles, misses)) -> { config; cycles; misses })
+          [
+            ("MRC greedy allocation", (mrc_cycles, mrc_misses));
+            ("equal split, 1 col each", (naive_cycles, naive_misses));
+            ("interference coloring", coloring);
+            ("standard cache", standard);
+          ];
+      allocation;
+      predicted_misses;
+      measured_misses = mrc_misses;
+      naive_predicted_misses;
+      naive_measured_misses = naive_misses;
+    }
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>MRC-driven column allocation (768 B hot walk, one \
+       stack-distance pass)@,";
+    Format.fprintf ppf "  %-26s %-10s %s@," "mapping" "cycles" "misses";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-26s %-10d %d@," r.config r.cycles r.misses)
+      t.rows;
+    Format.fprintf ppf "  allocation:%a@,"
+      (fun ppf ->
+        List.iter (fun (v, c) -> Format.fprintf ppf " %s=%d" v c))
+      t.allocation;
+    Format.fprintf ppf
+      "  curve-predicted misses %d, machine-measured %d (%s)@,"
+      t.predicted_misses t.measured_misses
+      (if t.predicted_misses = t.measured_misses then "exact" else "MISMATCH");
+    Format.fprintf ppf
+      "  equal-split prediction    %d, machine-measured %d (%s)@,"
+      t.naive_predicted_misses t.naive_measured_misses
+      (if t.naive_predicted_misses = t.naive_measured_misses then "exact"
+       else "MISMATCH");
+    Format.fprintf ppf "@]@."
+end
+
 module Ablation_optimizer = struct
   type row = {
     routine : string;
@@ -966,6 +1131,7 @@ let all_tasks : (unit -> string) list =
     render Ablation_columns.print (fun () -> Ablation_columns.run ());
     render Ablation_weights.print Ablation_weights.run;
     render Ablation_grouping.print Ablation_grouping.run;
+    render Mrc_layout.print Mrc_layout.run;
     render Ablation_page_coloring.print Ablation_page_coloring.run;
     render Ablation_l2.print Ablation_l2.run;
     render Ablation_prefetch.print Ablation_prefetch.run;

@@ -145,6 +145,35 @@ module Ablation_grouping : sig
   val print : Format.formatter -> row list -> unit
 end
 
+(** MRC-driven column allocation: one {!Cache.Stack_dist} pass over the
+    packed trace yields a miss-ratio curve per variable, and the greedy
+    {!Layout.Mrc_alloc} allocator sizes column groups straight off the
+    curves — no per-candidate replay, and the curves predict the allocated
+    layout's miss count exactly (checked against the machine in the printed
+    figure). Contrasted with the interference-graph coloring the layout
+    algorithm uses, on the grouping ablation's hot-walk workload. *)
+module Mrc_layout : sig
+  type row = {
+    config : string;
+    cycles : int;
+    misses : int;
+  }
+
+  type t = {
+    rows : row list;
+    allocation : (string * int) list;
+    predicted_misses : int;
+    measured_misses : int;
+    naive_predicted_misses : int;
+        (** the curves also price the curve-blind one-column-per-variable
+            split — exactly (its groups are disjoint too) *)
+    naive_measured_misses : int;
+  }
+
+  val run : unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
 (** Ablation: the page-coloring baseline from the paper's related work
     (Section 5.1) on the same 2 KB of on-chip memory (abl6): a software-only
     frame placement for a direct-mapped physically-indexed cache, versus the

@@ -2,6 +2,24 @@ type weight_method =
   | Profile_based
   | Program_analysis
 
+(* Interpreting the IF program is by far the most expensive step of a
+   configuration sweep, and every sweep point replays the same traces and
+   re-derives the same regions. The memo caches them per pipeline value.
+   Guarded by a mutex because the experiment runner shares nothing {e
+   between} tasks but a future caller might share a pipeline across domains;
+   computation happens outside the lock (trace interpretation is slow and
+   the lock is shared), with the first finisher winning so all callers see
+   one value. *)
+type memo = {
+  lock : Mutex.t;
+  traces : (string, Memtrace.Trace.t) Hashtbl.t;  (* per proc *)
+  packed : (string, Memtrace.Packed.t) Hashtbl.t;  (* per proc *)
+  copy_in : (string, string list) Hashtbl.t;  (* per proc *)
+  regions : (string, Layout.Region.t list) Hashtbl.t;  (* per meth:proc *)
+  app : (string, Layout.Region.t list * string list) Hashtbl.t;
+      (* combined regions and copy-in vars per meth:procs *)
+}
+
 type t = {
   program : Ir.Ast.program;
   init : string -> int -> int;
@@ -9,6 +27,7 @@ type t = {
   page_size : int;
   tlb_entries : int;
   address_map : Layout.Address_map.t;
+  memo : memo;
 }
 
 let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0) ~cache
@@ -24,18 +43,53 @@ let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0) ~cache
       ~column_size:(Cache.Sassoc.column_size_bytes cache)
       ~vars ()
   in
-  { program; init; cache; page_size; tlb_entries; address_map }
+  let memo =
+    {
+      lock = Mutex.create ();
+      traces = Hashtbl.create 8;
+      packed = Hashtbl.create 8;
+      copy_in = Hashtbl.create 8;
+      regions = Hashtbl.create 8;
+      app = Hashtbl.create 4;
+    }
+  in
+  { program; init; cache; page_size; tlb_entries; address_map; memo }
+
+let memo_get memo tbl key compute =
+  Mutex.lock memo.lock;
+  let cached = Hashtbl.find_opt tbl key in
+  Mutex.unlock memo.lock;
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Mutex.lock memo.lock;
+      let v =
+        match Hashtbl.find_opt tbl key with
+        | Some v -> v
+        | None ->
+            Hashtbl.add tbl key v;
+            v
+      in
+      Mutex.unlock memo.lock;
+      v
+
+let meth_key = function
+  | Profile_based -> "p"
+  | Program_analysis -> "a"
 
 let columns t = t.cache.Cache.Sassoc.ways
 let column_size t = Cache.Sassoc.column_size_bytes t.cache
 
 let trace_of t ~proc =
-  Ir.Interp.trace_of ~init:t.init t.program ~proc
-    ~layout:(Layout.Address_map.to_ir_layout t.address_map)
+  memo_get t.memo t.memo.traces proc (fun () ->
+      Ir.Interp.trace_of ~init:t.init t.program ~proc
+        ~layout:(Layout.Address_map.to_ir_layout t.address_map))
 
 let packed_trace_of t ~proc =
-  Ir.Interp.packed_trace_of ~init:t.init t.program ~proc
-    ~layout:(Layout.Address_map.to_ir_layout t.address_map)
+  memo_get t.memo t.memo.packed proc (fun () ->
+      Ir.Interp.packed_trace_of ~init:t.init t.program ~proc
+        ~layout:(Layout.Address_map.to_ir_layout t.address_map))
 
 let vars_of_proc t ~proc =
   List.map
@@ -75,14 +129,17 @@ let region_summaries_of_trace t ~vars trace =
     ~classify:(region_classifier t ~vars)
 
 let regions t ~proc ~meth =
-  let vars = vars_of_proc t ~proc in
-  let region_summaries =
-    match meth with
-    | Profile_based -> region_summaries_of_trace t ~vars (trace_of t ~proc)
-    | Program_analysis -> []
-  in
-  Layout.Region.split_vars ~region_summaries ~column_size:(column_size t)
-    ~vars ~summaries:(summaries t ~proc ~meth) ()
+  memo_get t.memo t.memo.regions
+    (meth_key meth ^ ":" ^ proc)
+    (fun () ->
+      let vars = vars_of_proc t ~proc in
+      let region_summaries =
+        match meth with
+        | Profile_based -> region_summaries_of_trace t ~vars (trace_of t ~proc)
+        | Program_analysis -> []
+      in
+      Layout.Region.split_vars ~region_summaries ~column_size:(column_size t)
+        ~vars ~summaries:(summaries t ~proc ~meth) ())
 
 let partition ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth =
   let spec =
@@ -112,6 +169,10 @@ let copy_in_vars trace =
     (fun v () acc -> if Hashtbl.mem writes v then v :: acc else acc)
     reads []
 
+let copy_in_of t ~proc =
+  memo_get t.memo t.memo.copy_in proc (fun () ->
+      copy_in_vars (trace_of t ~proc))
+
 let fresh_system t =
   Machine.System.create
     (Machine.System.config ~page_size:t.page_size ~tlb_entries:t.tlb_entries
@@ -122,36 +183,61 @@ let run_partitioned ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth =
     partition ?forced_scratchpad ?mode t ~proc ~scratchpad_columns ~meth
   in
   let system = fresh_system t in
-  let trace = trace_of t ~proc in
-  Layout.Partition.apply ~copy_in:(copy_in_vars trace) part system;
-  let stats = Machine.System.run_trace system trace in
+  Layout.Partition.apply ~copy_in:(copy_in_of t ~proc) part system;
+  let stats = Machine.System.run_packed system (packed_trace_of t ~proc) in
   (stats, part)
 
 let run_standard t ~proc =
-  let system = fresh_system t in
-  Machine.System.run_packed system (packed_trace_of t ~proc)
+  let packed = packed_trace_of t ~proc in
+  match
+    Sweep.standard ~cache:t.cache ~timing:Machine.Timing.default
+      ~page_size:t.page_size ~tlb_entries:t.tlb_entries [ packed ]
+  with
+  | Some stats -> stats
+  | None -> Machine.System.run_packed (fresh_system t) packed
 
 let best_split ?(allow_uncached = true) ?mode t ~proc ~meth =
   let k = columns t in
+  let packed = packed_trace_of t ~proc in
+  let copy_in = copy_in_of t ~proc in
+  (* Each candidate point only needs its cycle count to rank; the
+     stack-distance evaluator supplies it without a machine replay whenever
+     the partition decomposes into isolated LRU groups. *)
+  let point_cycles part =
+    match
+      Sweep.partitioned ~cache:t.cache ~timing:Machine.Timing.default
+        ~page_size:t.page_size ~tlb_entries:t.tlb_entries ~part ~copy_in
+        [ packed ]
+    with
+    | Some stats -> stats.Machine.Run_stats.cycles
+    | None ->
+        let system = fresh_system t in
+        Layout.Partition.apply ~copy_in part system;
+        (Machine.System.run_packed system packed).Machine.Run_stats.cycles
+  in
   let candidates =
     List.filter_map
       (fun p ->
-        let stats, part =
-          run_partitioned ?mode t ~proc ~scratchpad_columns:p ~meth
-        in
+        let part = partition ?mode t ~proc ~scratchpad_columns:p ~meth in
         if (not allow_uncached) && Layout.Partition.uncached_regions part <> []
         then None
-        else Some (p, stats))
+        else Some (p, point_cycles part))
       (List.init (k + 1) (fun p -> p))
   in
   match candidates with
   | [] -> invalid_arg "Pipeline.best_split: no feasible split"
   | first :: rest ->
-      List.fold_left
-        (fun ((_, b) as best) ((_, s) as cand) ->
-          if s.Machine.Run_stats.cycles < b.Machine.Run_stats.cycles then cand
-          else best)
-        first rest
+      let best_p, _ =
+        List.fold_left
+          (fun ((_, b) as best) ((_, c) as cand) ->
+            if c < b then cand else best)
+          first rest
+      in
+      (* Replay the winner exactly: callers get the full machine statistics
+         (per-way fills, three-C classification), not only the fields the
+         closed form covers. *)
+      ( best_p,
+        fst (run_partitioned ?mode t ~proc ~scratchpad_columns:best_p ~meth) )
 
 let dynamic_schedule ?mode t ~procs ~meth =
   let phased =
@@ -160,7 +246,7 @@ let dynamic_schedule ?mode t ~procs ~meth =
         let p, _ = best_split ~allow_uncached:false ?mode t ~proc ~meth in
         let part = partition ?mode t ~proc ~scratchpad_columns:p ~meth in
         let trace = trace_of t ~proc in
-        ( Layout.Dynamic.phase ~copy_in:(copy_in_vars trace) ~label:proc part,
+        ( Layout.Dynamic.phase ~copy_in:(copy_in_of t ~proc) ~label:proc part,
           trace ))
       procs
   in
@@ -208,37 +294,47 @@ let combined_static_summaries t ~procs =
     procs;
   List.rev_map (fun name -> (name, Hashtbl.find table name)) !order
 
+(* Regions and copy-in variables of the combined application trace do not
+   depend on the scratchpad split, so the whole-application sweep derives
+   them once per (method, procedure list). *)
+let static_app_layout t ~procs ~meth =
+  memo_get t.memo t.memo.app
+    (meth_key meth ^ ":" ^ String.concat "\x00" procs)
+    (fun () ->
+      let traces = List.map (fun proc -> trace_of t ~proc) procs in
+      let combined = Memtrace.Trace.concat traces in
+      let summaries =
+        match meth with
+        | Profile_based -> Profile.Lifetime.of_trace combined
+        | Program_analysis -> combined_static_summaries t ~procs
+      in
+      let vars =
+        let seen = Hashtbl.create 16 in
+        List.concat_map
+          (fun proc ->
+            List.filter
+              (fun (name, _) ->
+                if Hashtbl.mem seen name then false
+                else begin
+                  Hashtbl.add seen name ();
+                  true
+                end)
+              (vars_of_proc t ~proc))
+          procs
+      in
+      let region_summaries =
+        match meth with
+        | Profile_based -> region_summaries_of_trace t ~vars combined
+        | Program_analysis -> []
+      in
+      let regions =
+        Layout.Region.split_vars ~region_summaries
+          ~column_size:(column_size t) ~vars ~summaries ()
+      in
+      (regions, copy_in_vars combined))
+
 let run_static_app ?mode t ~procs ~scratchpad_columns ~meth =
-  let traces = List.map (fun proc -> trace_of t ~proc) procs in
-  let combined = Memtrace.Trace.concat traces in
-  let summaries =
-    match meth with
-    | Profile_based -> Profile.Lifetime.of_trace combined
-    | Program_analysis -> combined_static_summaries t ~procs
-  in
-  let vars =
-    let seen = Hashtbl.create 16 in
-    List.concat_map
-      (fun proc ->
-        List.filter
-          (fun (name, _) ->
-            if Hashtbl.mem seen name then false
-            else begin
-              Hashtbl.add seen name ();
-              true
-            end)
-          (vars_of_proc t ~proc))
-      procs
-  in
-  let region_summaries =
-    match meth with
-    | Profile_based -> region_summaries_of_trace t ~vars combined
-    | Program_analysis -> []
-  in
-  let regions =
-    Layout.Region.split_vars ~region_summaries
-      ~column_size:(column_size t) ~vars ~summaries ()
-  in
+  let regions, copy_in = static_app_layout t ~procs ~meth in
   let spec =
     Layout.Partition.spec ~columns:(columns t) ~column_size:(column_size t)
       ~scratchpad_columns
@@ -246,10 +342,17 @@ let run_static_app ?mode t ~procs ~scratchpad_columns ~meth =
   let part =
     Layout.Partition.compute ?mode ~spec ~address_map:t.address_map regions
   in
-  let system = fresh_system t in
-  Layout.Partition.apply ~copy_in:(copy_in_vars combined) part system;
-  List.fold_left
-    (fun acc trace ->
-      Machine.Run_stats.add acc (Machine.System.run_trace system trace))
-    (Machine.Run_stats.zero ~ways:(columns t))
-    traces
+  let packed = List.map (fun proc -> packed_trace_of t ~proc) procs in
+  match
+    Sweep.partitioned ~cache:t.cache ~timing:Machine.Timing.default
+      ~page_size:t.page_size ~tlb_entries:t.tlb_entries ~part ~copy_in packed
+  with
+  | Some stats -> stats
+  | None ->
+      let system = fresh_system t in
+      Layout.Partition.apply ~copy_in part system;
+      List.fold_left
+        (fun acc p ->
+          Machine.Run_stats.add acc (Machine.System.run_packed system p))
+        (Machine.Run_stats.zero ~ways:(columns t))
+        packed

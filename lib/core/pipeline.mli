@@ -11,6 +11,14 @@ type weight_method =
   | Profile_based  (** run on representative data, exact lifetimes *)
   | Program_analysis  (** estimate from the IF, no execution *)
 
+type memo
+(** Per-pipeline cache of interpreted traces, derived regions and copy-in
+    sets. Sweeps evaluate many configuration points over the same
+    procedures; the expensive trace interpretation happens once per
+    procedure instead of once per point. Thread-safe; transparent to
+    callers (every cached value is deterministic in the pipeline's
+    fields). *)
+
 type t = {
   program : Ir.Ast.program;
   init : string -> int -> int;
@@ -20,6 +28,7 @@ type t = {
   address_map : Layout.Address_map.t;
       (** fixed "linker" placement of every program variable; repartitioning
           never moves data *)
+  memo : memo;
 }
 
 val make :

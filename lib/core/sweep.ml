@@ -1,0 +1,252 @@
+module Sassoc = Cache.Sassoc
+module Bitmask = Cache.Bitmask
+module Stack_dist = Cache.Stack_dist
+module Partition = Layout.Partition
+module Region = Layout.Region
+module Timing = Machine.Timing
+module Run_stats = Machine.Run_stats
+
+exception Infeasible
+
+(* Byte ranges as parallel arrays, so membership is an allocation-free scan
+   like [Machine.System]'s own region checks (there are at most a handful of
+   pinned/uncached regions per partition). *)
+type ranges = { bases : int array; limits : int array }
+
+let no_ranges = { bases = [||]; limits = [||] }
+
+let ranges_of l =
+  {
+    bases = Array.of_list (List.map fst l);
+    limits = Array.of_list (List.map (fun (b, s) -> b + s) l);
+  }
+
+let in_ranges r addr =
+  let n = Array.length r.bases in
+  let rec go i =
+    i < n
+    && ((addr >= Array.unsafe_get r.bases i
+        && addr < Array.unsafe_get r.limits i)
+       || go (i + 1))
+  in
+  go 0
+
+let feasible_cache cache =
+  cache.Sassoc.policy = Cache.Policy.Lru && not cache.Sassoc.classify
+
+(* One pass over the packed traces: uncached references are recognized by
+   byte range first (they bypass the TLB, as in the machine), every other
+   access does a TLB lookup (with the same consecutive-same-page shortcut
+   the machine's batched loop uses — a repeated lookup of the MRU page is an
+   LRU identity, so those hits can be credited wholesale) and then feeds the
+   stack-distance engine of the column group owning its page. [page_map]
+   gives that group per page; [None] means a single group takes all traffic,
+   as in the unmapped baseline. Pages of pinned scratchpad regions map to
+   group [-1]: {!Machine.System.pin_region} preloads the whole region into
+   its columns and nothing else traffics them, so every in-range access is a
+   guaranteed cache hit needing no engine (and out-of-range accesses to such
+   a page would miss into the pinned columns — [Infeasible]). An access to a
+   page the map does not claim is traffic the decomposition cannot attribute
+   to an isolated group — [Infeasible]. *)
+let eval ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
+    ~groups ~group_ways ~setup_cycles packed_list =
+  let page_of =
+    if page_size > 0 && page_size land (page_size - 1) = 0 then (
+      let shift = ref 0 in
+      while 1 lsl !shift < page_size do
+        incr shift
+      done;
+      let shift = !shift in
+      fun addr -> addr lsr shift)
+    else fun addr -> addr / page_size
+  in
+  let page_table = Vm.Page_table.create ~page_size () in
+  let tlb = Vm.Tlb.create ~entries:tlb_entries ~page_table in
+  let n_total = ref 0 in
+  let gap_sum = ref 0 in
+  let n_uncached = ref 0 in
+  let memo_hits = ref 0 in
+  let last_page = ref min_int in
+  List.iter
+    (fun packed ->
+      let n = Memtrace.Packed.length packed in
+      let addrs = Memtrace.Packed.raw_addrs packed in
+      let gaps = Memtrace.Packed.raw_gaps packed in
+      let kinds = Memtrace.Packed.raw_kinds packed in
+      n_total := !n_total + n;
+      for i = 0 to n - 1 do
+        let addr = Array.unsafe_get addrs i in
+        gap_sum := !gap_sum + Array.unsafe_get gaps i;
+        if in_ranges uncached addr then incr n_uncached
+        else begin
+          let page = page_of addr in
+          if page = !last_page then incr memo_hits
+          else begin
+            ignore (Vm.Tlb.lookup_page_quick tlb page);
+            last_page := page
+          end;
+          match page_map with
+          | None ->
+              let kind =
+                Memtrace.Packed.kind_of_code
+                  (Char.code (Bytes.unsafe_get kinds i))
+              in
+              Stack_dist.access (Array.unsafe_get groups 0) ~kind addr
+          | Some map -> (
+              match Hashtbl.find_opt map page with
+              | Some g when g >= 0 ->
+                  let kind =
+                    Memtrace.Packed.kind_of_code
+                      (Char.code (Bytes.unsafe_get kinds i))
+                  in
+                  Stack_dist.access groups.(g) ~kind addr
+              | Some _ ->
+                  (* pinned page: a guaranteed hit in its preloaded columns,
+                     but only inside the pinned byte range *)
+                  if not (in_ranges scratch addr) then raise Infeasible
+              | None -> raise Infeasible)
+        end
+      done)
+    packed_list;
+  Vm.Tlb.note_hits tlb !memo_hits;
+  let misses = ref 0 in
+  let evictions = ref 0 in
+  let writebacks = ref 0 in
+  Array.iteri
+    (fun g engine ->
+      let ways = Array.unsafe_get group_ways g in
+      misses := !misses + Stack_dist.misses engine ~ways;
+      evictions := !evictions + Stack_dist.evictions engine ~ways;
+      writebacks := !writebacks + Stack_dist.writebacks engine ~ways)
+    groups;
+  let resolved = !n_total - !n_uncached in
+  let tlb_hits = Vm.Tlb.hits tlb in
+  let tlb_misses = Vm.Tlb.misses tlb in
+  let cycles =
+    setup_cycles + !gap_sum
+    + (resolved * timing.Timing.hit_cycles)
+    + (!n_uncached * timing.Timing.uncached_cycles)
+    + (!misses * timing.Timing.miss_penalty)
+    + (!writebacks * timing.Timing.writeback_penalty)
+    + (tlb_misses * timing.Timing.tlb_miss_penalty)
+  in
+  let stats = Cache.Stats.create ~ways:cache.Sassoc.ways in
+  stats.Cache.Stats.accesses <- resolved;
+  stats.Cache.Stats.hits <- resolved - !misses;
+  stats.Cache.Stats.misses <- !misses;
+  stats.Cache.Stats.evictions <- !evictions;
+  stats.Cache.Stats.writebacks <- !writebacks;
+  {
+    Run_stats.instructions = !gap_sum + !n_total;
+    cycles;
+    memory_accesses = !n_total;
+    (* [pin_region] does not register a machine scratchpad region; pinned
+       traffic is ordinary (always-hitting) cached traffic *)
+    scratchpad_accesses = 0;
+    tlb_hits;
+    tlb_misses;
+    l2_hits = 0;
+    l2_misses = 0;
+    prefetches = 0;
+    cache = stats;
+  }
+
+let standard ?translate ~cache ~timing ~page_size ~tlb_entries packed_list =
+  if not (feasible_cache cache) then None
+  else
+    let engine =
+      Stack_dist.create ?translate ~line_size:cache.Sassoc.line_size
+        ~sets:cache.Sassoc.sets ~max_ways:cache.Sassoc.ways ()
+    in
+    (* [Infeasible] cannot be raised without a page map. *)
+    Some
+      (eval ~cache ~timing ~page_size ~tlb_entries ~scratch:no_ranges
+         ~uncached:no_ranges ~page_map:None ~groups:[| engine |]
+         ~group_ways:[| cache.Sassoc.ways |] ~setup_cycles:0 packed_list)
+
+let partitioned ~cache ~timing ~page_size ~tlb_entries ~part ~copy_in
+    packed_list =
+  if not (feasible_cache cache) then None
+  else
+    try
+      let line_size = cache.Sassoc.line_size in
+      let page_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let claim ~group base size =
+        if size > 0 then
+          let first = base / page_size in
+          let last = (base + size - 1) / page_size in
+          for page = first to last do
+            match Hashtbl.find_opt page_map page with
+            | None -> Hashtbl.add page_map page group
+            | Some g when g = group -> ()
+            | Some _ -> raise Infeasible
+          done
+      in
+      let scratch = ref [] in
+      let uncached = ref [] in
+      let scratch_mask = ref Bitmask.empty in
+      let masks = ref [] in
+      let engines = ref [] in
+      let n_groups = ref 0 in
+      let setup = ref 0 in
+      List.iter
+        (fun pl ->
+          let region = pl.Partition.region in
+          let size = region.Region.size in
+          match (pl.Partition.role, pl.Partition.columns) with
+          | Partition.Uncached, _ ->
+              uncached := (pl.Partition.base, size) :: !uncached
+          | (Partition.Scratchpad | Partition.Cached), None ->
+              raise Infeasible
+          | Partition.Scratchpad, Some mask ->
+              (* Same copy-in charge [Partition.apply] would issue; the
+                 machine folds it into the first run's cycle delta. *)
+              if List.mem region.Region.var copy_in then begin
+                let lines = (size + line_size - 1) / line_size in
+                setup :=
+                  !setup
+                  + lines
+                    * (timing.Timing.hit_cycles + timing.Timing.miss_penalty)
+              end;
+              scratch := (pl.Partition.base, size) :: !scratch;
+              scratch_mask := Bitmask.union !scratch_mask mask;
+              claim ~group:(-1) pl.Partition.base size
+          | Partition.Cached, Some mask ->
+              let group =
+                match
+                  List.find_opt (fun (m, _) -> Bitmask.equal m mask) !masks
+                with
+                | Some (_, g) -> g
+                | None ->
+                    let ways = Bitmask.count mask in
+                    if ways = 0 then raise Infeasible;
+                    let g = !n_groups in
+                    incr n_groups;
+                    engines :=
+                      Stack_dist.create ~line_size ~sets:cache.Sassoc.sets
+                        ~max_ways:ways ()
+                      :: !engines;
+                    masks := (mask, g) :: !masks;
+                    g
+              in
+              claim ~group pl.Partition.base size)
+        part.Partition.placements;
+      (* Each cached group is an isolated LRU cache only if its columns are
+         disjoint from every other group's and from the pinned scratchpad
+         columns (whose preloaded lines would otherwise occupy group ways). *)
+      let rec disjoint seen = function
+        | [] -> ()
+        | m :: rest ->
+            if not (Bitmask.is_empty (Bitmask.inter m seen)) then
+              raise Infeasible;
+            disjoint (Bitmask.union m seen) rest
+      in
+      disjoint !scratch_mask (List.rev_map fst !masks);
+      let groups = Array.of_list (List.rev !engines) in
+      let group_ways = Array.map Stack_dist.max_ways groups in
+      Some
+        (eval ~cache ~timing ~page_size ~tlb_entries
+           ~scratch:(ranges_of !scratch) ~uncached:(ranges_of !uncached)
+           ~page_map:(Some page_map) ~groups ~group_ways ~setup_cycles:!setup
+           packed_list)
+    with Infeasible -> None

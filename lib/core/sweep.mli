@@ -1,0 +1,63 @@
+(** Closed-form experiment points via stack distances.
+
+    The sweep-shaped experiments evaluate many cache configurations over the
+    same traces. When the L1 is a true LRU column cache with no L2 and no
+    stream prefetching, a whole configuration point is computable without a
+    machine replay:
+
+    - the cache side comes from {!Cache.Stack_dist} engines — one per group
+      of columns that traffic is confined to, each an isolated LRU cache
+      with the full set count and [popcount mask] ways;
+    - the TLB side is replayed exactly (it is virtually indexed, so it is
+      independent of the cache geometry and of physical frame placement),
+      with scratchpad and uncached references bypassing it as the machine
+      does;
+    - cycles then follow arithmetically from the default timing model:
+      every access costs its gap, resolved accesses cost [hit_cycles] plus
+      the penalties of their misses, writebacks and TLB misses, and
+      scratchpad/uncached accesses cost their flat latencies.
+
+    Both evaluators return [None] — caller falls back to exact
+    {!Machine.System.run_packed} replay — for anything the algebra cannot
+    express: non-LRU policies, miss classification, traffic whose column
+    mask overlaps another group's (it would not be an isolated LRU cache),
+    or pages shared between placements. The equality with exact replay is
+    pinned by the [core.sweep] tests field-for-field (the three-C and
+    per-way fill counters are reported as zeros; nothing in the sweeps
+    consumes them). *)
+
+val standard :
+  ?translate:(int -> int) ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  Memtrace.Packed.t list ->
+  Machine.Run_stats.t option
+(** The unmapped baseline: every access resolves through the TLB and the
+    full-mask cache. Equals replaying the packed traces back to back on one
+    fresh no-L2 system. [translate] is a physical frame placement (page
+    coloring); it reindexes the cache but not the TLB. [None] unless the
+    policy is LRU without classification. *)
+
+val partitioned :
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  part:Layout.Partition.t ->
+  copy_in:string list ->
+  Memtrace.Packed.t list ->
+  Machine.Run_stats.t option
+(** One scratchpad/cache split point: equals [Partition.apply ~copy_in] on a
+    fresh system followed by replaying the packed traces back to back.
+    Scratchpad placements are preloaded into their pinned columns, which no
+    other traffic enters, so every in-range access to them is a guaranteed
+    cache hit (resolved through the TLB like any other access — the machine
+    registers no scratchpad region for pins); only the TLB outcome and the
+    copy-in charge {!Layout.Partition.apply} would issue remain to account.
+    Cached placements become one engine per distinct column mask. [None]
+    when a group's columns overlap another's, when an access lands on a
+    page no placement claims (default-tint traffic shares columns with
+    every group), when an access hits a scratchpad-tinted page outside the
+    pinned byte range, or for non-LRU/classifying caches. *)

@@ -1,0 +1,63 @@
+let allocate ~columns curves =
+  let n = List.length curves in
+  if n = 0 then invalid_arg "Mrc_alloc.allocate: no curves";
+  if n > columns then
+    invalid_arg "Mrc_alloc.allocate: more variables than columns";
+  List.iter
+    (fun (name, curve) ->
+      if Array.length curve < 2 then
+        invalid_arg
+          (Printf.sprintf "Mrc_alloc.allocate: curve for %s has no points"
+             name))
+    curves;
+  let curves_a = Array.of_list curves in
+  let counts = Array.make n 1 in
+  (* Marginal misses removed by this variable's next column; zero once the
+     curve runs out (more columns than its curve covers cannot help). *)
+  let gain i =
+    let _, curve = curves_a.(i) in
+    let c = counts.(i) in
+    if c + 1 >= Array.length curve then 0 else curve.(c) - curve.(c + 1)
+  in
+  let has_room i =
+    counts.(i) + 1 < Array.length (snd curves_a.(i))
+  in
+  for _ = n + 1 to columns do
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if gain i > gain !best then best := i
+    done;
+    if gain !best > 0 then counts.(!best) <- counts.(!best) + 1
+    else begin
+      (* Plateau: no next column removes misses by itself, but growing a
+         curve that still has points may unlock gains for later columns
+         (miss curves need not be convex). *)
+      let rec first i =
+        if i >= n then ()
+        else if has_room i then counts.(i) <- counts.(i) + 1
+        else first (i + 1)
+      in
+      first 0
+    end
+  done;
+  List.mapi (fun i (name, _) -> (name, counts.(i))) curves
+
+let predicted_misses curves alloc =
+  List.fold_left
+    (fun acc (name, c) ->
+      match List.assoc_opt name curves with
+      | None -> invalid_arg "Mrc_alloc.predicted_misses: unknown name"
+      | Some curve ->
+          acc + curve.(min c (Array.length curve - 1)))
+    0 alloc
+
+let to_masks alloc =
+  let next = ref 0 in
+  List.map
+    (fun (name, c) ->
+      let lo = !next in
+      next := lo + c;
+      ( name,
+        if c = 0 then Cache.Bitmask.empty
+        else Cache.Bitmask.range ~lo ~hi:(lo + c - 1) ))
+    alloc

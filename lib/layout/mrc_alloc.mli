@@ -1,0 +1,34 @@
+(** MRC-driven column allocation.
+
+    An alternative to interference-graph coloring that consumes the
+    per-variable miss-ratio curves a single stack-distance pass produces
+    ({!Cache.Stack_dist.per_tag_of_packed}): when a variable owns [c]
+    columns, its group is an isolated [c]-way LRU cache with the full set
+    count, so its miss count under that allocation is read directly off its
+    curve — no replay, no interference estimate. The allocator is the
+    classic greedy marginal-gain loop over the exact curves: give every
+    variable one column, then hand out the remaining columns one at a time
+    to whichever variable's next column removes the most misses. *)
+
+val allocate : columns:int -> (string * int array) list -> (string * int) list
+(** [allocate ~columns curves] distributes [columns] cache columns over the
+    named miss curves ([curve.(c)] = misses with [c] dedicated columns, as
+    {!Cache.Stack_dist.miss_curve}; curves may be shorter than [columns + 1]
+    — allocations are never grown past a curve's last index, where the
+    marginal gain is zero). Every name receives at least one column; ties go
+    to the earlier name. The result is in input order and its counts sum to
+    [columns] (when every curve has room) or to at most [columns].
+
+    Raises [Invalid_argument] when there are more names than columns, no
+    names at all, or a curve with fewer than two points. *)
+
+val predicted_misses : (string * int array) list -> (string * int) list -> int
+(** Total misses the curves predict for an allocation: the sum of
+    [curve.(c)] per name (clamped to the curve's last point). Exact for the
+    machine, not just a model, whenever the allocation's column groups are
+    disjoint — which {!to_masks} guarantees. *)
+
+val to_masks : (string * int) list -> (string * Cache.Bitmask.t) list
+(** Realize an allocation as disjoint column masks, assigned contiguously in
+    list order: the first name gets columns [0..c0-1], the next
+    [c0..c0+c1-1], and so on. *)
