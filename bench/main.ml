@@ -193,6 +193,36 @@ let bench_mrc_per_tag () =
     (Cache.Stack_dist.per_tag_of_packed ~line_size:16 ~sets:32 ~max_ways:4
        (Lazy.force hot_walk_packed))
 
+(* --- workload generators ------------------------------------------------
+   [gen_zipf] times the traffic-shaped generator itself: 32 K Zipf samples
+   (harmonic-CDF binary search per draw) emitted into a packed trace.
+   [kv_requests] times the per-request latency-accounting replay path:
+   a fixed synthetic KV-store trace (hash probe + value walk per request)
+   replayed through [System.run_packed_requests], which is [run_packed]
+   plus window bookkeeping and the latency histogram build. Both rows carry
+   accesses_per_sec. *)
+
+let bench_gen_zipf () =
+  ignore
+    (Workloads.Gen.emit ~seed:11 ~n:32768
+       (Workloads.Gen.Zipf { items = 4096; theta = 0.99 }))
+
+let kv_trace =
+  lazy
+    (Workloads.Gen.kv ~seed:11 ~requests:2048 ~keys:512 ~buckets:128
+       ~value_lines:4 ())
+
+let kv_system = lazy (Machine.System.create (sys_config ()))
+
+let bench_kv_requests () =
+  let sys = Lazy.force kv_system in
+  Machine.System.flush_cache sys;
+  Machine.System.flush_tlb sys;
+  let tr = Lazy.force kv_trace in
+  ignore
+    (Machine.System.run_packed_requests sys tr.Workloads.Gen.packed
+       ~requests:tr.Workloads.Gen.requests)
+
 (* Access counts for the accesses_per_sec column, keyed by full row name.
    Only benches whose sample replays a fixed trace get a count: one
    run_partitioned/run_static_app sample replays its routine's trace once
@@ -227,6 +257,10 @@ let access_counts () =
     ("colcache/ablation_weights", routine "dequant");
     ( "colcache/check_differential",
       float_of_int (Check.Scenario.accesses (Lazy.force check_scenario)) );
+    ("colcache/gen_zipf", 32768.);
+    ( "colcache/kv_requests",
+      float_of_int
+        (Memtrace.Packed.length (Lazy.force kv_trace).Workloads.Gen.packed) );
   ]
 
 let tests =
@@ -238,6 +272,8 @@ let tests =
       Test.make ~name:"sys_replay_batched" (Staged.stage bench_sys_replay_batched);
       Test.make ~name:"mrc_histogram" (Staged.stage bench_mrc_histogram);
       Test.make ~name:"mrc_per_tag" (Staged.stage bench_mrc_per_tag);
+      Test.make ~name:"gen_zipf" (Staged.stage bench_gen_zipf);
+      Test.make ~name:"kv_requests" (Staged.stage bench_kv_requests);
       Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);
       Test.make ~name:"fig4a_dequant" (Staged.stage (bench_fig4_routine "dequant"));
       Test.make ~name:"fig4b_plus" (Staged.stage (bench_fig4_routine "plus"));

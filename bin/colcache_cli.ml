@@ -14,6 +14,7 @@
      colcache simulate <routine>  run one routine under a chosen partition
      colcache trace   <routine>   dump the head of a routine's memory trace
      colcache check               differential soak: simulators vs naive oracle
+     colcache gen                 emit a traffic-shaped workload trace
      colcache validate <file>     parse and validate an IF program file *)
 
 open Cmdliner
@@ -318,6 +319,7 @@ let check_cmd =
           ("fast-path", Check.Oracle.Fast_path);
           ("machine-fast-path", Check.Oracle.Machine_fast_path);
           ("mrc", Check.Oracle.Mrc);
+          ("gen", Check.Oracle.Gen);
         ]
     in
     Arg.(
@@ -327,10 +329,11 @@ let check_cmd =
             "Plant an intentional defect ($(b,mru), $(b,ignore-mask), \
              $(b,skip-writeback) in the oracle, $(b,fast-path) in the \
              batched real-side driver, $(b,machine-fast-path) in the \
-             machine-level batched replay, or $(b,mrc) in the stack-distance \
-             engine's access feed) to demonstrate that the harness catches \
-             and shrinks it. Exit status is inverted: the run fails if the \
-             bug is NOT caught.")
+             machine-level batched replay, $(b,mrc) in the stack-distance \
+             engine's access feed, or $(b,gen) in the workload generator's \
+             Zipf sampler) to demonstrate that the harness catches and \
+             shrinks it. Exit status is inverted: the run fails if the bug \
+             is NOT caught.")
   in
   let replay =
     Arg.(
@@ -502,6 +505,117 @@ let replay_cmd =
        ~doc:"Replay a saved trace against a chosen cache geometry.")
     Term.(const run $ file $ size $ ways)
 
+let gen_cmd =
+  let dist =
+    Arg.(
+      value
+      & opt (enum [ ("zipf", `Zipf); ("uniform", `Uniform); ("scan", `Scan);
+                    ("hotset", `Hotset); ("kv", `Kv) ])
+          `Zipf
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:
+            "Distribution: $(b,zipf), $(b,uniform), $(b,scan), $(b,hotset) \
+             (drifting hot window) or $(b,kv) (synthetic KV-store requests: \
+             hash probe + value walk).")
+  in
+  let n =
+    Arg.(
+      value & opt int 4096
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Accesses to emit ($(b,kv): requests to emit).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"PRNG seed; equal seeds give byte-identical traces.")
+  in
+  let items =
+    Arg.(
+      value & opt int 256
+      & info [ "items" ] ~docv:"I"
+          ~doc:"Rank-space size ($(b,kv): number of keys).")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (zipf and kv only).")
+  in
+  let apr =
+    Arg.(
+      value & opt int 8
+      & info [ "accesses-per-request" ] ~docv:"K"
+          ~doc:"Request window size for latency accounting (not $(b,kv), \
+                whose requests are structural).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Save the trace to FILE (colcache-trace v1 format).")
+  in
+  let simulate =
+    Arg.(
+      value & flag
+      & info [ "simulate" ]
+          ~doc:
+            "Replay the trace on the 2 KB 4-way machine model and report \
+             aggregate statistics plus per-request latency percentiles.")
+  in
+  let run dist n seed items theta apr out simulate =
+    let trace =
+      match dist with
+      | `Kv ->
+          Workloads.Gen.kv ~theta ~seed ~requests:n ~keys:items
+            ~buckets:(max 1 (items / 4)) ~value_lines:4 ()
+      | (`Zipf | `Uniform | `Scan | `Hotset) as d ->
+          let stream =
+            match d with
+            | `Zipf -> Workloads.Gen.Zipf { items; theta }
+            | `Uniform -> Workloads.Gen.Uniform { items }
+            | `Scan -> Workloads.Gen.Scan { items }
+            | `Hotset ->
+                Workloads.Gen.Hot_set
+                  {
+                    items;
+                    hot_items = max 1 (items / 8);
+                    hot_prob = 0.9;
+                    drift_every = max 1 (n / 8);
+                  }
+          in
+          Workloads.Gen.emit ~accesses_per_request:apr ~seed ~n stream
+    in
+    Format.fprintf ppf
+      "%d accesses in %d requests, addresses [%d, %d), %d instructions@."
+      (Memtrace.Packed.length trace.Workloads.Gen.packed)
+      (Array.length trace.Workloads.Gen.requests)
+      trace.Workloads.Gen.base trace.Workloads.Gen.limit
+      (Memtrace.Packed.instructions trace.Workloads.Gen.packed);
+    (match out with
+    | None -> ()
+    | Some path ->
+        Memtrace.Trace_file.save ~path
+          (Memtrace.Packed.to_trace trace.Workloads.Gen.packed);
+        Format.fprintf ppf "saved to %s@." path);
+    if simulate then begin
+      let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:2048 ~ways:4 () in
+      let system = Machine.System.create (Machine.System.config cache) in
+      let stats =
+        Machine.System.run_packed_requests system trace.Workloads.Gen.packed
+          ~requests:trace.Workloads.Gen.requests
+      in
+      Format.fprintf ppf "@.%a@." Machine.Run_stats.pp stats
+    end
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Emit a traffic-shaped workload trace (Zipf, uniform, scan, \
+          drifting hot set, or synthetic KV-store requests) from a seed; \
+          optionally save it or replay it with per-request tail-latency \
+          accounting.")
+    Term.(const run $ dist $ n $ seed $ items $ theta $ apr $ out $ simulate)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "colcache" ~version:"1.0.0"
@@ -512,7 +626,7 @@ let main_cmd =
       fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
       export_cmd;
       dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd;
-      check_cmd; validate_cmd; runfile_cmd;
+      check_cmd; validate_cmd; runfile_cmd; gen_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

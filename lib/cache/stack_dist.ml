@@ -62,7 +62,12 @@ let sets t = t.n_sets
    snapshot delta excludes — but the evictions/writebacks their shifts cause
    at each associativity are still crossings of live state, which
    [reset_counts] then discards along with everything else). *)
-let touch t ~write ~counted addr =
+(* [traced] reports what a [traced]-way cache saw on this one access: bit 0
+   set iff it hit (depth < traced), bit 1 set iff it wrote a dirty victim
+   back (boundary-[traced] crossing with [dirty_min <= traced] during this
+   access's shift). [traced = 0] disables reporting; the stack update is
+   identical either way. *)
+let touch_traced t ~write ~counted ~traced addr =
   let addr = match t.translate with None -> addr | Some f -> f addr in
   let line = addr lsr t.line_shift in
   let set = line land t.set_mask in
@@ -77,6 +82,7 @@ let touch t ~write ~counted addr =
     if Array.unsafe_get lines (base + !i) = line then d := !i;
     incr i
   done;
+  let res = ref (if traced > 0 && !d >= 0 && !d < traced then 1 else 0) in
   if counted then begin
     t.n_accesses <- t.n_accesses + 1;
     if !d >= 0 then t.hist.(!d) <- t.hist.(!d) + 1
@@ -95,7 +101,14 @@ let touch t ~write ~counted addr =
     let a = j + 1 in
     t.cross.(a) <- t.cross.(a) + 1;
     let dm = Array.unsafe_get t.dirty_min (base + j) in
-    let dm = if dm <= a then begin t.wbs.(a) <- t.wbs.(a) + 1; a + 1 end else dm in
+    let dm =
+      if dm <= a then begin
+        t.wbs.(a) <- t.wbs.(a) + 1;
+        if a = traced then res := !res lor 2;
+        a + 1
+      end
+      else dm
+    in
     if a < w then begin
       Array.unsafe_set lines (base + a) (Array.unsafe_get lines (base + j));
       Array.unsafe_set t.dirty_min (base + a) dm
@@ -106,7 +119,11 @@ let touch t ~write ~counted addr =
     (if write then 1
      else if !d >= 0 then min (w + 1) (max old_dirty (!d + 1))
      else w + 1);
-  if !d < 0 && l < w then Array.unsafe_set t.len set (l + 1)
+  if !d < 0 && l < w then Array.unsafe_set t.len set (l + 1);
+  !res
+
+let touch t ~write ~counted addr =
+  ignore (touch_traced t ~write ~counted ~traced:0 addr)
 
 let access t ~kind addr =
   touch t ~write:(kind = Memtrace.Access.Write) ~counted:true addr
@@ -140,6 +157,12 @@ let histogram t = Array.copy t.hist
 let check_ways t a name =
   if a < 1 || a > t.w then
     invalid_arg (Printf.sprintf "Stack_dist.%s: ways %d outside 1..%d" name a t.w)
+
+let access_traced t ~kind ~ways addr =
+  check_ways t ways "access_traced";
+  touch_traced t
+    ~write:(kind = Memtrace.Access.Write)
+    ~counted:true ~traced:ways addr
 
 let misses t ~ways =
   check_ways t ways "misses";

@@ -47,6 +47,15 @@ val access : t -> kind:Memtrace.Access.kind -> int -> unit
 (** Record one reference. [Write] dirties the line at every associativity;
     [Read]/[Ifetch] install clean. *)
 
+val access_traced : t -> kind:Memtrace.Access.kind -> ways:int -> int -> int
+(** Like {!access}, but additionally reports what a [ways]-way cache saw on
+    this one reference: bit 0 set iff it hit (stack depth [< ways]), bit 1
+    set iff it wrote back a dirty victim (a boundary-[ways] crossing with
+    [dirty_min <= ways] during this access's shift). Summing the reported
+    bits over a run reproduces {!hits} / {!writebacks} at [ways] exactly;
+    the per-access timing of the closed-form sweep evaluators is built on
+    this. [ways] must lie in [1..max_ways]. *)
+
 val access_packed : t -> Memtrace.Packed.t -> unit
 (** Replay a whole packed trace through {!access} without boxing. *)
 

@@ -293,6 +293,7 @@ type summary = {
   fast_path_iters : int;
   machine_iters : int;
   mrc_iters : int;
+  traffic_iters : int;
 }
 
 type failure = {
@@ -302,6 +303,7 @@ type failure = {
   fast_path : bool;
   machine : bool;
   mrc : bool;
+  gen : bool;
 }
 
 let policy_family = function
@@ -330,9 +332,10 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         fast_path_iters = 0;
         machine_iters = 0;
         mrc_iters = 0;
+        traffic_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine ~mrc =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~traffic =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -355,17 +358,43 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         fast_path_iters = s.fast_path_iters + (if fast_path then 1 else 0);
         machine_iters = s.machine_iters + (if machine then 1 else 0);
         mrc_iters = s.mrc_iters + (if mrc then 1 else 0);
+        traffic_iters = s.traffic_iters + (if traffic then 1 else 0);
       }
+  in
+  (* The containment contract on generator-backed scenarios: every emitted
+     address lies inside the generator's declared [0, limit). A violation is
+     a generator bug (the [--inject-bug gen] mutation plants exactly one),
+     reported with a one-event repro — the offending access — since the
+     divergence is between the trace and its declaration, not between
+     drivers. *)
+  let contained (sc : Scenario.t) ~limit =
+    let rec go i = function
+      | [] -> Ok ()
+      | Scenario.Access a :: _
+        when a.Memtrace.Access.addr < 0 || a.Memtrace.Access.addr >= limit ->
+          Error (i, a)
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 sc.Scenario.events
   in
   let rec loop i =
     if i >= iters then Ok !summary
     else begin
-      let sc =
-        if i < Array.length forced_ways then
-          Gen.scenario ~ways:forced_ways.(i)
-            ~policy:(List.nth Cache.Policy.all_kinds (i mod 4))
-            ?max_events rng
-        else Gen.scenario ?max_events rng
+      (* After the forced-coverage preamble, every third scenario draws its
+         accesses from a traffic-shaped generator stream instead of uniform
+         noise; the same drivers replay it, plus the containment check. *)
+      let traffic = i >= Array.length forced_ways && i mod 3 = 2 in
+      let sc, gen_limit =
+        if traffic then
+          let perturb = bug = Some Oracle.Gen in
+          let sc, limit = Gen.traffic_scenario ?max_events ~perturb rng in
+          (sc, Some limit)
+        else if i < Array.length forced_ways then
+          ( Gen.scenario ~ways:forced_ways.(i)
+              ~policy:(List.nth Cache.Policy.all_kinds (i mod 4))
+              ?max_events rng,
+            None )
+        else (Gen.scenario ?max_events rng, None)
       in
       (* Odd iterations replay the real side through the batched
          [Sassoc.access_trace] driver; even iterations additionally replay
@@ -377,7 +406,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
       let fast_path = i mod 2 = 1 in
       let machine = i mod 2 = 0 in
       let mrc = i mod 4 = 1 in
-      account sc ~fast_path ~machine ~mrc;
+      account sc ~fast_path ~machine ~mrc ~traffic;
       let fail driver ~fast_path ~machine ~mrc =
         let shrunk = shrink_by driver sc in
         let divergence =
@@ -387,24 +416,56 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine; mrc },
+              machine; mrc; gen = false },
             !summary )
       in
-      match run_scenario ?bug ~fast_path sc with
-      | Diverge _ ->
-          fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
-            ~mrc:false
-      | Agree -> (
-          match if machine then run_machine ?bug sc else Agree with
+      let containment_outcome =
+        match gen_limit with
+        | None -> Ok ()
+        | Some limit -> (
+            match contained sc ~limit with
+            | Ok () -> Ok ()
+            | Error (step, a) ->
+                Error
+                  ( {
+                      iteration = i;
+                      scenario = { sc with Scenario.events = [ Scenario.Access a ] };
+                      divergence =
+                        {
+                          step;
+                          detail =
+                            Printf.sprintf
+                              "generator emitted address %d outside its \
+                               declared range [0, %d)"
+                              a.Memtrace.Access.addr limit;
+                        };
+                      fast_path = false;
+                      machine = false;
+                      mrc = false;
+                      gen = true;
+                    },
+                    !summary ))
+      in
+      match containment_outcome with
+      | Error _ as e -> e
+      | Ok () -> (
+          match run_scenario ?bug ~fast_path sc with
           | Diverge _ ->
-              fail (run_machine ?bug) ~fast_path:false ~machine:true ~mrc:false
+              fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
+                ~mrc:false
           | Agree -> (
-              match if mrc then run_mrc ?bug sc else Agree with
+              match if machine then run_machine ?bug sc else Agree with
               | Diverge _ ->
-                  fail (run_mrc ?bug) ~fast_path:false ~machine:false ~mrc:true
-              | Agree ->
-                  progress i;
-                  loop (i + 1)))
+                  fail (run_machine ?bug) ~fast_path:false ~machine:true
+                    ~mrc:false
+              | Agree -> (
+                  match if mrc then run_mrc ?bug sc else Agree with
+                  | Diverge _ ->
+                      fail (run_mrc ?bug) ~fast_path:false ~machine:false
+                        ~mrc:true
+                  | Agree ->
+                      progress i;
+                      loop (i + 1))))
     end
   in
   loop 0
@@ -417,7 +478,8 @@ let pp_failure ppf f =
     "@[<v>divergence on iteration %d (%s driver), %a@,@,minimal repro (%d \
      events, %d accesses):@,%a@]"
     f.iteration
-    (if f.machine then "machine batched-replay"
+    (if f.gen then "generator containment"
+     else if f.machine then "machine batched-replay"
      else if f.mrc then "stack-distance mrc"
      else if f.fast_path then "batched fast-path"
      else "per-access")
@@ -430,9 +492,10 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
      %d via the batched fast path, %d via the machine batched replay, %d \
-     via the stack-distance mrc differential; policies: %s; ways %s)"
+     via the stack-distance mrc differential, %d from traffic-shaped \
+     generators; policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
-    s.machine_iters s.mrc_iters
+    s.machine_iters s.mrc_iters s.traffic_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

@@ -55,6 +55,10 @@ type summary = {
   mrc_iters : int;
       (** scenarios additionally checked through the stack-distance
           differential ({!Mrc_diff}) *)
+  traffic_iters : int;
+      (** scenarios whose access stream came from a traffic-shaped
+          {!Workloads.Gen} generator ({!Gen.traffic_scenario}) rather than
+          uniform noise *)
 }
 
 type failure = {
@@ -70,6 +74,12 @@ type failure = {
       (** the divergence came from the stack-distance differential
           ({!Mrc_diff.run_scenario}); [fast_path] and [machine] are [false]
           then *)
+  gen : bool;
+      (** the failure is a generator-containment violation: a
+          traffic-shaped scenario emitted an address outside the
+          generator's declared range. The repro is the single offending
+          access; no driver divergence is involved, so the other three
+          flags are [false] then *)
 }
 
 val soak :
@@ -83,8 +93,12 @@ val soak :
     through the machine-level differential ({!Machine_diff}), so every
     batched entry point soaks equally; every fourth iteration also validates
     the stack-distance engine against exact per-associativity LRU replays
-    ({!Mrc_diff}). Stops at the first divergence. [progress] is called with
-    each completed iteration index. *)
+    ({!Mrc_diff}). After the forced preamble, every third iteration draws
+    its access stream from a traffic-shaped generator
+    ({!Gen.traffic_scenario}) and additionally verifies the generator's
+    containment contract — every address inside its declared range — which
+    is what catches the {!Oracle.Gen} mutation. Stops at the first
+    divergence. [progress] is called with each completed iteration index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -21,6 +21,23 @@ val scenario :
     [ways]/[policy] pin those dimensions (used to force coverage of the
     extremes); [max_events] bounds the stream length (default 160). *)
 
+val traffic_scenario :
+  ?ways:int ->
+  ?policy:Cache.Policy.kind ->
+  ?max_events:int ->
+  ?perturb:bool ->
+  Prng.t ->
+  Scenario.t * int
+(** A scenario whose access stream comes from a seeded {!Workloads.Gen}
+    distribution — Zipf, drifting hot sets, scans, phased mixtures — so the
+    differential drivers soak against traffic with realistic locality, not
+    uniform noise. Reconfiguration events are interleaved at ~8%. Returns
+    the scenario and the generator's declared address limit: every access
+    must lie in [0, limit), which the soak verifies. [perturb] plants the
+    [--inject-bug gen] mutation (Zipf ranks shifted past the declared
+    range); every stream shape carries a Zipf component so the mutation is
+    always detectable. *)
+
 val trace : ?max_len:int -> Prng.t -> Memtrace.Trace.t
 (** A random plain access trace (kinds, vars, gaps, addresses), for
     round-trip tests of {!Memtrace.Trace_file}. May be empty. *)

@@ -10,6 +10,7 @@ type bug =
   | Fast_path
   | Machine_fast_path
   | Mrc
+  | Gen
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
@@ -18,6 +19,7 @@ let bug_to_string = function
   | Fast_path -> "fast-path"
   | Machine_fast_path -> "machine-fast-path"
   | Mrc -> "mrc"
+  | Gen -> "gen"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

@@ -36,6 +36,12 @@ type bug =
           accesses fed to [Cache.Stack_dist] demote writes to reads, losing
           dirty bits and hence writeback counts. Proves the stack-distance
           differential can catch engine bugs. *)
+  | Gen
+      (** planted in {!Workloads.Gen}'s Zipf sampler via its [perturb]
+          hook, not here: every sampled rank is shifted by one without
+          re-clamping, so the top rank escapes the generator's declared
+          address range. Proves the soak's containment check on
+          generator-backed traffic scenarios catches sampler bugs. *)
 
 val bug_to_string : bug -> string
 

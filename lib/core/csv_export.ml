@@ -15,6 +15,33 @@ let write_rows ~path ~header rows =
 let soi = string_of_int
 let sof f = Printf.sprintf "%.4f" f
 
+let tail_latency_header =
+  [
+    "tenant"; "columns"; "shared_p50"; "shared_p99"; "shared_p999";
+    "partitioned_p50"; "partitioned_p99"; "partitioned_p999";
+  ]
+
+let tail_latency_rows (tl : Experiments.Tail_latency.t) =
+  List.map
+    (fun (r : Experiments.Tail_latency.row) ->
+      [
+        r.Experiments.Tail_latency.tenant;
+        (* the "all" row spans the whole cache, not one tenant's share *)
+        (match
+           List.assoc_opt r.Experiments.Tail_latency.tenant
+             tl.Experiments.Tail_latency.allocation
+         with
+        | Some c -> soi c
+        | None -> "8");
+        soi r.Experiments.Tail_latency.shared_p50;
+        soi r.Experiments.Tail_latency.shared_p99;
+        soi r.Experiments.Tail_latency.shared_p999;
+        soi r.Experiments.Tail_latency.part_p50;
+        soi r.Experiments.Tail_latency.part_p99;
+        soi r.Experiments.Tail_latency.part_p999;
+      ])
+    tl.Experiments.Tail_latency.rows
+
 let write_all ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let path name = Filename.concat dir name in
@@ -168,4 +195,8 @@ let write_all ~dir =
         [ "whole_app_standard"; ""; soi g.Experiments.Generality.standard_cycles; "" ];
         [ "whole_app_best_static"; ""; soi g.Experiments.Generality.best_static_cycles; "" ];
         [ "whole_app_dynamic"; ""; soi g.Experiments.Generality.dynamic_cycles; "" ];
-      ])
+      ]);
+
+  let tl = Experiments.Tail_latency.run () in
+  write_rows ~path:(path "tail_latency.csv") ~header:tail_latency_header
+    (tail_latency_rows tl)

@@ -9,10 +9,18 @@
     - [fig4d.csv] — configuration, cycles
     - [fig5.csv] — series, quantum, CPI
     - [ablations.csv] — long-format (ablation, configuration, metric, value)
-    - [generality.csv] — the JPEG cross-check *)
+    - [generality.csv] — the JPEG cross-check
+    - [tail_latency.csv] — per-tenant latency percentiles, shared vs
+      MRC-partitioned columns *)
 
 val write_all : dir:string -> unit
 
 val write_rows : path:string -> header:string list -> string list list -> unit
 (** Low-level helper: write a header and rows, quoting any cell containing a
     comma or quote. *)
+
+val tail_latency_header : string list
+
+val tail_latency_rows : Experiments.Tail_latency.t -> string list list
+(** The rows [write_all] writes to [tail_latency.csv], exposed so the golden
+    test pins the figure's numbers through the same serialization path. *)

@@ -271,6 +271,43 @@ module Generality : sig
   val print : Format.formatter -> t -> unit
 end
 
+(** Not a paper figure: tail latency under multi-tenant traffic. Three
+    traffic-shaped request streams ({!Workloads.Gen}: a hot Zipf tenant, a
+    warm wide Zipf tenant, and a sequential scanner) interleave request by
+    request on one 4 KB 8-way cache. The shared arm lets them fight over
+    the full mask; the partitioned arm gives each tenant the columns its
+    miss-ratio curve earns (greedy MRC allocation, minimum one), confining
+    the scan's pollution. Per-request latency percentiles
+    (p50/p99/p99.9 cycles) come from {!Machine.System.run_packed_requests},
+    and every machine replay is cross-checked byte-for-byte — aggregates
+    and the full latency distribution — against the closed-form
+    stack-distance evaluators ({!Sweep.standard} / {!Sweep.masked}). *)
+module Tail_latency : sig
+  type row = {
+    tenant : string;
+    shared_p50 : int;
+    shared_p99 : int;
+    shared_p999 : int;
+    part_p50 : int;
+    part_p99 : int;
+    part_p999 : int;
+  }
+
+  type t = {
+    rows : row list;  (** "all" first, then one row per tenant *)
+    allocation : (string * int) list;  (** columns per tenant *)
+    shared_cycles : int;
+    partitioned_cycles : int;
+    shared_sweep_exact : bool;
+        (** machine replay == {!Sweep.standard} on every compared field *)
+    partitioned_sweep_exact : bool;
+        (** machine replay == {!Sweep.masked} on every compared field *)
+  }
+
+  val run : unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
 val run_all : ?jobs:int -> Format.formatter -> unit
 (** Run every experiment and print all series (the bench harness's output
     body). [jobs] (default 1) is the number of domains the independent

@@ -5,6 +5,7 @@ module Partition = Layout.Partition
 module Region = Layout.Region
 module Timing = Machine.Timing
 module Run_stats = Machine.Run_stats
+module Latency = Machine.Latency
 
 exception Infeasible
 
@@ -48,8 +49,8 @@ let feasible_cache cache =
    a page would miss into the pinned columns — [Infeasible]). An access to a
    page the map does not claim is traffic the decomposition cannot attribute
    to an isolated group — [Infeasible]. *)
-let eval ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
-    ~groups ~group_ways ~setup_cycles packed_list =
+let eval ?requests ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached
+    ~page_map ~groups ~group_ways ~setup_cycles packed_list =
   let page_of =
     if page_size > 0 && page_size land (page_size - 1) = 0 then (
       let shift = ref 0 in
@@ -62,6 +63,34 @@ let eval ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
   in
   let page_table = Vm.Page_table.create ~page_size () in
   let tlb = Vm.Tlb.create ~entries:tlb_entries ~page_table in
+  (* Request windows index the concatenation of the packed traces, exactly
+     like [Machine.System.run_packed_requests] over the same stream. A
+     request's latency is the sum of its accesses' per-access costs, which
+     mirror the machine's scalar path arithmetically: gap + flat latency for
+     uncached, gap + hit_cycles + the penalties of this access's own miss /
+     writeback / TLB miss for everything else. Per-access miss and writeback
+     outcomes come from {!Stack_dist.access_traced} at the group's
+     associativity; the TLB outcome from the miss-counter delta around the
+     real lookup (the consecutive-same-page memo is a guaranteed hit). *)
+  let req = match requests with None -> [||] | Some r -> r in
+  let track = match requests with Some _ -> true | None -> false in
+  let n_total_all =
+    List.fold_left (fun acc p -> acc + Memtrace.Packed.length p) 0 packed_list
+  in
+  Array.iteri
+    (fun i (start, stop) ->
+      if start < 0 || start >= stop || stop > n_total_all then
+        invalid_arg "Sweep: request span out of bounds";
+      if i > 0 && start < snd req.(i - 1) then
+        invalid_arg "Sweep: request spans must be sorted and disjoint")
+    req;
+  let lat =
+    Latency.Builder.create ~initial_capacity:(max 16 (Array.length req)) ()
+  in
+  let gi = ref 0 in
+  let next_req = ref 0 in
+  let in_window = ref false in
+  let win_cycles = ref 0 in
   let n_total = ref 0 in
   let gap_sum = ref 0 in
   let n_uncached = ref 0 in
@@ -76,36 +105,71 @@ let eval ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
       n_total := !n_total + n;
       for i = 0 to n - 1 do
         let addr = Array.unsafe_get addrs i in
-        gap_sum := !gap_sum + Array.unsafe_get gaps i;
-        if in_ranges uncached addr then incr n_uncached
-        else begin
-          let page = page_of addr in
-          if page = !last_page then incr memo_hits
-          else begin
-            ignore (Vm.Tlb.lookup_page_quick tlb page);
-            last_page := page
-          end;
-          match page_map with
-          | None ->
-              let kind =
-                Memtrace.Packed.kind_of_code
-                  (Char.code (Bytes.unsafe_get kinds i))
-              in
-              Stack_dist.access (Array.unsafe_get groups 0) ~kind addr
-          | Some map -> (
-              match Hashtbl.find_opt map page with
-              | Some g when g >= 0 ->
-                  let kind =
-                    Memtrace.Packed.kind_of_code
-                      (Char.code (Bytes.unsafe_get kinds i))
-                  in
-                  Stack_dist.access groups.(g) ~kind addr
-              | Some _ ->
-                  (* pinned page: a guaranteed hit in its preloaded columns,
-                     but only inside the pinned byte range *)
-                  if not (in_ranges scratch addr) then raise Infeasible
-              | None -> raise Infeasible)
-        end
+        let gap = Array.unsafe_get gaps i in
+        gap_sum := !gap_sum + gap;
+        (if
+           track
+           && (not !in_window)
+           && !next_req < Array.length req
+           && !gi = fst req.(!next_req)
+         then begin
+           in_window := true;
+           win_cycles := 0
+         end);
+        let cost = ref gap in
+        (if in_ranges uncached addr then begin
+           incr n_uncached;
+           cost := !cost + timing.Timing.uncached_cycles
+         end
+         else begin
+           let page = page_of addr in
+           (if page = !last_page then incr memo_hits
+            else begin
+              let m0 = Vm.Tlb.misses tlb in
+              ignore (Vm.Tlb.lookup_page_quick tlb page);
+              if Vm.Tlb.misses tlb <> m0 then
+                cost := !cost + timing.Timing.tlb_miss_penalty;
+              last_page := page
+            end);
+           cost := !cost + timing.Timing.hit_cycles;
+           let feed g =
+             let kind =
+               Memtrace.Packed.kind_of_code
+                 (Char.code (Bytes.unsafe_get kinds i))
+             in
+             if !in_window then begin
+               let seen =
+                 Stack_dist.access_traced (Array.unsafe_get groups g) ~kind
+                   ~ways:(Array.unsafe_get group_ways g)
+                   addr
+               in
+               if seen land 1 = 0 then
+                 cost := !cost + timing.Timing.miss_penalty;
+               if seen land 2 <> 0 then
+                 cost := !cost + timing.Timing.writeback_penalty
+             end
+             else Stack_dist.access (Array.unsafe_get groups g) ~kind addr
+           in
+           match page_map with
+           | None -> feed 0
+           | Some map -> (
+               match Hashtbl.find_opt map page with
+               | Some g when g >= 0 -> feed g
+               | Some _ ->
+                   (* pinned page: a guaranteed hit in its preloaded columns,
+                      but only inside the pinned byte range *)
+                   if not (in_ranges scratch addr) then raise Infeasible
+               | None -> raise Infeasible)
+         end);
+        (if !in_window then begin
+           win_cycles := !win_cycles + !cost;
+           if !gi = snd req.(!next_req) - 1 then begin
+             Latency.Builder.push lat !win_cycles;
+             in_window := false;
+             incr next_req
+           end
+         end);
+        incr gi
       done)
     packed_list;
   Vm.Tlb.note_hits tlb !memo_hits;
@@ -149,9 +213,12 @@ let eval ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
     l2_misses = 0;
     prefetches = 0;
     cache = stats;
+    requests =
+      (if track then Latency.Builder.build lat else Latency.empty);
   }
 
-let standard ?translate ~cache ~timing ~page_size ~tlb_entries packed_list =
+let standard ?translate ?requests ~cache ~timing ~page_size ~tlb_entries
+    packed_list =
   if not (feasible_cache cache) then None
   else
     let engine =
@@ -160,12 +227,13 @@ let standard ?translate ~cache ~timing ~page_size ~tlb_entries packed_list =
     in
     (* [Infeasible] cannot be raised without a page map. *)
     Some
-      (eval ~cache ~timing ~page_size ~tlb_entries ~scratch:no_ranges
-         ~uncached:no_ranges ~page_map:None ~groups:[| engine |]
-         ~group_ways:[| cache.Sassoc.ways |] ~setup_cycles:0 packed_list)
+      (eval ?requests ~cache ~timing ~page_size ~tlb_entries
+         ~scratch:no_ranges ~uncached:no_ranges ~page_map:None
+         ~groups:[| engine |] ~group_ways:[| cache.Sassoc.ways |]
+         ~setup_cycles:0 packed_list)
 
-let partitioned ~cache ~timing ~page_size ~tlb_entries ~part ~copy_in
-    packed_list =
+let partitioned ?requests ~cache ~timing ~page_size ~tlb_entries ~part
+    ~copy_in packed_list =
   if not (feasible_cache cache) then None
   else
     try
@@ -245,8 +313,67 @@ let partitioned ~cache ~timing ~page_size ~tlb_entries ~part ~copy_in
       let groups = Array.of_list (List.rev !engines) in
       let group_ways = Array.map Stack_dist.max_ways groups in
       Some
-        (eval ~cache ~timing ~page_size ~tlb_entries
+        (eval ?requests ~cache ~timing ~page_size ~tlb_entries
            ~scratch:(ranges_of !scratch) ~uncached:(ranges_of !uncached)
            ~page_map:(Some page_map) ~groups ~group_ways ~setup_cycles:!setup
            packed_list)
+    with Infeasible -> None
+
+let masked ?requests ~cache ~timing ~page_size ~tlb_entries ~regions
+    packed_list =
+  if not (feasible_cache cache) then None
+  else
+    try
+      let line_size = cache.Sassoc.line_size in
+      let page_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let claim ~group base size =
+        if size > 0 then
+          let first = base / page_size in
+          let last = (base + size - 1) / page_size in
+          for page = first to last do
+            match Hashtbl.find_opt page_map page with
+            | None -> Hashtbl.add page_map page group
+            | Some g when g = group -> ()
+            | Some _ -> raise Infeasible
+          done
+      in
+      let masks = ref [] in
+      let engines = ref [] in
+      let n_groups = ref 0 in
+      List.iter
+        (fun (base, size, mask) ->
+          let group =
+            match
+              List.find_opt (fun (m, _) -> Bitmask.equal m mask) !masks
+            with
+            | Some (_, g) -> g
+            | None ->
+                let ways = Bitmask.count mask in
+                if ways = 0 then raise Infeasible;
+                let g = !n_groups in
+                incr n_groups;
+                engines :=
+                  Stack_dist.create ~line_size ~sets:cache.Sassoc.sets
+                    ~max_ways:ways ()
+                  :: !engines;
+                masks := (mask, g) :: !masks;
+                g
+          in
+          claim ~group base size)
+        regions;
+      (* each group must be an isolated LRU cache: pairwise-disjoint masks *)
+      let rec disjoint seen = function
+        | [] -> ()
+        | m :: rest ->
+            if not (Bitmask.is_empty (Bitmask.inter m seen)) then
+              raise Infeasible;
+            disjoint (Bitmask.union m seen) rest
+      in
+      disjoint Bitmask.empty (List.rev_map fst !masks);
+      let groups = Array.of_list (List.rev !engines) in
+      let group_ways = Array.map Stack_dist.max_ways groups in
+      Some
+        (eval ?requests ~cache ~timing ~page_size ~tlb_entries
+           ~scratch:no_ranges ~uncached:no_ranges ~page_map:(Some page_map)
+           ~groups ~group_ways ~setup_cycles:0 packed_list)
     with Infeasible -> None

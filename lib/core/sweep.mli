@@ -28,6 +28,7 @@
 
 val standard :
   ?translate:(int -> int) ->
+  ?requests:(int * int) array ->
   cache:Cache.Sassoc.config ->
   timing:Machine.Timing.t ->
   page_size:int ->
@@ -38,9 +39,18 @@ val standard :
     full-mask cache. Equals replaying the packed traces back to back on one
     fresh no-L2 system. [translate] is a physical frame placement (page
     coloring); it reindexes the cache but not the TLB. [None] unless the
-    policy is LRU without classification. *)
+    policy is LRU without classification.
+
+    [requests] are [(start, stop)] access-index spans over the concatenation
+    of the packed traces (sorted, disjoint); when given, the result's
+    [requests] field carries the per-request latency distribution, equal to
+    what {!Machine.System.run_packed_requests} reports for the same spans —
+    per-access miss and writeback outcomes come from
+    {!Cache.Stack_dist.access_traced}, so the distribution is exact, not
+    estimated. Raises [Invalid_argument] on malformed spans. *)
 
 val partitioned :
+  ?requests:(int * int) array ->
   cache:Cache.Sassoc.config ->
   timing:Machine.Timing.t ->
   page_size:int ->
@@ -60,4 +70,23 @@ val partitioned :
     when a group's columns overlap another's, when an access lands on a
     page no placement claims (default-tint traffic shares columns with
     every group), when an access hits a scratchpad-tinted page outside the
-    pinned byte range, or for non-LRU/classifying caches. *)
+    pinned byte range, or for non-LRU/classifying caches. [requests] as in
+    {!standard}; the setup (copy-in) charge counts toward total cycles but
+    toward no request, matching the machine's pending-setup accounting. *)
+
+val masked :
+  ?requests:(int * int) array ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  regions:(int * int * Cache.Bitmask.t) list ->
+  Memtrace.Packed.t list ->
+  Machine.Run_stats.t option
+(** Column isolation without a {!Layout.Partition}: each [(base, size,
+    mask)] region confines its pages' traffic to the columns of [mask] —
+    the closed form of retinting a region and mapping its tint to [mask] on
+    a fresh system (see [Vm.Mapping.retint_region] / [remap_tint]). Regions
+    sharing a mask share one engine; [None] when masks overlap, a page is
+    claimed by two groups, or an access lands on an unclaimed page.
+    [requests] as in {!standard}. *)

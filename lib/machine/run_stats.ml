@@ -9,6 +9,7 @@ type t = {
   l2_misses : int;
   prefetches : int;
   cache : Cache.Stats.t;
+  requests : Latency.t;
 }
 
 let cpi t =
@@ -27,6 +28,7 @@ let zero ~ways =
     l2_misses = 0;
     prefetches = 0;
     cache = Cache.Stats.create ~ways;
+    requests = Latency.empty;
   }
 
 let add a b =
@@ -41,13 +43,18 @@ let add a b =
     l2_misses = a.l2_misses + b.l2_misses;
     prefetches = a.prefetches + b.prefetches;
     cache = Cache.Stats.add a.cache b.cache;
+    requests = Latency.merge a.requests b.requests;
   }
 
 let pp ppf t =
+  let requests ppf =
+    if not (Latency.is_empty t.requests) then
+      Format.fprintf ppf "@ requests %a" Latency.pp t.requests
+  in
   Format.fprintf ppf
     "@[<v>instructions %d@ cycles %d (CPI %.3f)@ memory accesses %d \
      (scratchpad %d)@ TLB hits %d misses %d@ L2 hits %d misses %d@ \
-     prefetches %d@ %a@]"
+     prefetches %d@ %a%t@]"
     t.instructions t.cycles (cpi t) t.memory_accesses t.scratchpad_accesses
     t.tlb_hits t.tlb_misses t.l2_hits t.l2_misses t.prefetches Cache.Stats.pp
-    t.cache
+    t.cache requests

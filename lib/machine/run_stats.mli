@@ -11,6 +11,9 @@ type t = {
   l2_misses : int;
   prefetches : int;  (** lines fetched by the stream prefetcher *)
   cache : Cache.Stats.t;
+  requests : Latency.t;
+      (** Per-request latency distribution; {!Latency.empty} unless the run
+          was given request windows (see [System.run_packed_requests]). *)
 }
 
 val cpi : t -> float

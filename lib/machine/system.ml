@@ -230,6 +230,7 @@ let snapshot t =
     l2_misses = t.l2_misses;
     prefetches = t.prefetches;
     cache = Cache.Stats.copy (Sassoc.stats t.cache);
+    requests = Latency.empty;
   }
 
 let log2 n =
@@ -502,12 +503,68 @@ let run_with t replay =
     l2_misses = after.l2_misses - before.l2_misses;
     prefetches = after.prefetches - before.prefetches;
     cache = Cache.Stats.sub after.cache before.cache;
+    requests = Latency.empty;
   }
 
 let run t trace =
   run_with t (fun () -> Trace.iter (fun a -> ignore (access t a)) trace)
 
 let run_packed t packed = run_with t (fun () -> replay_packed t packed)
+
+(* Replay with per-request latency accounting. Requests are (start, stop)
+   access-index spans; the latency of a request is the cycle delta across
+   its window, so setup charges (applied by [run_with] before the first
+   access) and inter-request accesses never count against any request. The
+   scalar path is used per access — the soak pins it byte-identical to the
+   batched loop, so aggregate stats match [run_packed] exactly. *)
+let run_packed_requests t (p : Memtrace.Packed.t) ~requests =
+  let n = Memtrace.Packed.length p in
+  Array.iteri
+    (fun i (start, stop) ->
+      if start < 0 || start >= stop || stop > n then
+        invalid_arg "System.run_packed_requests: request span out of bounds";
+      if i > 0 && start < snd requests.(i - 1) then
+        invalid_arg
+          "System.run_packed_requests: request spans must be sorted and \
+           disjoint")
+    requests;
+  let addrs = Memtrace.Packed.raw_addrs p in
+  let gaps = Memtrace.Packed.raw_gaps p in
+  let kinds = Memtrace.Packed.raw_kinds p in
+  let lat =
+    Latency.Builder.create
+      ~initial_capacity:(max 16 (Array.length requests))
+      ()
+  in
+  let stats =
+    run_with t (fun () ->
+        let next_req = ref 0 in
+        let window_start = ref 0 in
+        let in_window = ref false in
+        for i = 0 to n - 1 do
+          (if (not !in_window) && !next_req < Array.length requests then
+             let start, _ = requests.(!next_req) in
+             if i = start then begin
+               in_window := true;
+               window_start := t.cycles
+             end);
+          let kind =
+            Memtrace.Packed.kind_of_code
+              (Char.code (Bytes.unsafe_get kinds i))
+          in
+          access_scalar t ~addr:(Array.unsafe_get addrs i) ~kind
+            ~gap:(Array.unsafe_get gaps i);
+          if !in_window then begin
+            let _, stop = requests.(!next_req) in
+            if i = stop - 1 then begin
+              Latency.Builder.push lat (t.cycles - !window_start);
+              in_window := false;
+              incr next_req
+            end
+          end
+        done)
+  in
+  { stats with Run_stats.requests = Latency.Builder.build lat }
 let run_trace t trace = run_packed t (Memtrace.Packed.of_trace trace)
 
 let total t = snapshot t

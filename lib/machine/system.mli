@@ -111,6 +111,17 @@ val run_packed : t -> Memtrace.Packed.t -> Run_stats.t
 (** {!run_trace} without the conversion, for callers that already hold a
     packed trace. *)
 
+val run_packed_requests :
+  t -> Memtrace.Packed.t -> requests:(int * int) array -> Run_stats.t
+(** Like {!run_packed}, but additionally records a per-request latency
+    distribution in the result's [requests] field. Each [(start, stop)]
+    span (start inclusive, stop exclusive, sorted, disjoint) is one
+    request; its latency is the cycle delta across the window, so setup
+    charges and accesses outside every window count toward totals but not
+    toward any request. Aggregate fields are byte-identical to
+    {!run_packed} over the same trace. Raises [Invalid_argument] on
+    malformed spans. *)
+
 val total : t -> Run_stats.t
 (** Cumulative statistics since creation (preloads excluded). *)
 

@@ -1,0 +1,89 @@
+(** Traffic-shaped workload generators.
+
+    Each {!stream} describes a distribution over item ranks; {!emit} samples
+    it with a seeded splitmix64 generator ({!Prng}) and lays the ranks out as
+    strided addresses in a {!Memtrace.Packed} trace, so equal seeds give
+    byte-identical traces on any machine. {!kv} builds a synthetic KV-store
+    request workload — hash-table probe plus value walk per request — on the
+    same footing.
+
+    Every trace carries its request windows ([requests]) for per-request
+    latency accounting, and its declared address range ([base]/[limit]) so
+    harnesses can verify containment with {!out_of_range}. *)
+
+type stream =
+  | Uniform of { items : int }  (** Uniform over [0, items). *)
+  | Scan of { items : int }  (** Sequential sweep, wrapping at [items]. *)
+  | Zipf of { items : int; theta : float }
+      (** Rank [k] (0-based) drawn with probability proportional to
+          [1 / (k+1)^theta]. [theta = 0] degenerates to uniform. *)
+  | Hot_set of {
+      items : int;
+      hot_items : int;  (** Size of the hot window. *)
+      hot_prob : float;  (** Probability a sample lands in the window. *)
+      drift_every : int;
+          (** The window start advances by [hot_items] (mod [items]) after
+              every [drift_every] samples. *)
+    }
+  | Phased of (int * stream) list
+      (** Round-robin through sub-streams: [(len, s)] plays [len] samples
+          from [s] before moving on, cycling back to the first phase. *)
+
+val items : stream -> int
+(** Size of the rank space: the largest [items] over all (sub-)streams. *)
+
+type trace = {
+  packed : Memtrace.Packed.t;
+  requests : (int * int) array;
+      (** Request windows as [(start, stop)] access-index spans, start
+          inclusive, stop exclusive, sorted and non-overlapping. *)
+  base : int;  (** Lowest address the generator may emit. *)
+  limit : int;  (** One past the highest address the generator may emit. *)
+}
+
+val emit :
+  ?perturb:bool ->
+  ?base:int ->
+  ?stride:int ->
+  ?write_ratio:float ->
+  ?accesses_per_request:int ->
+  ?var:string ->
+  seed:int ->
+  n:int ->
+  stream ->
+  trace
+(** [emit ~seed ~n stream] samples [n] accesses. Rank [k] maps to address
+    [base + k * stride] (defaults: base 0, stride 16); each access is a
+    write with probability [write_ratio] (default 0.25) and carries a small
+    random instruction gap. Requests are consecutive
+    [accesses_per_request]-sized windows (default 1).
+
+    [perturb] enables the fault-injection mutation used by
+    [--inject-bug gen]: Zipf ranks are shifted by one without re-clamping,
+    so the top rank escapes [\[base, limit)]. *)
+
+val kv :
+  ?perturb:bool ->
+  ?base:int ->
+  ?theta:float ->
+  seed:int ->
+  requests:int ->
+  keys:int ->
+  buckets:int ->
+  value_lines:int ->
+  unit ->
+  trace
+(** Synthetic KV store: [buckets] 8-byte chain heads, one 16-byte chain
+    entry per key, and a [value_lines] * 16-byte value per key, laid out
+    consecutively from [base]. One request = read the key's bucket head,
+    walk the chain to the key's entry, then walk the value lines (the last
+    line is a write for ~30% of requests). Keys are drawn
+    Zipf([theta]) (default 0.99); bucket assignment is salted by [seed].
+    Accesses are tagged ["kv_heads"], ["kv_entries"], ["kv_values"]. *)
+
+val out_of_range : trace -> int option
+(** Index of the first access outside [\[base, limit)], if any — the
+    containment check the differential soak runs on generator-backed
+    scenarios. *)
+
+val pp_stream : Format.formatter -> stream -> unit

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 (Steele, Lea, Flood 2014): the golden-gamma increment makes
+   every seed, including 0, produce a full-period high-quality stream. *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  x mod bound
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+let chance t p = p > 0. && float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+(* The top 53 bits, scaled: every double in [0,1) representable this way,
+   uniform, and bit-stable like the integer draws. *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let subset t ~keep l = List.filter (fun _ -> chance t keep) l

@@ -91,6 +91,45 @@ let test_empty_rows () =
   with_rows ~header:[ "only"; "header" ] [] (fun got ->
       Alcotest.(check string) "header line only" "only,header\n" got)
 
+(* The tail-latency figure, serialized through the same rows write_all
+   uses, pinned byte-for-byte. The generators are seeded and the machine
+   model deterministic, so any drift in these numbers is a real behavior
+   change in the generators, the latency accounting, or the MRC
+   allocation — not noise. *)
+module Tl = Colcache.Experiments.Tail_latency
+
+let test_tail_latency_golden () =
+  let tl = Tl.run () in
+  let path = tmp_path "colcache_tail_latency.csv" in
+  Csv.write_rows ~path ~header:Csv.tail_latency_header
+    (Csv.tail_latency_rows tl);
+  let got =
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> read_file path)
+  in
+  let expected =
+    "tenant,columns,shared_p50,shared_p99,shared_p999,partitioned_p50,\
+     partitioned_p99,partitioned_p999\n\
+     all,8,59,207,217,23,206,212\n\
+     zipf_hot,4,24,88,135,20,61,135\n\
+     zipf_warm,3,46,114,202,21,97,202\n\
+     scan,1,194,210,218,192,209,213\n"
+  in
+  Alcotest.(check string) "tail_latency.csv exact bytes" expected got;
+  (* the figure's claim: column partitioning beats the shared cache at the
+     p99 tail for both Zipf tenants *)
+  List.iter
+    (fun (r : Tl.row) ->
+      if r.Tl.tenant = "zipf_hot" || r.Tl.tenant = "zipf_warm" then
+        Alcotest.(check bool)
+          (r.Tl.tenant ^ " p99 improves under partitioning")
+          true
+          (r.Tl.part_p99 < r.Tl.shared_p99))
+    tl.Tl.rows;
+  Alcotest.(check bool) "shared sweep matches machine replay" true
+    tl.Tl.shared_sweep_exact;
+  Alcotest.(check bool) "partitioned sweep matches machine replay" true
+    tl.Tl.partitioned_sweep_exact
+
 let suites =
   [
     ( "core.csv_export",
@@ -98,5 +137,7 @@ let suites =
         Alcotest.test_case "golden quoting" `Quick test_golden;
         Alcotest.test_case "round-trip through a reader" `Quick test_roundtrip;
         Alcotest.test_case "no rows" `Quick test_empty_rows;
+        Alcotest.test_case "tail-latency figure golden CSV" `Quick
+          test_tail_latency_golden;
       ] );
   ]

@@ -59,6 +59,15 @@ let test_soak_covers_machine () =
       check_int "half the scenarios replayed through the machine diff" 250
         summary.Diff.machine_iters
 
+let test_soak_covers_traffic () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      (* Every third iteration after the 8-scenario forced preamble:
+         i in [8, 500) with i mod 3 = 2 — 164 of them. *)
+      check_int "traffic-shaped generator scenarios" 164
+        summary.Diff.traffic_iters
+
 (* --- mutation tests: a harness that cannot catch a planted bug proves
    nothing, so plant three and insist each is caught and shrunk small --- *)
 
@@ -127,6 +136,27 @@ let test_mutation_machine_fast_path () =
         (match Check.Machine_diff.run_scenario failure.Diff.scenario with
         | Check.Machine_diff.Agree -> true
         | Check.Machine_diff.Diverge _ -> false);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal failure.Diff.scenario
+           (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
+
+let test_mutation_gen () =
+  (* The planted Zipf-sampler bug lives in the workload generator, so it is
+     caught by the containment check on a traffic-shaped iteration — a
+     generator-vs-declaration violation, not a driver divergence. *)
+  match Diff.soak ~bug:Oracle.Gen ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "gen bug survived 500 iterations"
+  | Error (failure, summary) ->
+      check_bool "flagged as a generator-containment failure" true
+        failure.Diff.gen;
+      check_bool "not attributed to any driver" true
+        ((not failure.Diff.fast_path)
+        && (not failure.Diff.machine)
+        && not failure.Diff.mrc);
+      check_int "repro is the single offending access" 1
+        (Scenario.length failure.Diff.scenario);
+      check_bool "some traffic scenarios ran before the catch" true
+        (summary.Diff.traffic_iters > 0);
       check_bool "repro survives the textual round-trip" true
         (Scenario.equal failure.Diff.scenario
            (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
@@ -266,6 +296,8 @@ let suites =
         Alcotest.test_case "covers the batched fast path" `Quick test_soak_covers_fast_path;
         Alcotest.test_case "covers the machine batched replay" `Quick
           test_soak_covers_machine;
+        Alcotest.test_case "covers traffic-shaped generators" `Quick
+          test_soak_covers_traffic;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
       ] );
     ( "check.mutation",
@@ -276,6 +308,8 @@ let suites =
         Alcotest.test_case "catches fast-path batching bug" `Quick test_mutation_fast_path;
         Alcotest.test_case "catches machine batched-replay bug" `Quick
           test_mutation_machine_fast_path;
+        Alcotest.test_case "catches generator sampler bug" `Quick
+          test_mutation_gen;
       ] );
     ( "check.oracle",
       [

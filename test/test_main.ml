@@ -6,4 +6,5 @@ let () =
    @ Test_coloring.suites @ Test_workloads.suites @ Test_sched.suites
    @ Test_layout.suites @ Test_dynamic.suites @ Test_optimize.suites @ Test_parse.suites @ Test_pipeline.suites
    @ Test_differential.suites @ Test_policy_ref.suites @ Test_stack_dist.suites
-   @ Test_addr_decomp.suites @ Test_csv_export.suites @ Test_bench_json.suites)
+   @ Test_addr_decomp.suites @ Test_csv_export.suites @ Test_bench_json.suites
+   @ Test_workload_gen.suites)
