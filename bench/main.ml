@@ -193,6 +193,78 @@ let bench_mrc_per_tag () =
     (Cache.Stack_dist.per_tag_of_packed ~line_size:16 ~sets:32 ~max_ways:4
        (Lazy.force hot_walk_packed))
 
+(* --- sampled stack distances / out-of-core replay -----------------------
+   [mrc_sampled_lz77] and [mrc_sampled_zipf] replay the same traces as the
+   exact engines but through the SHARDS-style set-sampled estimator — the
+   speedup over [mrc_histogram] is what sampling buys, and the JSON rows
+   carry the observed mean absolute miss-ratio error against the exact
+   curve (computed once, outside the timed region) so a throughput win
+   bought by a broken estimate shows up in the baseline diff.
+   [sys_replay_mmap] is [sys_replay_batched] with the packed trace mapped
+   from a file instead of resident — the page-cache-backed out-of-core
+   path the large-trace smoke job uses. *)
+
+let zipf_packed =
+  lazy
+    (Workloads.Gen.emit ~seed:13 ~n:65536
+       (Workloads.Gen.Zipf { items = 8192; theta = 0.99 }))
+      .Workloads.Gen.packed
+
+let bench_mrc_sampled_lz77 () =
+  let engine =
+    Cache.Stack_dist.Sampled.create ~rate:0.1 ~line_size:16 ~sets:128
+      ~max_ways:8 ()
+  in
+  Cache.Stack_dist.Sampled.access_packed engine (Lazy.force hot_packed);
+  ignore (Cache.Stack_dist.Sampled.mrc_est engine)
+
+let bench_mrc_sampled_zipf () =
+  let engine =
+    Cache.Stack_dist.Sampled.create ~rate:0.1 ~line_size:16 ~sets:128
+      ~max_ways:8 ()
+  in
+  Cache.Stack_dist.Sampled.access_packed engine (Lazy.force zipf_packed);
+  ignore (Cache.Stack_dist.Sampled.mrc_est engine)
+
+(* Observed estimator error for the JSON rows: mean absolute miss-ratio
+   error over associativities 1..8, sampled (as benched above) vs exact. *)
+let sampled_error packed =
+  let exact = Cache.Stack_dist.create ~line_size:16 ~sets:128 ~max_ways:8 () in
+  Cache.Stack_dist.access_packed exact packed;
+  let sampled =
+    Cache.Stack_dist.Sampled.create ~rate:0.1 ~line_size:16 ~sets:128
+      ~max_ways:8 ()
+  in
+  Cache.Stack_dist.Sampled.access_packed sampled packed;
+  let mrc = Cache.Stack_dist.mrc exact in
+  let est = Cache.Stack_dist.Sampled.mrc_est sampled in
+  let sum = ref 0. in
+  for a = 1 to 8 do
+    sum := !sum +. abs_float (est.(a) -. mrc.(a))
+  done;
+  !sum /. 8.
+
+let sample_errors () =
+  [
+    ("colcache/mrc_sampled_lz77", sampled_error (Lazy.force hot_packed));
+    ("colcache/mrc_sampled_zipf", sampled_error (Lazy.force zipf_packed));
+  ]
+
+let mmap_packed =
+  lazy
+    (let path = Filename.temp_file "colcache_bench" ".pk" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     Memtrace.Packed.write_file path (Lazy.force hot_packed);
+     Memtrace.Packed.map_file path)
+
+let sys_mmap = lazy (Machine.System.create (sys_config ()))
+
+let bench_sys_replay_mmap () =
+  let sys = Lazy.force sys_mmap in
+  Machine.System.flush_cache sys;
+  Machine.System.flush_tlb sys;
+  ignore (Machine.System.run_packed sys (Lazy.force mmap_packed))
+
 (* --- workload generators ------------------------------------------------
    [gen_zipf] times the traffic-shaped generator itself: 32 K Zipf samples
    (harmonic-CDF binary search per draw) emitted into a packed trace.
@@ -246,7 +318,11 @@ let access_counts () =
     ("colcache/hot_access_trace", n);
     ("colcache/sys_replay_scalar", n);
     ("colcache/sys_replay_batched", n);
+    ("colcache/sys_replay_mmap", n);
     ("colcache/mrc_histogram", n);
+    ("colcache/mrc_sampled_lz77", n);
+    ( "colcache/mrc_sampled_zipf",
+      float_of_int (Memtrace.Packed.length (Lazy.force zipf_packed)) );
     ( "colcache/mrc_per_tag",
       float_of_int (Memtrace.Packed.length (Lazy.force hot_walk_packed)) );
     ("colcache/fig4a_dequant", routine "dequant");
@@ -270,7 +346,10 @@ let tests =
       Test.make ~name:"hot_access_trace" (Staged.stage bench_hot_access_trace);
       Test.make ~name:"sys_replay_scalar" (Staged.stage bench_sys_replay_scalar);
       Test.make ~name:"sys_replay_batched" (Staged.stage bench_sys_replay_batched);
+      Test.make ~name:"sys_replay_mmap" (Staged.stage bench_sys_replay_mmap);
       Test.make ~name:"mrc_histogram" (Staged.stage bench_mrc_histogram);
+      Test.make ~name:"mrc_sampled_lz77" (Staged.stage bench_mrc_sampled_lz77);
+      Test.make ~name:"mrc_sampled_zipf" (Staged.stage bench_mrc_sampled_zipf);
       Test.make ~name:"mrc_per_tag" (Staged.stage bench_mrc_per_tag);
       Test.make ~name:"gen_zipf" (Staged.stage bench_gen_zipf);
       Test.make ~name:"kv_requests" (Staged.stage bench_kv_requests);
@@ -307,6 +386,7 @@ let run_bechamel ~quick () =
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let counts = access_counts () in
+  let errors = sample_errors () in
   let rows =
     Hashtbl.fold
       (fun name o acc ->
@@ -342,7 +422,13 @@ let run_bechamel ~quick () =
           | Some n when est > 0. -> n /. (est *. 1e-9)
           | _ -> 0.
         in
-        Some { Colcache.Bench_json.name; ns_per_run = est; accesses_per_sec })
+        Some
+          {
+            Colcache.Bench_json.name;
+            ns_per_run = est;
+            accesses_per_sec;
+            sample_error = List.assoc_opt name errors;
+          })
     rows
 
 (* --- argument parsing ---------------------------------------------------- *)

@@ -12,7 +12,9 @@
      colcache dynamic             run the per-routine schedule, show remap costs
      colcache layout  <routine>   show the computed placement for a routine
      colcache simulate <routine>  run one routine under a chosen partition
-     colcache trace   <routine>   dump the head of a routine's memory trace
+     colcache trace dump <routine>    dump the head of a routine's memory trace
+     colcache trace pack|info|synth   packed binary trace tooling
+     colcache mrc     <file>      miss-ratio curve of a trace, exact or sampled
      colcache check               differential soak: simulators vs naive oracle
      colcache gen                 emit a traffic-shaped workload trace
      colcache validate <file>     parse and validate an IF program file *)
@@ -237,7 +239,33 @@ let simulate_cmd =
        ~doc:"Lay a routine out and replay it on the machine model.")
     Term.(const run $ app_arg $ optimize_arg $ routine_arg $ scratch_arg $ meth_arg)
 
-let trace_cmd =
+(* Shared by trace synth and gen: the distribution-shape flags. *)
+let dist_arg =
+  Arg.(
+    value
+    & opt (enum [ ("zipf", `Zipf); ("uniform", `Uniform); ("scan", `Scan);
+                  ("hotset", `Hotset) ])
+        `Zipf
+    & info [ "dist" ] ~docv:"DIST"
+        ~doc:
+          "Distribution: $(b,zipf), $(b,uniform), $(b,scan) or $(b,hotset) \
+           (drifting hot window).")
+
+let stream_of_dist dist ~items ~theta ~n =
+  match dist with
+  | `Zipf -> Workloads.Gen.Zipf { items; theta }
+  | `Uniform -> Workloads.Gen.Uniform { items }
+  | `Scan -> Workloads.Gen.Scan { items }
+  | `Hotset ->
+      Workloads.Gen.Hot_set
+        {
+          items;
+          hot_items = max 1 (items / 8);
+          hot_prob = 0.9;
+          drift_every = max 1 (n / 8);
+        }
+
+let trace_dump_term =
   let count =
     Arg.(
       value & opt int 32
@@ -266,9 +294,260 @@ let trace_cmd =
         Memtrace.Trace_file.save ~path trace;
         Format.fprintf ppf "saved to %s@." path
   in
+  Term.(const run $ app_arg $ optimize_arg $ routine_arg $ count $ out)
+
+let trace_dump_cmd =
   Cmd.v
-    (Cmd.info "trace" ~doc:"Dump (and optionally save) a routine's memory trace.")
-    Term.(const run $ app_arg $ optimize_arg $ routine_arg $ count $ out)
+    (Cmd.info "dump"
+       ~doc:"Dump (and optionally save) a routine's memory trace.")
+    trace_dump_term
+
+let trace_pack_cmd =
+  let input =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"IN" ~doc:"Text trace (colcache-trace v1).")
+  in
+  let output =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"OUT" ~doc:"Packed binary trace to write.")
+  in
+  let run input output =
+    if Memtrace.Packed.is_packed_file input then begin
+      Format.eprintf "%s: already a packed binary trace@." input;
+      exit 1
+    end;
+    let packed = Memtrace.Packed.of_trace (Memtrace.Trace_file.load ~path:input) in
+    Memtrace.Packed.write_file output packed;
+    Format.fprintf ppf "packed %d accesses into %s (%d bytes)@."
+      (Memtrace.Packed.length packed)
+      output
+      (Unix.stat output).Unix.st_size
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:
+         "Convert a text trace to the packed binary format, whose columns \
+          mmap directly so replays run in bounded memory however large the \
+          trace.")
+    Term.(const run $ input $ output)
+
+let trace_info_cmd =
+  let input =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file (text or packed binary).")
+  in
+  let run input =
+    let packed_format = Memtrace.Packed.is_packed_file input in
+    let packed = Memtrace.Trace_file.load_packed ~path:input in
+    let n = Memtrace.Packed.length packed in
+    let addrs = Memtrace.Packed.raw_addrs packed in
+    let kinds = Memtrace.Packed.raw_kinds packed in
+    let lo = ref max_int and hi = ref min_int and writes = ref 0 in
+    for i = 0 to n - 1 do
+      let a = Bigarray.Array1.unsafe_get addrs i in
+      if a < !lo then lo := a;
+      if a > !hi then hi := a;
+      if Bigarray.Array1.unsafe_get kinds i = '\001' then incr writes
+    done;
+    Format.fprintf ppf "format:       %s@."
+      (if packed_format then "packed binary (mmapped)" else "text v1");
+    Format.fprintf ppf "file bytes:   %d@." (Unix.stat input).Unix.st_size;
+    Format.fprintf ppf "accesses:     %d@." n;
+    Format.fprintf ppf "instructions: %d@." (Memtrace.Packed.instructions packed);
+    Format.fprintf ppf "writes:       %d@." !writes;
+    Format.fprintf ppf "variables:    %d@."
+      (Array.length (Memtrace.Packed.var_table packed));
+    if n > 0 then Format.fprintf ppf "addresses:    [%d, %d]@." !lo !hi
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:
+         "Show a trace file's header and aggregate statistics. Packed files \
+          are mmapped, so this is cheap even for traces larger than RAM.")
+    Term.(const run $ input)
+
+let trace_synth_cmd =
+  let n =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "n" ] ~docv:"N" ~doc:"Accesses to synthesize.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"PRNG seed; equal seeds give byte-identical files.")
+  in
+  let items =
+    Arg.(
+      value & opt int 65536
+      & info [ "items" ] ~docv:"I" ~doc:"Rank-space size.")
+  in
+  let theta =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~docv:"T" ~doc:"Zipf skew (zipf only).")
+  in
+  let out =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Packed binary trace to write.")
+  in
+  let run dist n seed items theta out =
+    if n < 0 then begin
+      Format.eprintf "trace synth: -n must be >= 0@.";
+      exit 1
+    end;
+    let stream = stream_of_dist dist ~items ~theta ~n in
+    (* Streamed through Packed.Writer: the trace never materializes in
+       memory, so N is bounded by disk, not RAM. *)
+    let w = Memtrace.Packed.Writer.create out ~length:n in
+    Workloads.Gen.iter_accesses ~seed ~n stream (fun ~kind ~gap addr ->
+        Memtrace.Packed.Writer.emit w ~kind ~gap addr);
+    Memtrace.Packed.Writer.close w;
+    Format.fprintf ppf "synthesized %d accesses into %s (%d bytes)@." n out
+      (Unix.stat out).Unix.st_size
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Synthesize a traffic-shaped trace straight to a packed binary \
+          file, streaming: memory use is constant however large N is.")
+    Term.(const run $ dist_arg $ n $ seed $ items $ theta $ out)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "Trace tooling: dump a routine's trace (default), pack text traces \
+          into the mmappable binary format, inspect trace files, or \
+          synthesize huge traces out of core.")
+    [ trace_dump_cmd; trace_pack_cmd; trace_info_cmd; trace_synth_cmd ]
+
+let mrc_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Trace file (text colcache-trace v1 or packed binary).")
+  in
+  let line_size =
+    Arg.(
+      value & opt int 16
+      & info [ "line-size" ] ~docv:"BYTES" ~doc:"Cache line size.")
+  in
+  let sets =
+    Arg.(
+      value & opt int 32
+      & info [ "sets" ] ~docv:"N" ~doc:"Cache sets (power of two).")
+  in
+  let ways =
+    Arg.(
+      value & opt int 8
+      & info [ "ways" ] ~docv:"W" ~doc:"Largest associativity to report.")
+  in
+  let sample_rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "sample-rate" ] ~docv:"R"
+          ~doc:
+            "SHARDS-style set sampling at rate R in (0, 1]: only sets \
+             hashing under R are simulated and the curve is scaled back up. \
+             Without this flag the curve is exact.")
+  in
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"LINES"
+          ~doc:
+            "With $(b,--sample-rate): cap on distinct sampled lines; the \
+             largest-hash selected sets are evicted (lowering the effective \
+             rate) to stay under it.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S" ~doc:"Set-hash seed (sampled mode).")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "With $(b,--sample-rate): also run the exact engine and report \
+             the observed per-associativity and mean absolute error.")
+  in
+  let run file line_size sets ways sample_rate budget seed compare =
+    let packed = Memtrace.Trace_file.load_packed ~path:file in
+    let exact_mrc =
+      if sample_rate = None || compare then begin
+        let engine = Cache.Stack_dist.create ~line_size ~sets ~max_ways:ways () in
+        Cache.Stack_dist.access_packed engine packed;
+        Some (Cache.Stack_dist.mrc engine)
+      end
+      else None
+    in
+    match sample_rate with
+    | None ->
+        let mrc = Option.get exact_mrc in
+        Format.fprintf ppf "%d accesses, exact miss-ratio curve:@."
+          (Memtrace.Packed.length packed);
+        for a = 1 to ways do
+          Format.fprintf ppf "  %2d way%s  %.6f@." a
+            (if a = 1 then " " else "s")
+            mrc.(a)
+        done
+    | Some rate ->
+        let sampled =
+          Cache.Stack_dist.Sampled.create ~seed ?budget ~rate ~line_size ~sets
+            ~max_ways:ways ()
+        in
+        Cache.Stack_dist.Sampled.access_packed sampled packed;
+        let est = Cache.Stack_dist.Sampled.mrc_est sampled in
+        Format.fprintf ppf
+          "%d accesses, sampled miss-ratio curve (rate %.4f requested, %.4f \
+           effective: %d/%d sets, %d accesses sampled%s):@."
+          (Memtrace.Packed.length packed)
+          rate
+          (Cache.Stack_dist.Sampled.effective_rate sampled)
+          (Cache.Stack_dist.Sampled.selected_sets sampled)
+          sets
+          (Cache.Stack_dist.Sampled.sampled_accesses sampled)
+          (let ev = Cache.Stack_dist.Sampled.set_evictions sampled in
+           if ev = 0 then "" else Printf.sprintf ", %d budget evictions" ev);
+        (match exact_mrc with
+        | None ->
+            for a = 1 to ways do
+              Format.fprintf ppf "  %2d way%s  %.6f@." a
+                (if a = 1 then " " else "s")
+                est.(a)
+            done
+        | Some mrc ->
+            let sum = ref 0. in
+            for a = 1 to ways do
+              let e = abs_float (est.(a) -. mrc.(a)) in
+              sum := !sum +. e;
+              Format.fprintf ppf
+                "  %2d way%s  est %.6f  exact %.6f  |err| %.6f@." a
+                (if a = 1 then " " else "s")
+                est.(a) mrc.(a) e
+            done;
+            Format.fprintf ppf "mean absolute error: %.6f@."
+              (!sum /. float_of_int ways))
+  in
+  Cmd.v
+    (Cmd.info "mrc"
+       ~doc:
+         "Miss-ratio curve of a trace file over associativities 1..W, exact \
+          (single-pass stack distances) or SHARDS-sampled \
+          ($(b,--sample-rate)). Packed binary traces are mmapped, so curves \
+          of larger-than-RAM traces compute in bounded memory.")
+    Term.(
+      const run $ file $ line_size $ sets $ ways $ sample_rate $ budget $ seed
+      $ compare)
 
 let validate_cmd =
   let file =
@@ -319,6 +598,7 @@ let check_cmd =
           ("fast-path", Check.Oracle.Fast_path);
           ("machine-fast-path", Check.Oracle.Machine_fast_path);
           ("mrc", Check.Oracle.Mrc);
+          ("sample", Check.Oracle.Sample);
           ("gen", Check.Oracle.Gen);
         ]
     in
@@ -330,7 +610,8 @@ let check_cmd =
              $(b,skip-writeback) in the oracle, $(b,fast-path) in the \
              batched real-side driver, $(b,machine-fast-path) in the \
              machine-level batched replay, $(b,mrc) in the stack-distance \
-             engine's access feed, or $(b,gen) in the workload generator's \
+             engine's access feed, $(b,sample) in the sampled mrc \
+             estimator's rescale, or $(b,gen) in the workload generator's \
              Zipf sampler) to demonstrate that the harness catches and \
              shrinks it. Exit status is inverted: the run fails if the bug \
              is NOT caught.")
@@ -372,7 +653,20 @@ let check_cmd =
              cache-level oracle diff. Repros the soak reports as caught by \
              the stack-distance mrc driver only diverge under this flag.")
   in
-  let run seed iters max_events bug replay fast_path machine_fast_path mrc =
+  let sample =
+    Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "With $(b,--replay): replay the scenario through the \
+             sampled-vs-exact differential (SHARDS-sampled Stack_dist \
+             estimator vs the exact engine, within the error bound) \
+             instead of the cache-level oracle diff. Repros the soak \
+             reports as caught by the sampled mrc error-bound driver only \
+             diverge under this flag.")
+  in
+  let run seed iters max_events bug replay fast_path machine_fast_path mrc
+      sample =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -387,7 +681,16 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        if mrc then
+        if sample then
+          match Check.Sample_diff.run_scenario ?bug sc with
+          | Check.Sample_diff.Agree ->
+              Format.fprintf ppf
+                "%s: sampled estimator within the error bound@." path
+          | Check.Sample_diff.Diverge { step; detail } ->
+              Format.fprintf ppf "%s: DIVERGENCE at event %d: %s@." path step
+                detail;
+              exit 1
+        else if mrc then
           match Check.Mrc_diff.run_scenario ?bug sc with
           | Check.Mrc_diff.Agree ->
               Format.fprintf ppf
@@ -444,7 +747,7 @@ let check_cmd =
           repro.")
     Term.(
       const run $ seed $ iters $ max_events $ bug $ replay $ fast_path
-      $ machine_fast_path $ mrc)
+      $ machine_fast_path $ mrc $ sample)
 
 let runfile_cmd =
   let file =
@@ -494,15 +797,19 @@ let replay_cmd =
     Arg.(value & opt int 4 & info [ "ways" ] ~docv:"N" ~doc:"Columns (ways).")
   in
   let run file size ways =
-    let trace = Memtrace.Trace_file.load ~path:file in
+    (* load_packed mmaps binary traces in place, so replays of traces far
+       larger than RAM stream through the batched machine path. *)
+    let packed = Memtrace.Trace_file.load_packed ~path:file in
     let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:size ~ways () in
     let system = Machine.System.create (Machine.System.config cache) in
-    let stats = Machine.System.run_trace system trace in
+    let stats = Machine.System.run_packed system packed in
     Format.fprintf ppf "%a@." Machine.Run_stats.pp stats
   in
   Cmd.v
     (Cmd.info "replay"
-       ~doc:"Replay a saved trace against a chosen cache geometry.")
+       ~doc:
+         "Replay a saved trace (text or packed binary) against a chosen \
+          cache geometry.")
     Term.(const run $ file $ size $ ways)
 
 let gen_cmd =
@@ -625,7 +932,7 @@ let main_cmd =
     [
       fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
       export_cmd;
-      dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd;
+      dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd; mrc_cmd;
       check_cmd; validate_cmd; runfile_cmd; gen_cmd;
     ]
 

@@ -136,9 +136,9 @@ let access_packed t p =
   let kinds = Memtrace.Packed.raw_kinds p in
   for i = 0 to n - 1 do
     touch t
-      ~write:(Bytes.unsafe_get kinds i = '\001')
+      ~write:(Bigarray.Array1.unsafe_get kinds i = '\001')
       ~counted:true
-      (Array.unsafe_get addrs i)
+      (Bigarray.Array1.unsafe_get addrs i)
   done
 
 let reset_counts t =
@@ -152,6 +152,7 @@ let reset_counts t =
 let accesses t = t.n_accesses
 let cold_misses t = t.cold
 let overflows t = t.overflow
+let distinct_lines t = Hashtbl.length t.seen
 let histogram t = Array.copy t.hist
 
 let check_ways t a name =
@@ -220,10 +221,248 @@ let per_tag_of_packed ?translate ~line_size ~sets ~max_ways p =
   let kinds = Memtrace.Packed.raw_kinds p in
   let tags = Memtrace.Packed.raw_tags p in
   for i = 0 to n - 1 do
-    let addr = Array.unsafe_get addrs i in
-    let write = Bytes.unsafe_get kinds i = '\001' in
+    let addr = Bigarray.Array1.unsafe_get addrs i in
+    let write = Bigarray.Array1.unsafe_get kinds i = '\001' in
     touch global ~write ~counted:true addr;
-    let tag = Array.unsafe_get tags i in
+    let tag = Bigarray.Array1.unsafe_get tags i in
     if tag >= 0 then touch (snd engines.(tag)) ~write ~counted:true addr
   done;
   (global, engines)
+
+(* {2 Spatially-hashed sampled stack distances}
+
+   SHARDS (Waldspurger et al., FAST '15) keeps a reference iff
+   [hash(location) < T] and scales every count by [1/T] — the sampled
+   references are an unbiased spatial subpopulation, so the scaled depth
+   histogram estimates the exact one. A set-associative Mattson engine has a
+   natural sampling unit one level up: hashing individual *lines* would leave
+   each set's recency stack with holes (a sampled line's depth would be its
+   rank among sampled lines only, garbage at small associativity), whereas
+   hashing *sets* keeps every selected set's stack exact. Sets are symmetric
+   interleaved slices of the address space, so a hashed subset of them is
+   exactly SHARDS' spatial subpopulation, and the per-distance counts of the
+   selected sets scaled by [n_sets / selected] estimate the full-trace
+   counts.
+
+   Selection is the prefix of the sets ordered by (hash, set): lowering the
+   rate can only shrink the prefix, so the sample locations at a lower rate
+   are a subset of those at a higher one (SHARDS' threshold-monotonicity,
+   pinned by a qcheck property). The fixed-budget variant counts distinct
+   sampled lines across the selected sets and, when the budget is exceeded,
+   evicts the selected set with the largest hash — lowering the effective
+   threshold T to that hash, with the evicted set's entire contribution
+   (counts and distinct lines) leaving the estimate, which is the
+   set-granular form of SHARDS' rescaling-on-eviction: estimates are always
+   computed from the currently selected sets alone. *)
+
+(* One stateless splitmix64-style draw in [0,1) per set, seeded: the same
+   mixer as [Workloads.Prng] (this library sits below it), applied to the
+   set index. *)
+let set_hash ~seed set =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int (set + 1)) 0x9E3779B97F4A7C15L)
+      (Int64.of_int seed)
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+module Sampled = struct
+  type exact = t
+
+  (* shadowed below by the sampled reading of the same name *)
+  let exact_accesses : exact -> int = accesses
+
+  type entry = {
+    engine : exact;
+    set : int;
+    hash : float;
+    mutable distinct : int; (* cached [distinct_lines engine] *)
+  }
+
+  type t = {
+    translate : (int -> int) option;
+    line_shift : int;
+    set_mask : int;
+    n_sets : int;
+    w : int;
+    rate : float; (* nominal, as requested *)
+    min_sets : int; (* eviction floor: budget adaptation never goes below *)
+    budget : int option;
+    entries : entry array; (* prefix positions; only [0 .. sel_len-1] live *)
+    pos_of_set : int array; (* set -> prefix position, -1 unselected *)
+    mutable sel_len : int;
+    mutable threshold : float; (* effective T after budget adaptation *)
+    mutable total_distinct : int;
+    mutable offered : int; (* counted accesses, sampled or not *)
+    mutable evictions : int; (* budget-driven set evictions *)
+  }
+
+  let create ?translate ?(seed = 0) ?(min_sets = 1) ?budget ~rate ~line_size
+      ~sets ~max_ways () =
+    if not (rate > 0. && rate <= 1.) then
+      invalid_arg "Stack_dist.Sampled.create: rate must be in (0, 1]";
+    if min_sets < 1 then
+      invalid_arg "Stack_dist.Sampled.create: min_sets must be >= 1";
+    (match budget with
+    | Some b when b < 1 ->
+        invalid_arg "Stack_dist.Sampled.create: budget must be >= 1"
+    | _ -> ());
+    if not (is_power_of_two sets) then
+      invalid_arg "Stack_dist.Sampled.create: sets must be a power of two";
+    if not (is_power_of_two line_size) then
+      invalid_arg "Stack_dist.Sampled.create: line_size must be a power of two";
+    if max_ways < 1 then
+      invalid_arg "Stack_dist.Sampled.create: max_ways must be >= 1";
+    let hashes = Array.init sets (fun s -> set_hash ~seed s) in
+    let order = Array.init sets (fun s -> s) in
+    Array.sort
+      (fun a b ->
+        match compare hashes.(a) hashes.(b) with
+        | 0 -> compare a b
+        | c -> c)
+      order;
+    let below = ref 0 in
+    Array.iter (fun h -> if h < rate then incr below) hashes;
+    let sel_len = max 1 (min sets (max min_sets !below)) in
+    let entries =
+      Array.init sel_len (fun p ->
+          let set = order.(p) in
+          {
+            (* the wrapper translates and routes; each selected set is an
+               exact single-set engine over already-translated addresses *)
+            engine = create ~line_size ~sets:1 ~max_ways ();
+            set;
+            hash = hashes.(set);
+            distinct = 0;
+          })
+    in
+    let pos_of_set = Array.make sets (-1) in
+    Array.iteri (fun p e -> pos_of_set.(e.set) <- p) entries;
+    {
+      translate;
+      line_shift = log2 line_size;
+      set_mask = sets - 1;
+      n_sets = sets;
+      w = max_ways;
+      rate;
+      min_sets = min sets min_sets;
+      budget;
+      entries;
+      pos_of_set;
+      sel_len;
+      threshold = rate;
+      total_distinct = 0;
+      offered = 0;
+      evictions = 0;
+    }
+
+  let evict t =
+    let p = t.sel_len - 1 in
+    let e = t.entries.(p) in
+    t.pos_of_set.(e.set) <- -1;
+    t.sel_len <- p;
+    t.total_distinct <- t.total_distinct - e.distinct;
+    t.threshold <- e.hash;
+    t.evictions <- t.evictions + 1
+
+  let feed t ~write addr =
+    t.offered <- t.offered + 1;
+    let taddr = match t.translate with None -> addr | Some f -> f addr in
+    let set = (taddr lsr t.line_shift) land t.set_mask in
+    let p = Array.unsafe_get t.pos_of_set set in
+    if p >= 0 then begin
+      let e = Array.unsafe_get t.entries p in
+      touch e.engine ~write ~counted:true taddr;
+      let d = Hashtbl.length e.engine.seen in
+      if d <> e.distinct then begin
+        t.total_distinct <- t.total_distinct + (d - e.distinct);
+        e.distinct <- d;
+        match t.budget with
+        | Some b ->
+            (* never evict through the min_sets variance floor: once there,
+               the budget is best-effort, like the sel_len = 1 endpoint *)
+            while t.total_distinct > b && t.sel_len > t.min_sets do
+              evict t
+            done
+        | None -> ()
+      end
+    end
+
+  let access t ~kind addr = feed t ~write:(kind = Memtrace.Access.Write) addr
+
+  let access_packed t p =
+    let n = Memtrace.Packed.length p in
+    let addrs = Memtrace.Packed.raw_addrs p in
+    let kinds = Memtrace.Packed.raw_kinds p in
+    for i = 0 to n - 1 do
+      feed t
+        ~write:(Bigarray.Array1.unsafe_get kinds i = '\001')
+        (Bigarray.Array1.unsafe_get addrs i)
+    done
+
+  let max_ways t = t.w
+  let sets t = t.n_sets
+  let selected_sets t = t.sel_len
+  let set_evictions t = t.evictions
+  let threshold t = t.threshold
+  let effective_rate t = float_of_int t.sel_len /. float_of_int t.n_sets
+  let scale t = float_of_int t.n_sets /. float_of_int t.sel_len
+  let accesses t = t.offered
+  let distinct_sampled_lines t = t.total_distinct
+
+  let would_sample t addr =
+    let taddr = match t.translate with None -> addr | Some f -> f addr in
+    t.pos_of_set.((taddr lsr t.line_shift) land t.set_mask) >= 0
+
+  let fold_selected t f init =
+    let acc = ref init in
+    for p = 0 to t.sel_len - 1 do
+      acc := f !acc t.entries.(p).engine
+    done;
+    !acc
+
+  let sampled_accesses t = fold_selected t (fun a e -> a + exact_accesses e) 0
+
+  let raw_miss_curve t =
+    let c = Array.make (t.w + 1) 0 in
+    fold_selected t
+      (fun () e ->
+        let mc = miss_curve e in
+        Array.iteri (fun i m -> c.(i) <- c.(i) + m) mc)
+      ();
+    c
+
+  let miss_curve_est t =
+    let s = scale t in
+    Array.map (fun m -> float_of_int m *. s) (raw_miss_curve t)
+
+  let mrc_est t =
+    let c = miss_curve_est t in
+    let denom = float_of_int (sampled_accesses t) *. scale t in
+    if denom = 0. then Array.map (fun _ -> 0.) c
+    else Array.map (fun m -> m /. denom) c
+
+  let check_ways t a name =
+    if a < 1 || a > t.w then
+      invalid_arg
+        (Printf.sprintf "Stack_dist.Sampled.%s: ways %d outside 1..%d" name a
+           t.w)
+
+  let est_of t name ~ways reading =
+    check_ways t ways name;
+    scale t *. float_of_int (fold_selected t (fun a e -> a + reading e ~ways) 0)
+
+  let misses_est t ~ways = est_of t "misses_est" ~ways misses
+  let evictions_est t ~ways = est_of t "evictions_est" ~ways evictions
+  let writebacks_est t ~ways = est_of t "writebacks_est" ~ways writebacks
+  let rate t = t.rate
+end

@@ -83,6 +83,10 @@ val overflows : t -> int
 (** Re-accesses beyond the tracked depth: distance [>= max_ways], a miss at
     every tracked associativity. *)
 
+val distinct_lines : t -> int
+(** Lines ever referenced (the cold-miss memory's size) — the engine's
+    dominant memory cost, which the sampled engine's fixed budget bounds. *)
+
 val histogram : t -> int array
 (** [h.(d)] = re-accesses at exact stack depth [d], [0 <= d < max_ways],
     aggregated over sets. [accesses = cold + overflows + sum h]. *)
@@ -120,3 +124,103 @@ val per_tag_of_packed :
 (** One pass: returns the global engine over every access, and one engine
     per entry of {!Memtrace.Packed.var_table} (in table order) over that
     tag's accesses alone. Untagged accesses reach only the global engine. *)
+
+(** {2 Sampled stack distances}
+
+    SHARDS-style spatially-hashed sampling (Waldspurger et al., FAST '15)
+    adapted to the set-associative engine: instead of hashing individual
+    lines — which would punch holes in each set's recency stack and make
+    sampled depths meaningless at small associativity — whole {e sets} are
+    the sampling unit. Each set's index is hashed once (seeded splitmix64);
+    a set is selected iff its hash lands below the threshold [T] (initially
+    the requested rate), every selected set is simulated {e exactly} by its
+    own single-set Mattson engine, and per-distance counts scale by
+    [n_sets / selected] — sets are symmetric interleaved slices of the
+    address space, so the selected ones are an unbiased spatial
+    subpopulation.
+
+    Selection is a prefix of the sets ordered by (hash, set index), so the
+    sample locations at a lower rate are a subset of those at any higher
+    rate (threshold monotonicity), and identical inputs always produce
+    identical histograms. The fixed-budget variant caps distinct sampled
+    lines: exceeding [budget] evicts the selected set with the largest hash
+    and lowers the effective [T] to that hash, the evicted set's whole
+    contribution leaving the estimate — rescaling on eviction at set
+    granularity. Eviction never shrinks the selection below [min_sets]
+    (the variance floor wins; past it the budget is best-effort). At [rate = 1.0] every set is selected and every [*_est]
+    reading equals the exact engine's, which the property suite pins.
+
+    Accuracy is asserted continuously by the [Check.Sample_diff]
+    differential driver in the soak rotation: mean absolute miss-ratio
+    error of {!Sampled.mrc_est} against the exact {!mrc} within a
+    sample-size-aware bound, with the forgotten-rescale mutation
+    ([--inject-bug sample]) caught. *)
+module Sampled : sig
+  type t
+
+  val create :
+    ?translate:(int -> int) ->
+    ?seed:int ->
+    ?min_sets:int ->
+    ?budget:int ->
+    rate:float ->
+    line_size:int ->
+    sets:int ->
+    max_ways:int ->
+    unit ->
+    t
+  (** [rate] must lie in (0, 1]; geometry constraints as {!create}.
+      [seed] (default 0) keys the set hash. [min_sets] (default 1) floors
+      the selection — the [min_sets] smallest-hash sets are kept even when
+      the rate selects fewer, which tames variance on tiny geometries.
+      [budget] caps distinct sampled lines as described above. *)
+
+  val access : t -> kind:Memtrace.Access.kind -> int -> unit
+  val access_packed : t -> Memtrace.Packed.t -> unit
+
+  val max_ways : t -> int
+  val sets : t -> int
+
+  val rate : t -> float
+  (** The requested (nominal) rate. *)
+
+  val threshold : t -> float
+  (** The effective threshold [T]: the rate, lowered by budget evictions. *)
+
+  val selected_sets : t -> int
+  val effective_rate : t -> float
+  (** [selected_sets / sets] — what the estimates actually scale by. *)
+
+  val scale : t -> float
+  (** [sets / selected_sets], the count multiplier [1/effective_rate]. *)
+
+  val set_evictions : t -> int
+  (** Budget-driven set evictions so far. *)
+
+  val would_sample : t -> int -> bool
+  (** Whether an access to this address would currently be sampled. *)
+
+  val accesses : t -> int
+  (** All accesses offered, sampled or not. *)
+
+  val sampled_accesses : t -> int
+  val distinct_sampled_lines : t -> int
+
+  val raw_miss_curve : t -> int array
+  (** Unscaled misses over the selected sets only, shaped like
+      {!miss_curve}. *)
+
+  val miss_curve_est : t -> float array
+  (** {!raw_miss_curve} × {!scale} — the estimated full-trace miss curve. *)
+
+  val mrc_est : t -> float array
+  (** Estimated miss-ratio curve: {!miss_curve_est} over scaled sampled
+      accesses (index 0 is 1 by construction; all zeros when nothing was
+      sampled). Compare against the exact engine's {!mrc}. *)
+
+  val misses_est : t -> ways:int -> float
+  val evictions_est : t -> ways:int -> float
+  val writebacks_est : t -> ways:int -> float
+  (** Scaled per-associativity estimates; [ways] must lie in
+      [1..max_ways]. *)
+end

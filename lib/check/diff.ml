@@ -245,6 +245,12 @@ let run_mrc ?bug sc =
   | Mrc_diff.Agree -> Agree
   | Mrc_diff.Diverge { step; detail } -> Diverge { step; detail }
 
+(* Likewise for the sampled-vs-exact differential ([Sample_diff]). *)
+let run_sample ?bug sc =
+  match Sample_diff.run_scenario ?bug sc with
+  | Sample_diff.Agree -> Agree
+  | Sample_diff.Diverge { step; detail } -> Diverge { step; detail }
+
 (* --- shrinking ---------------------------------------------------------- *)
 
 let shrink_by (run : Scenario.t -> outcome) sc =
@@ -293,6 +299,7 @@ type summary = {
   fast_path_iters : int;
   machine_iters : int;
   mrc_iters : int;
+  sample_iters : int;
   traffic_iters : int;
 }
 
@@ -303,6 +310,7 @@ type failure = {
   fast_path : bool;
   machine : bool;
   mrc : bool;
+  sample : bool;
   gen : bool;
 }
 
@@ -332,10 +340,11 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         fast_path_iters = 0;
         machine_iters = 0;
         mrc_iters = 0;
+        sample_iters = 0;
         traffic_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~traffic =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -358,6 +367,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         fast_path_iters = s.fast_path_iters + (if fast_path then 1 else 0);
         machine_iters = s.machine_iters + (if machine then 1 else 0);
         mrc_iters = s.mrc_iters + (if mrc then 1 else 0);
+        sample_iters = s.sample_iters + (if sample then 1 else 0);
         traffic_iters = s.traffic_iters + (if traffic then 1 else 0);
       }
   in
@@ -406,8 +416,12 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
       let fast_path = i mod 2 = 1 in
       let machine = i mod 2 = 0 in
       let mrc = i mod 4 = 1 in
-      account sc ~fast_path ~machine ~mrc ~traffic;
-      let fail driver ~fast_path ~machine ~mrc =
+      (* ...and every fourth iteration (offset from the mrc quarter) checks
+         the SHARDS-sampled estimator against the exact engine within the
+         error bound ([Sample_diff]). *)
+      let sample = i mod 4 = 3 in
+      account sc ~fast_path ~machine ~mrc ~sample ~traffic;
+      let fail driver ~fast_path ~machine ~mrc ~sample =
         let shrunk = shrink_by driver sc in
         let divergence =
           match driver shrunk with
@@ -416,7 +430,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine; mrc; gen = false },
+              machine; mrc; sample; gen = false },
             !summary )
       in
       let containment_outcome =
@@ -442,6 +456,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                       fast_path = false;
                       machine = false;
                       mrc = false;
+                      sample = false;
                       gen = true;
                     },
                     !summary ))
@@ -452,20 +467,25 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
           match run_scenario ?bug ~fast_path sc with
           | Diverge _ ->
               fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
-                ~mrc:false
+                ~mrc:false ~sample:false
           | Agree -> (
               match if machine then run_machine ?bug sc else Agree with
               | Diverge _ ->
                   fail (run_machine ?bug) ~fast_path:false ~machine:true
-                    ~mrc:false
+                    ~mrc:false ~sample:false
               | Agree -> (
                   match if mrc then run_mrc ?bug sc else Agree with
                   | Diverge _ ->
                       fail (run_mrc ?bug) ~fast_path:false ~machine:false
-                        ~mrc:true
-                  | Agree ->
-                      progress i;
-                      loop (i + 1))))
+                        ~mrc:true ~sample:false
+                  | Agree -> (
+                      match if sample then run_sample ?bug sc else Agree with
+                      | Diverge _ ->
+                          fail (run_sample ?bug) ~fast_path:false
+                            ~machine:false ~mrc:false ~sample:true
+                      | Agree ->
+                          progress i;
+                          loop (i + 1)))))
     end
   in
   loop 0
@@ -481,6 +501,7 @@ let pp_failure ppf f =
     (if f.gen then "generator containment"
      else if f.machine then "machine batched-replay"
      else if f.mrc then "stack-distance mrc"
+     else if f.sample then "sampled mrc error-bound"
      else if f.fast_path then "batched fast-path"
      else "per-access")
     pp_divergence f.divergence
@@ -492,10 +513,10 @@ let pp_summary ppf s =
   Format.fprintf ppf
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
      %d via the batched fast path, %d via the machine batched replay, %d \
-     via the stack-distance mrc differential, %d from traffic-shaped \
-     generators; policies: %s; ways %s)"
+     via the stack-distance mrc differential, %d via the sampled mrc \
+     error bound, %d from traffic-shaped generators; policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
-    s.machine_iters s.mrc_iters s.traffic_iters
+    s.machine_iters s.mrc_iters s.sample_iters s.traffic_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

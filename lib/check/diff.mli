@@ -55,6 +55,9 @@ type summary = {
   mrc_iters : int;
       (** scenarios additionally checked through the stack-distance
           differential ({!Mrc_diff}) *)
+  sample_iters : int;
+      (** scenarios additionally checked through the sampled-vs-exact
+          error-bound differential ({!Sample_diff}) *)
   traffic_iters : int;
       (** scenarios whose access stream came from a traffic-shaped
           {!Workloads.Gen} generator ({!Gen.traffic_scenario}) rather than
@@ -74,11 +77,15 @@ type failure = {
       (** the divergence came from the stack-distance differential
           ({!Mrc_diff.run_scenario}); [fast_path] and [machine] are [false]
           then *)
+  sample : bool;
+      (** the divergence came from the sampled-vs-exact error-bound
+          differential ({!Sample_diff.run_scenario}); the other driver
+          flags are [false] then *)
   gen : bool;
       (** the failure is a generator-containment violation: a
           traffic-shaped scenario emitted an address outside the
           generator's declared range. The repro is the single offending
-          access; no driver divergence is involved, so the other three
+          access; no driver divergence is involved, so the other driver
           flags are [false] then *)
 }
 

@@ -10,6 +10,7 @@ type bug =
   | Fast_path
   | Machine_fast_path
   | Mrc
+  | Sample
   | Gen
 
 let bug_to_string = function
@@ -19,6 +20,7 @@ let bug_to_string = function
   | Fast_path -> "fast-path"
   | Machine_fast_path -> "machine-fast-path"
   | Mrc -> "mrc"
+  | Sample -> "sample"
   | Gen -> "gen"
 
 (* One resident cache line. The oracle stores whole line addresses and never

@@ -36,6 +36,12 @@ type bug =
           accesses fed to [Cache.Stack_dist] demote writes to reads, losing
           dirty bits and hence writeback counts. Proves the stack-distance
           differential can catch engine bugs. *)
+  | Sample
+      (** planted in {!Sample_diff}'s estimator, not here: the sampled
+          miss-curve numerator skips the [1/rate] rescale while the
+          normalizer keeps it, deflating the estimated miss-ratio curve by
+          the effective sampling rate. Proves the sampled-vs-exact error
+          bound can catch a forgotten rescale. *)
   | Gen
       (** planted in {!Workloads.Gen}'s Zipf sampler via its [perturb]
           hook, not here: every sampled rank is shifted by one without

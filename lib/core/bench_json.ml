@@ -2,6 +2,7 @@ type row = {
   name : string;
   ns_per_run : float;
   accesses_per_sec : float;
+  sample_error : float option;
 }
 
 (* --- writer ------------------------------------------------------------- *)
@@ -38,10 +39,14 @@ let to_string rows =
       if i > 0 then Buffer.add_string buf ",\n";
       Buffer.add_string buf
         (Printf.sprintf
-           "  { \"name\": \"%s\", \"ns_per_run\": %s, \"accesses_per_sec\": %s }"
+           "  { \"name\": \"%s\", \"ns_per_run\": %s, \"accesses_per_sec\": %s%s }"
            (escape_string r.name)
            (number_to_string r.ns_per_run)
-           (number_to_string r.accesses_per_sec)))
+           (number_to_string r.accesses_per_sec)
+           (match r.sample_error with
+           | None -> ""
+           | Some e ->
+               Printf.sprintf ", \"sample_error\": %s" (number_to_string e))))
     rows;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
@@ -178,13 +183,17 @@ let parse_row st =
   List.iter
     (fun (key, _) ->
       match key with
-      | "name" | "ns_per_run" | "accesses_per_sec" -> ()
+      | "name" | "ns_per_run" | "accesses_per_sec" | "sample_error" -> ()
       | other -> fail st (Printf.sprintf "unknown field %S" other))
     fields;
   {
     name = str "name";
     ns_per_run = num "ns_per_run";
     accesses_per_sec = num "accesses_per_sec";
+    sample_error =
+      (match List.assoc_opt "sample_error" fields with
+      | None -> None
+      | Some _ -> Some (num "sample_error"));
   }
 
 let of_string text =

@@ -24,6 +24,12 @@ type row = {
   accesses_per_sec : float;
       (** accesses replayed per second, when the benchmark is a trace replay
           with a known access count; 0 for benchmarks without one. *)
+  sample_error : float option;
+      (** for sampled-estimator benchmarks, the observed mean absolute
+          miss-ratio error against the exact curve on the same trace —
+          recorded alongside throughput so a speedup bought by a broken
+          estimate is visible in the baseline diff; omitted from the JSON
+          for every other row. *)
 }
 
 val to_string : row list -> string

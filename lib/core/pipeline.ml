@@ -196,24 +196,39 @@ let run_standard t ~proc =
   | Some stats -> stats
   | None -> Machine.System.run_packed (fresh_system t) packed
 
-let best_split ?(allow_uncached = true) ?mode t ~proc ~meth =
+let best_split ?(allow_uncached = true) ?mode ?sample_rate t ~proc ~meth =
   let k = columns t in
   let packed = packed_trace_of t ~proc in
   let copy_in = copy_in_of t ~proc in
   (* Each candidate point only needs its cycle count to rank; the
      stack-distance evaluator supplies it without a machine replay whenever
-     the partition decomposes into isolated LRU groups. *)
-  let point_cycles part =
+     the partition decomposes into isolated LRU groups. With [sample_rate]
+     the ranking uses the SHARDS-sampled estimator instead — cheaper still —
+     while the winner below is always replayed exactly. *)
+  let exact_cycles part =
     match
       Sweep.partitioned ~cache:t.cache ~timing:Machine.Timing.default
         ~page_size:t.page_size ~tlb_entries:t.tlb_entries ~part ~copy_in
         [ packed ]
     with
-    | Some stats -> stats.Machine.Run_stats.cycles
+    | Some stats -> float_of_int stats.Machine.Run_stats.cycles
     | None ->
         let system = fresh_system t in
         Layout.Partition.apply ~copy_in part system;
-        (Machine.System.run_packed system packed).Machine.Run_stats.cycles
+        float_of_int
+          (Machine.System.run_packed system packed).Machine.Run_stats.cycles
+  in
+  let point_cycles part =
+    match sample_rate with
+    | None -> exact_cycles part
+    | Some rate -> (
+        match
+          Sweep.partitioned_sampled ~rate ~cache:t.cache
+            ~timing:Machine.Timing.default ~page_size:t.page_size
+            ~tlb_entries:t.tlb_entries ~part ~copy_in [ packed ]
+        with
+        | Some est -> est
+        | None -> exact_cycles part)
   in
   let candidates =
     List.filter_map

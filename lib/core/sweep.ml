@@ -104,8 +104,8 @@ let eval ?requests ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached
       let kinds = Memtrace.Packed.raw_kinds packed in
       n_total := !n_total + n;
       for i = 0 to n - 1 do
-        let addr = Array.unsafe_get addrs i in
-        let gap = Array.unsafe_get gaps i in
+        let addr = Bigarray.Array1.unsafe_get addrs i in
+        let gap = Bigarray.Array1.unsafe_get gaps i in
         gap_sum := !gap_sum + gap;
         (if
            track
@@ -135,7 +135,7 @@ let eval ?requests ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached
            let feed g =
              let kind =
                Memtrace.Packed.kind_of_code
-                 (Char.code (Bytes.unsafe_get kinds i))
+                 (Char.code (Bigarray.Array1.unsafe_get kinds i))
              in
              if !in_window then begin
                let seen =
@@ -217,6 +217,89 @@ let eval ?requests ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached
       (if track then Latency.Builder.build lat else Latency.empty);
   }
 
+(* The sampled twin of [eval]: the same routing loop (uncached ranges, exact
+   TLB replay with the same-page memo, page -> group attribution), but each
+   group is a SHARDS-style {!Stack_dist.Sampled} estimator, so only accesses
+   landing in its selected sets cost engine work. Per-request latency makes
+   no sense on a subsample, so there are no request windows; the result is
+   the closed-form cycle count of [eval] with the exact per-group miss and
+   writeback totals replaced by their scaled estimates — a float. *)
+let eval_sampled ~timing ~page_size ~tlb_entries ~scratch ~uncached ~page_map
+    ~(groups : Stack_dist.Sampled.t array) ~group_ways ~setup_cycles
+    packed_list =
+  let page_of =
+    if page_size > 0 && page_size land (page_size - 1) = 0 then (
+      let shift = ref 0 in
+      while 1 lsl !shift < page_size do
+        incr shift
+      done;
+      let shift = !shift in
+      fun addr -> addr lsr shift)
+    else fun addr -> addr / page_size
+  in
+  let page_table = Vm.Page_table.create ~page_size () in
+  let tlb = Vm.Tlb.create ~entries:tlb_entries ~page_table in
+  let n_total = ref 0 in
+  let gap_sum = ref 0 in
+  let n_uncached = ref 0 in
+  let memo_hits = ref 0 in
+  let last_page = ref min_int in
+  List.iter
+    (fun packed ->
+      let n = Memtrace.Packed.length packed in
+      let addrs = Memtrace.Packed.raw_addrs packed in
+      let gaps = Memtrace.Packed.raw_gaps packed in
+      let kinds = Memtrace.Packed.raw_kinds packed in
+      n_total := !n_total + n;
+      for i = 0 to n - 1 do
+        let addr = Bigarray.Array1.unsafe_get addrs i in
+        gap_sum := !gap_sum + Bigarray.Array1.unsafe_get gaps i;
+        if in_ranges uncached addr then incr n_uncached
+        else begin
+          let page = page_of addr in
+          (if page = !last_page then incr memo_hits
+           else begin
+             ignore (Vm.Tlb.lookup_page_quick tlb page);
+             last_page := page
+           end);
+          let feed g =
+            let kind =
+              Memtrace.Packed.kind_of_code
+                (Char.code (Bigarray.Array1.unsafe_get kinds i))
+            in
+            Stack_dist.Sampled.access (Array.unsafe_get groups g) ~kind addr
+          in
+          match page_map with
+          | None -> feed 0
+          | Some map -> (
+              match Hashtbl.find_opt map page with
+              | Some g when g >= 0 -> feed g
+              | Some _ ->
+                  if not (in_ranges scratch addr) then raise Infeasible
+              | None -> raise Infeasible)
+        end
+      done)
+    packed_list;
+  Vm.Tlb.note_hits tlb !memo_hits;
+  let misses = ref 0. in
+  let writebacks = ref 0. in
+  Array.iteri
+    (fun g engine ->
+      let ways = Array.unsafe_get group_ways g in
+      misses := !misses +. Stack_dist.Sampled.misses_est engine ~ways;
+      writebacks :=
+        !writebacks +. Stack_dist.Sampled.writebacks_est engine ~ways)
+    groups;
+  let resolved = !n_total - !n_uncached in
+  let tlb_misses = Vm.Tlb.misses tlb in
+  float_of_int
+    (setup_cycles + !gap_sum
+    + (resolved * timing.Timing.hit_cycles)
+    + (!n_uncached * timing.Timing.uncached_cycles)
+    + (tlb_misses * timing.Timing.tlb_miss_penalty))
+  +. (!misses *. float_of_int timing.Timing.miss_penalty)
+  +. (!writebacks *. float_of_int timing.Timing.writeback_penalty)
+
 let standard ?translate ?requests ~cache ~timing ~page_size ~tlb_entries
     packed_list =
   if not (feasible_cache cache) then None
@@ -232,90 +315,149 @@ let standard ?translate ?requests ~cache ~timing ~page_size ~tlb_entries
          ~groups:[| engine |] ~group_ways:[| cache.Sassoc.ways |]
          ~setup_cycles:0 packed_list)
 
+let standard_sampled ?translate ?seed ?min_sets ?budget ~rate ~cache ~timing
+    ~page_size ~tlb_entries packed_list =
+  if not (feasible_cache cache) then None
+  else
+    let engine =
+      Stack_dist.Sampled.create ?translate ?seed ?min_sets ?budget ~rate
+        ~line_size:cache.Sassoc.line_size ~sets:cache.Sassoc.sets
+        ~max_ways:cache.Sassoc.ways ()
+    in
+    Some
+      (eval_sampled ~timing ~page_size ~tlb_entries ~scratch:no_ranges
+         ~uncached:no_ranges ~page_map:None ~groups:[| engine |]
+         ~group_ways:[| cache.Sassoc.ways |] ~setup_cycles:0 packed_list)
+
+(* The partition decomposition shared by the exact evaluator and the sampled
+   estimator: byte ranges, the page -> group map, the per-group way counts
+   (one group per distinct cached column mask) and the copy-in charge.
+   Raises [Infeasible] exactly where {!partitioned} reports [None]. *)
+type plan = {
+  plan_scratch : ranges;
+  plan_uncached : ranges;
+  plan_page_map : (int, int) Hashtbl.t;
+  plan_group_ways : int array;
+  plan_setup : int;
+}
+
+let decompose ~cache ~timing ~page_size ~part ~copy_in =
+  let line_size = cache.Sassoc.line_size in
+  let page_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let claim ~group base size =
+    if size > 0 then
+      let first = base / page_size in
+      let last = (base + size - 1) / page_size in
+      for page = first to last do
+        match Hashtbl.find_opt page_map page with
+        | None -> Hashtbl.add page_map page group
+        | Some g when g = group -> ()
+        | Some _ -> raise Infeasible
+      done
+  in
+  let scratch = ref [] in
+  let uncached = ref [] in
+  let scratch_mask = ref Bitmask.empty in
+  let masks = ref [] in
+  let ways_rev = ref [] in
+  let n_groups = ref 0 in
+  let setup = ref 0 in
+  List.iter
+    (fun pl ->
+      let region = pl.Partition.region in
+      let size = region.Region.size in
+      match (pl.Partition.role, pl.Partition.columns) with
+      | Partition.Uncached, _ ->
+          uncached := (pl.Partition.base, size) :: !uncached
+      | (Partition.Scratchpad | Partition.Cached), None -> raise Infeasible
+      | Partition.Scratchpad, Some mask ->
+          (* Same copy-in charge [Partition.apply] would issue; the
+             machine folds it into the first run's cycle delta. *)
+          if List.mem region.Region.var copy_in then begin
+            let lines = (size + line_size - 1) / line_size in
+            setup :=
+              !setup
+              + lines
+                * (timing.Timing.hit_cycles + timing.Timing.miss_penalty)
+          end;
+          scratch := (pl.Partition.base, size) :: !scratch;
+          scratch_mask := Bitmask.union !scratch_mask mask;
+          claim ~group:(-1) pl.Partition.base size
+      | Partition.Cached, Some mask ->
+          let group =
+            match
+              List.find_opt (fun (m, _) -> Bitmask.equal m mask) !masks
+            with
+            | Some (_, g) -> g
+            | None ->
+                let ways = Bitmask.count mask in
+                if ways = 0 then raise Infeasible;
+                let g = !n_groups in
+                incr n_groups;
+                ways_rev := ways :: !ways_rev;
+                masks := (mask, g) :: !masks;
+                g
+          in
+          claim ~group pl.Partition.base size)
+    part.Partition.placements;
+  (* Each cached group is an isolated LRU cache only if its columns are
+     disjoint from every other group's and from the pinned scratchpad
+     columns (whose preloaded lines would otherwise occupy group ways). *)
+  let rec disjoint seen = function
+    | [] -> ()
+    | m :: rest ->
+        if not (Bitmask.is_empty (Bitmask.inter m seen)) then raise Infeasible;
+        disjoint (Bitmask.union m seen) rest
+  in
+  disjoint !scratch_mask (List.rev_map fst !masks);
+  {
+    plan_scratch = ranges_of !scratch;
+    plan_uncached = ranges_of !uncached;
+    plan_page_map = page_map;
+    plan_group_ways = Array.of_list (List.rev !ways_rev);
+    plan_setup = !setup;
+  }
+
 let partitioned ?requests ~cache ~timing ~page_size ~tlb_entries ~part
     ~copy_in packed_list =
   if not (feasible_cache cache) then None
   else
     try
-      let line_size = cache.Sassoc.line_size in
-      let page_map : (int, int) Hashtbl.t = Hashtbl.create 64 in
-      let claim ~group base size =
-        if size > 0 then
-          let first = base / page_size in
-          let last = (base + size - 1) / page_size in
-          for page = first to last do
-            match Hashtbl.find_opt page_map page with
-            | None -> Hashtbl.add page_map page group
-            | Some g when g = group -> ()
-            | Some _ -> raise Infeasible
-          done
+      let plan = decompose ~cache ~timing ~page_size ~part ~copy_in in
+      let groups =
+        Array.map
+          (fun ways ->
+            Stack_dist.create ~line_size:cache.Sassoc.line_size
+              ~sets:cache.Sassoc.sets ~max_ways:ways ())
+          plan.plan_group_ways
       in
-      let scratch = ref [] in
-      let uncached = ref [] in
-      let scratch_mask = ref Bitmask.empty in
-      let masks = ref [] in
-      let engines = ref [] in
-      let n_groups = ref 0 in
-      let setup = ref 0 in
-      List.iter
-        (fun pl ->
-          let region = pl.Partition.region in
-          let size = region.Region.size in
-          match (pl.Partition.role, pl.Partition.columns) with
-          | Partition.Uncached, _ ->
-              uncached := (pl.Partition.base, size) :: !uncached
-          | (Partition.Scratchpad | Partition.Cached), None ->
-              raise Infeasible
-          | Partition.Scratchpad, Some mask ->
-              (* Same copy-in charge [Partition.apply] would issue; the
-                 machine folds it into the first run's cycle delta. *)
-              if List.mem region.Region.var copy_in then begin
-                let lines = (size + line_size - 1) / line_size in
-                setup :=
-                  !setup
-                  + lines
-                    * (timing.Timing.hit_cycles + timing.Timing.miss_penalty)
-              end;
-              scratch := (pl.Partition.base, size) :: !scratch;
-              scratch_mask := Bitmask.union !scratch_mask mask;
-              claim ~group:(-1) pl.Partition.base size
-          | Partition.Cached, Some mask ->
-              let group =
-                match
-                  List.find_opt (fun (m, _) -> Bitmask.equal m mask) !masks
-                with
-                | Some (_, g) -> g
-                | None ->
-                    let ways = Bitmask.count mask in
-                    if ways = 0 then raise Infeasible;
-                    let g = !n_groups in
-                    incr n_groups;
-                    engines :=
-                      Stack_dist.create ~line_size ~sets:cache.Sassoc.sets
-                        ~max_ways:ways ()
-                      :: !engines;
-                    masks := (mask, g) :: !masks;
-                    g
-              in
-              claim ~group pl.Partition.base size)
-        part.Partition.placements;
-      (* Each cached group is an isolated LRU cache only if its columns are
-         disjoint from every other group's and from the pinned scratchpad
-         columns (whose preloaded lines would otherwise occupy group ways). *)
-      let rec disjoint seen = function
-        | [] -> ()
-        | m :: rest ->
-            if not (Bitmask.is_empty (Bitmask.inter m seen)) then
-              raise Infeasible;
-            disjoint (Bitmask.union m seen) rest
-      in
-      disjoint !scratch_mask (List.rev_map fst !masks);
-      let groups = Array.of_list (List.rev !engines) in
-      let group_ways = Array.map Stack_dist.max_ways groups in
       Some
         (eval ?requests ~cache ~timing ~page_size ~tlb_entries
-           ~scratch:(ranges_of !scratch) ~uncached:(ranges_of !uncached)
-           ~page_map:(Some page_map) ~groups ~group_ways ~setup_cycles:!setup
+           ~scratch:plan.plan_scratch ~uncached:plan.plan_uncached
+           ~page_map:(Some plan.plan_page_map) ~groups
+           ~group_ways:plan.plan_group_ways ~setup_cycles:plan.plan_setup
+           packed_list)
+    with Infeasible -> None
+
+let partitioned_sampled ?seed ?min_sets ?budget ~rate ~cache ~timing
+    ~page_size ~tlb_entries ~part ~copy_in packed_list =
+  if not (feasible_cache cache) then None
+  else
+    try
+      let plan = decompose ~cache ~timing ~page_size ~part ~copy_in in
+      let groups =
+        Array.map
+          (fun ways ->
+            Stack_dist.Sampled.create ?seed ?min_sets ?budget ~rate
+              ~line_size:cache.Sassoc.line_size ~sets:cache.Sassoc.sets
+              ~max_ways:ways ())
+          plan.plan_group_ways
+      in
+      Some
+        (eval_sampled ~timing ~page_size ~tlb_entries
+           ~scratch:plan.plan_scratch ~uncached:plan.plan_uncached
+           ~page_map:(Some plan.plan_page_map) ~groups
+           ~group_ways:plan.plan_group_ways ~setup_cycles:plan.plan_setup
            packed_list)
     with Infeasible -> None
 

@@ -74,6 +74,47 @@ val partitioned :
     {!standard}; the setup (copy-in) charge counts toward total cycles but
     toward no request, matching the machine's pending-setup accounting. *)
 
+val standard_sampled :
+  ?translate:(int -> int) ->
+  ?seed:int ->
+  ?min_sets:int ->
+  ?budget:int ->
+  rate:float ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  Memtrace.Packed.t list ->
+  float option
+(** Sampled estimate of {!standard}'s cycle count: the same routing loop and
+    exact TLB replay, but the cache side is a SHARDS-style
+    {!Cache.Stack_dist.Sampled} engine at [rate], so only accesses landing
+    in its selected sets cost engine work. The result is the closed-form
+    cycle count with the exact miss and writeback totals replaced by their
+    scaled estimates. [seed]/[min_sets]/[budget] as in
+    {!Cache.Stack_dist.Sampled.create}. [None] under the same conditions as
+    {!standard}. At [rate = 1.0] the estimate equals the exact cycle count
+    (as a float). *)
+
+val partitioned_sampled :
+  ?seed:int ->
+  ?min_sets:int ->
+  ?budget:int ->
+  rate:float ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  part:Layout.Partition.t ->
+  copy_in:string list ->
+  Memtrace.Packed.t list ->
+  float option
+(** Sampled estimate of {!partitioned}'s cycle count: the identical partition
+    decomposition (so [None] exactly when {!partitioned} is [None]), with
+    one {!Cache.Stack_dist.Sampled} engine per column group. Useful for
+    ranking many split points cheaply before replaying the winner exactly —
+    see {!Pipeline.best_split}. *)
+
 val masked :
   ?requests:(int * int) array ->
   cache:Cache.Sassoc.config ->

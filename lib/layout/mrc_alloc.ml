@@ -1,4 +1,7 @@
-let allocate ~columns curves =
+(* The greedy loop works on float curves; exact int curves are converted on
+   the way in (miss counts are far below 2^53, so the conversion — and every
+   gain comparison — is exact, preserving tie-breaks). *)
+let allocate_float ~columns curves =
   let n = List.length curves in
   if n = 0 then invalid_arg "Mrc_alloc.allocate: no curves";
   if n > columns then
@@ -17,7 +20,7 @@ let allocate ~columns curves =
   let gain i =
     let _, curve = curves_a.(i) in
     let c = counts.(i) in
-    if c + 1 >= Array.length curve then 0 else curve.(c) - curve.(c + 1)
+    if c + 1 >= Array.length curve then 0. else curve.(c) -. curve.(c + 1)
   in
   let has_room i =
     counts.(i) + 1 < Array.length (snd curves_a.(i))
@@ -27,7 +30,7 @@ let allocate ~columns curves =
     for i = 1 to n - 1 do
       if gain i > gain !best then best := i
     done;
-    if gain !best > 0 then counts.(!best) <- counts.(!best) + 1
+    if gain !best > 0. then counts.(!best) <- counts.(!best) + 1
     else begin
       (* Plateau: no next column removes misses by itself, but growing a
          curve that still has points may unlock gains for later columns
@@ -41,6 +44,21 @@ let allocate ~columns curves =
     end
   done;
   List.mapi (fun i (name, _) -> (name, counts.(i))) curves
+
+let allocate ~columns curves =
+  allocate_float ~columns
+    (List.map
+       (fun (name, curve) -> (name, Array.map float_of_int curve))
+       curves)
+
+let predicted_misses_float curves alloc =
+  List.fold_left
+    (fun acc (name, c) ->
+      match List.assoc_opt name curves with
+      | None -> invalid_arg "Mrc_alloc.predicted_misses: unknown name"
+      | Some curve ->
+          acc +. curve.(min c (Array.length curve - 1)))
+    0. alloc
 
 let predicted_misses curves alloc =
   List.fold_left

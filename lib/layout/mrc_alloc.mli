@@ -22,11 +22,24 @@ val allocate : columns:int -> (string * int array) list -> (string * int) list
     Raises [Invalid_argument] when there are more names than columns, no
     names at all, or a curve with fewer than two points. *)
 
+val allocate_float :
+  columns:int -> (string * float array) list -> (string * int) list
+(** {!allocate} over estimated (float) miss curves, as
+    {!Cache.Stack_dist.Sampled.miss_curve_est} produces — the sampled MRC
+    pipeline allocates columns from curves it never measured exactly. The
+    greedy loop, tie-breaks and error conditions are identical; [allocate]
+    is this function after an exact int-to-float conversion, so both agree
+    bit-for-bit on exact curves. *)
+
 val predicted_misses : (string * int array) list -> (string * int) list -> int
 (** Total misses the curves predict for an allocation: the sum of
     [curve.(c)] per name (clamped to the curve's last point). Exact for the
     machine, not just a model, whenever the allocation's column groups are
     disjoint — which {!to_masks} guarantees. *)
+
+val predicted_misses_float :
+  (string * float array) list -> (string * int) list -> float
+(** {!predicted_misses} over estimated curves: the estimated total. *)
 
 val to_masks : (string * int) list -> (string * Cache.Bitmask.t) list
 (** Realize an allocation as disjoint column masks, assigned contiguously in

@@ -396,10 +396,10 @@ let replay_packed t (p : Memtrace.Packed.t) =
       end
     in
     for i = 0 to n - 1 do
-      let addr = Array.unsafe_get addrs i in
-      let gap = Array.unsafe_get gaps i in
+      let addr = Bigarray.Array1.unsafe_get addrs i in
+      let gap = Bigarray.Array1.unsafe_get gaps i in
       let kind =
-        match Bytes.unsafe_get kinds i with
+        match Bigarray.Array1.unsafe_get kinds i with
         | '\001' -> Access.Write
         | '\002' -> Access.Ifetch
         | _ -> Access.Read
@@ -550,10 +550,12 @@ let run_packed_requests t (p : Memtrace.Packed.t) ~requests =
              end);
           let kind =
             Memtrace.Packed.kind_of_code
-              (Char.code (Bytes.unsafe_get kinds i))
+              (Char.code (Bigarray.Array1.unsafe_get kinds i))
           in
-          access_scalar t ~addr:(Array.unsafe_get addrs i) ~kind
-            ~gap:(Array.unsafe_get gaps i);
+          access_scalar t
+            ~addr:(Bigarray.Array1.unsafe_get addrs i)
+            ~kind
+            ~gap:(Bigarray.Array1.unsafe_get gaps i);
           if !in_window then begin
             let _, stop = requests.(!next_req) in
             if i = stop - 1 then begin

@@ -1,14 +1,29 @@
 (** Packed, struct-of-arrays trace storage.
 
     Semantically a {!Trace.t} — the same accesses in the same order — but
-    stored as parallel unboxed columns: addresses and instruction gaps in
-    [int array]s, kinds in one byte each, and variable tags as indices into
+    stored as parallel unboxed columns: addresses and instruction gaps as
+    Bigarray ints, kinds in one byte each, and variable tags as indices into
     a small interned name table. Conversion to and from the boxed form is
     lossless ({!of_trace} / {!to_trace} round-trip exactly), and the raw
     columns are exposed for the machine's batched replay loop, which walks
-    them without allocating. *)
+    them without allocating.
+
+    Because the columns are Bigarrays they can also be views of an mmapped
+    file: {!write_file} serializes a trace into a versioned binary format
+    with page-aligned columns, and {!map_file} maps one back without reading
+    it into memory — a multi-gigabyte trace replays in bounded RSS, the
+    kernel paging the columns behind the loops. {!Writer} streams a trace of
+    known length straight to disk so one larger than RAM can even be
+    generated without ever materializing it. *)
 
 type t
+
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** One 64-bit little-endian OCaml int per access. *)
+
+type byte_col =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** One byte per access. *)
 
 val length : t -> int
 val is_empty : t -> bool
@@ -30,10 +45,10 @@ val kind_code : Access.kind -> int
 val kind_of_code : int -> Access.kind
 (** Inverse of {!kind_code}; raises [Invalid_argument] on other values. *)
 
-val raw_addrs : t -> int array
-val raw_gaps : t -> int array
-val raw_kinds : t -> Bytes.t
-val raw_tags : t -> int array
+val raw_addrs : t -> int_col
+val raw_gaps : t -> int_col
+val raw_kinds : t -> byte_col
+val raw_tags : t -> int_col
 (** The backing columns, for zero-overhead replay loops; entries of
     {!raw_tags} are indices into {!var_table}, [-1] for untagged accesses.
     Callers must not mutate any of them. *)
@@ -70,4 +85,57 @@ module Builder : sig
   val add : t -> Access.t -> unit
   val length : t -> int
   val build : t -> packed
+end
+
+(** {2 The binary trace file format}
+
+    A 4096-byte header page (magic, version, access count, column offsets,
+    a byte-order probe), then the four columns at page-aligned offsets so
+    each can be mmapped directly, then the interned variable table as a
+    length-prefixed blob. Integers are 64-bit little-endian words. The full
+    field-by-field layout is documented at the top of the implementation. *)
+
+val magic : string
+(** The 16-byte magic the header page starts with. *)
+
+val is_packed_file : string -> bool
+(** Whether the file starts with {!magic} — cheap format sniffing, so
+    loaders can dispatch between this format and the text one
+    ({!Trace_file}). [false] for files shorter than the magic; raises
+    [Sys_error] when the file cannot be opened. *)
+
+val write_file : string -> t -> unit
+(** Serialize the whole trace to a file in the binary format. Overwrites. *)
+
+val map_file : string -> t
+(** Map a file written by {!write_file} (or {!Writer}) without loading it:
+    the returned columns are read-only views of the file's pages, so traces
+    far larger than RAM replay in bounded memory. The header is validated
+    first — wrong magic, an unsupported version, offsets disagreeing with
+    the recomputed layout, a truncated file, or a byte-order probe mismatch
+    all raise [Invalid_argument] naming the path. Callers must not mutate
+    the returned columns (shared with every other mapping of the file). *)
+
+(** Streams accesses of a trace of known length straight to disk in the
+    binary format, in O(1) memory — for synthesizing traces larger than
+    RAM. Column offsets depend only on the length, so each column is an
+    independent buffered stream over the same file; the header and variable
+    table are fixed up on {!Writer.close}. *)
+module Writer : sig
+  type t
+
+  val create : string -> length:int -> t
+  (** Start writing a trace of exactly [length] accesses. Overwrites. *)
+
+  val emit : t -> ?kind:Access.kind -> ?var:string -> ?gap:int -> int -> unit
+  (** Append one access; same validation as {!Builder.emit}, plus
+      [Invalid_argument] when the declared length would be exceeded. *)
+
+  val add : t -> Access.t -> unit
+  val emitted : t -> int
+
+  val close : t -> unit
+  (** Flush the columns and write the final header and variable table.
+      Raises [Invalid_argument] if fewer than [length] accesses were
+      emitted (the file is left unusable — its header is never written). *)
 end

@@ -14,6 +14,15 @@ let save ~path trace =
         trace)
 
 let load ~path =
+  (* A packed binary trace starts with its own magic; parsing it as text
+     would die on an opaque "bad header" with a page of NUL bytes in it.
+     Name the actual mismatch instead. *)
+  if Packed.is_packed_file path then
+    invalid_arg
+      (Printf.sprintf
+         "Trace_file.load %s: packed binary trace (use Packed.map_file or \
+          Trace_file.load_packed)"
+         path);
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -45,3 +54,7 @@ let load ~path =
           (Printf.sprintf "Trace_file.load %s: header says %d accesses, found %d"
              path count (Trace.length trace));
       trace)
+
+let load_packed ~path =
+  if Packed.is_packed_file path then Packed.map_file path
+  else Packed.of_trace (load ~path)

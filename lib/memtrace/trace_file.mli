@@ -11,6 +11,14 @@ val save : path:string -> Trace.t -> unit
 
 val load : path:string -> Trace.t
 (** Raises [Sys_error] on I/O failure and [Invalid_argument] on a bad
-    header, a count mismatch, or a malformed access line. *)
+    header, a count mismatch, or a malformed access line — including, with
+    an error saying so, a {!Packed} binary trace handed to the text loader
+    (use {!load_packed} to accept both formats). *)
+
+val load_packed : path:string -> Packed.t
+(** Load either format as a packed trace, dispatching on the file's magic:
+    binary files are mmapped in place ({!Packed.map_file}, bounded memory
+    however large the trace), text files are parsed and packed. Errors as
+    {!load} / {!Packed.map_file}. *)
 
 val header_of : Trace.t -> string

@@ -117,24 +117,35 @@ let check_layout ~base ~stride =
   if base < 0 then invalid_arg "Gen: base must be >= 0";
   if stride < 1 then invalid_arg "Gen: stride must be >= 1"
 
-let emit ?(perturb = false) ?(base = 0) ?(stride = 16) ?(write_ratio = 0.25)
-    ?(accesses_per_request = 1) ?var ~seed ~n stream =
+(* The access stream itself, decoupled from where it lands: [emit] collects
+   it into a builder, the CLI's synth path streams it straight into a
+   {!Packed.Writer} so traces far larger than RAM never materialize. Both
+   consume the PRNG identically — per access one rank sample, one
+   write-ratio draw, one gap draw — so a streamed file and an in-memory
+   trace from the same seed are access-for-access equal. *)
+let iter_accesses ?(perturb = false) ?(base = 0) ?(stride = 16)
+    ?(write_ratio = 0.25) ~seed ~n stream f =
   validate stream;
   check_layout ~base ~stride;
-  if n < 0 then invalid_arg "Gen.emit: n must be >= 0";
+  if n < 0 then invalid_arg "Gen: n must be >= 0";
   if not (write_ratio >= 0. && write_ratio <= 1.) then
-    invalid_arg "Gen.emit: write_ratio must lie in [0, 1]";
-  if accesses_per_request < 1 then
-    invalid_arg "Gen.emit: accesses_per_request must be >= 1";
+    invalid_arg "Gen: write_ratio must lie in [0, 1]";
   let rng = Prng.create ~seed in
   let sample = sampler rng ~perturb stream in
-  let b = Packed.Builder.create ~initial_capacity:(max 16 n) () in
   for _ = 1 to n do
     let item = sample () in
     let kind = if Prng.chance rng write_ratio then Access.Write else Access.Read in
     let gap = Prng.int rng 4 in
-    Packed.Builder.emit b ~kind ?var ~gap (base + (item * stride))
-  done;
+    f ~kind ~gap (base + (item * stride))
+  done
+
+let emit ?perturb ?(base = 0) ?(stride = 16) ?write_ratio
+    ?(accesses_per_request = 1) ?var ~seed ~n stream =
+  if accesses_per_request < 1 then
+    invalid_arg "Gen.emit: accesses_per_request must be >= 1";
+  let b = Packed.Builder.create ~initial_capacity:(max 16 n) () in
+  iter_accesses ?perturb ~base ~stride ?write_ratio ~seed ~n stream
+    (fun ~kind ~gap addr -> Packed.Builder.emit b ~kind ?var ~gap addr);
   let apr = accesses_per_request in
   let n_requests = (n + apr - 1) / apr in
   let requests =
@@ -216,7 +227,7 @@ let out_of_range t =
   let rec go i =
     if i >= n then None
     else
-      let a = Array.unsafe_get addrs i in
+      let a = Bigarray.Array1.unsafe_get addrs i in
       if a < t.base || a >= t.limit then Some i else go (i + 1)
   in
   go 0

@@ -41,6 +41,23 @@ type trace = {
   limit : int;  (** One past the highest address the generator may emit. *)
 }
 
+val iter_accesses :
+  ?perturb:bool ->
+  ?base:int ->
+  ?stride:int ->
+  ?write_ratio:float ->
+  seed:int ->
+  n:int ->
+  stream ->
+  (kind:Memtrace.Access.kind -> gap:int -> int -> unit) ->
+  unit
+(** The raw access stream of {!emit}, delivered to a callback instead of
+    collected: [f ~kind ~gap addr] is called once per access, in order.
+    Stream this into a {!Memtrace.Packed.Writer} to synthesize traces far
+    larger than RAM ([colcache trace synth]); the PRNG consumption is
+    identical to {!emit}'s, so the streamed accesses equal the in-memory
+    trace's access-for-access given the same arguments. *)
+
 val emit :
   ?perturb:bool ->
   ?base:int ->

@@ -7,13 +7,20 @@ let rows =
   [
     { Bj.name = "colcache/hot_access_trace";
       ns_per_run = 2397684.3;
-      accesses_per_sec = 135872786.1 };
+      accesses_per_sec = 135872786.1;
+      sample_error = None };
     { Bj.name = "colcache/fig5_multitask";
       ns_per_run = 74144335.0;
-      accesses_per_sec = 0. };
+      accesses_per_sec = 0.;
+      sample_error = None };
+    { Bj.name = "colcache/mrc_sampled_zipf";
+      ns_per_run = 120.5;
+      accesses_per_sec = 8.3e9;
+      sample_error = Some 0.0123 };
     { Bj.name = "odd \"name\",\\with\tescapes";
       ns_per_run = 1.;
-      accesses_per_sec = 2. };
+      accesses_per_sec = 2.;
+      sample_error = None };
   ]
 
 let test_roundtrip () =
@@ -47,20 +54,44 @@ let test_schema_rejections () =
   rejects
     "[ { \"name\": \"x\", \"ns_per_run\": \"1\", \"accesses_per_sec\": 2 } ]"
     (* numbers must be numbers *);
+  rejects
+    "[ { \"name\": \"x\", \"ns_per_run\": 1, \"accesses_per_sec\": 2, \
+     \"sample_error\": \"big\" } ]" (* sample_error must be a number *);
   rejects "[] trailing";
   rejects "[ { \"name\": \"x\", \"ns_per_run\": 1, \"accesses_per_sec\": 2 }"
+
+let test_sample_error_optional () =
+  (* Rows without the field parse to None and render without it; rows with
+     it round-trip the value. Old baselines stay readable. *)
+  let old_style = "[ { \"name\": \"x\", \"ns_per_run\": 1, \"accesses_per_sec\": 2 } ]" in
+  (match Bj.of_string old_style with
+  | [ r ] -> Alcotest.(check bool) "absent field is None" true (r.Bj.sample_error = None)
+  | _ -> Alcotest.fail "expected one row");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let text = Bj.to_string rows in
+  Alcotest.(check bool) "field rendered when present" true
+    (contains text "\"sample_error\": 0.0123");
+  Alcotest.(check bool) "field omitted when None" true
+    (not (contains (Bj.to_string [ List.hd rows ]) "sample_error"))
 
 let test_non_finite_rejected () =
   Alcotest.(check bool) "NaN has no rendering" true
     (try
        ignore
          (Bj.to_string
-            [ { Bj.name = "x"; ns_per_run = Float.nan; accesses_per_sec = 0. } ]);
+            [ { Bj.name = "x"; ns_per_run = Float.nan; accesses_per_sec = 0.;
+                sample_error = None } ]);
        false
      with Invalid_argument _ -> true)
 
 let test_regressions () =
-  let base n ns = { Bj.name = n; ns_per_run = ns; accesses_per_sec = 0. } in
+  let base n ns =
+    { Bj.name = n; ns_per_run = ns; accesses_per_sec = 0.; sample_error = None }
+  in
   let baseline = [ base "a" 100.; base "b" 100.; base "gone" 50. ] in
   let current = [ base "a" 140.; base "b" 160.; base "new" 1000. ] in
   let regs = Bj.regressions ~baseline ~current ~max_pct:50. in
@@ -84,6 +115,8 @@ let suites =
         Alcotest.test_case "string round-trip" `Quick test_roundtrip;
         Alcotest.test_case "file round-trip" `Quick test_file_roundtrip;
         Alcotest.test_case "schema rejections" `Quick test_schema_rejections;
+        Alcotest.test_case "sample_error optional" `Quick
+          test_sample_error_optional;
         Alcotest.test_case "non-finite rejected" `Quick test_non_finite_rejected;
         Alcotest.test_case "regression compare" `Quick test_regressions;
       ] );

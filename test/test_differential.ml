@@ -59,6 +59,14 @@ let test_soak_covers_machine () =
       check_int "half the scenarios replayed through the machine diff" 250
         summary.Diff.machine_iters
 
+let test_soak_covers_sampled () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      (* every fourth scenario (i mod 4 = 3) also runs the sampled-vs-exact
+         error-bound differential: 125 of 500 *)
+      check_int "sampled-estimator scenarios" 125 summary.Diff.sample_iters
+
 let test_soak_covers_traffic () =
   match Lazy.force soak_result with
   | Error _ -> Alcotest.fail "soak diverged"
@@ -157,6 +165,37 @@ let test_mutation_gen () =
         (Scenario.length failure.Diff.scenario);
       check_bool "some traffic scenarios ran before the catch" true
         (summary.Diff.traffic_iters > 0);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal failure.Diff.scenario
+           (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
+
+let test_mutation_sample () =
+  (* The planted forgotten-rescale bug only exists in the sampled-estimator
+     driver, so the divergence must be caught on a sampled iteration and
+     attributed to no other driver. *)
+  match Diff.soak ~bug:Oracle.Sample ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "sample bug survived 500 iterations"
+  | Error (failure, summary) ->
+      check_bool "caught by the sampled-estimator driver" true
+        failure.Diff.sample;
+      check_bool "not attributed to any other driver" true
+        ((not failure.Diff.fast_path)
+        && (not failure.Diff.machine)
+        && (not failure.Diff.mrc)
+        && not failure.Diff.gen);
+      check_bool "some sampled scenarios ran before the catch" true
+        (summary.Diff.sample_iters > 0);
+      check_bool "repro still diverges under the sampled driver" true
+        (match
+           Check.Sample_diff.run_scenario ~bug:Oracle.Sample
+             failure.Diff.scenario
+         with
+        | Check.Sample_diff.Diverge _ -> true
+        | Check.Sample_diff.Agree -> false);
+      check_bool "repro agrees without the planted bug" true
+        (match Check.Sample_diff.run_scenario failure.Diff.scenario with
+        | Check.Sample_diff.Agree -> true
+        | Check.Sample_diff.Diverge _ -> false);
       check_bool "repro survives the textual round-trip" true
         (Scenario.equal failure.Diff.scenario
            (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
@@ -298,6 +337,8 @@ let suites =
           test_soak_covers_machine;
         Alcotest.test_case "covers traffic-shaped generators" `Quick
           test_soak_covers_traffic;
+        Alcotest.test_case "covers the sampled estimator" `Quick
+          test_soak_covers_sampled;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
       ] );
     ( "check.mutation",
@@ -310,6 +351,8 @@ let suites =
           test_mutation_machine_fast_path;
         Alcotest.test_case "catches generator sampler bug" `Quick
           test_mutation_gen;
+        Alcotest.test_case "catches sampled-estimator rescale bug" `Quick
+          test_mutation_sample;
       ] );
     ( "check.oracle",
       [

@@ -114,11 +114,11 @@ let test_zipf_slope () =
   let n = 100_000 in
   let t = Gen.emit ~seed:7 ~n ~write_ratio:0. (Gen.Zipf { items; theta }) in
   let counts = Array.make items 0 in
-  Array.iter
-    (fun addr ->
-      let item = addr / 16 in
-      counts.(item) <- counts.(item) + 1)
-    (Packed.raw_addrs t.Gen.packed);
+  let zipf_addrs = Packed.raw_addrs t.Gen.packed in
+  for i = 0 to Bigarray.Array1.dim zipf_addrs - 1 do
+    let item = zipf_addrs.{i} / 16 in
+    counts.(item) <- counts.(item) + 1
+  done;
   (* least-squares slope of log count against log rank over the head ranks,
      which hold enough mass for a stable estimate *)
   let head = 16 in
@@ -148,7 +148,7 @@ let test_hot_set_drift_shifts_mode () =
   let mode lo hi =
     let counts = Hashtbl.create 64 in
     for i = lo to hi - 1 do
-      let item = addrs.(i) / 16 in
+      let item = addrs.{i} / 16 in
       Hashtbl.replace counts item
         (1 + Option.value ~default:0 (Hashtbl.find_opt counts item))
     done;
