@@ -265,6 +265,42 @@ let bench_sys_replay_mmap () =
   Machine.System.flush_tlb sys;
   ignore (Machine.System.run_packed sys (Lazy.force mmap_packed))
 
+(* --- static WCET analysis -----------------------------------------------
+   [wcet_analysis] times one full abstract interpretation of the hot-walk
+   kernel (fixpoint must/may/persistence analysis plus the per-site miss
+   bounds); its accesses/sec divides the kernel's replay length by the
+   analysis time — the cost of bounding an access statically next to the
+   cost of simulating it ([hot_access]). [wcet_alloc] times the min-max
+   column allocator over per-task bound curves built once outside the
+   timed region. *)
+
+let wcet_geometry ways = { Ir.Cache_analysis.line_size = 16; sets = 32; ways }
+
+let bench_wcet_analysis () =
+  ignore
+    (Ir.Cache_analysis.analyze (wcet_geometry 4)
+       (Workloads.Kernels.hot_walk ~hot_elems:192 ~passes:20)
+       ~proc:"hot_walk")
+
+let wcet_curves =
+  lazy
+    (let p = Workloads.Kernels.hot_walk ~hot_elems:192 ~passes:20 in
+     let base =
+       Array.init 9 (fun c ->
+           match
+             (Ir.Cache_analysis.analyze (wcet_geometry c) p ~proc:"hot_walk")
+               .Ir.Cache_analysis.wcet_misses
+           with
+           | Some b -> float_of_int b
+           | None -> infinity)
+     in
+     List.init 6 (fun i ->
+         ( Printf.sprintf "task%d" i,
+           Array.map (fun v -> v *. float_of_int (1 + i)) base )))
+
+let bench_wcet_alloc () =
+  ignore (Layout.Wcet_alloc.allocate ~columns:12 (Lazy.force wcet_curves))
+
 (* --- workload generators ------------------------------------------------
    [gen_zipf] times the traffic-shaped generator itself: 32 K Zipf samples
    (harmonic-CDF binary search per draw) emitted into a packed trace.
@@ -325,6 +361,8 @@ let access_counts () =
       float_of_int (Memtrace.Packed.length (Lazy.force zipf_packed)) );
     ( "colcache/mrc_per_tag",
       float_of_int (Memtrace.Packed.length (Lazy.force hot_walk_packed)) );
+    ( "colcache/wcet_analysis",
+      float_of_int (Memtrace.Packed.length (Lazy.force hot_walk_packed)) );
     ("colcache/fig4a_dequant", routine "dequant");
     ("colcache/fig4b_plus", routine "plus");
     ("colcache/fig4c_idct", routine "idct");
@@ -351,6 +389,8 @@ let tests =
       Test.make ~name:"mrc_sampled_lz77" (Staged.stage bench_mrc_sampled_lz77);
       Test.make ~name:"mrc_sampled_zipf" (Staged.stage bench_mrc_sampled_zipf);
       Test.make ~name:"mrc_per_tag" (Staged.stage bench_mrc_per_tag);
+      Test.make ~name:"wcet_analysis" (Staged.stage bench_wcet_analysis);
+      Test.make ~name:"wcet_alloc" (Staged.stage bench_wcet_alloc);
       Test.make ~name:"gen_zipf" (Staged.stage bench_gen_zipf);
       Test.make ~name:"kv_requests" (Staged.stage bench_kv_requests);
       Test.make ~name:"fig3_tint_remap" (Staged.stage bench_fig3);

@@ -17,7 +17,9 @@
      colcache mrc     <file>      miss-ratio curve of a trace, exact or sampled
      colcache check               differential soak: simulators vs naive oracle
      colcache gen                 emit a traffic-shaped workload trace
-     colcache validate <file>     parse and validate an IF program file *)
+     colcache validate <file>     parse, validate and lint an IF program file
+     colcache wcet    <file>      static worst-case miss/cycle bounds, WCET-aware
+                                  column allocation across procedures *)
 
 open Cmdliner
 
@@ -558,9 +560,17 @@ let validate_cmd =
   let run file =
     match Ir.Parse.program_of_file file with
     | p ->
-        Format.fprintf ppf "%s: OK (%d variables, %d procedures)@." file
+        let diags = Ir.Lint.check p in
+        List.iter
+          (fun d -> Format.eprintf "%s: %a@." file Ir.Lint.pp_diagnostic d)
+          diags;
+        if Ir.Lint.errors diags <> [] then exit 1;
+        Format.fprintf ppf "%s: OK (%d variables, %d procedures%s)@." file
           (List.length p.Ir.Ast.vars)
           (List.length p.Ir.Ast.procs)
+          (match List.length diags with
+          | 0 -> ""
+          | n -> Printf.sprintf ", %d lint warning%s" n (if n = 1 then "" else "s"))
     | exception Ir.Parse.Parse_error { line; message } ->
         Format.eprintf "%s:%d: %s@." file line message;
         exit 1
@@ -569,7 +579,12 @@ let validate_cmd =
         exit 1
   in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Parse and validate an IF program file.")
+    (Cmd.info "validate"
+       ~doc:
+         "Parse and validate an IF program file, then lint it \
+          (out-of-bounds constant indices, probabilities outside [0,1], \
+          unused variables, zero-weight While bodies). Lint errors fail \
+          the exit status; warnings are reported but pass.")
     Term.(const run $ file)
 
 let check_cmd =
@@ -600,6 +615,7 @@ let check_cmd =
           ("mrc", Check.Oracle.Mrc);
           ("sample", Check.Oracle.Sample);
           ("gen", Check.Oracle.Gen);
+          ("wcet", Check.Oracle.Wcet);
         ]
     in
     Arg.(
@@ -611,8 +627,9 @@ let check_cmd =
              batched real-side driver, $(b,machine-fast-path) in the \
              machine-level batched replay, $(b,mrc) in the stack-distance \
              engine's access feed, $(b,sample) in the sampled mrc \
-             estimator's rescale, or $(b,gen) in the workload generator's \
-             Zipf sampler) to demonstrate that the harness catches and \
+             estimator's rescale, $(b,gen) in the workload generator's \
+             Zipf sampler, or $(b,wcet) in the static cache analysis's \
+             must-join) to demonstrate that the harness catches and \
              shrinks it. Exit status is inverted: the run fails if the bug \
              is NOT caught.")
   in
@@ -781,6 +798,223 @@ let runfile_cmd =
          "Parse an IF program from a file, lay one of its procedures out on           the 2 KB column cache, and simulate it (data zero-initialised).")
     Term.(const run $ file $ proc $ scratch_arg $ meth_arg $ optimize_arg)
 
+let wcet_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"IF program source (see Ir.Parse).")
+  in
+  let proc =
+    Arg.(
+      value & opt (some string) None
+      & info [ "proc" ] ~docv:"PROC"
+          ~doc:"Bound only PROC (default: every procedure).")
+  in
+  let line_size =
+    Arg.(
+      value & opt int 16
+      & info [ "line-size" ] ~docv:"BYTES" ~doc:"Cache line size.")
+  in
+  let sets =
+    Arg.(
+      value & opt int 16
+      & info [ "sets" ] ~docv:"N" ~doc:"Cache sets (power of two).")
+  in
+  let ways =
+    Arg.(
+      value & opt int 4
+      & info [ "ways" ] ~docv:"W"
+          ~doc:
+            "Ways (columns). Without $(b,--alloc), each procedure is \
+             bounded on a private W-way cache; with it, W is the total \
+             column budget split between the procedures.")
+  in
+  let alloc =
+    Arg.(
+      value
+      & opt (some (enum [ ("mrc", `Mrc); ("wcet", `Wcet); ("equal", `Equal) ]))
+          None
+      & info [ "alloc" ] ~docv:"POLICY"
+          ~doc:
+            "Treat the procedures as concurrent tasks and split the \
+             $(b,--ways) columns between them: $(b,wcet) minimizes the \
+             largest statically proven per-task miss bound, $(b,mrc) \
+             follows measured miss-ratio curves (average-optimal, \
+             worst-case-blind), $(b,equal) splits evenly.")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Also interpret each procedure (data zero-initialised) and \
+             replay its trace against an isolated cache of the bounded \
+             geometry, reporting observed misses next to the static bound.")
+  in
+  let run file proc line_size sets ways alloc compare =
+    let program =
+      match Ir.Parse.program_of_file file with
+      | p -> p
+      | exception Ir.Parse.Parse_error { line; message } ->
+          Format.eprintf "%s:%d: %s@." file line message;
+          exit 1
+      | exception Ir.Ast.Invalid_program message ->
+          Format.eprintf "%s: invalid program: %s@." file message;
+          exit 1
+    in
+    let procs =
+      match proc with
+      | Some p ->
+          if
+            not
+              (List.exists
+                 (fun pr -> pr.Ir.Ast.proc_name = p)
+                 program.Ir.Ast.procs)
+          then begin
+            Format.eprintf "%s: no procedure %S@." file p;
+            exit 1
+          end;
+          [ p ]
+      | None -> List.map (fun pr -> pr.Ir.Ast.proc_name) program.Ir.Ast.procs
+    in
+    let analyze_at ~ways name =
+      Ir.Cache_analysis.analyze
+        { Ir.Cache_analysis.line_size; sets; ways }
+        program ~proc:name
+    in
+    let layout = Ir.Interp.sequential_layout program in
+    (* a 0-column task has no cache at all: every access misses *)
+    let observed name ~ways =
+      let trace = Ir.Interp.trace_of program ~proc:name ~layout in
+      if ways = 0 then Memtrace.Trace.length trace
+      else begin
+        let cache =
+          Cache.Sassoc.create
+            (Cache.Sassoc.config ~line_size
+               ~size_bytes:(line_size * sets * ways)
+               ~ways ())
+        in
+        Cache.Sassoc.access_trace cache trace;
+        (Cache.Sassoc.stats cache).Cache.Stats.misses
+      end
+    in
+    let report_one ~ways name =
+      let t = analyze_at ~ways name in
+      Format.fprintf ppf "%a@." Ir.Cache_analysis.pp t;
+      (match
+         ( t.Ir.Cache_analysis.wcet_misses,
+           t.Ir.Cache_analysis.accesses,
+           t.Ir.Cache_analysis.alu )
+       with
+      | Some misses, Some accesses, Some alu ->
+          let timing = Machine.Timing.default in
+          let writebacks =
+            Option.value ~default:misses (Ir.Cache_analysis.writeback_bound t)
+          in
+          Format.fprintf ppf
+            "worst-case cycles (hit %d, miss %d, writeback %d): %d@."
+            timing.Machine.Timing.hit_cycles
+            timing.Machine.Timing.miss_penalty
+            timing.Machine.Timing.writeback_penalty
+            (Machine.Timing.wcet_cycle_bound timing ~alu ~accesses ~misses
+               ~writebacks ~tlb_misses:0)
+      | _ ->
+          Format.fprintf ppf
+            "worst-case cycles: unbounded (unbounded misses or accesses)@.");
+      if compare then
+        Format.fprintf ppf "observed in replay: %d misses (bound %s)@."
+          (observed name ~ways)
+          (match t.Ir.Cache_analysis.wcet_misses with
+          | Some b -> string_of_int b
+          | None -> "unbounded")
+    in
+    match alloc with
+    | None ->
+        List.iteri
+          (fun i name ->
+            if i > 0 then Format.fprintf ppf "@.";
+            report_one ~ways name)
+          procs
+    | Some policy ->
+        let n = List.length procs in
+        if n > ways then begin
+          Format.eprintf
+            "wcet: %d procedures but only %d columns to split (--ways)@." n
+            ways;
+          exit 1
+        end;
+        let curves =
+          List.map
+            (fun name ->
+              ( name,
+                Array.init (ways + 1) (fun c ->
+                    match
+                      (analyze_at ~ways:c name).Ir.Cache_analysis.wcet_misses
+                    with
+                    | Some b -> float_of_int b
+                    | None -> infinity) ))
+            procs
+        in
+        let allocation =
+          match policy with
+          | `Equal -> List.map (fun name -> (name, ways / n)) procs
+          | `Wcet -> Layout.Wcet_alloc.allocate ~columns:ways curves
+          | `Mrc ->
+              let miss_curves =
+                List.map
+                  (fun name ->
+                    let sd =
+                      Cache.Stack_dist.create ~line_size ~sets ~max_ways:ways
+                        ()
+                    in
+                    Memtrace.Trace.iter
+                      (fun a ->
+                        Cache.Stack_dist.access sd ~kind:a.Memtrace.Access.kind
+                          a.Memtrace.Access.addr)
+                      (Ir.Interp.trace_of program ~proc:name ~layout);
+                    (name, Cache.Stack_dist.miss_curve sd))
+                  procs
+              in
+              Layout.Mrc_alloc.allocate ~columns:ways miss_curves
+        in
+        Format.fprintf ppf "allocation (%s, %d columns):@."
+          (match policy with
+          | `Mrc -> "mrc"
+          | `Wcet -> "wcet"
+          | `Equal -> "equal")
+          ways;
+        List.iter
+          (fun (name, cols) ->
+            let bound = (List.assoc name curves).(cols) in
+            Format.fprintf ppf "  %-16s %d column%s  bound %s%s@." name cols
+              (if cols = 1 then " " else "s")
+              (if Float.is_finite bound then
+                 string_of_int (int_of_float bound)
+               else "unbounded")
+              (if compare then
+                 Printf.sprintf "  observed %d" (observed name ~ways:cols)
+               else ""))
+          allocation;
+        let worst =
+          List.fold_left
+            (fun acc (name, _) ->
+              Float.max acc (Layout.Wcet_alloc.bound_of curves allocation name))
+            neg_infinity allocation
+        in
+        Format.fprintf ppf "largest per-task bound: %s@."
+          (if Float.is_finite worst then string_of_int (int_of_float worst)
+           else "unbounded")
+  in
+  Cmd.v
+    (Cmd.info "wcet"
+       ~doc:
+         "Abstract-interpretation cache analysis of an IF program: per-site \
+          must/may/persistence classifications, sound worst-case miss and \
+          cycle bounds per procedure, and optionally ($(b,--alloc)) a \
+          WCET-aware split of the cache columns across the procedures.")
+    Term.(
+      const run $ file $ proc $ line_size $ sets $ ways $ alloc $ compare)
+
 let replay_cmd =
   let file =
     Arg.(
@@ -933,7 +1167,7 @@ let main_cmd =
       fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
       export_cmd;
       dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd; mrc_cmd;
-      check_cmd; validate_cmd; runfile_cmd; gen_cmd;
+      check_cmd; validate_cmd; runfile_cmd; wcet_cmd; gen_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -301,6 +301,7 @@ type summary = {
   mrc_iters : int;
   sample_iters : int;
   traffic_iters : int;
+  wcet_iters : int;
 }
 
 type failure = {
@@ -312,6 +313,7 @@ type failure = {
   mrc : bool;
   sample : bool;
   gen : bool;
+  wcet : bool;
 }
 
 let policy_family = function
@@ -326,6 +328,11 @@ let forced_ways = [| 1; Bitmask.max_columns; 2; 4; 3; 8; 16; Bitmask.max_columns
 
 let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
   let rng = Prng.create ~seed in
+  (* Dedicated stream for the wcet check's program seeds: drawing them from
+     [rng] would shift every scenario generated after the first wcet
+     iteration, perturbing the coverage (and the statistical checks) of all
+     the other drivers whenever this rotation changes. *)
+  let wcet_rng = Prng.create ~seed:(seed lxor 0x57ce7) in
   let summary =
     ref
       {
@@ -342,9 +349,11 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         mrc_iters = 0;
         sample_iters = 0;
         traffic_iters = 0;
+        wcet_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic ~wcet
+      =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -369,6 +378,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         mrc_iters = s.mrc_iters + (if mrc then 1 else 0);
         sample_iters = s.sample_iters + (if sample then 1 else 0);
         traffic_iters = s.traffic_iters + (if traffic then 1 else 0);
+        wcet_iters = s.wcet_iters + (if wcet then 1 else 0);
       }
   in
   (* The containment contract on generator-backed scenarios: every emitted
@@ -420,7 +430,12 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
          the SHARDS-sampled estimator against the exact engine within the
          error bound ([Sample_diff]). *)
       let sample = i mod 4 = 3 in
-      account sc ~fast_path ~machine ~mrc ~sample ~traffic;
+      (* ...and every fifth post-preamble iteration runs the static
+         cache-analysis soundness check ([Wcet_diff]) on its own random
+         program, seeded from the soak stream. *)
+      let wcet = i >= Array.length forced_ways && i mod 5 = 4 in
+      let wcet_seed = if wcet then Prng.int wcet_rng 0x3FFFFFFF else 0 in
+      account sc ~fast_path ~machine ~mrc ~sample ~traffic ~wcet;
       let fail driver ~fast_path ~machine ~mrc ~sample =
         let shrunk = shrink_by driver sc in
         let divergence =
@@ -430,7 +445,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine; mrc; sample; gen = false },
+              machine; mrc; sample; gen = false; wcet = false },
             !summary )
       in
       let containment_outcome =
@@ -458,6 +473,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                       mrc = false;
                       sample = false;
                       gen = true;
+                      wcet = false;
                     },
                     !summary ))
       in
@@ -483,9 +499,31 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                       | Diverge _ ->
                           fail (run_sample ?bug) ~fast_path:false
                             ~machine:false ~mrc:false ~sample:true
-                      | Agree ->
-                          progress i;
-                          loop (i + 1)))))
+                      | Agree -> (
+                          match
+                            if wcet then
+                              Wcet_diff.run_one ?bug ~seed:wcet_seed ()
+                            else Ok ()
+                          with
+                          | Error detail ->
+                              (* No scenario diverged: the repro is the
+                                 seed and program carried in the detail. *)
+                              Error
+                                ( {
+                                    iteration = i;
+                                    scenario = sc;
+                                    divergence = { step = 0; detail };
+                                    fast_path = false;
+                                    machine = false;
+                                    mrc = false;
+                                    sample = false;
+                                    gen = false;
+                                    wcet = true;
+                                  },
+                                  !summary )
+                          | Ok () ->
+                              progress i;
+                              loop (i + 1))))))
     end
   in
   loop 0
@@ -499,6 +537,7 @@ let pp_failure ppf f =
      events, %d accesses):@,%a@]"
     f.iteration
     (if f.gen then "generator containment"
+     else if f.wcet then "wcet static-bound"
      else if f.machine then "machine batched-replay"
      else if f.mrc then "stack-distance mrc"
      else if f.sample then "sampled mrc error-bound"
@@ -514,9 +553,10 @@ let pp_summary ppf s =
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
      %d via the batched fast path, %d via the machine batched replay, %d \
      via the stack-distance mrc differential, %d via the sampled mrc \
-     error bound, %d from traffic-shaped generators; policies: %s; ways %s)"
+     error bound, %d from traffic-shaped generators, %d with wcet \
+     static-bound checks; policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
-    s.machine_iters s.mrc_iters s.sample_iters s.traffic_iters
+    s.machine_iters s.mrc_iters s.sample_iters s.traffic_iters s.wcet_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

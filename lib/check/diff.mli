@@ -62,6 +62,9 @@ type summary = {
       (** scenarios whose access stream came from a traffic-shaped
           {!Workloads.Gen} generator ({!Gen.traffic_scenario}) rather than
           uniform noise *)
+  wcet_iters : int;
+      (** iterations that additionally ran the static cache-analysis
+          soundness check ({!Wcet_diff.run_one}) on a random program *)
 }
 
 type failure = {
@@ -87,6 +90,12 @@ type failure = {
           generator's declared range. The repro is the single offending
           access; no driver divergence is involved, so the other driver
           flags are [false] then *)
+  wcet : bool;
+      (** the failure is a static-bound violation from
+          {!Wcet_diff.run_one}: the divergence detail carries the seed,
+          the violated bound and the generated program; the scenario field
+          is just the iteration's (unrelated) scenario and the other
+          driver flags are [false] then *)
 }
 
 val soak :
@@ -104,8 +113,11 @@ val soak :
     its access stream from a traffic-shaped generator
     ({!Gen.traffic_scenario}) and additionally verifies the generator's
     containment contract — every address inside its declared range — which
-    is what catches the {!Oracle.Gen} mutation. Stops at the first
-    divergence. [progress] is called with each completed iteration index. *)
+    is what catches the {!Oracle.Gen} mutation; and every fifth runs the
+    static cache-analysis soundness check ({!Wcet_diff.run_one}) on its own
+    random program, which is what catches the {!Oracle.Wcet} mutation.
+    Stops at the first divergence. [progress] is called with each completed
+    iteration index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

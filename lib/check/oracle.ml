@@ -12,6 +12,7 @@ type bug =
   | Mrc
   | Sample
   | Gen
+  | Wcet
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
@@ -22,6 +23,7 @@ let bug_to_string = function
   | Mrc -> "mrc"
   | Sample -> "sample"
   | Gen -> "gen"
+  | Wcet -> "wcet"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

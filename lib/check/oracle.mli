@@ -48,6 +48,13 @@ type bug =
           re-clamping, so the top rank escapes the generator's declared
           address range. Proves the soak's containment check on
           generator-backed traffic scenarios catches sampler bugs. *)
+  | Wcet
+      (** planted in {!Ir.Cache_analysis}'s must-domain join, not here: the
+          join becomes union-with-min-age instead of
+          intersection-with-max-age, an unsound over-approximation that
+          claims always-hits across diverging paths. Proves
+          {!Wcet_diff}'s bound-vs-replay comparison can catch an unsound
+          abstract domain. *)
 
 val bug_to_string : bug -> string
 

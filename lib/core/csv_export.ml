@@ -199,4 +199,28 @@ let write_all ~dir =
 
   let tl = Experiments.Tail_latency.run () in
   write_rows ~path:(path "tail_latency.csv") ~header:tail_latency_header
-    (tail_latency_rows tl)
+    (tail_latency_rows tl);
+
+  let wp = Experiments.Wcet_partition.run () in
+  let bound b = if Float.is_finite b then sof b else "unbounded" in
+  write_rows ~path:(path "wcet_partition.csv")
+    ~header:
+      [ "task"; "allocation"; "columns"; "static_miss_bound"; "observed_misses" ]
+    (List.concat_map
+       (fun (r : Experiments.Wcet_partition.row) ->
+         List.map
+           (fun (alloc, (c : Experiments.Wcet_partition.cell)) ->
+             [
+               r.Experiments.Wcet_partition.task;
+               alloc;
+               soi c.Experiments.Wcet_partition.columns;
+               bound c.Experiments.Wcet_partition.bound;
+               soi c.Experiments.Wcet_partition.observed;
+             ])
+           [
+             ("shared", r.Experiments.Wcet_partition.shared);
+             ("equal", r.Experiments.Wcet_partition.equal);
+             ("mrc", r.Experiments.Wcet_partition.mrc);
+             ("wcet", r.Experiments.Wcet_partition.wcet);
+           ])
+       wp.Experiments.Wcet_partition.rows)

@@ -11,7 +11,9 @@
     - [ablations.csv] — long-format (ablation, configuration, metric, value)
     - [generality.csv] — the JPEG cross-check
     - [tail_latency.csv] — per-tenant latency percentiles, shared vs
-      MRC-partitioned columns *)
+      MRC-partitioned columns
+    - [wcet_partition.csv] — per-task static miss bound vs observed misses
+      under shared / equal / MRC / WCET column allocations *)
 
 val write_all : dir:string -> unit
 

@@ -26,11 +26,13 @@ type t = {
   cache : Cache.Sassoc.config;
   page_size : int;
   tlb_entries : int;
+  default_trip_count : int;
   address_map : Layout.Address_map.t;
   memo : memo;
 }
 
-let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0) ~cache
+let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0)
+    ?(default_trip_count = Ir.Static_analysis.default_trip_count) ~cache
     program =
   Ir.Ast.validate program;
   let vars =
@@ -53,7 +55,8 @@ let make ?(page_size = 256) ?(tlb_entries = 32) ?(init = fun _ _ -> 0) ~cache
       app = Hashtbl.create 4;
     }
   in
-  { program; init; cache; page_size; tlb_entries; address_map; memo }
+  { program; init; cache; page_size; tlb_entries; default_trip_count;
+    address_map; memo }
 
 let memo_get memo tbl key compute =
   Mutex.lock memo.lock;
@@ -102,7 +105,9 @@ let vars_of_proc t ~proc =
 let summaries t ~proc ~meth =
   match meth with
   | Profile_based -> Profile.Lifetime.of_trace (trace_of t ~proc)
-  | Program_analysis -> Ir.Static_analysis.analyze t.program ~proc
+  | Program_analysis ->
+      Ir.Static_analysis.analyze ~default_trip_count:t.default_trip_count
+        t.program ~proc
 
 (* Classifier mapping an access to its region name under the current
    address map and column size: exact per-subarray profiling. *)
@@ -285,7 +290,9 @@ let combined_static_summaries t ~procs =
   List.iter
     (fun proc ->
       let cost =
-        int_of_float (Ir.Static_analysis.cost_of_proc t.program ~proc)
+        int_of_float
+          (Ir.Static_analysis.cost_of_proc
+             ~default_trip_count:t.default_trip_count t.program ~proc)
       in
       List.iter
         (fun (name, s) ->
@@ -304,7 +311,8 @@ let combined_static_summaries t ~procs =
                    ~accesses:(prev.accesses +. shifted.accesses)
                    ~first:(min prev.first shifted.first)
                    ~last:(max prev.last shifted.last) ()))
-        (Ir.Static_analysis.analyze t.program ~proc);
+        (Ir.Static_analysis.analyze ~default_trip_count:t.default_trip_count
+           t.program ~proc);
       offset := !offset + cost)
     procs;
   List.rev_map (fun name -> (name, Hashtbl.find table name)) !order

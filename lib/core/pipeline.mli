@@ -25,6 +25,9 @@ type t = {
   cache : Cache.Sassoc.config;
   page_size : int;
   tlb_entries : int;
+  default_trip_count : int;
+      (** trip count assumed for loops whose bounds the static analysis
+          cannot resolve to constants; calibrates {!Program_analysis} *)
   address_map : Layout.Address_map.t;
       (** fixed "linker" placement of every program variable; repartitioning
           never moves data *)
@@ -35,10 +38,13 @@ val make :
   ?page_size:int ->
   ?tlb_entries:int ->
   ?init:(string -> int -> int) ->
+  ?default_trip_count:int ->
   cache:Cache.Sassoc.config ->
   Ir.Ast.program ->
   t
-(** Defaults: 256-byte pages, 32 TLB entries, zero-initialised data. *)
+(** Defaults: 256-byte pages, 32 TLB entries, zero-initialised data,
+    {!Ir.Static_analysis.default_trip_count} for unresolvable loop
+    bounds. *)
 
 val columns : t -> int
 val column_size : t -> int

@@ -1,0 +1,734 @@
+open Ast
+
+type geometry = { line_size : int; sets : int; ways : int }
+type classification = Always_hit | Persistent | May_hit | Always_miss
+
+type site = {
+  site_id : int;
+  var : string;
+  write : bool;
+  classification : classification;
+  executions : int option;
+  lines : int;
+  miss_bound : int option;
+}
+
+type t = {
+  proc : string;
+  geometry : geometry;
+  sites : site list;
+  accesses : int option;
+  writes : int option;
+  alu : int option;
+  wcet_misses : int option;
+  touched_lines : int list;
+}
+
+(* ---- saturating bound arithmetic ([None] = unbounded) ------------------- *)
+
+let sat = 1 lsl 50
+
+let add_opt a b =
+  match (a, b) with Some a, Some b -> Some (min sat (a + b)) | _ -> None
+
+(* [Some 0 * None = Some 0]: a scope that provably never runs contributes
+   nothing even when its own iteration count is unbounded. *)
+let mul_opt a b =
+  match (a, b) with
+  | Some 0, _ | _, Some 0 -> Some 0
+  | Some a, Some b -> if a > sat / b then Some sat else Some (a * b)
+  | _ -> None
+
+(* ---- interval domain for register values -------------------------------- *)
+
+module Itv = struct
+  type t = Top | I of int * int
+
+  (* Bounds are kept within [+-big] so every interval operation fits
+     comfortably in a native int; anything larger widens to [Top]
+     (which is always sound — soundness of the cache states depends on
+     intervals truly containing the runtime value). *)
+  let big = 1 lsl 30
+  let norm lo hi = if lo < -big || hi > big || lo > hi then Top else I (lo, hi)
+  let const n = norm n n
+  let equal a b = a = b
+  let hull a b =
+    match (a, b) with
+    | I (al, ah), I (bl, bh) -> I (min al bl, max ah bh)
+    | _ -> Top
+
+  let neg = function I (lo, hi) -> norm (-hi) (-lo) | Top -> Top
+
+  let corners f a b =
+    match (a, b) with
+    | I (al, ah), I (bl, bh) ->
+        let c1 = f al bl and c2 = f al bh and c3 = f ah bl and c4 = f ah bh in
+        norm (min (min c1 c2) (min c3 c4)) (max (max c1 c2) (max c3 c4))
+    | _ -> Top
+
+  let binop op a b =
+    match (op, a, b) with
+    | Add, I (al, ah), I (bl, bh) -> norm (al + bl) (ah + bh)
+    | Sub, I (al, ah), I (bl, bh) -> norm (al - bh) (ah - bl)
+    | Mul, _, _ -> corners (fun x y -> x * y) a b
+    | Div, _, I (bl, bh) when bl > 0 || bh < 0 -> corners ( / ) a b
+    | Div, _, _ -> Top
+    | Mod, I (al, ah), I (bl, bh) when bl > 0 || bh < 0 ->
+        (* OCaml [mod] takes the dividend's sign; magnitude < |divisor|. *)
+        let m = max (abs bl) (abs bh) in
+        let lo = if al >= 0 then 0 else max al (-(m - 1)) in
+        let hi = if ah <= 0 then 0 else min ah (m - 1) in
+        norm lo hi
+    | Mod, _, _ -> Top
+    | Shl, _, I (bl, bh) when bl >= 0 && bh <= 40 ->
+        corners (fun x y -> x lsl y) a b
+    | Shl, _, _ -> Top
+    | Shr, _, I (bl, bh) when bl >= 0 && bh <= 62 ->
+        corners (fun x y -> x asr y) a b
+    | Shr, _, _ -> Top
+    | Band, I (al, ah), I (bl, bh) ->
+        if al = ah && bl = bh then const (al land bl)
+        else if al >= 0 && bl >= 0 then norm 0 (min ah bh)
+        else Top
+    | Bor, I (al, ah), I (bl, bh) ->
+        if al = ah && bl = bh then const (al lor bl)
+        else if al >= 0 && bl >= 0 then norm 0 (ah + bh)
+        else Top
+    | Bxor, I (al, ah), I (bl, bh) ->
+        if al = ah && bl = bh then const (al lxor bl)
+        else if al >= 0 && bl >= 0 then norm 0 (ah + bh)
+        else Top
+    | Min, I (al, ah), I (bl, bh) -> I (min al bl, min ah bh)
+    | Max, I (al, ah), I (bl, bh) -> I (max al bl, max ah bh)
+    | (Add | Sub | Min | Max | Band | Bor | Bxor), _, _ -> Top
+end
+
+(* ---- partition groups ---------------------------------------------------
+
+   Variables with byte-identical masks, disjoint from every other mask,
+   form an isolated cache of [popcount mask] ways per set: replacement
+   restricted to a column group with LRU stamps is LRU among the group's
+   own lines. Any overlap between unequal masks voids ([ok = false]) the
+   isolation argument for the variables involved, and the analysis then
+   refuses must/persistence claims for them instead of modelling the
+   interaction. *)
+
+type group = { gid : int; gways : int; mutable ok : bool }
+
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+module SMap = Map.Make (String)
+
+type astate = { regs : Itv.t SMap.t; must : int IMap.t; may : int IMap.t }
+
+type ctx = {
+  program : program;
+  geom : geometry;
+  layout : (string * int) list;
+  ls_log : int;
+  var_group : (string, group) Hashtbl.t;
+  line_home : (int, int * int) Hashtbl.t;  (* line -> (set, gid) *)
+  unsound : bool;
+}
+
+(* ---- recorder (only alive during the final classification pass) --------- *)
+
+type site_rec = {
+  r_id : int;
+  r_var : string;
+  r_write : bool;
+  r_lines : int list;
+  r_scopes : int list;  (* enclosing scope ids, outermost first *)
+  r_exec : int option;
+  r_must : bool;
+  r_may : bool;
+  r_group : group;
+}
+
+type recorder = {
+  mutable sites : site_rec list;  (* reversed *)
+  mutable next_site : int;
+  mutable next_scope : int;
+  mutable stack : int list;  (* innermost first *)
+  mutable entries : (int * int option) list;  (* scope id -> entry bound *)
+  mutable acc : int option;
+  mutable wr : int option;
+  mutable alu_n : int option;
+}
+
+let count_alu rc exec n =
+  match rc with
+  | None -> ()
+  | Some r -> r.alu_n <- add_opt r.alu_n (mul_opt exec (Some n))
+
+(* ---- abstract cache transfer -------------------------------------------- *)
+
+(* Access to exactly one line [l]: lines provably younger than [l]'s old
+   upper-bound age keep a sound upper bound by aging; lines at least as
+   old keep theirs unchanged (if the victim aged, so did its bound). *)
+let must_single ctx g l must =
+  let home = Hashtbl.find ctx.line_home l in
+  let old = IMap.find_opt l must in
+  let aged =
+    IMap.filter_map
+      (fun l' a ->
+        if l' = l then None
+        else if
+          Hashtbl.find ctx.line_home l' = home
+          && (match old with None -> true | Some o -> a < o)
+        then if a + 1 >= g.gways then None else Some (a + 1)
+        else Some a)
+      must
+  in
+  if g.gways > 0 then IMap.add l 0 aged else aged
+
+let may_single ctx g l may =
+  let home = Hashtbl.find ctx.line_home l in
+  (* A lower bound may only grow when aging is certain: when the
+     accessed line is provably absent, the access misses and everything
+     in the set truly ages. *)
+  let aged =
+    if IMap.mem l may then may
+    else
+      IMap.filter_map
+        (fun l' a ->
+          if l' <> l && Hashtbl.find ctx.line_home l' = home then
+            if a + 1 >= g.gways then None else Some (a + 1)
+          else Some a)
+        may
+  in
+  if g.gways > 0 then IMap.add l 0 aged else aged
+
+(* Access to one unknown line out of [lines]: joining the per-choice
+   outcomes ages every line in an affected set by one (the accessed
+   line itself is younger in its own branch, aged in the others — the
+   max is the aged bound) and installs nothing. *)
+let must_multi ctx g homes must =
+  IMap.filter_map
+    (fun l' a ->
+      if List.mem (Hashtbl.find ctx.line_home l') homes then
+        if a + 1 >= g.gways then None else Some (a + 1)
+      else Some a)
+    must
+
+let may_multi g lines may =
+  if g.gways = 0 then may
+  else List.fold_left (fun m l -> IMap.add l 0 m) may lines
+
+(* ---- joins and fixpoints ------------------------------------------------ *)
+
+let join_state ctx a b =
+  let must =
+    if ctx.unsound then IMap.union (fun _ x y -> Some (min x y)) a.must b.must
+    else
+      IMap.merge
+        (fun _ x y ->
+          match (x, y) with Some x, Some y -> Some (max x y) | _ -> None)
+        a.must b.must
+  in
+  let may = IMap.union (fun _ x y -> Some (min x y)) a.may b.may in
+  let regs =
+    SMap.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some x, Some y -> Some (Itv.hull x y)
+        | _ -> Some Itv.Top)
+      a.regs b.regs
+  in
+  { regs; must; may }
+
+let state_equal a b =
+  IMap.equal ( = ) a.must b.must
+  && IMap.equal ( = ) a.may b.may
+  && SMap.equal Itv.equal a.regs b.regs
+
+(* Iterate [h := join h (f h)] to a post-fixpoint covering the entry
+   state and every post-iteration state. Ages and map domains live in
+   finite lattices; register intervals are widened to [Top] once they
+   keep moving, so the chain is finite. The iteration cap is a belt on
+   top of those braces: on overrun, fall to the all-unknown state
+   (empty must, everything possibly cached, registers unknown). *)
+let stabilize ctx f st =
+  let widen prev next =
+    {
+      next with
+      regs =
+        SMap.merge
+          (fun _ p n ->
+            match (p, n) with
+            | Some p, Some n -> if Itv.equal p n then Some n else Some Itv.Top
+            | _ -> Some Itv.Top)
+          prev.regs next.regs;
+    }
+  in
+  let bottom () =
+    let may =
+      Hashtbl.fold (fun line _ m -> IMap.add line 0 m) ctx.line_home IMap.empty
+    in
+    { regs = SMap.map (fun _ -> Itv.Top) st.regs; must = IMap.empty; may }
+  in
+  let rec go n st =
+    let st' = join_state ctx st (f st) in
+    let st' = if n >= 4 then widen st st' else st' in
+    if state_equal st st' then st
+    else if n > 200 then bottom ()
+    else go (n + 1) st'
+  in
+  go 0 st
+
+(* ---- the abstract interpreter -------------------------------------------
+
+   Mirrors {!Interp}'s emission order statement for statement: indices
+   before loads, stored values before writes, [For] bounds once before
+   the loop, [While] conditions once per iteration plus the final
+   failing evaluation, calls inlined. [rc = Some _] only during the
+   final classification pass (fixpoint passes transfer state without
+   recording); [exec] is the worst-case execution count of the current
+   context. *)
+
+let rec eval ctx rc exec st e =
+  match e with
+  | Int n -> (Itv.const n, st)
+  | Reg r ->
+      ( (match SMap.find_opt r st.regs with Some i -> i | None -> Itv.Top),
+        st )
+  | Scalar name ->
+      let st = access ctx rc exec st ~write:false name (Itv.const 0) in
+      (Itv.Top, st)
+  | Load (name, idx_e) ->
+      let idx, st = eval ctx rc exec st idx_e in
+      count_alu rc exec 1;
+      let st = access ctx rc exec st ~write:false name idx in
+      (Itv.Top, st)
+  | Unary_minus e ->
+      let v, st = eval ctx rc exec st e in
+      count_alu rc exec 1;
+      (Itv.neg v, st)
+  | Binop (op, a, b) ->
+      let va, st = eval ctx rc exec st a in
+      let vb, st = eval ctx rc exec st b in
+      count_alu rc exec 1;
+      (Itv.binop op va vb, st)
+
+and eval_cond ctx rc exec st c =
+  let _, st = eval ctx rc exec st c.lhs in
+  let _, st = eval ctx rc exec st c.rhs in
+  count_alu rc exec 1;
+  st
+
+and access ctx rc exec st ~write name idx =
+  let v =
+    match find_var ctx.program name with Some v -> v | None -> assert false
+  in
+  let base = List.assoc name ctx.layout in
+  let g = Hashtbl.find ctx.var_group name in
+  (* Out-of-range indices raise in the interpreter before emitting, so
+     clamping to the declared bounds covers every emitted access (an
+     erroring run just stops earlier than the bound assumes). *)
+  let lo, hi =
+    match idx with
+    | Itv.Top -> (0, v.elems - 1)
+    | Itv.I (l, h) -> (max l 0, min h (v.elems - 1))
+  in
+  let lines =
+    if lo > hi then []
+    else begin
+      let acc = ref [] in
+      for i = lo to hi do
+        acc := ((base + (i * v.elem_size)) lsr ctx.ls_log) :: !acc
+      done;
+      List.sort_uniq compare !acc
+    end
+  in
+  let must_hit =
+    g.ok && List.for_all (fun l -> IMap.mem l st.must) lines
+  in
+  let may_possible =
+    (not g.ok) || List.exists (fun l -> IMap.mem l st.may) lines
+  in
+  (match rc with
+  | None -> ()
+  | Some r ->
+      let id = r.next_site in
+      r.next_site <- id + 1;
+      r.sites <-
+        {
+          r_id = id;
+          r_var = name;
+          r_write = write;
+          r_lines = lines;
+          r_scopes = List.rev r.stack;
+          r_exec = exec;
+          r_must = must_hit;
+          r_may = may_possible;
+          r_group = g;
+        }
+        :: r.sites;
+      r.acc <- add_opt r.acc exec;
+      if write then r.wr <- add_opt r.wr exec);
+  if not g.ok then st
+  else
+    match lines with
+    | [] -> st
+    | [ l ] ->
+        {
+          st with
+          must = must_single ctx g l st.must;
+          may = may_single ctx g l st.may;
+        }
+    | ls ->
+        let homes =
+          List.sort_uniq compare
+            (List.map (Hashtbl.find ctx.line_home) ls)
+        in
+        {
+          st with
+          must = must_multi ctx g homes st.must;
+          may = may_multi g ls st.may;
+        }
+
+and exec_body ctx rc exec st body =
+  List.fold_left (fun st s -> exec_stmt ctx rc exec st s) st body
+
+and push_scope rc exec =
+  match rc with
+  | None -> -1
+  | Some r ->
+      let sid = r.next_scope in
+      r.next_scope <- sid + 1;
+      r.entries <- (sid, exec) :: r.entries;
+      r.stack <- sid :: r.stack;
+      sid
+
+and pop_scope rc =
+  match rc with None -> () | Some r -> r.stack <- List.tl r.stack
+
+and exec_stmt ctx rc exec st stmt =
+  match stmt with
+  | Assign_reg (name, e) ->
+      let v, st = eval ctx rc exec st e in
+      count_alu rc exec 1;
+      { st with regs = SMap.add name v st.regs }
+  | Assign_scalar (name, e) ->
+      let _, st = eval ctx rc exec st e in
+      access ctx rc exec st ~write:true name (Itv.const 0)
+  | Store (name, idx_e, e) ->
+      let idx, st = eval ctx rc exec st idx_e in
+      let _, st = eval ctx rc exec st e in
+      count_alu rc exec 1;
+      access ctx rc exec st ~write:true name idx
+  | For { reg; lo; hi; body } ->
+      let lo_i, st = eval ctx rc exec st lo in
+      let hi_i, st = eval ctx rc exec st hi in
+      let trips =
+        match (lo_i, hi_i) with
+        | Itv.I (llo, _), Itv.I (_, hhi) -> Some (max 0 (hhi - llo))
+        | _ -> None
+      in
+      if trips = Some 0 then st
+      else begin
+        let reg_itv =
+          match (lo_i, hi_i) with
+          | Itv.I (llo, _), Itv.I (_, hhi) -> Itv.norm llo (hhi - 1)
+          | _ -> Itv.Top
+        in
+        let saved = SMap.find_opt reg st.regs in
+        let inner_exec = mul_opt exec trips in
+        let enter s = { s with regs = SMap.add reg reg_itv s.regs } in
+        let head =
+          stabilize ctx
+            (fun s -> exec_body ctx None inner_exec (enter s) body)
+            (enter st)
+        in
+        (match rc with
+        | None -> ()
+        | Some _ ->
+            count_alu rc inner_exec 2;
+            let _sid = push_scope rc exec in
+            ignore (exec_body ctx rc inner_exec (enter head) body);
+            pop_scope rc);
+        let regs =
+          match saved with
+          | Some v -> SMap.add reg v head.regs
+          | None -> SMap.remove reg head.regs
+        in
+        { head with regs }
+      end
+  | While { cond; body; _ } ->
+      (* [est_iterations] is an estimate, never a bound. *)
+      let inner_exec = match exec with Some 0 -> Some 0 | _ -> None in
+      let head =
+        stabilize ctx
+          (fun s ->
+            exec_body ctx None inner_exec
+              (eval_cond ctx None inner_exec s cond)
+              body)
+          st
+      in
+      (* The condition runs once per iteration (plus the failing one):
+         its accesses belong inside the loop's persistence scope. *)
+      let _sid = push_scope rc exec in
+      let exit_st = eval_cond ctx rc inner_exec head cond in
+      (match rc with
+      | None -> ()
+      | Some _ ->
+          ignore (exec_body ctx rc inner_exec exit_st body));
+      pop_scope rc;
+      exit_st
+  | If { cond; then_; else_ } ->
+      let st = eval_cond ctx rc exec st cond in
+      let a = exec_body ctx rc exec st then_ in
+      let b = exec_body ctx rc exec st else_ in
+      join_state ctx a b
+  | Call name -> (
+      count_alu rc exec 1;
+      match find_proc ctx.program name with
+      | Some p -> exec_body ctx rc exec st p.body
+      | None -> st)
+
+(* ---- setup -------------------------------------------------------------- *)
+
+let popcount m =
+  let rec go m n = if m = 0 then n else go (m lsr 1) (n + (m land 1)) in
+  go m 0
+
+let log2_exn what n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  let k = if n >= 1 then go 0 else -1 in
+  if k < 0 then invalid_arg (Printf.sprintf "Cache_analysis: %s must be a power of two" what);
+  k
+
+let build_ctx ?(unsound_join = false) ?layout ?(masks = []) geom program =
+  let ls_log = log2_exn "line_size" geom.line_size in
+  ignore (log2_exn "sets" geom.sets);
+  if geom.ways < 0 then invalid_arg "Cache_analysis: ways must be >= 0";
+  let layout =
+    match layout with Some l -> l | None -> Interp.sequential_layout program
+  in
+  let full = (1 lsl geom.ways) - 1 in
+  let mask_of name =
+    match List.assoc_opt name masks with
+    | Some m -> m land full
+    | None -> full
+  in
+  let var_masks = List.map (fun v -> (v.name, mask_of v.name)) program.vars in
+  let distinct =
+    List.sort_uniq compare (List.map snd var_masks)
+  in
+  let groups =
+    Array.of_list
+      (List.mapi (fun i m -> (m, { gid = i; gways = popcount m; ok = true })) distinct)
+  in
+  Array.iteri
+    (fun i (mi, gi) ->
+      Array.iteri
+        (fun j (mj, gj) ->
+          if i < j && mi land mj <> 0 then begin
+            gi.ok <- false;
+            gj.ok <- false
+          end)
+        groups)
+    groups;
+  let group_of_mask m =
+    let g = ref None in
+    Array.iter (fun (m', g') -> if m' = m then g := Some g') groups;
+    Option.get !g
+  in
+  let var_group = Hashtbl.create 16 in
+  List.iter
+    (fun (name, m) -> Hashtbl.replace var_group name (group_of_mask m))
+    var_masks;
+  let line_home = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let base =
+        match List.assoc_opt v.name layout with
+        | Some b -> b
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Cache_analysis: %s missing from layout" v.name)
+      in
+      let g = Hashtbl.find var_group v.name in
+      let size = var_size_bytes v in
+      for line = base lsr ls_log to (base + size - 1) lsr ls_log do
+        match Hashtbl.find_opt line_home line with
+        | None ->
+            Hashtbl.replace line_home line (line land (geom.sets - 1), g.gid)
+        | Some (_, gid') when gid' = g.gid -> ()
+        | Some (_, gid') ->
+            (* two partitions share a physical line: no isolation *)
+            g.ok <- false;
+            Array.iter (fun (_, g') -> if g'.gid = gid' then g'.ok <- false) groups
+      done)
+    program.vars;
+  { program; geom; layout; ls_log; var_group; line_home; unsound = unsound_join }
+
+(* ---- classification and bounds ------------------------------------------ *)
+
+let finalize geom proc ctx rc =
+  let recs = List.rev rc.sites in
+  (* Per-scope footprints: distinct same-partition lines per set. *)
+  let fp : (int * (int * int), ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun l ->
+          let home = Hashtbl.find ctx.line_home l in
+          List.iter
+            (fun sc ->
+              let key = (sc, home) in
+              let cur =
+                Option.value (Hashtbl.find_opt fp key) ~default:ISet.empty
+              in
+              Hashtbl.replace fp key (ISet.add l cur))
+            s.r_scopes)
+        s.r_lines)
+    recs;
+  let footprint sc home =
+    match Hashtbl.find_opt fp (sc, home) with
+    | Some s -> ISet.cardinal s
+    | None -> 0
+  in
+  let classify s =
+    if s.r_must then (Always_hit, Some 0)
+    else
+      let persists =
+        if s.r_group.ok && s.r_group.gways > 0 && s.r_lines <> [] then
+          List.find_map
+            (fun sc ->
+              match List.assoc sc rc.entries with
+              | None -> None
+              | Some entries ->
+                  if
+                    List.for_all
+                      (fun l ->
+                        footprint sc (Hashtbl.find ctx.line_home l)
+                        <= s.r_group.gways)
+                      s.r_lines
+                  then Some entries
+                  else None)
+            s.r_scopes
+        else None
+      in
+      match persists with
+      | Some entries ->
+          let b = mul_opt (Some entries) (Some (List.length s.r_lines)) in
+          let bound =
+            match (s.r_exec, b) with
+            | Some e, Some b -> Some (min e b)
+            | _, b -> b
+          in
+          (Persistent, bound)
+      | None -> if s.r_may then (May_hit, s.r_exec) else (Always_miss, s.r_exec)
+  in
+  let sites =
+    List.map
+      (fun s ->
+        let classification, miss_bound = classify s in
+        {
+          site_id = s.r_id;
+          var = s.r_var;
+          write = s.r_write;
+          classification;
+          executions = s.r_exec;
+          lines = List.length s.r_lines;
+          miss_bound;
+        })
+      recs
+  in
+  let wcet_misses =
+    List.fold_left (fun acc s -> add_opt acc s.miss_bound) (Some 0) sites
+  in
+  let touched =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc l -> ISet.add l acc) acc s.r_lines)
+      ISet.empty recs
+  in
+  {
+    proc;
+    geometry = geom;
+    sites;
+    accesses = rc.acc;
+    writes = rc.wr;
+    alu = rc.alu_n;
+    wcet_misses;
+    touched_lines = ISet.elements touched;
+  }
+
+let analyze ?unsound_join ?layout ?masks geom program ~proc =
+  validate program;
+  let pr =
+    match find_proc program proc with
+    | Some p -> p
+    | None -> raise (Invalid_program (Printf.sprintf "unknown procedure %s" proc))
+  in
+  let ctx = build_ctx ?unsound_join ?layout ?masks geom program in
+  let rc =
+    {
+      sites = [];
+      next_site = 0;
+      next_scope = 1;
+      stack = [ 0 ];
+      entries = [ (0, Some 1) ];
+      acc = Some 0;
+      wr = Some 0;
+      alu_n = Some 0;
+    }
+  in
+  let st0 = { regs = SMap.empty; must = IMap.empty; may = IMap.empty } in
+  ignore (exec_body ctx (Some rc) (Some 1) st0 pr.body);
+  finalize geom proc ctx rc
+
+(* ---- derived bounds ------------------------------------------------------ *)
+
+let instruction_bound t = add_opt t.alu t.accesses
+
+let writeback_bound t =
+  match (t.wcet_misses, t.writes) with
+  | Some m, Some w -> Some (min m w)
+  | Some m, None -> Some m
+  | None, Some w -> Some w
+  | None, None -> None
+
+let distinct_pages t ~page_size =
+  let shift = log2_exn "page_size" page_size in
+  let ls = log2_exn "line_size" t.geometry.line_size in
+  List.sort_uniq compare
+    (List.map (fun l -> (l lsl ls) lsr shift) t.touched_lines)
+  |> List.length
+
+let tlb_miss_bound t ~page_size ~tlb_entries =
+  let pages = distinct_pages t ~page_size in
+  if pages <= tlb_entries then Some pages else t.accesses
+
+(* ---- printing ------------------------------------------------------------ *)
+
+let pp_classification ppf = function
+  | Always_hit -> Format.pp_print_string ppf "always-hit"
+  | Persistent -> Format.pp_print_string ppf "persistent"
+  | May_hit -> Format.pp_print_string ppf "may-hit"
+  | Always_miss -> Format.pp_print_string ppf "always-miss"
+
+let pp_opt ppf = function
+  | None -> Format.pp_print_string ppf "unbounded"
+  | Some n -> Format.pp_print_int ppf n
+
+let pp_site ppf s =
+  let str f v = Format.asprintf "%a" f v in
+  Format.fprintf ppf "site %3d  %-12s %-5s %-11s exec=%-9s lines=%-4d misses<=%s"
+    s.site_id s.var
+    (if s.write then "write" else "read")
+    (str pp_classification s.classification)
+    (str pp_opt s.executions) s.lines
+    (str pp_opt s.miss_bound)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>proc %s: %d sites, geometry line=%dB sets=%d ways=%d@," t.proc
+    (List.length t.sites) t.geometry.line_size t.geometry.sets t.geometry.ways;
+  List.iter (fun s -> Format.fprintf ppf "%a@," pp_site s) t.sites;
+  Format.fprintf ppf
+    "accesses<=%a writes<=%a alu<=%a distinct_lines=%d wcet_misses<=%a@]"
+    pp_opt t.accesses pp_opt t.writes pp_opt t.alu
+    (List.length t.touched_lines)
+    pp_opt t.wcet_misses

@@ -1,0 +1,113 @@
+(** Abstract-interpretation cache analysis over the IR, with sound
+    worst-case miss bounds.
+
+    The classic must/may/persistence cache analysis of Ferdinand and
+    Wilhelm, applied to {!Ast.program} instead of binaries: a fixpoint
+    abstract interpreter tracks, per cache set, an upper bound
+    ({e must}) and a lower bound ({e may}) on every line's LRU age,
+    joining at branch and loop heads, with array index ranges derived
+    from an interval domain over registers (constant loop bounds give
+    exact ranges; data-dependent indices widen to the whole array).
+    Every access the interpreter {!Interp} would emit is visited in the
+    same order and classified:
+
+    - {e always-hit}: every line the access can touch is in the must
+      state — the access hits on every execution;
+    - {e persistent}: all the access's lines live in sets whose distinct
+      same-partition footprint within some enclosing loop (or the whole
+      procedure) fits in the available ways, so under LRU each line
+      misses at most once per entry of that scope;
+    - {e may-hit} / {e always-miss}: no guarantee; the per-site miss
+      bound falls back to the site's worst-case execution count.
+
+    Summing per-site bounds yields [wcet_misses], a sound static upper
+    bound on the misses of any execution — [While] iteration counts are
+    never trusted (their [est_iterations] is an estimate, not a bound),
+    so a program with loops that only terminate data-dependently is
+    boundable exactly when its accesses are covered by always-hit or
+    persistence arguments.
+
+    Column masks are modelled at the partition level: variables whose
+    masks are identical and disjoint from every other mask form an
+    isolated LRU cache of [popcount mask] ways per set (exactly the
+    guarantee exclusive column allocation provides); overlapping unequal
+    masks make the analysis refuse must/persistence claims for the
+    affected variables rather than guess. The analysis assumes LRU
+    replacement and a single procedure run from a cold cache — the
+    configuration the differential soak ({!Check.Wcet_diff}) replays. *)
+
+type geometry = {
+  line_size : int;  (** bytes per line; power of two *)
+  sets : int;  (** power of two *)
+  ways : int;  (** [>= 0]; [0] means no cache (everything misses) *)
+}
+
+type classification =
+  | Always_hit  (** in the must state on every execution *)
+  | Persistent
+      (** at most one miss per line per entry of its qualifying scope *)
+  | May_hit  (** possibly cached, no guarantee either way *)
+  | Always_miss  (** provably absent on every execution *)
+
+type site = {
+  site_id : int;  (** dense, in emission (analysis-visit) order *)
+  var : string;
+  write : bool;
+  classification : classification;
+  executions : int option;
+      (** worst-case executions of this site; [None] = unbounded
+          (inside a [While]) *)
+  lines : int;  (** distinct cache lines the site can touch *)
+  miss_bound : int option;  (** worst-case misses charged to this site *)
+}
+
+type t = {
+  proc : string;
+  geometry : geometry;
+  sites : site list;
+  accesses : int option;  (** worst-case memory accesses *)
+  writes : int option;  (** worst-case write accesses *)
+  alu : int option;  (** worst-case ALU/control instructions *)
+  wcet_misses : int option;  (** sum of per-site miss bounds *)
+  touched_lines : int list;  (** distinct lines reachable, ascending *)
+}
+
+val analyze :
+  ?unsound_join:bool ->
+  ?layout:(string * int) list ->
+  ?masks:(string * int) list ->
+  geometry ->
+  Ast.program ->
+  proc:string ->
+  t
+(** [layout] defaults to {!Interp.sequential_layout}; the replay being
+    bounded must use the same one. [masks] maps variable names to column
+    bitmasks over [0..ways-1] (default: every variable may use every
+    way). [unsound_join] plants the mutation the differential soak must
+    catch: the must-join becomes union-with-min-age instead of
+    intersection-with-max-age, so lines survive joins they should not
+    and always-hit is claimed too eagerly. Raises [Invalid_argument] on
+    a bad geometry and {!Ast.Invalid_program} on an invalid program or
+    unknown procedure. *)
+
+val instruction_bound : t -> int option
+(** [alu + accesses] — an upper bound on the instruction count
+    {!Machine.System} accounts for the emitted trace. *)
+
+val writeback_bound : t -> int option
+(** [min wcet_misses writes]: a writeback needs both an eviction (at
+    most one per miss) and a dirtying write since the line's install. *)
+
+val tlb_miss_bound : t -> page_size:int -> tlb_entries:int -> int option
+(** Distinct pages touched when they all fit in the TLB (then each page
+    faults at most once — a TLB that evicts only at capacity never
+    evicts a working set smaller than itself), otherwise the access
+    bound. [page_size] must be a power of two [>= line_size]. *)
+
+val distinct_pages : t -> page_size:int -> int
+
+val pp_classification : Format.formatter -> classification -> unit
+val pp_site : Format.formatter -> site -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Per-site table plus the totals. *)

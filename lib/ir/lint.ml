@@ -1,0 +1,115 @@
+open Ast
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  proc : string option;
+  message : string;
+}
+
+let rec const_eval = function
+  | Int n -> Some n
+  | Reg _ | Scalar _ | Load _ -> None
+  | Unary_minus e -> Option.map (fun v -> -v) (const_eval e)
+  | Binop (op, a, b) -> (
+      match (const_eval a, const_eval b) with
+      | Some a, Some b -> (
+          match op with
+          | Add -> Some (a + b)
+          | Sub -> Some (a - b)
+          | Mul -> Some (a * b)
+          | Div -> if b = 0 then None else Some (a / b)
+          | Mod -> if b = 0 then None else Some (a mod b)
+          | Shl -> Some (a lsl b)
+          | Shr -> Some (a asr b)
+          | Band -> Some (a land b)
+          | Bor -> Some (a lor b)
+          | Bxor -> Some (a lxor b)
+          | Min -> Some (min a b)
+          | Max -> Some (max a b))
+      | _ -> None)
+
+let check program =
+  let diags = ref [] in
+  let report severity proc fmt =
+    Format.kasprintf
+      (fun message -> diags := { severity; proc; message } :: !diags)
+      fmt
+  in
+  let check_index proc name idx =
+    match (find_var program name, const_eval idx) with
+    | Some v, Some i when i < 0 || i >= v.elems ->
+        report Error proc "constant index %s[%d] out of bounds (0..%d)" name i
+          (v.elems - 1)
+    | _ -> ()
+  in
+  let rec check_expr proc = function
+    | Int _ | Reg _ | Scalar _ -> ()
+    | Load (name, idx) ->
+        check_expr proc idx;
+        check_index proc name idx
+    | Unary_minus e -> check_expr proc e
+    | Binop (_, a, b) ->
+        check_expr proc a;
+        check_expr proc b
+  in
+  let check_cond proc c =
+    check_expr proc c.lhs;
+    check_expr proc c.rhs;
+    if not (c.prob >= 0. && c.prob <= 1.) then
+      report Warning proc "branch probability %g outside [0, 1]" c.prob
+  in
+  let rec check_stmt proc = function
+    | Assign_reg (_, e) -> check_expr proc e
+    | Assign_scalar (_, e) -> check_expr proc e
+    | Store (name, idx, e) ->
+        check_expr proc idx;
+        check_expr proc e;
+        check_index proc name idx
+    | For { lo; hi; body; _ } ->
+        check_expr proc lo;
+        check_expr proc hi;
+        List.iter (check_stmt proc) body
+    | While { cond; est_iterations; body } ->
+        check_cond proc cond;
+        if est_iterations = 0 && body <> [] then
+          report Warning proc
+            "while body declared unreachable (est_iterations = 0) but not \
+             empty: the static analysis weighs it as never running";
+        List.iter (check_stmt proc) body
+    | If { cond; then_; else_ } ->
+        check_cond proc cond;
+        List.iter (check_stmt proc) then_;
+        List.iter (check_stmt proc) else_
+    | Call _ -> ()
+  in
+  List.iter
+    (fun p -> List.iter (check_stmt (Some p.proc_name)) p.body)
+    program.procs;
+  (* Memory variables no procedure ever touches. [vars_referenced] walks
+     from one entry procedure; union over all procedures so helpers only
+     ever invoked via [Call] still count as uses. *)
+  let used =
+    List.concat_map
+      (fun p ->
+        try vars_referenced program ~proc:p.proc_name with Invalid_program _ -> [])
+      program.procs
+  in
+  List.iter
+    (fun v ->
+      if not (List.mem v.name used) then
+        report Warning None "variable %s is declared but never referenced"
+          v.name)
+    program.vars;
+  let all = List.rev !diags in
+  List.filter (fun d -> d.severity = Error) all
+  @ List.filter (fun d -> d.severity = Warning) all
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s: %s%s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (match d.proc with Some p -> Printf.sprintf "in %s: " p | None -> "")
+    d.message

@@ -1,0 +1,31 @@
+(** Static diagnostics over the IR — warnings {!Ast.validate} is too
+    coarse (or too fatal) to give.
+
+    Unlike {!Ast.validate}, [check] never raises: it walks any program,
+    including ones that would fail validation, and returns everything it
+    finds so a front end can report all problems at once. Flagged today:
+
+    - branch probabilities outside [0, 1] (warning; {!Ast.validate}
+      rejects these outright, lint reports them gently);
+    - constant array indices provably out of bounds (error: the access
+      is guaranteed to raise {!Interp.Interp_error} if reached);
+    - memory variables declared but never referenced by any procedure
+      (warning: they occupy layout space for no traffic);
+    - non-empty [While] bodies declared with [est_iterations = 0]
+      (warning: the static analysis will weigh the body as unreachable
+      even though the interpreter may still run it). *)
+
+type severity = Error | Warning
+
+type diagnostic = {
+  severity : severity;
+  proc : string option;  (** enclosing procedure, when there is one *)
+  message : string;
+}
+
+val check : Ast.program -> diagnostic list
+(** All diagnostics, errors first, in discovery order within each
+    severity. *)
+
+val errors : diagnostic list -> diagnostic list
+val pp_diagnostic : Format.formatter -> diagnostic -> unit

@@ -25,10 +25,10 @@ let rec const_eval = function
           | Max -> Some (max va vb))
       | _ -> None)
 
-let trip_count lo hi =
+let trip_count ~default lo hi =
   match (const_eval lo, const_eval hi) with
   | Some l, Some h -> float_of_int (max 0 (h - l))
-  | _ -> float_of_int default_trip_count
+  | _ -> float_of_int default
 
 (* Estimated dynamic instructions of expressions and statements. *)
 let rec cost_expr = function
@@ -40,32 +40,32 @@ let rec cost_expr = function
 
 let cost_cond c = cost_expr c.lhs +. cost_expr c.rhs +. 1.
 
-let rec cost_stmt program = function
+let rec cost_stmt ~default program = function
   | Assign_reg (_, e) -> cost_expr e +. 1.
   | Assign_scalar (_, e) -> cost_expr e +. 1.
   | Store (_, idx, e) -> cost_expr idx +. cost_expr e +. 2.
   | For { lo; hi; body; _ } ->
-      let per_iter = cost_body program body +. 2. in
-      cost_expr lo +. cost_expr hi +. (trip_count lo hi *. per_iter)
+      let per_iter = cost_body ~default program body +. 2. in
+      cost_expr lo +. cost_expr hi +. (trip_count ~default lo hi *. per_iter)
   | While { cond; est_iterations; body } ->
-      let per_iter = cost_cond cond +. cost_body program body in
+      let per_iter = cost_cond cond +. cost_body ~default program body in
       (float_of_int est_iterations *. per_iter) +. cost_cond cond
   | If { cond; then_; else_ } ->
       cost_cond cond
-      +. (cond.prob *. cost_body program then_)
-      +. ((1. -. cond.prob) *. cost_body program else_)
+      +. (cond.prob *. cost_body ~default program then_)
+      +. ((1. -. cond.prob) *. cost_body ~default program else_)
   | Call name -> (
       match find_proc program name with
       | None -> 0.
-      | Some pr -> cost_body program pr.body +. 1.)
+      | Some pr -> cost_body ~default program pr.body +. 1.)
 
-and cost_body program body =
-  List.fold_left (fun acc s -> acc +. cost_stmt program s) 0. body
+and cost_body ~default program body =
+  List.fold_left (fun acc s -> acc +. cost_stmt ~default program s) 0. body
 
-let cost_of_proc program ~proc =
+let cost_of_proc ?(default_trip_count = default_trip_count) program ~proc =
   match find_proc program proc with
   | None -> raise (Invalid_program (Printf.sprintf "no such procedure %s" proc))
-  | Some pr -> cost_body program pr.body
+  | Some pr -> cost_body ~default:default_trip_count program pr.body
 
 type acc = {
   mutable accesses : float;
@@ -75,6 +75,7 @@ type acc = {
 
 type state = {
   program : program;
+  trip_default : int;
   table : (string, acc) Hashtbl.t;
   mutable order : string list;
   mutable clock : float;
@@ -130,8 +131,8 @@ let rec walk_stmt st ~mult ~outer stmt =
       walk_expr st ~mult ~outer e;
       record st ~mult ~span:(ref_span st outer) name
   | For { lo; hi; body; _ } ->
-      let iters = trip_count lo hi in
-      let cost = cost_stmt st.program stmt in
+      let iters = trip_count ~default:st.trip_default lo hi in
+      let cost = cost_stmt ~default:st.trip_default st.program stmt in
       (* end-exclusive: back-to-back loops must not appear to overlap *)
       let span = (st.clock, st.clock +. Float.max 0. (cost -. 1.)) in
       let outer = match outer with Some _ -> outer | None -> Some span in
@@ -140,7 +141,7 @@ let rec walk_stmt st ~mult ~outer stmt =
       List.iter (walk_stmt st ~mult:(mult *. iters) ~outer) body
   | While { cond; est_iterations; body } ->
       let iters = float_of_int est_iterations in
-      let cost = cost_stmt st.program stmt in
+      let cost = cost_stmt ~default:st.trip_default st.program stmt in
       let span = (st.clock, st.clock +. Float.max 0. (cost -. 1.)) in
       let outer = match outer with Some _ -> outer | None -> Some span in
       walk_cond st ~mult:(mult *. (iters +. 1.)) ~outer cond;
@@ -154,17 +155,25 @@ let rec walk_stmt st ~mult ~outer stmt =
       | None -> ()
       | Some pr -> List.iter (walk_stmt st ~mult ~outer) pr.body)
 
-let analyze program ~proc =
+let analyze ?(default_trip_count = default_trip_count) program ~proc =
   let pr =
     match find_proc program proc with
     | Some pr -> pr
     | None -> raise (Invalid_program (Printf.sprintf "no such procedure %s" proc))
   in
-  let st = { program; table = Hashtbl.create 16; order = []; clock = 0. } in
+  let st =
+    {
+      program;
+      trip_default = default_trip_count;
+      table = Hashtbl.create 16;
+      order = [];
+      clock = 0.;
+    }
+  in
   List.iter
     (fun stmt ->
       walk_stmt st ~mult:1. ~outer:None stmt;
-      st.clock <- st.clock +. cost_stmt program stmt)
+      st.clock <- st.clock +. cost_stmt ~default:default_trip_count program stmt)
     pr.body;
   List.rev_map
     (fun name ->

@@ -14,12 +14,18 @@
 
 val default_trip_count : int
 (** Assumed iterations for loops whose bounds cannot be constant-folded
-    (16). *)
+    (16) — the default for the [?default_trip_count] parameters below,
+    overridable per call to calibrate the static weight method. *)
 
-val cost_of_proc : Ast.program -> proc:string -> float
+val cost_of_proc :
+  ?default_trip_count:int -> Ast.program -> proc:string -> float
 (** Estimated dynamic instruction count of one invocation. *)
 
-val analyze : Ast.program -> proc:string -> (string * Profile.Lifetime.summary) list
+val analyze :
+  ?default_trip_count:int ->
+  Ast.program ->
+  proc:string ->
+  (string * Profile.Lifetime.summary) list
 (** Per-variable estimated summaries, in first-reference order. The clock
     underlying [first]/[last] is estimated instructions (comparable only to
     other values from the same analysis). *)

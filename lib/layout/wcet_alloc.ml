@@ -1,0 +1,125 @@
+type objective = Min_max | Weighted_sum of (string * float) list
+
+let check_input ~columns curves =
+  let n = List.length curves in
+  if n = 0 then invalid_arg "Wcet_alloc.allocate: no curves";
+  if n > columns then invalid_arg "Wcet_alloc.allocate: more tasks than columns";
+  List.iter
+    (fun (name, curve) ->
+      if Array.length curve < 2 then
+        invalid_arg
+          (Printf.sprintf "Wcet_alloc.allocate: curve for %s has no points"
+             name))
+    curves
+
+let clamped curve c = curve.(min c (Array.length curve - 1))
+
+(* Minimize the largest per-task bound. Bound curves need not be convex
+   — a task can plateau for several columns before a big drop (working
+   set crosses a ways threshold) — so one-column-at-a-time greedy gets
+   stuck. Instead, search the objective directly: every achievable max
+   bound is some curve value, so scan candidate values ascending and
+   take the smallest one whose per-task column demands fit. Spare
+   columns then shrink the remaining bounds by marginal gain with
+   plateau lookahead. *)
+let allocate_min_max ~columns curves =
+  let curves_a = Array.of_list (List.map snd curves) in
+  let n = Array.length curves_a in
+  let len i = Array.length curves_a.(i) in
+  let value i c = clamped curves_a.(i) c in
+  (* Fewest columns putting task [i] at or under [b], if any count does. *)
+  let need i b =
+    let rec go c =
+      if c >= len i then None
+      else if curves_a.(i).(c) <= b then Some c
+      else go (c + 1)
+    in
+    go 1
+  in
+  let feasible b =
+    let rec sum i acc =
+      if i = n then acc <= columns
+      else match need i b with None -> false | Some c -> sum (i + 1) (acc + c)
+    in
+    sum 0 0
+  in
+  let candidates =
+    Array.to_list curves_a
+    |> List.concat_map (fun curve ->
+           List.filter Float.is_finite (List.tl (Array.to_list curve)))
+    |> List.sort_uniq Float.compare
+  in
+  let counts = Array.make n 1 in
+  (match List.find_opt feasible candidates with
+  | Some b -> Array.iteri (fun i _ -> counts.(i) <- Option.get (need i b)) counts
+  | None -> () (* some curve never goes finite: everyone starts at 1 *));
+  (* Spend what's left on the steepest available descent, looking across
+     plateaus: candidate (task, k) pairs are scored by gain per column. *)
+  let spare = ref (columns - Array.fold_left ( + ) 0 counts) in
+  let improved = ref true in
+  while !improved && !spare > 0 do
+    improved := false;
+    let best = ref None in
+    for i = 0 to n - 1 do
+      let here = value i counts.(i) in
+      for k = 1 to min !spare (len i - 1 - counts.(i)) do
+        let v = value i (counts.(i) + k) in
+        if v < here then begin
+          let score = (here -. v) /. float_of_int k in
+          match !best with
+          | Some (_, _, s) when s >= score -> ()
+          | _ -> best := Some (i, k, score)
+        end
+      done
+    done;
+    match !best with
+    | Some (i, k, _) ->
+        counts.(i) <- counts.(i) + k;
+        spare := !spare - k;
+        improved := true
+    | None -> ()
+  done;
+  List.mapi (fun i (name, _) -> (name, counts.(i))) curves
+
+let allocate ?(objective = Min_max) ~columns curves =
+  check_input ~columns curves;
+  match objective with
+  | Min_max -> allocate_min_max ~columns curves
+  | Weighted_sum weights ->
+      (* Marginal-gain greedy over weighted curves is exactly
+         {!Mrc_alloc}'s rule; infinities need a finite stand-in for its
+         subtractions, far above any real bound so the ordering is
+         preserved. *)
+      let huge = 1e18 in
+      let scaled =
+        List.map
+          (fun (name, curve) ->
+            let w =
+              match List.assoc_opt name weights with Some w -> w | None -> 1.
+            in
+            ( name,
+              Array.map
+                (fun b -> if Float.is_finite b then w *. b else w *. huge)
+                curve ))
+          curves
+      in
+      Mrc_alloc.allocate_float ~columns scaled
+
+let bound_of curves alloc name =
+  match (List.assoc_opt name curves, List.assoc_opt name alloc) with
+  | Some curve, Some c -> clamped curve c
+  | _ -> invalid_arg "Wcet_alloc.bound_of: unknown name"
+
+let max_bound curves alloc =
+  List.fold_left
+    (fun acc (name, _) -> Float.max acc (bound_of curves alloc name))
+    neg_infinity alloc
+
+let total_bound ?(weights = []) curves alloc =
+  List.fold_left
+    (fun acc (name, _) ->
+      let w = match List.assoc_opt name weights with Some w -> w | None -> 1. in
+      acc +. (w *. bound_of curves alloc name))
+    0. alloc
+
+let to_masks = Mrc_alloc.to_masks

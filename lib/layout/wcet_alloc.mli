@@ -1,0 +1,60 @@
+(** WCET-aware column allocation.
+
+    The worst-case counterpart of {!Mrc_alloc}: instead of per-variable
+    {e average} miss curves measured from a trace, the input is one
+    {e bound curve} per task — [curve.(c)] = the task's statically
+    proven worst-case miss bound when it owns [c] exclusive columns
+    (from {!Ir.Cache_analysis.analyze} at a [c]-way geometry;
+    [infinity] encodes an unboundable configuration). Because exclusive
+    columns make a task's partition an isolated LRU cache, the bound
+    read off the curve is sound for the composed system — no
+    interference term, which is the whole point of WCET-aware
+    partitioning (Bouquillon et al.).
+
+    The default objective is the makespan-style one embedded real-time
+    budgets care about: {e minimize the largest per-task bound}. Because
+    every achievable max bound is one of the curves' values, the
+    allocator scans those values ascending and takes the smallest whose
+    per-task column demands fit — exact even on non-convex curves with
+    plateaus, where one-column-at-a-time greedy stalls. Leftover columns
+    then shrink the remaining bounds by per-column marginal gain with
+    plateau lookahead. [`Weighted_sum] instead minimizes
+    [sum w_i * bound_i] by marginal gain, which is {!Mrc_alloc}'s rule
+    applied to scaled bound curves. *)
+
+type objective =
+  | Min_max
+  | Weighted_sum of (string * float) list
+      (** per-task weights; missing names weigh 1 *)
+
+val allocate :
+  ?objective:objective ->
+  columns:int ->
+  (string * float array) list ->
+  (string * int) list
+(** [allocate ~columns curves] distributes [columns] exclusive columns
+    over the named bound curves. Every name receives at least one
+    column; ties go to the earlier name; allocations never grow past a
+    curve's last index. The result is in input order and sums to at
+    most [columns]. Raises [Invalid_argument] under the same conditions
+    as {!Mrc_alloc.allocate} (more names than columns, no names, a
+    curve with fewer than two points). *)
+
+val bound_of : (string * float array) list -> (string * int) list -> string -> float
+(** The bound a given allocation implies for one task (clamped to its
+    curve's last point). *)
+
+val max_bound : (string * float array) list -> (string * int) list -> float
+(** The largest per-task bound under an allocation — the [Min_max]
+    objective value. *)
+
+val total_bound :
+  ?weights:(string * float) list ->
+  (string * float array) list ->
+  (string * int) list ->
+  float
+(** Weighted sum of per-task bounds (weight 1 where unspecified). *)
+
+val to_masks : (string * int) list -> (string * Cache.Bitmask.t) list
+(** {!Mrc_alloc.to_masks}: contiguous disjoint column masks in list
+    order. *)

@@ -21,6 +21,18 @@ let default =
 
 let ideal_scratchpad t = t.scratchpad_cycles
 
+(* Mirrors System's accounting: every access pays the probe
+   [hit_cycles]; a miss adds [miss_penalty] (an L2 hit would substitute
+   the smaller [l2_hit_cycles], so charging the full penalty stays an
+   upper bound); a dirty eviction adds [writeback_penalty]; a TLB miss
+   adds [tlb_miss_penalty]; and ALU/control work reaches [cycles] as
+   inter-access gaps, at most one cycle each. *)
+let wcet_cycle_bound t ~alu ~accesses ~misses ~writebacks ~tlb_misses =
+  alu + (accesses * t.hit_cycles)
+  + (misses * t.miss_penalty)
+  + (writebacks * t.writeback_penalty)
+  + (tlb_misses * t.tlb_miss_penalty)
+
 let pp ppf t =
   Format.fprintf ppf
     "hit=%d miss=+%d l2hit=+%d wb=+%d scratchpad=%d tlb_miss=+%d uncached=%d"

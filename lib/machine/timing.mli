@@ -25,4 +25,20 @@ val default : t
 val ideal_scratchpad : t -> int
 (** Cycles for a scratchpad access under this timing. *)
 
+val wcet_cycle_bound :
+  t ->
+  alu:int ->
+  accesses:int ->
+  misses:int ->
+  writebacks:int ->
+  tlb_misses:int ->
+  int
+(** A sound worst-case cycle bound for a run whose event counts are
+    bounded by the arguments, matching {!System}'s accounting: each
+    access pays [hit_cycles], each miss [miss_penalty] (an upper bound
+    on the L2-hit alternative), each writeback and TLB miss their
+    penalties, and ALU/control instructions enter as inter-access gaps
+    of one cycle each. Static bounds for the arguments come from
+    {!Ir.Cache_analysis}. *)
+
 val pp : Format.formatter -> t -> unit

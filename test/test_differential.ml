@@ -76,6 +76,14 @@ let test_soak_covers_traffic () =
       check_int "traffic-shaped generator scenarios" 164
         summary.Diff.traffic_iters
 
+let test_soak_covers_wcet () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      (* Every fifth iteration after the 8-scenario forced preamble:
+         i in [8, 500) with i mod 5 = 4 — 99 of them. *)
+      check_int "wcet static-bound checks" 99 summary.Diff.wcet_iters
+
 (* --- mutation tests: a harness that cannot catch a planted bug proves
    nothing, so plant three and insist each is caught and shrunk small --- *)
 
@@ -199,6 +207,24 @@ let test_mutation_sample () =
       check_bool "repro survives the textual round-trip" true
         (Scenario.equal failure.Diff.scenario
            (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
+
+let test_mutation_wcet () =
+  (* The planted unsound must-join lives in the static cache analysis, so
+     it is caught by the bound-vs-replay check on a wcet iteration — a
+     static-bound violation, not a driver divergence. *)
+  match Diff.soak ~bug:Oracle.Wcet ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "wcet bug survived 500 iterations"
+  | Error (failure, summary) ->
+      check_bool "flagged as a wcet static-bound failure" true
+        failure.Diff.wcet;
+      check_bool "not attributed to any driver" true
+        ((not failure.Diff.fast_path)
+        && (not failure.Diff.machine)
+        && (not failure.Diff.mrc)
+        && (not failure.Diff.sample)
+        && not failure.Diff.gen);
+      check_bool "some wcet checks ran before the catch" true
+        (summary.Diff.wcet_iters > 0)
 
 (* --- the oracle on its own: agreement with hand-computed semantics --- *)
 
@@ -337,6 +363,8 @@ let suites =
           test_soak_covers_machine;
         Alcotest.test_case "covers traffic-shaped generators" `Quick
           test_soak_covers_traffic;
+        Alcotest.test_case "covers the wcet static-bound check" `Quick
+          test_soak_covers_wcet;
         Alcotest.test_case "covers the sampled estimator" `Quick
           test_soak_covers_sampled;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
@@ -351,6 +379,8 @@ let suites =
           test_mutation_machine_fast_path;
         Alcotest.test_case "catches generator sampler bug" `Quick
           test_mutation_gen;
+        Alcotest.test_case "catches wcet unsound-join bug" `Quick
+          test_mutation_wcet;
         Alcotest.test_case "catches sampled-estimator rescale bug" `Quick
           test_mutation_sample;
       ] );

@@ -7,4 +7,5 @@ let () =
    @ Test_layout.suites @ Test_dynamic.suites @ Test_optimize.suites @ Test_parse.suites @ Test_pipeline.suites
    @ Test_differential.suites @ Test_policy_ref.suites @ Test_stack_dist.suites
    @ Test_addr_decomp.suites @ Test_csv_export.suites @ Test_bench_json.suites
-   @ Test_workload_gen.suites @ Test_packed_file.suites @ Test_sampled.suites)
+   @ Test_workload_gen.suites @ Test_packed_file.suites @ Test_sampled.suites
+   @ Test_wcet.suites)

@@ -1,0 +1,364 @@
+(* Tests for the abstract-interpretation cache analysis
+   (Ir.Cache_analysis), the WCET-aware column allocator
+   (Layout.Wcet_alloc) and the soundness of the static miss bounds
+   against real replays. *)
+
+open Ir.Build
+module Ast = Ir.Ast
+module Interp = Ir.Interp
+module CA = Ir.Cache_analysis
+module Sassoc = Cache.Sassoc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let geom ~line_size ~sets ~ways = { CA.line_size; sets; ways }
+
+(* Replay the interpreter's trace through the real LRU simulator with a
+   full mask — the configuration the analysis bounds. *)
+let observed_misses ?init program ~proc (g : CA.geometry) =
+  let layout = Interp.sequential_layout program in
+  let trace = Interp.trace_of ?init program ~proc ~layout in
+  let cache =
+    Sassoc.create
+      (Sassoc.config ~line_size:g.line_size
+         ~size_bytes:Stdlib.(g.line_size * g.sets * g.ways)
+         ~ways:g.ways ())
+  in
+  Sassoc.access_trace cache trace;
+  (Sassoc.stats cache).Cache.Stats.misses
+
+let bound_exn t =
+  match t.CA.wcet_misses with
+  | Some b -> b
+  | None -> Alcotest.fail "expected a finite miss bound"
+
+let classifications t = List.map (fun s -> s.CA.classification) t.CA.sites
+
+(* --- hand-checked classifications ---------------------------------------- *)
+
+(* for %i = 0..16 { s := s + a[%i] }: a spans 4 lines (one per set), s
+   one more in set 0; per-set footprint <= 2 = ways, so everything fits:
+   the a sites and the s read are persistent (bound 4 + 1), and the s
+   write is always-hit (the read earlier in the iteration loads the
+   line), so the bound is 5 = the 5 observed cold misses. *)
+let test_persistent_sum () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:16 (); scalar "s" () ]
+      [ proc "main" [ for_ "i" (i 0) (i 16) [ set "s" (s "s" + ld "a" (r "i")) ] ] ]
+  in
+  let g = geom ~line_size:16 ~sets:4 ~ways:2 in
+  let t = CA.analyze g p ~proc:"main" in
+  check_int "wcet bound" 5 (bound_exn t);
+  check_int "observed" 5 (observed_misses p ~proc:"main" g);
+  check_bool "all persistent or always-hit" true
+    (List.for_all
+       (fun c -> c = CA.Persistent || c = CA.Always_hit)
+       (classifications t));
+  check_int "accesses" 48 (Option.get t.CA.accesses)
+
+(* Back-to-back reads of the same element: the second is always-hit. *)
+let test_always_hit_reload () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:4 (); scalar "s" () ]
+      [
+        proc "main"
+          [ set "s" (ld "a" (i 0)); set "s" (s "s" + ld "a" (i 0)) ];
+      ]
+  in
+  let g = geom ~line_size:16 ~sets:2 ~ways:2 in
+  let t = CA.analyze g p ~proc:"main" in
+  let a_sites =
+    List.filter (fun st -> st.CA.var = "a") t.CA.sites
+  in
+  check_int "two a sites" 2 (List.length a_sites);
+  (match a_sites with
+  | [ first; second ] ->
+      check_bool "first not always-hit" true
+        (first.CA.classification <> CA.Always_hit);
+      check_bool "second always-hit" true
+        (second.CA.classification = CA.Always_hit);
+      check_int "second bound 0" 0 (Option.get second.CA.miss_bound)
+  | _ -> assert false);
+  check_bool "bound >= observed" true
+    (bound_exn t >= observed_misses p ~proc:"main" g)
+
+(* Two arrays, each one full set-sized stride apart, fighting over a
+   single way: nothing fits, every classified bound falls back to the
+   execution count, and the bound still covers the thrashing replay. *)
+let test_thrash_exec_bound () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:4 (); array "b" ~elems:4 (); scalar "s" () ]
+      [
+        proc "main"
+          [
+            for_ "t" (i 0) (i 8)
+              [ set "s" (ld "a" (i 0) + ld "b" (i 0)) ];
+          ];
+      ]
+  in
+  let g = geom ~line_size:16 ~sets:1 ~ways:1 in
+  let t = CA.analyze g p ~proc:"main" in
+  let observed = observed_misses p ~proc:"main" g in
+  check_bool "bound >= observed" true (bound_exn t >= observed);
+  check_bool "thrashing really happens" true (observed >= 16)
+
+(* A data-dependently terminating While is still boundable when its
+   working set provably fits: persistence against the procedure scope. *)
+let test_while_persistent_bound () =
+  let p =
+    program
+      ~vars:[ scalar "c" (); scalar "s" () ]
+      [
+        proc "main"
+          [
+            set "c" (i 0);
+            while_
+              (lt (s "c") (i 10))
+              ~est_iterations:10
+              [ set "s" (s "s" + i 1); set "c" (s "c" + i 1) ];
+          ];
+      ]
+  in
+  let g = geom ~line_size:16 ~sets:2 ~ways:2 in
+  let t = CA.analyze g p ~proc:"main" in
+  check_bool "accesses unbounded" true (t.CA.accesses = None);
+  let b = bound_exn t in
+  check_bool "finite miss bound" true (b >= 1);
+  check_bool "bound >= observed" true (b >= observed_misses p ~proc:"main" g)
+
+(* With ways = 0 (no columns at all) everything is always-miss and the
+   bound equals the access count. *)
+let test_zero_ways_always_miss () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:8 (); scalar "s" () ]
+      [ proc "main" [ for_ "i" (i 0) (i 8) [ set "s" (ld "a" (r "i")) ] ] ]
+  in
+  let t = CA.analyze (geom ~line_size:16 ~sets:4 ~ways:0) p ~proc:"main" in
+  check_bool "all always-miss" true
+    (List.for_all (fun c -> c = CA.Always_miss) (classifications t));
+  check_int "bound = accesses" (Option.get t.CA.accesses) (bound_exn t)
+
+(* Disjoint per-variable masks isolate partitions; overlapping unequal
+   masks void must-claims for the variables involved. *)
+let test_masks_partition () =
+  let p =
+    program
+      ~vars:[ array "a" ~elems:4 (); array "b" ~elems:4 (); scalar "s" () ]
+      [
+        proc "main"
+          [
+            set "s" (ld "a" (i 0) + ld "b" (i 0));
+            set "s" (ld "a" (i 0) + ld "b" (i 0));
+          ];
+      ]
+  in
+  let g = geom ~line_size:16 ~sets:1 ~ways:3 in
+  (* Exclusive columns: both second reads are hits despite one-way
+     groups in a shared set. *)
+  let t =
+    CA.analyze g p ~proc:"main"
+      ~masks:[ ("a", 0b001); ("b", 0b010); ("s", 0b100) ]
+  in
+  let second_reads =
+    List.filter (fun st -> not st.CA.write) t.CA.sites
+    |> List.filteri (fun idx _ -> idx >= 2)
+  in
+  check_int "two second reads" 2 (List.length second_reads);
+  List.iter
+    (fun st ->
+      check_bool "second read always-hit" true
+        (st.CA.classification = CA.Always_hit))
+    second_reads;
+  (* Overlapping unequal masks taint the variables involved: no
+     always-hit claims for a or b, while untouched s keeps its own
+     partition. *)
+  let t2 =
+    CA.analyze g p ~proc:"main"
+      ~masks:[ ("a", 0b011); ("b", 0b010); ("s", 0b100) ]
+  in
+  check_bool "no always-hit under overlap" true
+    (List.for_all
+       (fun st -> st.CA.classification <> CA.Always_hit)
+       (List.filter (fun st -> st.CA.var <> "s") t2.CA.sites))
+
+(* --- Static_analysis exactness against the interpreter ------------------- *)
+
+(* On programs with only constant loop bounds and no branches, the
+   estimated per-variable access counts must equal what the interpreter
+   actually emits. *)
+let test_static_analysis_exact_counts () =
+  let p =
+    program
+      ~vars:
+        [ array "a" ~elems:12 (); array "b" ~elems:6 (); scalar "acc" () ]
+      [
+        proc "main"
+          [
+            set "acc" (i 0);
+            for_ "i" (i 0) (i 6)
+              [
+                st "b" (r "i") (ld "a" (r "i" * i 2));
+                for_ "j" (i 2) (i 5) [ set "acc" (s "acc" + ld "a" (r "j")) ];
+              ];
+          ];
+      ]
+  in
+  let layout = Interp.sequential_layout p in
+  let packed = Interp.packed_trace_of p ~proc:"main" ~layout in
+  let measured = Hashtbl.create 8 in
+  Memtrace.Packed.iter
+    (fun (a : Memtrace.Access.t) ->
+      match a.var with
+      | Some name ->
+          Hashtbl.replace measured name
+            Stdlib.(1 + Option.value (Hashtbl.find_opt measured name) ~default:0)
+      | None -> ())
+    packed;
+  let summaries = Ir.Static_analysis.analyze p ~proc:"main" in
+  List.iter
+    (fun (name, summary) ->
+      let est = int_of_float summary.Profile.Lifetime.accesses in
+      check_int (Printf.sprintf "count for %s" name)
+        (Option.value (Hashtbl.find_opt measured name) ~default:0)
+        est)
+    summaries;
+  check_int "every measured var estimated" (Hashtbl.length measured)
+    (List.length summaries)
+
+(* The default trip count is threaded, not hard-coded: a data-dependent
+   loop bound weighs as [default_trip_count]. *)
+let test_default_trip_count_threaded () =
+  let p =
+    program
+      ~vars:[ scalar "n" (); array "a" ~elems:64 (); scalar "s" () ]
+      [
+        proc "main"
+          [ for_ "i" (i 0) (s "n") [ set "s" (s "s" + ld "a" (r "i")) ] ];
+      ]
+  in
+  let count trip =
+    let summaries =
+      Ir.Static_analysis.analyze ~default_trip_count:trip p ~proc:"main"
+    in
+    int_of_float (List.assoc "a" summaries).Profile.Lifetime.accesses
+  in
+  check_int "default 16" 16 (count 16);
+  check_int "calibrated 3" 3 (count 3);
+  let c3 = Ir.Static_analysis.cost_of_proc ~default_trip_count:3 p ~proc:"main" in
+  let c16 = Ir.Static_analysis.cost_of_proc p ~proc:"main" in
+  check_bool "cost grows with trip default" true (c3 < c16)
+
+(* --- Wcet_alloc ----------------------------------------------------------- *)
+
+let test_wcet_alloc_min_max () =
+  (* Task x is catastrophic without 3 columns; y needs 2; z is cheap
+     everywhere. 4 columns: min-max must starve z, not x. *)
+  let curves =
+    [
+      ("x", [| 1000.; 1000.; 1000.; 10.; 10. |]);
+      ("y", [| 400.; 400.; 20.; 20.; 20. |]);
+      ("z", [| 30.; 25.; 24.; 23.; 22. |]);
+    ]
+  in
+  let alloc = Layout.Wcet_alloc.allocate ~columns:6 curves in
+  check_int "x columns" 3 (List.assoc "x" alloc);
+  check_int "y columns" 2 (List.assoc "y" alloc);
+  check_int "z columns" 1 (List.assoc "z" alloc);
+  let mb = Layout.Wcet_alloc.max_bound curves alloc in
+  check_bool "max bound is z's" true (mb = 25.);
+  (* Masks are disjoint and contiguous. *)
+  let masks = Layout.Wcet_alloc.to_masks alloc in
+  let all =
+    List.fold_left
+      (fun acc (_, m) ->
+        check_int "disjoint" 0 (Cache.Bitmask.count (Cache.Bitmask.inter acc m));
+        Cache.Bitmask.union acc m)
+      Cache.Bitmask.empty masks
+  in
+  check_int "six columns total" 6 (Cache.Bitmask.count all)
+
+let test_wcet_alloc_weighted_sum () =
+  let curves =
+    [ ("x", [| 100.; 60.; 30.; 10. |]); ("y", [| 100.; 90.; 85.; 84. |]) ]
+  in
+  let alloc =
+    Layout.Wcet_alloc.allocate
+      ~objective:(Layout.Wcet_alloc.Weighted_sum [])
+      ~columns:4 curves
+  in
+  (* Marginal gains favour x throughout. *)
+  check_int "x columns" 3 (List.assoc "x" alloc);
+  check_int "y columns" 1 (List.assoc "y" alloc)
+
+(* --- the WCET partitioning figure ----------------------------------------- *)
+
+let test_wcet_partition_figure () =
+  let t = Colcache.Experiments.Wcet_partition.run () in
+  let max_of config =
+    List.assoc config t.Colcache.Experiments.Wcet_partition.max_bounds
+  in
+  check_bool "bounds sound vs replay" true
+    t.Colcache.Experiments.Wcet_partition.sound;
+  check_bool "wcet max bound finite" true (Float.is_finite (max_of "wcet"));
+  check_bool "wcet max bound strictly beats equal split" true
+    (max_of "wcet" < max_of "equal");
+  check_bool "wcet max bound beats sharing" true
+    (max_of "wcet" < max_of "shared");
+  (* The profile-trained MRC allocation cannot prove the spiky task's
+     worst case: its rare branch never fires in the profile, so the
+     measured curve flattens before the worst-case demand is met. *)
+  let spiky =
+    List.find
+      (fun r -> r.Colcache.Experiments.Wcet_partition.task = "spiky")
+      t.Colcache.Experiments.Wcet_partition.rows
+  in
+  check_bool "mrc starves spiky's worst case" true
+    (spiky.Colcache.Experiments.Wcet_partition.mrc
+       .Colcache.Experiments.Wcet_partition.bound
+    > spiky.Colcache.Experiments.Wcet_partition.wcet
+        .Colcache.Experiments.Wcet_partition.bound)
+
+(* --- randomized soundness (the qcheck satellite) -------------------------- *)
+
+let test_qcheck_always_hit_sound =
+  QCheck.Test.make ~count:300 ~name:"cache analysis is sound on random programs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      match Check.Wcet_diff.run_one ~seed () with
+      | Ok () -> true
+      | Error detail -> QCheck.Test.fail_reportf "%s" detail)
+
+let suites =
+  [
+    ( "wcet_analysis",
+      [
+        Alcotest.test_case "persistent sum loop" `Quick test_persistent_sum;
+        Alcotest.test_case "always-hit reload" `Quick test_always_hit_reload;
+        Alcotest.test_case "thrash falls back to exec bound" `Quick
+          test_thrash_exec_bound;
+        Alcotest.test_case "while bounded by persistence" `Quick
+          test_while_persistent_bound;
+        Alcotest.test_case "zero ways always-miss" `Quick
+          test_zero_ways_always_miss;
+        Alcotest.test_case "masks partition and taint" `Quick
+          test_masks_partition;
+        Alcotest.test_case "static analysis exact on constant programs" `Quick
+          test_static_analysis_exact_counts;
+        Alcotest.test_case "default trip count threaded" `Quick
+          test_default_trip_count_threaded;
+        Alcotest.test_case "wcet partition figure" `Quick
+          test_wcet_partition_figure;
+        QCheck_alcotest.to_alcotest test_qcheck_always_hit_sound;
+      ] );
+    ( "wcet_alloc",
+      [
+        Alcotest.test_case "min-max allocation" `Quick test_wcet_alloc_min_max;
+        Alcotest.test_case "weighted-sum allocation" `Quick
+          test_wcet_alloc_weighted_sum;
+      ] );
+  ]
