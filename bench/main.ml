@@ -331,6 +331,45 @@ let bench_kv_requests () =
     (Machine.System.run_packed_requests sys tr.Workloads.Gen.packed
        ~requests:tr.Workloads.Gen.requests)
 
+(* --- event-driven core / multitask domains ------------------------------
+   [sys_replay_events] is [sys_replay_batched] under the event-driven
+   timing core (MSHRs + banked DRAM): identical functional work, so the
+   ratio of the two rows is the pricing overhead of the event engine.
+   [multitask_serial] and [multitask_domains] replay three LZ77 jobs with
+   private systems through the epoch scheduler on one vs three worker
+   domains — same outcome by construction, so the row ratio is the
+   parallel speedup the host's cores actually deliver. *)
+
+let sys_events = lazy (Machine.System.create (sys_config ()))
+
+let bench_sys_replay_events () =
+  let sys = Lazy.force sys_events in
+  Machine.System.flush_cache sys;
+  Machine.System.flush_tlb sys;
+  ignore
+    (Machine.System.run_packed_events sys ~events:Machine.Event.default_config
+       (Lazy.force hot_packed))
+
+let mt_jobs =
+  lazy
+    (List.map
+       (fun (name, seed, base) ->
+         {
+           Sched.Epoch.name;
+           packed = Workloads.Lz77.packed_trace ~seed ~input_len:4096 ~base ();
+         })
+       [ ("A", 1, 0x000000); ("B", 2, 0x100000); ("C", 3, 0x200000) ])
+
+let mt_system (_ : Sched.Epoch.job) =
+  Machine.System.create
+    (Machine.System.config
+       (Cache.Sassoc.config ~line_size:16 ~size_bytes:4096 ~ways:4 ()))
+
+let bench_multitask jobs () =
+  ignore
+    (Sched.Epoch.run ~jobs ~epoch_accesses:4096 ~make_system:mt_system
+       (Lazy.force mt_jobs))
+
 (* Access counts for the accesses_per_sec column, keyed by full row name.
    Only benches whose sample replays a fixed trace get a count: one
    run_partitioned/run_static_app sample replays its routine's trace once
@@ -355,6 +394,19 @@ let access_counts () =
     ("colcache/sys_replay_scalar", n);
     ("colcache/sys_replay_batched", n);
     ("colcache/sys_replay_mmap", n);
+    ("colcache/sys_replay_events", n);
+    ( "colcache/multitask_serial",
+      float_of_int
+        (List.fold_left
+           (fun acc (j : Sched.Epoch.job) ->
+             acc + Memtrace.Packed.length j.Sched.Epoch.packed)
+           0 (Lazy.force mt_jobs)) );
+    ( "colcache/multitask_domains",
+      float_of_int
+        (List.fold_left
+           (fun acc (j : Sched.Epoch.job) ->
+             acc + Memtrace.Packed.length j.Sched.Epoch.packed)
+           0 (Lazy.force mt_jobs)) );
     ("colcache/mrc_histogram", n);
     ("colcache/mrc_sampled_lz77", n);
     ( "colcache/mrc_sampled_zipf",
@@ -385,6 +437,9 @@ let tests =
       Test.make ~name:"sys_replay_scalar" (Staged.stage bench_sys_replay_scalar);
       Test.make ~name:"sys_replay_batched" (Staged.stage bench_sys_replay_batched);
       Test.make ~name:"sys_replay_mmap" (Staged.stage bench_sys_replay_mmap);
+      Test.make ~name:"sys_replay_events" (Staged.stage bench_sys_replay_events);
+      Test.make ~name:"multitask_serial" (Staged.stage (bench_multitask 1));
+      Test.make ~name:"multitask_domains" (Staged.stage (bench_multitask 3));
       Test.make ~name:"mrc_histogram" (Staged.stage bench_mrc_histogram);
       Test.make ~name:"mrc_sampled_lz77" (Staged.stage bench_mrc_sampled_lz77);
       Test.make ~name:"mrc_sampled_zipf" (Staged.stage bench_mrc_sampled_zipf);

@@ -14,6 +14,7 @@
      colcache simulate <routine>  run one routine under a chosen partition
      colcache trace dump <routine>    dump the head of a routine's memory trace
      colcache trace pack|info|synth   packed binary trace tooling
+     colcache multitask           epoch-synchronized parallel multitask replay
      colcache mrc     <file>      miss-ratio curve of a trace, exact or sampled
      colcache check               differential soak: simulators vs naive oracle
      colcache gen                 emit a traffic-shaped workload trace
@@ -616,6 +617,7 @@ let check_cmd =
           ("sample", Check.Oracle.Sample);
           ("gen", Check.Oracle.Gen);
           ("wcet", Check.Oracle.Wcet);
+          ("event", Check.Oracle.Event);
         ]
     in
     Arg.(
@@ -628,8 +630,9 @@ let check_cmd =
              machine-level batched replay, $(b,mrc) in the stack-distance \
              engine's access feed, $(b,sample) in the sampled mrc \
              estimator's rescale, $(b,gen) in the workload generator's \
-             Zipf sampler, or $(b,wcet) in the static cache analysis's \
-             must-join) to demonstrate that the harness catches and \
+             Zipf sampler, $(b,wcet) in the static cache analysis's \
+             must-join, or $(b,event) in the event core's MSHR-merge path) \
+             to demonstrate that the harness catches and \
              shrinks it. Exit status is inverted: the run fails if the bug \
              is NOT caught.")
   in
@@ -682,8 +685,20 @@ let check_cmd =
              reports as caught by the sampled mrc error-bound driver only \
              diverge under this flag.")
   in
+  let event =
+    Arg.(
+      value & flag
+      & info [ "event" ]
+          ~doc:
+            "With $(b,--replay): replay the scenario through the \
+             event-core count differential (blocking in-order \
+             System.run_packed vs the MSHR/DRAM event core, all functional \
+             counts compared) instead of the cache-level oracle diff. \
+             Repros the soak reports as caught by the event-core driver \
+             only diverge under this flag.")
+  in
   let run seed iters max_events bug replay fast_path machine_fast_path mrc
-      sample =
+      sample event =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -698,7 +713,16 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        if sample then
+        if event then
+          match Check.Event_diff.run_scenario ?bug sc with
+          | Check.Event_diff.Agree ->
+              Format.fprintf ppf
+                "%s: event core and in-order oracle counts agree@." path
+          | Check.Event_diff.Diverge { step; detail } ->
+              Format.fprintf ppf "%s: DIVERGENCE at event %d: %s@." path step
+                detail;
+              exit 1
+        else if sample then
           match Check.Sample_diff.run_scenario ?bug sc with
           | Check.Sample_diff.Agree ->
               Format.fprintf ppf
@@ -764,7 +788,7 @@ let check_cmd =
           repro.")
     Term.(
       const run $ seed $ iters $ max_events $ bug $ replay $ fast_path
-      $ machine_fast_path $ mrc $ sample)
+      $ machine_fast_path $ mrc $ sample $ event)
 
 let runfile_cmd =
   let file =
@@ -1030,21 +1054,100 @@ let replay_cmd =
   let ways =
     Arg.(value & opt int 4 & info [ "ways" ] ~docv:"N" ~doc:"Columns (ways).")
   in
-  let run file size ways =
-    (* load_packed mmaps binary traces in place, so replays of traces far
-       larger than RAM stream through the batched machine path. *)
-    let packed = Memtrace.Trace_file.load_packed ~path:file in
-    let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:size ~ways () in
-    let system = Machine.System.create (Machine.System.config cache) in
-    let stats = Machine.System.run_packed system packed in
-    Format.fprintf ppf "%a@." Machine.Run_stats.pp stats
+  let events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:
+            "Replay through the event-driven timing core — MSHRs with \
+             $(b,--mlp) outstanding misses and a banked open-row DRAM model \
+             ($(b,--banks)) — instead of the blocking in-order path. Every \
+             functional count is identical either way; only the cycle \
+             accounting changes.")
+  in
+  let mlp =
+    Arg.(
+      value & opt int 4
+      & info [ "mlp" ] ~docv:"N"
+          ~doc:
+            "MSHR slots (outstanding misses) for $(b,--events); the core \
+             stalls on a miss only when all N are busy.")
+  in
+  let banks =
+    Arg.(
+      value & opt int 4
+      & info [ "banks" ] ~docv:"N"
+          ~doc:"DRAM banks (one open row each) for $(b,--events).")
+  in
+  let run file size ways events mlp banks =
+    if mlp < 1 then
+      `Error
+        (false, Printf.sprintf "--mlp must be a positive MSHR count, got %d" mlp)
+    else if banks < 1 then
+      `Error
+        ( false,
+          Printf.sprintf "--banks must be a positive DRAM bank count, got %d"
+            banks )
+    else begin
+      (* load_packed mmaps binary traces in place, so replays of traces far
+         larger than RAM stream through the batched machine path. *)
+      let packed = Memtrace.Trace_file.load_packed ~path:file in
+      let cache = Cache.Sassoc.config ~line_size:16 ~size_bytes:size ~ways () in
+      let system = Machine.System.create (Machine.System.config cache) in
+      let stats =
+        if events then
+          let events =
+            Machine.Event.config ~mlp ~dram:(Machine.Dram.config ~banks ()) ()
+          in
+          Machine.System.run_packed_events system ~events packed
+        else Machine.System.run_packed system packed
+      in
+      `Ok (Format.fprintf ppf "%a@." Machine.Run_stats.pp stats)
+    end
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:
          "Replay a saved trace (text or packed binary) against a chosen \
-          cache geometry.")
-    Term.(const run $ file $ size $ ways)
+          cache geometry, through the blocking in-order core or \
+          ($(b,--events)) the event-driven MSHR/DRAM core.")
+    Term.(ret (const run $ file $ size $ ways $ events $ mlp $ banks))
+
+let multitask_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the epoch scheduler. The printed outcome is \
+             byte-identical whatever N is; only the wall-clock time changes.")
+  in
+  let run jobs =
+    if jobs < 1 then
+      `Error
+        ( false,
+          Printf.sprintf "--jobs must be a positive domain count, got %d" jobs
+        )
+    else if jobs > Colcache.Experiments.Multitask_domains.task_count then
+      `Error
+        ( false,
+          Printf.sprintf
+            "--jobs exceeds the task count: %d worker domains for %d tasks"
+            jobs Colcache.Experiments.Multitask_domains.task_count )
+    else
+      `Ok
+        (Format.fprintf ppf "%a"
+           Colcache.Experiments.Multitask_domains.print
+           (Colcache.Experiments.Multitask_domains.run ~jobs ()))
+  in
+  Cmd.v
+    (Cmd.info "multitask"
+       ~doc:
+         "Epoch-synchronized multitask replay: one worker domain per job \
+          slot, private per-task systems over exclusive column partitions, \
+          blocking vs event-driven cycle accounting and the gang-timeline \
+          makespan.")
+    Term.(ret (const run $ jobs))
 
 let gen_cmd =
   let dist =
@@ -1166,7 +1269,8 @@ let main_cmd =
     [
       fig3_cmd; fig4_cmd; fig4d_cmd; fig5_cmd; ablations_cmd; all_cmd;
       export_cmd;
-      dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd; mrc_cmd;
+      dynamic_cmd; layout_cmd; simulate_cmd; trace_cmd; replay_cmd;
+      multitask_cmd; mrc_cmd;
       check_cmd; validate_cmd; runfile_cmd; wcet_cmd; gen_cmd;
     ]
 

@@ -251,6 +251,12 @@ let run_sample ?bug sc =
   | Sample_diff.Agree -> Agree
   | Sample_diff.Diverge { step; detail } -> Diverge { step; detail }
 
+(* Likewise for the event-core differential ([Event_diff]). *)
+let run_event ?bug sc =
+  match Event_diff.run_scenario ?bug sc with
+  | Event_diff.Agree -> Agree
+  | Event_diff.Diverge { step; detail } -> Diverge { step; detail }
+
 (* --- shrinking ---------------------------------------------------------- *)
 
 let shrink_by (run : Scenario.t -> outcome) sc =
@@ -302,6 +308,7 @@ type summary = {
   sample_iters : int;
   traffic_iters : int;
   wcet_iters : int;
+  event_iters : int;
 }
 
 type failure = {
@@ -314,6 +321,7 @@ type failure = {
   sample : bool;
   gen : bool;
   wcet : bool;
+  event : bool;
 }
 
 let policy_family = function
@@ -350,10 +358,11 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         sample_iters = 0;
         traffic_iters = 0;
         wcet_iters = 0;
+        event_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic ~wcet
-      =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic
+      ~wcet ~event =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -379,6 +388,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         sample_iters = s.sample_iters + (if sample then 1 else 0);
         traffic_iters = s.traffic_iters + (if traffic then 1 else 0);
         wcet_iters = s.wcet_iters + (if wcet then 1 else 0);
+        event_iters = s.event_iters + (if event then 1 else 0);
       }
   in
   (* The containment contract on generator-backed scenarios: every emitted
@@ -435,8 +445,14 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
          program, seeded from the soak stream. *)
       let wcet = i >= Array.length forced_ways && i mod 5 = 4 in
       let wcet_seed = if wcet then Prng.int wcet_rng 0x3FFFFFFF else 0 in
-      account sc ~fast_path ~machine ~mrc ~sample ~traffic ~wcet;
-      let fail driver ~fast_path ~machine ~mrc ~sample =
+      (* ...and every third iteration (the preamble included, so both
+         geometry extremes soak) replays the scenario through the
+         event-core differential ([Event_diff]): same functional counts,
+         retimed by MSHRs and banked DRAM. It draws nothing from any RNG
+         stream, so the rotation cannot perturb the other drivers. *)
+      let event = i mod 3 = 0 in
+      account sc ~fast_path ~machine ~mrc ~sample ~traffic ~wcet ~event;
+      let fail driver ~fast_path ~machine ~mrc ~sample ~event =
         let shrunk = shrink_by driver sc in
         let divergence =
           match driver shrunk with
@@ -445,7 +461,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine; mrc; sample; gen = false; wcet = false },
+              machine; mrc; sample; gen = false; wcet = false; event },
             !summary )
       in
       let containment_outcome =
@@ -474,6 +490,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                       sample = false;
                       gen = true;
                       wcet = false;
+                      event = false;
                     },
                     !summary ))
       in
@@ -483,47 +500,56 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
           match run_scenario ?bug ~fast_path sc with
           | Diverge _ ->
               fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
-                ~mrc:false ~sample:false
+                ~mrc:false ~sample:false ~event:false
           | Agree -> (
               match if machine then run_machine ?bug sc else Agree with
               | Diverge _ ->
                   fail (run_machine ?bug) ~fast_path:false ~machine:true
-                    ~mrc:false ~sample:false
+                    ~mrc:false ~sample:false ~event:false
               | Agree -> (
                   match if mrc then run_mrc ?bug sc else Agree with
                   | Diverge _ ->
                       fail (run_mrc ?bug) ~fast_path:false ~machine:false
-                        ~mrc:true ~sample:false
+                        ~mrc:true ~sample:false ~event:false
                   | Agree -> (
                       match if sample then run_sample ?bug sc else Agree with
                       | Diverge _ ->
                           fail (run_sample ?bug) ~fast_path:false
                             ~machine:false ~mrc:false ~sample:true
+                            ~event:false
                       | Agree -> (
-                          match
-                            if wcet then
-                              Wcet_diff.run_one ?bug ~seed:wcet_seed ()
-                            else Ok ()
-                          with
-                          | Error detail ->
-                              (* No scenario diverged: the repro is the
-                                 seed and program carried in the detail. *)
-                              Error
-                                ( {
-                                    iteration = i;
-                                    scenario = sc;
-                                    divergence = { step = 0; detail };
-                                    fast_path = false;
-                                    machine = false;
-                                    mrc = false;
-                                    sample = false;
-                                    gen = false;
-                                    wcet = true;
-                                  },
-                                  !summary )
-                          | Ok () ->
-                              progress i;
-                              loop (i + 1))))))
+                          match if event then run_event ?bug sc else Agree with
+                          | Diverge _ ->
+                              fail (run_event ?bug) ~fast_path:false
+                                ~machine:false ~mrc:false ~sample:false
+                                ~event:true
+                          | Agree -> (
+                              match
+                                if wcet then
+                                  Wcet_diff.run_one ?bug ~seed:wcet_seed ()
+                                else Ok ()
+                              with
+                              | Error detail ->
+                                  (* No scenario diverged: the repro is the
+                                     seed and program carried in the
+                                     detail. *)
+                                  Error
+                                    ( {
+                                        iteration = i;
+                                        scenario = sc;
+                                        divergence = { step = 0; detail };
+                                        fast_path = false;
+                                        machine = false;
+                                        mrc = false;
+                                        sample = false;
+                                        gen = false;
+                                        wcet = true;
+                                        event = false;
+                                      },
+                                      !summary )
+                              | Ok () ->
+                                  progress i;
+                                  loop (i + 1)))))))
     end
   in
   loop 0
@@ -538,6 +564,7 @@ let pp_failure ppf f =
     f.iteration
     (if f.gen then "generator containment"
      else if f.wcet then "wcet static-bound"
+     else if f.event then "event-core count"
      else if f.machine then "machine batched-replay"
      else if f.mrc then "stack-distance mrc"
      else if f.sample then "sampled mrc error-bound"
@@ -554,9 +581,11 @@ let pp_summary ppf s =
      %d via the batched fast path, %d via the machine batched replay, %d \
      via the stack-distance mrc differential, %d via the sampled mrc \
      error bound, %d from traffic-shaped generators, %d with wcet \
-     static-bound checks; policies: %s; ways %s)"
+     static-bound checks, %d via the event-core count differential; \
+     policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
     s.machine_iters s.mrc_iters s.sample_iters s.traffic_iters s.wcet_iters
+    s.event_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

@@ -65,6 +65,10 @@ type summary = {
   wcet_iters : int;
       (** iterations that additionally ran the static cache-analysis
           soundness check ({!Wcet_diff.run_one}) on a random program *)
+  event_iters : int;
+      (** scenarios additionally replayed through the event-core count
+          differential ({!Event_diff}): blocking in-order vs MSHR/DRAM
+          event timing, all functional counts compared *)
 }
 
 type failure = {
@@ -96,6 +100,10 @@ type failure = {
           the violated bound and the generated program; the scenario field
           is just the iteration's (unrelated) scenario and the other
           driver flags are [false] then *)
+  event : bool;
+      (** the divergence came from the event-core count differential
+          ({!Event_diff.run_scenario}); the other driver flags are [false]
+          then *)
 }
 
 val soak :
@@ -116,8 +124,11 @@ val soak :
     is what catches the {!Oracle.Gen} mutation; and every fifth runs the
     static cache-analysis soundness check ({!Wcet_diff.run_one}) on its own
     random program, which is what catches the {!Oracle.Wcet} mutation.
-    Stops at the first divergence. [progress] is called with each completed
-    iteration index. *)
+    Every third iteration (preamble included) also replays the scenario
+    through the event-core count differential ({!Event_diff}), which is
+    what catches the {!Oracle.Event} MSHR-merge mutation. Stops at the
+    first divergence. [progress] is called with each completed iteration
+    index. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -13,6 +13,7 @@ type bug =
   | Sample
   | Gen
   | Wcet
+  | Event
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
@@ -24,6 +25,7 @@ let bug_to_string = function
   | Sample -> "sample"
   | Gen -> "gen"
   | Wcet -> "wcet"
+  | Event -> "event"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

@@ -55,6 +55,12 @@ type bug =
           claims always-hits across diverging paths. Proves
           {!Wcet_diff}'s bound-vs-replay comparison can catch an unsound
           abstract domain. *)
+  | Event
+      (** planted in {!Machine.System}'s event-core MSHR-merge path, not
+          here: a delayed hit merged into an in-flight fill is replayed
+          against the cache when the fill lands, double-counting the
+          reference. Proves {!Event_diff}'s count comparison against the
+          blocking in-order oracle catches merge bugs. *)
 
 val bug_to_string : bug -> string
 

@@ -223,4 +223,23 @@ let write_all ~dir =
              ("mrc", r.Experiments.Wcet_partition.mrc);
              ("wcet", r.Experiments.Wcet_partition.wcet);
            ])
-       wp.Experiments.Wcet_partition.rows)
+       wp.Experiments.Wcet_partition.rows);
+
+  let md = Experiments.Multitask_domains.run () in
+  write_rows ~path:(path "multitask_domains.csv")
+    ~header:
+      [
+        "job"; "accesses"; "blocking_cycles"; "event_cycles"; "mshr_merges";
+        "dram_row_hits";
+      ]
+    (List.map
+       (fun (r : Experiments.Multitask_domains.row) ->
+         [
+           r.Experiments.Multitask_domains.job;
+           soi r.Experiments.Multitask_domains.accesses;
+           soi r.Experiments.Multitask_domains.blocking_cycles;
+           soi r.Experiments.Multitask_domains.event_cycles;
+           soi r.Experiments.Multitask_domains.mshr_merges;
+           soi r.Experiments.Multitask_domains.dram_row_hits;
+         ])
+       md.Experiments.Multitask_domains.rows)

@@ -13,6 +13,8 @@
     - [tail_latency.csv] — per-tenant latency percentiles, shared vs
       MRC-partitioned columns
     - [wcet_partition.csv] — per-task static miss bound vs observed misses
+    - [multitask_domains.csv] — per-job blocking vs event-core cycles from
+      the epoch-synchronized multitask replay
       under shared / equal / MRC / WCET column allocations *)
 
 val write_all : dir:string -> unit

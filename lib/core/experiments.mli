@@ -350,6 +350,46 @@ module Wcet_partition : sig
   val print : Format.formatter -> t -> unit
 end
 
+(** Not a paper figure: the epoch-synchronized multitask replay
+    ({!Sched.Epoch}) that replaces the serialized {!Sched.Round_robin}
+    interleave. Three LZ77 jobs with disjoint address spaces each own an
+    exclusive slice of a shared 8-column cache, so a private
+    {!Machine.System} per task is exact and each task can replay on its
+    own worker domain, synchronizing at epoch boundaries. Each job is
+    replayed twice — through the blocking in-order core and through the
+    event-driven core (MSHRs + banked DRAM) — and the gang-timeline
+    makespans are compared. The outcome is byte-identical for any [jobs];
+    [identical_across_jobs] re-runs serially and checks exactly that. *)
+module Multitask_domains : sig
+  type row = {
+    job : string;
+    accesses : int;
+    blocking_cycles : int;  (** job cycles under the blocking in-order core *)
+    event_cycles : int;  (** job cycles under the event-driven core *)
+    mshr_merges : int;  (** delayed hits merged into in-flight fills *)
+    dram_row_hits : int;
+  }
+
+  type t = {
+    rows : row list;  (** in task order *)
+    blocking_makespan : int;
+    event_makespan : int;
+    epochs : int;  (** gang-timeline length in epochs *)
+    jobs : int;  (** worker domains the replay actually used *)
+    identical_across_jobs : bool;
+        (** parallel outcome structurally equal to the serial ([jobs = 1])
+            replay; trivially [true] when run with [jobs = 1] *)
+  }
+
+  val task_count : int
+
+  val run : ?jobs:int -> unit -> t
+  (** Raises [Invalid_argument] (from {!Sched.Epoch.run}) if [jobs < 1] or
+      [jobs] exceeds {!task_count}. *)
+
+  val print : Format.formatter -> t -> unit
+end
+
 val run_all : ?jobs:int -> Format.formatter -> unit
 (** Run every experiment and print all series (the bench harness's output
     body). [jobs] (default 1) is the number of domains the independent

@@ -212,6 +212,10 @@ let eval ?requests ~cache ~timing ~page_size ~tlb_entries ~scratch ~uncached
     l2_hits = 0;
     l2_misses = 0;
     prefetches = 0;
+    mshr_merges = 0;
+    mshr_stalls = 0;
+    dram_row_hits = 0;
+    dram_row_conflicts = 0;
     cache = stats;
     requests =
       (if track then Latency.Builder.build lat else Latency.empty);

@@ -8,6 +8,10 @@ type t = {
   l2_hits : int;
   l2_misses : int;
   prefetches : int;
+  mshr_merges : int;
+  mshr_stalls : int;
+  dram_row_hits : int;
+  dram_row_conflicts : int;
   cache : Cache.Stats.t;
   requests : Latency.t;
 }
@@ -27,6 +31,10 @@ let zero ~ways =
     l2_hits = 0;
     l2_misses = 0;
     prefetches = 0;
+    mshr_merges = 0;
+    mshr_stalls = 0;
+    dram_row_hits = 0;
+    dram_row_conflicts = 0;
     cache = Cache.Stats.create ~ways;
     requests = Latency.empty;
   }
@@ -42,6 +50,10 @@ let add a b =
     l2_hits = a.l2_hits + b.l2_hits;
     l2_misses = a.l2_misses + b.l2_misses;
     prefetches = a.prefetches + b.prefetches;
+    mshr_merges = a.mshr_merges + b.mshr_merges;
+    mshr_stalls = a.mshr_stalls + b.mshr_stalls;
+    dram_row_hits = a.dram_row_hits + b.dram_row_hits;
+    dram_row_conflicts = a.dram_row_conflicts + b.dram_row_conflicts;
     cache = Cache.Stats.add a.cache b.cache;
     requests = Latency.merge a.requests b.requests;
   }
@@ -51,10 +63,19 @@ let pp ppf t =
     if not (Latency.is_empty t.requests) then
       Format.fprintf ppf "@ requests %a" Latency.pp t.requests
   in
+  let events ppf =
+    if
+      t.mshr_merges <> 0 || t.mshr_stalls <> 0 || t.dram_row_hits <> 0
+      || t.dram_row_conflicts <> 0
+    then
+      Format.fprintf ppf
+        "@ MSHR merges %d stalls %d@ DRAM row hits %d conflicts %d"
+        t.mshr_merges t.mshr_stalls t.dram_row_hits t.dram_row_conflicts
+  in
   Format.fprintf ppf
     "@[<v>instructions %d@ cycles %d (CPI %.3f)@ memory accesses %d \
      (scratchpad %d)@ TLB hits %d misses %d@ L2 hits %d misses %d@ \
-     prefetches %d@ %a%t@]"
+     prefetches %d%t@ %a%t@]"
     t.instructions t.cycles (cpi t) t.memory_accesses t.scratchpad_accesses
-    t.tlb_hits t.tlb_misses t.l2_hits t.l2_misses t.prefetches Cache.Stats.pp
-    t.cache requests
+    t.tlb_hits t.tlb_misses t.l2_hits t.l2_misses t.prefetches events
+    Cache.Stats.pp t.cache requests

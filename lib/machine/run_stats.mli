@@ -10,6 +10,13 @@ type t = {
   l2_hits : int;  (** 0 unless an L2 is configured *)
   l2_misses : int;
   prefetches : int;  (** lines fetched by the stream prefetcher *)
+  mshr_merges : int;
+      (** delayed hits folded into an in-flight fill; 0 on the blocking
+          in-order replay paths *)
+  mshr_stalls : int;  (** misses that waited for an MSHR slot to drain *)
+  dram_row_hits : int;  (** DRAM requests landing in an open row *)
+  dram_row_conflicts : int;
+      (** DRAM requests paying the row-conflict/activation latency *)
   cache : Cache.Stats.t;
   requests : Latency.t;
       (** Per-request latency distribution; {!Latency.empty} unless the run

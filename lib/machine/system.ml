@@ -40,6 +40,10 @@ type t = {
   mutable memory_accesses : int;
   mutable scratchpad_accesses : int;
   mutable pending_setup_cycles : int;
+  mutable mshr_merges : int;
+  mutable mshr_stalls : int;
+  mutable dram_row_hits : int;
+  mutable dram_row_conflicts : int;
   (* TLB counters live in the TLB itself; run deltas are snapshot-based. *)
 }
 
@@ -64,6 +68,10 @@ let create cfg =
     memory_accesses = 0;
     scratchpad_accesses = 0;
     pending_setup_cycles = 0;
+    mshr_merges = 0;
+    mshr_stalls = 0;
+    dram_row_hits = 0;
+    dram_row_conflicts = 0;
   }
 
 let mapping t = t.mapping
@@ -229,6 +237,10 @@ let snapshot t =
     l2_hits = t.l2_hits;
     l2_misses = t.l2_misses;
     prefetches = t.prefetches;
+    mshr_merges = t.mshr_merges;
+    mshr_stalls = t.mshr_stalls;
+    dram_row_hits = t.dram_row_hits;
+    dram_row_conflicts = t.dram_row_conflicts;
     cache = Cache.Stats.copy (Sassoc.stats t.cache);
     requests = Latency.empty;
   }
@@ -502,6 +514,10 @@ let run_with t replay =
     l2_hits = after.l2_hits - before.l2_hits;
     l2_misses = after.l2_misses - before.l2_misses;
     prefetches = after.prefetches - before.prefetches;
+    mshr_merges = after.mshr_merges - before.mshr_merges;
+    mshr_stalls = after.mshr_stalls - before.mshr_stalls;
+    dram_row_hits = after.dram_row_hits - before.dram_row_hits;
+    dram_row_conflicts = after.dram_row_conflicts - before.dram_row_conflicts;
     cache = Cache.Stats.sub after.cache before.cache;
     requests = Latency.empty;
   }
@@ -567,6 +583,187 @@ let run_packed_requests t (p : Memtrace.Packed.t) ~requests =
         done)
   in
   { stats with Run_stats.requests = Latency.Builder.build lat }
+
+(* --- event-driven replay ------------------------------------------------ *)
+
+(* The cached half of one access under the event engine. Functional state
+   (cache contents, L2, prefetch fills and tags, every counter) is updated
+   in exactly the order and through exactly the calls the scalar path
+   makes, so all counts are byte-identical to [replay_packed] — the
+   event-core differential soak pins this. Only time is priced differently:
+   the engine overlaps fills through the MSHRs and the banked DRAM.
+   Returns the access's retire time. *)
+let event_cached t engine ~inject_merge_bug ~addr ~kind ~mask ~tint =
+  let stats = Sassoc.stats t.cache in
+  let wb_before = stats.Cache.Stats.writebacks in
+  let line_size = t.cfg.cache.Sassoc.line_size in
+  let maybe_prefetch () =
+    if Hashtbl.mem t.streaming_tints tint then begin
+      let next = addr + line_size in
+      let next_mask = Vm.Mapping.mask_of_quiet t.mapping next in
+      let next_phys = physical t next in
+      if
+        Bitmask.equal next_mask mask
+        && Sassoc.probe t.cache next_phys = None
+      then begin
+        ignore (Sassoc.fill t.cache ~mask next_phys);
+        Hashtbl.replace t.prefetch_tagged (next_phys / line_size) ();
+        t.prefetches <- t.prefetches + 1;
+        (* overlapped with the demand traffic, but it does occupy a bank *)
+        Event.prefetch engine ~addr:next_phys
+      end
+    end
+  in
+  let phys = physical t addr in
+  let phys_line = phys / line_size in
+  match Sassoc.access t.cache ~mask ~kind phys with
+  | Sassoc.Hit _ ->
+      let retire, merged = Event.hit engine ~line:phys_line in
+      (* The planted [--inject-bug event] mutation: the buggy merge path
+         replays the merged request against the cache when its fill lands,
+         as if the MSHR had not recorded the first reference — the second
+         lookup double-counts the access. *)
+      if merged && inject_merge_bug then
+        ignore (Sassoc.access t.cache ~mask ~kind phys);
+      if Hashtbl.mem t.prefetch_tagged phys_line then begin
+        Hashtbl.remove t.prefetch_tagged phys_line;
+        maybe_prefetch ()
+      end;
+      retire
+  | Sassoc.Miss { evicted_line; _ } ->
+      let l2_hit =
+        match t.l2 with
+        | None -> false
+        | Some l2 -> (
+            match Sassoc.access l2 ~kind phys with
+            | Sassoc.Hit _ ->
+                t.l2_hits <- t.l2_hits + 1;
+                true
+            | Sassoc.Miss _ ->
+                t.l2_misses <- t.l2_misses + 1;
+                false)
+      in
+      let victim =
+        if stats.Cache.Stats.writebacks > wb_before then
+          Option.map (fun line -> line * line_size) evicted_line
+        else None
+      in
+      let retire =
+        Event.miss engine ~line:phys_line ~addr:phys ~victim ~l2_hit
+      in
+      maybe_prefetch ();
+      retire
+
+(* One pass over a packed trace under the event engine. [on_access] (when
+   given) receives, per access, the issue time (the core clock before the
+   access's gap) and the retire time — the request-latency replay builds
+   retire-minus-issue windows from it. *)
+let replay_packed_events ?(inject_merge_bug = false) ?on_access t ~engine
+    (p : Memtrace.Packed.t) =
+  let n = Memtrace.Packed.length p in
+  let addrs = Memtrace.Packed.raw_addrs p in
+  let gaps = Memtrace.Packed.raw_gaps p in
+  let kinds = Memtrace.Packed.raw_kinds p in
+  let timing = t.cfg.timing in
+  for i = 0 to n - 1 do
+    let addr = Bigarray.Array1.unsafe_get addrs i in
+    let gap = Bigarray.Array1.unsafe_get gaps i in
+    let kind =
+      match Bigarray.Array1.unsafe_get kinds i with
+      | '\001' -> Access.Write
+      | '\002' -> Access.Ifetch
+      | _ -> Access.Read
+    in
+    let issue = Event.now engine in
+    t.instructions <- t.instructions + gap + 1;
+    t.memory_accesses <- t.memory_accesses + 1;
+    Event.elapse engine gap;
+    let retire =
+      if in_scratchpad t addr then begin
+        t.scratchpad_accesses <- t.scratchpad_accesses + 1;
+        Event.elapse engine timing.Timing.scratchpad_cycles;
+        Event.now engine
+      end
+      else if in_uncached t addr then begin
+        Event.elapse engine timing.Timing.uncached_cycles;
+        Event.now engine
+      end
+      else begin
+        let mask, tint, outcome = Vm.Mapping.resolve t.mapping addr in
+        (match outcome with
+        | Vm.Tlb.Hit -> ()
+        | Vm.Tlb.Miss ->
+            Event.elapse engine timing.Timing.tlb_miss_penalty);
+        event_cached t engine ~inject_merge_bug ~addr ~kind ~mask ~tint
+      end
+    in
+    match on_access with None -> () | Some f -> f i ~issue ~retire
+  done
+
+(* Fold the engine's drained clock and its MSHR/DRAM counters into [t] so
+   run deltas pick them up like any other counter. *)
+let settle_events t engine =
+  t.cycles <- t.cycles + Event.finish engine;
+  t.mshr_merges <- t.mshr_merges + Event.merges engine;
+  t.mshr_stalls <- t.mshr_stalls + Event.mshr_stalls engine;
+  let d = Event.dram_stats engine in
+  t.dram_row_hits <- t.dram_row_hits + d.Dram.hits;
+  t.dram_row_conflicts <- t.dram_row_conflicts + d.Dram.conflicts
+
+let run_packed_events ?inject_merge_bug t ~events p =
+  let engine = Event.create t.cfg.timing events in
+  run_with t (fun () ->
+      replay_packed_events ?inject_merge_bug t ~engine p;
+      settle_events t engine)
+
+let run_packed_requests_events t ~events (p : Memtrace.Packed.t) ~requests =
+  let n = Memtrace.Packed.length p in
+  Array.iteri
+    (fun i (start, stop) ->
+      if start < 0 || start >= stop || stop > n then
+        invalid_arg
+          "System.run_packed_requests_events: request span out of bounds";
+      if i > 0 && start < snd requests.(i - 1) then
+        invalid_arg
+          "System.run_packed_requests_events: request spans must be sorted \
+           and disjoint")
+    requests;
+  let engine = Event.create t.cfg.timing events in
+  let lat =
+    Latency.Builder.create
+      ~initial_capacity:(max 16 (Array.length requests))
+      ()
+  in
+  let stats =
+    run_with t (fun () ->
+        let next_req = ref 0 in
+        let in_window = ref false in
+        let window_issue = ref 0 in
+        let window_retire = ref 0 in
+        replay_packed_events t ~engine p
+          ~on_access:(fun i ~issue ~retire ->
+            (if (not !in_window) && !next_req < Array.length requests then
+               let start, _ = requests.(!next_req) in
+               if i = start then begin
+                 in_window := true;
+                 window_issue := issue;
+                 window_retire := issue
+               end);
+            if !in_window then begin
+              if retire > !window_retire then window_retire := retire;
+              let _, stop = requests.(!next_req) in
+              if i = stop - 1 then begin
+                (* retire-minus-issue: overlapped misses inside the window
+                   count once, not as a sum of per-access stall costs *)
+                Latency.Builder.push lat (!window_retire - !window_issue);
+                in_window := false;
+                incr next_req
+              end
+            end);
+        settle_events t engine)
+  in
+  { stats with Run_stats.requests = Latency.Builder.build lat }
+
 let run_trace t trace = run_packed t (Memtrace.Packed.of_trace trace)
 
 let total t = snapshot t

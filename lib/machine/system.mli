@@ -122,6 +122,30 @@ val run_packed_requests :
     {!run_packed} over the same trace. Raises [Invalid_argument] on
     malformed spans. *)
 
+val run_packed_events :
+  ?inject_merge_bug:bool ->
+  t -> events:Event.config -> Memtrace.Packed.t -> Run_stats.t
+(** Replay under the event-driven timing core ({!Event}): misses overlap
+    through [events.mlp] MSHRs and a banked DRAM with open-row pricing,
+    and the run's [cycles] are the drained event clock. Every functional
+    count — hits, misses, writebacks, evictions, TLB and L2 counters,
+    prefetches — is byte-identical to {!run_packed} on the same trace (the
+    event-core differential soak pins this); the event-only fields
+    ([mshr_merges], [mshr_stalls], [dram_row_hits], [dram_row_conflicts])
+    report the engine's behaviour. [inject_merge_bug] plants the
+    [--inject-bug event] MSHR-merge mutation for harness self-tests. *)
+
+val run_packed_requests_events :
+  t -> events:Event.config -> Memtrace.Packed.t ->
+  requests:(int * int) array -> Run_stats.t
+(** {!run_packed_events} with per-request latency accounting. A request's
+    latency is its {e retire time minus issue time}: the window opens at
+    the core clock when its first access issues and closes at the latest
+    retire among its accesses — overlapped misses inside a window are
+    priced once, not as a sum of per-access stall costs (which
+    double-counts under overlap). Span validation as in
+    {!run_packed_requests}. *)
+
 val total : t -> Run_stats.t
 (** Cumulative statistics since creation (preloads excluded). *)
 

@@ -6,6 +6,8 @@ type t = {
   scratchpad_cycles : int;
   tlb_miss_penalty : int;
   uncached_cycles : int;
+  dram_row_hit_cycles : int;
+  dram_row_conflict_cycles : int;
 }
 
 let default =
@@ -17,6 +19,8 @@ let default =
     scratchpad_cycles = 1;
     tlb_miss_penalty = 8;
     uncached_cycles = 20;
+    dram_row_hit_cycles = 12;
+    dram_row_conflict_cycles = 28;
   }
 
 let ideal_scratchpad t = t.scratchpad_cycles
@@ -35,6 +39,8 @@ let wcet_cycle_bound t ~alu ~accesses ~misses ~writebacks ~tlb_misses =
 
 let pp ppf t =
   Format.fprintf ppf
-    "hit=%d miss=+%d l2hit=+%d wb=+%d scratchpad=%d tlb_miss=+%d uncached=%d"
+    "hit=%d miss=+%d l2hit=+%d wb=+%d scratchpad=%d tlb_miss=+%d uncached=%d \
+     dram=%d/%d"
     t.hit_cycles t.miss_penalty t.l2_hit_cycles t.writeback_penalty
     t.scratchpad_cycles t.tlb_miss_penalty t.uncached_cycles
+    t.dram_row_hit_cycles t.dram_row_conflict_cycles

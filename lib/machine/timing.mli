@@ -16,11 +16,18 @@ type t = {
   scratchpad_cycles : int;  (** dedicated on-chip SRAM access *)
   tlb_miss_penalty : int;  (** page-table walk *)
   uncached_cycles : int;  (** accesses that bypass the cache entirely *)
+  dram_row_hit_cycles : int;
+      (** {!Dram} service time when the request lands in the bank's open
+          row (event core only; the blocking core keeps the flat
+          [miss_penalty]) *)
+  dram_row_conflict_cycles : int;
+      (** {!Dram} service time when the bank must close its open row and
+          activate another (also the cold, no-open-row cost) *)
 }
 
 val default : t
 (** hit 1, miss 20, L2 hit 6, writeback 4, scratchpad 1, TLB miss 8,
-    uncached 20. *)
+    uncached 20, DRAM row hit 12 / row conflict 28. *)
 
 val ideal_scratchpad : t -> int
 (** Cycles for a scratchpad access under this timing. *)

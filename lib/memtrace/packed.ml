@@ -76,6 +76,21 @@ let raw_kinds t = t.kinds
 let raw_tags t = t.tags
 let var_table t = t.vars
 
+(* O(1) slice: Bigarray sub-views share the parent's storage (including
+   mmapped columns), so epoch-sliced replay never copies the trace. The
+   var table is shared whole; tags index into it unchanged. *)
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Packed.sub: slice out of bounds";
+  {
+    len;
+    addrs = Bigarray.Array1.sub t.addrs pos len;
+    gaps = Bigarray.Array1.sub t.gaps pos len;
+    kinds = Bigarray.Array1.sub t.kinds pos len;
+    tags = Bigarray.Array1.sub t.tags pos len;
+    vars = t.vars;
+  }
+
 let instructions t =
   let total = ref t.len in
   for i = 0 to t.len - 1 do

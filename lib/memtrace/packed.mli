@@ -60,6 +60,12 @@ val var_table : t -> string array
 val instructions : t -> int
 (** Total instructions represented: sum of [gap + 1] over all accesses. *)
 
+val sub : t -> pos:int -> len:int -> t
+(** O(1) view of [len] accesses starting at [pos]: the columns are
+    Bigarray sub-views sharing the parent's storage (mmapped traces
+    included) and the var table is shared. Raises [Invalid_argument] when
+    the slice falls outside the trace. *)
+
 val of_trace : Trace.t -> t
 val to_trace : t -> Trace.t
 val of_list : Access.t list -> t

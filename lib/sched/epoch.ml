@@ -1,0 +1,159 @@
+(* Epoch-synchronized multitask replay, one Domain per job.
+
+   Each task owns a private {!Machine.System} — the column-cache setting
+   the experiments model gives every task an exclusive column partition and
+   a disjoint address space, so per-task systems are exact, not an
+   approximation — and replays its trace in fixed-size epochs. Workers
+   rendezvous at a barrier after every epoch (the gang-schedule sync
+   point); the shared timeline advances by the {e slowest} task's epoch
+   cycles, which is the makespan a gang-scheduled machine shows. Because
+   tasks share no mutable state, the per-epoch cycle matrix is identical
+   whatever the worker count: the outcome is byte-for-byte the same at
+   [jobs = 1] and [jobs = N], only wall-clock changes. *)
+
+type job = {
+  name : string;
+  packed : Memtrace.Packed.t;
+}
+
+type job_stats = {
+  job : string;
+  stats : Machine.Run_stats.t;
+  epochs : int;
+  finish : int; (* timeline cycle at which the job's last epoch ends *)
+}
+
+type outcome = {
+  per_job : job_stats list;
+  epochs : int;
+  makespan : int;
+}
+
+(* A reusable counting barrier (generation-numbered so consecutive epochs
+   cannot race each other). *)
+type barrier = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable generation : int;
+}
+
+let barrier_create parties =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    parties;
+    waiting = 0;
+    generation = 0;
+  }
+
+let barrier_await b =
+  Mutex.lock b.mutex;
+  let gen = b.generation in
+  b.waiting <- b.waiting + 1;
+  if b.waiting = b.parties then begin
+    b.waiting <- 0;
+    b.generation <- gen + 1;
+    Condition.broadcast b.cond
+  end
+  else
+    while b.generation = gen do
+      Condition.wait b.cond b.mutex
+    done;
+  Mutex.unlock b.mutex
+
+let run ?(jobs = 1) ?(epoch_accesses = 4096) ?events ~make_system tasks =
+  let n = List.length tasks in
+  if tasks = [] then invalid_arg "Epoch.run: no tasks";
+  if jobs < 1 then invalid_arg "Epoch.run: jobs must be at least 1";
+  if jobs > n then
+    invalid_arg
+      (Printf.sprintf
+         "Epoch.run: more worker domains (jobs=%d) than tasks (%d)" jobs n);
+  if epoch_accesses < 1 then
+    invalid_arg "Epoch.run: epoch_accesses must be at least 1";
+  let tasks = Array.of_list tasks in
+  let epochs_of j =
+    let len = Memtrace.Packed.length tasks.(j).packed in
+    (len + epoch_accesses - 1) / epoch_accesses
+  in
+  let total_epochs = ref 0 in
+  for j = 0 to n - 1 do
+    if epochs_of j > !total_epochs then total_epochs := epochs_of j
+  done;
+  let total_epochs = !total_epochs in
+  (* per-job results; each slot is written by exactly one worker *)
+  let cycles = Array.init n (fun j -> Array.make (epochs_of j) 0) in
+  (* [None] until the job's first epoch lands (its ways come from the
+     job's own system, so there is no zero of the right shape up front) *)
+  let stats = Array.make n None in
+  let replay_epoch system j e =
+    let packed = tasks.(j).packed in
+    let pos = e * epoch_accesses in
+    let len = min epoch_accesses (Memtrace.Packed.length packed - pos) in
+    let slice = Memtrace.Packed.sub packed ~pos ~len in
+    match events with
+    | None -> Machine.System.run_packed system slice
+    | Some events -> Machine.System.run_packed_events system ~events slice
+  in
+  let worker barrier d () =
+    (* round-robin task ownership: worker [d] owns tasks [d, d+jobs, ...] *)
+    let owned = ref [] in
+    let j = ref d in
+    while !j < n do
+      owned := (!j, make_system tasks.(!j)) :: !owned;
+      j := !j + jobs
+    done;
+    let owned = List.rev !owned in
+    for e = 0 to total_epochs - 1 do
+      List.iter
+        (fun (j, system) ->
+          if e < epochs_of j then begin
+            let r = replay_epoch system j e in
+            cycles.(j).(e) <- r.Machine.Run_stats.cycles;
+            stats.(j) <-
+              (match stats.(j) with
+              | None -> Some r
+              | Some s -> Some (Machine.Run_stats.add s r))
+          end)
+        owned;
+      (match barrier with None -> () | Some b -> barrier_await b)
+    done
+  in
+  (if jobs = 1 then worker None 0 ()
+   else begin
+     let barrier = Some (barrier_create jobs) in
+     let domains =
+       List.init (jobs - 1) (fun d -> Domain.spawn (worker barrier (d + 1)))
+     in
+     worker barrier 0 ();
+     List.iter Domain.join domains
+   end);
+  (* gang timeline: each epoch lasts as long as its slowest task *)
+  let timeline = Array.make (total_epochs + 1) 0 in
+  for e = 0 to total_epochs - 1 do
+    let worst = ref 0 in
+    for j = 0 to n - 1 do
+      if e < epochs_of j && cycles.(j).(e) > !worst then
+        worst := cycles.(j).(e)
+    done;
+    timeline.(e + 1) <- timeline.(e) + !worst
+  done;
+  {
+    per_job =
+      List.init n (fun j ->
+          {
+            job = tasks.(j).name;
+            stats =
+              Option.value stats.(j)
+                ~default:(Machine.Run_stats.zero ~ways:1);
+            epochs = epochs_of j;
+            finish = timeline.(epochs_of j);
+          });
+    epochs = total_epochs;
+    makespan = timeline.(total_epochs);
+  }
+
+let find_job outcome name =
+  List.find_opt (fun s -> s.job = name) outcome.per_job

@@ -1,0 +1,54 @@
+(** Epoch-synchronized multitask replay with one worker Domain per job
+    slot — the parallel replacement for the serialized interleave of
+    {!Round_robin}.
+
+    Every task owns a private {!Machine.System} (in the column-cache
+    setting each task has an exclusive column partition and a disjoint
+    address space, so private systems are exact) and replays its packed
+    trace in fixed-size epochs of [epoch_accesses] accesses. Workers
+    rendezvous at a barrier after each epoch; the shared timeline advances
+    by the slowest task's epoch cycles (gang scheduling), giving the
+    [makespan]. Tasks share no mutable state, so the outcome — every
+    counter and the timeline — is byte-identical for any [jobs]; only
+    wall-clock time changes, scaling with the core count.
+
+    With an [events] config each epoch replays under the event-driven core
+    ({!Machine.System.run_packed_events}); epoch boundaries are drain
+    points — outstanding fills complete before the barrier — which is what
+    makes per-epoch cycle counts well-defined sync currency. *)
+
+type job = {
+  name : string;
+  packed : Memtrace.Packed.t;
+}
+
+type job_stats = {
+  job : string;
+  stats : Machine.Run_stats.t;  (** summed over the job's epochs *)
+  epochs : int;
+  finish : int;
+      (** gang-timeline cycle at which the job's last epoch ends *)
+}
+
+type outcome = {
+  per_job : job_stats list;  (** in task order *)
+  epochs : int;  (** timeline length: the longest job's epoch count *)
+  makespan : int;
+      (** sum over epochs of the slowest task's cycles in that epoch *)
+}
+
+val run :
+  ?jobs:int ->
+  ?epoch_accesses:int ->
+  ?events:Machine.Event.config ->
+  make_system:(job -> Machine.System.t) ->
+  job list ->
+  outcome
+(** [jobs] (default 1) is the worker-domain count; tasks are owned
+    round-robin. Raises [Invalid_argument] when the task list is empty,
+    [jobs < 1], [jobs] exceeds the task count (more domains than tasks is
+    a configuration error, not something to clamp), or
+    [epoch_accesses < 1] (default 4096). [make_system] is called once per
+    task, inside the owning worker. *)
+
+val find_job : outcome -> string -> job_stats option

@@ -84,6 +84,14 @@ let test_soak_covers_wcet () =
          i in [8, 500) with i mod 5 = 4 — 99 of them. *)
       check_int "wcet static-bound checks" 99 summary.Diff.wcet_iters
 
+let test_soak_covers_event () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      (* Every third iteration, preamble included: i in [0, 500) with
+         i mod 3 = 0 — 167 of them. *)
+      check_int "event-core count differentials" 167 summary.Diff.event_iters
+
 (* --- mutation tests: a harness that cannot catch a planted bug proves
    nothing, so plant three and insist each is caught and shrunk small --- *)
 
@@ -226,6 +234,43 @@ let test_mutation_wcet () =
       check_bool "some wcet checks ran before the catch" true
         (summary.Diff.wcet_iters > 0)
 
+let test_mutation_event () =
+  (* The planted MSHR-merge bug lives in the event core's delayed-hit path
+     (a merged access replayed against the cache twice), so it must be
+     caught by the event-core count differential and attributed to no
+     other driver. *)
+  match Diff.soak ~bug:Oracle.Event ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "event bug survived 500 iterations"
+  | Error (failure, _) ->
+      check_bool "caught by the event-core count differential" true
+        failure.Diff.event;
+      check_bool "not attributed to any other driver" true
+        ((not failure.Diff.fast_path)
+        && (not failure.Diff.machine)
+        && (not failure.Diff.mrc)
+        && (not failure.Diff.sample)
+        && (not failure.Diff.gen)
+        && not failure.Diff.wcet);
+      check_bool
+        (Printf.sprintf "repro is <= 20 accesses (got %d)"
+           (Scenario.accesses failure.Diff.scenario))
+        true
+        (Scenario.accesses failure.Diff.scenario <= 20);
+      check_bool "repro still diverges under the event driver" true
+        (match
+           Check.Event_diff.run_scenario ~bug:Oracle.Event
+             failure.Diff.scenario
+         with
+        | Check.Event_diff.Diverge _ -> true
+        | Check.Event_diff.Agree -> false);
+      check_bool "repro agrees without the planted bug" true
+        (match Check.Event_diff.run_scenario failure.Diff.scenario with
+        | Check.Event_diff.Agree -> true
+        | Check.Event_diff.Diverge _ -> false);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal failure.Diff.scenario
+           (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
+
 (* --- the oracle on its own: agreement with hand-computed semantics --- *)
 
 let test_oracle_direct_lru () =
@@ -367,6 +412,8 @@ let suites =
           test_soak_covers_wcet;
         Alcotest.test_case "covers the sampled estimator" `Quick
           test_soak_covers_sampled;
+        Alcotest.test_case "covers the event-core differential" `Quick
+          test_soak_covers_event;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
       ] );
     ( "check.mutation",
@@ -383,6 +430,8 @@ let suites =
           test_mutation_wcet;
         Alcotest.test_case "catches sampled-estimator rescale bug" `Quick
           test_mutation_sample;
+        Alcotest.test_case "catches event-core MSHR-merge bug" `Quick
+          test_mutation_event;
       ] );
     ( "check.oracle",
       [
