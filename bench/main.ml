@@ -179,6 +179,28 @@ let bench_mrc_histogram () =
   Cache.Stack_dist.access_packed engine (Lazy.force hot_packed);
   ignore (Cache.Stack_dist.miss_curve engine)
 
+(* The set-sharded parallel pass over the same trace and geometry:
+   [mrc_parallel_j1] prices the sharding scaffolding itself (chunked
+   streaming + merge, no domains spawned), j2/j4 add worker domains. On a
+   single-core container the wall-clock win is bounded; the per-shard
+   engine-access split (roughly 1/jobs each) is asserted by the
+   [mrc_scaling] experiment and test suite instead. *)
+let bench_mrc_parallel jobs () =
+  ignore
+    (Cache.Stack_dist.of_packed_parallel ~jobs ~line_size:16 ~sets:128
+       ~max_ways:8 (Lazy.force hot_packed))
+
+(* The rolling-window engine over the same trace: one observe per access
+   plus O(max_ways) epoch seals, read out once at the end — the per-access
+   overhead the online allocator pays versus the one-shot engine. *)
+let bench_mrc_windowed () =
+  let engine =
+    Cache.Stack_dist.Windowed.create ~window:4096 ~epochs:8 ~line_size:16
+      ~sets:128 ~max_ways:8 ()
+  in
+  Cache.Stack_dist.Windowed.observe_packed engine (Lazy.force hot_packed);
+  ignore (Cache.Stack_dist.Windowed.mrc_now engine)
+
 let hot_walk_packed =
   lazy
     (let t =
@@ -408,6 +430,10 @@ let access_counts () =
              acc + Memtrace.Packed.length j.Sched.Epoch.packed)
            0 (Lazy.force mt_jobs)) );
     ("colcache/mrc_histogram", n);
+    ("colcache/mrc_parallel_j1", n);
+    ("colcache/mrc_parallel_j2", n);
+    ("colcache/mrc_parallel_j4", n);
+    ("colcache/mrc_windowed", n);
     ("colcache/mrc_sampled_lz77", n);
     ( "colcache/mrc_sampled_zipf",
       float_of_int (Memtrace.Packed.length (Lazy.force zipf_packed)) );
@@ -441,6 +467,10 @@ let tests =
       Test.make ~name:"multitask_serial" (Staged.stage (bench_multitask 1));
       Test.make ~name:"multitask_domains" (Staged.stage (bench_multitask 3));
       Test.make ~name:"mrc_histogram" (Staged.stage bench_mrc_histogram);
+      Test.make ~name:"mrc_parallel_j1" (Staged.stage (bench_mrc_parallel 1));
+      Test.make ~name:"mrc_parallel_j2" (Staged.stage (bench_mrc_parallel 2));
+      Test.make ~name:"mrc_parallel_j4" (Staged.stage (bench_mrc_parallel 4));
+      Test.make ~name:"mrc_windowed" (Staged.stage bench_mrc_windowed);
       Test.make ~name:"mrc_sampled_lz77" (Staged.stage bench_mrc_sampled_lz77);
       Test.make ~name:"mrc_sampled_zipf" (Staged.stage bench_mrc_sampled_zipf);
       Test.make ~name:"mrc_per_tag" (Staged.stage bench_mrc_per_tag);

@@ -483,16 +483,67 @@ let mrc_cmd =
             "With $(b,--sample-rate): also run the exact engine and report \
              the observed per-associativity and mean absolute error.")
   in
-  let run file line_size sets ways sample_rate budget seed compare =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard the stack-distance pass over N worker domains (one set \
+             shard each). The curve is byte-identical whatever N is; only \
+             the wall-clock time changes.")
+  in
+  let window =
+    Arg.(
+      value & opt (some int) None
+      & info [ "window" ] ~docv:"W"
+          ~doc:
+            "Report the rolling miss-ratio curve over (approximately) the \
+             last W accesses instead of the whole trace, via the \
+             epoch-ring windowed engine.")
+  in
+  let epochs =
+    Arg.(
+      value & opt int 8
+      & info [ "epochs" ] ~docv:"E"
+          ~doc:
+            "With $(b,--window): ring granularity; the window retires in \
+             W/E-access epochs. W must be a multiple of E.")
+  in
+  let run file line_size sets ways sample_rate budget seed compare jobs
+      window epochs =
     let packed = Memtrace.Trace_file.load_packed ~path:file in
     let exact_mrc =
       if sample_rate = None || compare then begin
-        let engine = Cache.Stack_dist.create ~line_size ~sets ~max_ways:ways () in
-        Cache.Stack_dist.access_packed engine packed;
+        let engine =
+          Cache.Stack_dist.of_packed_parallel ~jobs ~line_size ~sets
+            ~max_ways:ways packed
+        in
         Some (Cache.Stack_dist.mrc engine)
       end
       else None
     in
+    match window with
+    | Some w ->
+        let win =
+          Cache.Stack_dist.Windowed.create ~window:w ~epochs ~line_size ~sets
+            ~max_ways:ways ()
+        in
+        Cache.Stack_dist.Windowed.observe_packed win packed;
+        let mrc = Cache.Stack_dist.Windowed.mrc_now win in
+        Format.fprintf ppf
+          "%d accesses, rolling miss-ratio curve over the last %d (window \
+           %d, %d epochs of %d, %d retired):@."
+          (Memtrace.Packed.length packed)
+          (Cache.Stack_dist.Windowed.accesses_in_window win)
+          w epochs
+          (Cache.Stack_dist.Windowed.epoch_length win)
+          (Cache.Stack_dist.Windowed.retired_epochs win);
+        for a = 1 to ways do
+          Format.fprintf ppf "  %2d way%s  %.6f@." a
+            (if a = 1 then " " else "s")
+            mrc.(a)
+        done
+    | None -> (
     match sample_rate with
     | None ->
         let mrc = Option.get exact_mrc in
@@ -505,10 +556,18 @@ let mrc_cmd =
         done
     | Some rate ->
         let sampled =
-          Cache.Stack_dist.Sampled.create ~seed ?budget ~rate ~line_size ~sets
-            ~max_ways:ways ()
+          if jobs = 1 then begin
+            let e =
+              Cache.Stack_dist.Sampled.create ~seed ?budget ~rate ~line_size
+                ~sets ~max_ways:ways ()
+            in
+            Cache.Stack_dist.Sampled.access_packed e packed;
+            e
+          end
+          else
+            Cache.Stack_dist.Sampled.of_packed_parallel ~seed ~jobs ~rate
+              ~line_size ~sets ~max_ways:ways packed
         in
-        Cache.Stack_dist.Sampled.access_packed sampled packed;
         let est = Cache.Stack_dist.Sampled.mrc_est sampled in
         Format.fprintf ppf
           "%d accesses, sampled miss-ratio curve (rate %.4f requested, %.4f \
@@ -539,18 +598,72 @@ let mrc_cmd =
                 est.(a) mrc.(a) e
             done;
             Format.fprintf ppf "mean absolute error: %.6f@."
-              (!sum /. float_of_int ways))
+              (!sum /. float_of_int ways)))
+  in
+  let run_checked file line_size sets ways sample_rate budget seed compare
+      jobs window epochs =
+    if jobs <= 0 then
+      `Error
+        ( false,
+          Printf.sprintf "--jobs must be a positive domain count, got %d" jobs
+        )
+    else if jobs > sets then
+      `Error
+        ( false,
+          Printf.sprintf "--jobs exceeds the set count: %d shards for %d sets"
+            jobs sets )
+    else if jobs > 1 && budget <> None then
+      `Error
+        ( false,
+          "--jobs cannot shard a --budget run: fixed-budget set eviction is \
+           order-dependent" )
+    else if jobs > 1 && window <> None then
+      `Error
+        ( false,
+          "--jobs cannot shard a --window run: the rolling window is \
+           inherently sequential" )
+    else
+      match window with
+      | Some _ when sample_rate <> None ->
+          `Error
+            ( false,
+              "--window is a rolling exact curve; it cannot combine with \
+               --sample-rate" )
+      | Some w when w <= 0 ->
+          `Error
+            ( false,
+              Printf.sprintf "--window must be a positive access count, got %d"
+                w )
+      | Some _ when epochs <= 0 ->
+          `Error
+            ( false,
+              Printf.sprintf "--epochs must be a positive epoch count, got %d"
+                epochs )
+      | Some w when w mod epochs <> 0 ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "--window must be a multiple of --epochs: window %d, epochs \
+                 %d"
+                w epochs )
+      | Some _ | None ->
+          `Ok
+            (run file line_size sets ways sample_rate budget seed compare
+               jobs window epochs)
   in
   Cmd.v
     (Cmd.info "mrc"
        ~doc:
          "Miss-ratio curve of a trace file over associativities 1..W, exact \
-          (single-pass stack distances) or SHARDS-sampled \
-          ($(b,--sample-rate)). Packed binary traces are mmapped, so curves \
-          of larger-than-RAM traces compute in bounded memory.")
+          (single-pass stack distances, optionally sharded over worker \
+          domains with $(b,--jobs)) or SHARDS-sampled ($(b,--sample-rate)), \
+          or rolling over the last W accesses ($(b,--window)). Packed \
+          binary traces are mmapped, so curves of larger-than-RAM traces \
+          compute in bounded memory.")
     Term.(
-      const run $ file $ line_size $ sets $ ways $ sample_rate $ budget $ seed
-      $ compare)
+      ret
+        (const run_checked $ file $ line_size $ sets $ ways $ sample_rate
+       $ budget $ seed $ compare $ jobs $ window $ epochs))
 
 let validate_cmd =
   let file =
@@ -618,6 +731,7 @@ let check_cmd =
           ("gen", Check.Oracle.Gen);
           ("wcet", Check.Oracle.Wcet);
           ("event", Check.Oracle.Event);
+          ("shard", Check.Oracle.Shard);
         ]
     in
     Arg.(
@@ -631,7 +745,8 @@ let check_cmd =
              engine's access feed, $(b,sample) in the sampled mrc \
              estimator's rescale, $(b,gen) in the workload generator's \
              Zipf sampler, $(b,wcet) in the static cache analysis's \
-             must-join, or $(b,event) in the event core's MSHR-merge path) \
+             must-join, $(b,event) in the event core's MSHR-merge path, or \
+             $(b,shard) in the sharded stack-distance merge loop) \
              to demonstrate that the harness catches and \
              shrinks it. Exit status is inverted: the run fails if the bug \
              is NOT caught.")
@@ -697,8 +812,20 @@ let check_cmd =
              Repros the soak reports as caught by the event-core driver \
              only diverge under this flag.")
   in
+  let shard =
+    Arg.(
+      value & flag
+      & info [ "shard" ]
+          ~doc:
+            "With $(b,--replay): replay the scenario through the \
+             sharded-vs-serial differential (set-sharded parallel \
+             Stack_dist engines, merged, vs the serial engine, every \
+             reading compared exactly) instead of the cache-level oracle \
+             diff. Repros the soak reports as caught by the \
+             sharded-vs-serial driver only diverge under this flag.")
+  in
   let run seed iters max_events bug replay fast_path machine_fast_path mrc
-      sample event =
+      sample event shard =
     match replay with
     | Some path ->
         let ic = open_in path in
@@ -713,7 +840,16 @@ let check_cmd =
             Format.eprintf "%s: %s@." path msg;
             exit 1
         in
-        if event then
+        if shard then
+          match Check.Shard_diff.run_scenario ?bug sc with
+          | Check.Shard_diff.Agree ->
+              Format.fprintf ppf
+                "%s: sharded and serial engine readings agree@." path
+          | Check.Shard_diff.Diverge { step; detail } ->
+              Format.fprintf ppf "%s: DIVERGENCE at event %d: %s@." path step
+                detail;
+              exit 1
+        else if event then
           match Check.Event_diff.run_scenario ?bug sc with
           | Check.Event_diff.Agree ->
               Format.fprintf ppf
@@ -788,7 +924,7 @@ let check_cmd =
           repro.")
     Term.(
       const run $ seed $ iters $ max_events $ bug $ replay $ fast_path
-      $ machine_fast_path $ mrc $ sample $ event)
+      $ machine_fast_path $ mrc $ sample $ event $ shard)
 
 let runfile_cmd =
   let file =

@@ -67,8 +67,10 @@ let sets t = t.n_sets
    back (boundary-[traced] crossing with [dirty_min <= traced] during this
    access's shift). [traced = 0] disables reporting; the stack update is
    identical either way. *)
-let touch_traced t ~write ~counted ~traced addr =
-  let addr = match t.translate with None -> addr | Some f -> f addr in
+(* [touch_raw] expects an already-translated address: the sharded feeds
+   translate once to pick the owning shard and must not pay (or apply) the
+   translation twice. *)
+let touch_raw t ~write ~counted ~traced addr =
   let line = addr lsr t.line_shift in
   let set = line land t.set_mask in
   let w = t.w in
@@ -121,6 +123,10 @@ let touch_traced t ~write ~counted ~traced addr =
      else w + 1);
   if !d < 0 && l < w then Array.unsafe_set t.len set (l + 1);
   !res
+
+let touch_traced t ~write ~counted ~traced addr =
+  let addr = match t.translate with None -> addr | Some f -> f addr in
+  touch_raw t ~write ~counted ~traced addr
 
 let touch t ~write ~counted addr =
   ignore (touch_traced t ~write ~counted ~traced:0 addr)
@@ -229,6 +235,144 @@ let per_tag_of_packed ?translate ~line_size ~sets ~max_ways p =
   done;
   (global, engines)
 
+(* {2 Set-sharded parallel sweeps}
+
+   LRU stack distances are exactly independent per cache set: an access at
+   address [a] only reads and writes the recency stack of the set [a] maps
+   to, and every counter is a sum of per-set contributions. Partitioning the
+   set index space into [K] shards ([set mod K]) therefore makes the Mattson
+   pass embarrassingly parallel — each shard engine sees exactly the
+   accesses of the sets it owns, and the merged counters are pure additions
+   of disjoint per-set counts, so the merged readings are byte-identical to
+   the serial engine's for any [K]. The cold/overflow split survives too:
+   [seen] is keyed by whole line addresses and a line belongs to exactly one
+   set, so the shard [seen] tables are disjoint and their union is the
+   serial table. *)
+
+let check_shard ~shards ~shard ~sets name =
+  if shards < 1 then
+    invalid_arg
+      (Printf.sprintf "Stack_dist.%s: shards must be >= 1, got %d" name shards);
+  if shards > sets then
+    invalid_arg
+      (Printf.sprintf "Stack_dist.%s: more shards (%d) than sets (%d)" name
+         shards sets);
+  if shard < 0 || shard >= shards then
+    invalid_arg
+      (Printf.sprintf "Stack_dist.%s: shard %d outside 0..%d" name shard
+         (shards - 1))
+
+let access_packed_sharded t ~shards ~shard p =
+  check_shard ~shards ~shard ~sets:t.n_sets "access_packed_sharded";
+  let n = Memtrace.Packed.length p in
+  let addrs = Memtrace.Packed.raw_addrs p in
+  let kinds = Memtrace.Packed.raw_kinds p in
+  for i = 0 to n - 1 do
+    let addr = Bigarray.Array1.unsafe_get addrs i in
+    let taddr = match t.translate with None -> addr | Some f -> f addr in
+    if ((taddr lsr t.line_shift) land t.set_mask) mod shards = shard then
+      ignore
+        (touch_raw t
+           ~write:(Bigarray.Array1.unsafe_get kinds i = '\001')
+           ~counted:true ~traced:0 taddr)
+  done
+
+let merge_into dst src =
+  if dst == src then
+    invalid_arg "Stack_dist.merge_into: cannot merge an engine into itself";
+  if
+    dst.line_shift <> src.line_shift
+    || dst.n_sets <> src.n_sets
+    || dst.w <> src.w
+  then invalid_arg "Stack_dist.merge_into: engine geometries differ";
+  let w = dst.w in
+  for set = 0 to dst.n_sets - 1 do
+    if src.len.(set) > 0 then begin
+      if dst.len.(set) > 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Stack_dist.merge_into: both engines touched set %d (shards \
+              must own disjoint sets)"
+             set);
+      let base = set * w in
+      Array.blit src.lines base dst.lines base w;
+      Array.blit src.dirty_min base dst.dirty_min base w;
+      dst.len.(set) <- src.len.(set)
+    end
+  done;
+  for d = 0 to w - 1 do
+    dst.hist.(d) <- dst.hist.(d) + src.hist.(d)
+  done;
+  for a = 0 to w do
+    dst.cross.(a) <- dst.cross.(a) + src.cross.(a);
+    dst.wbs.(a) <- dst.wbs.(a) + src.wbs.(a)
+  done;
+  dst.cold <- dst.cold + src.cold;
+  dst.overflow <- dst.overflow + src.overflow;
+  dst.n_accesses <- dst.n_accesses + src.n_accesses;
+  Hashtbl.iter
+    (fun line () ->
+      if not (Hashtbl.mem dst.seen line) then Hashtbl.add dst.seen line ())
+    src.seen
+
+(* Chunked [Packed.sub] views keep every worker streaming the (possibly
+   mmap'd) columns a bounded window at a time, the same access pattern the
+   out-of-core serial sweep has — the views are O(1), nothing is copied. *)
+let shard_chunk = 1 lsl 16
+
+let feed_sharded_chunked t ~shards ~shard p =
+  let n = Memtrace.Packed.length p in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min shard_chunk (n - !pos) in
+    access_packed_sharded t ~shards ~shard (Memtrace.Packed.sub p ~pos:!pos ~len);
+    pos := !pos + len
+  done
+
+let of_packed_parallel ?translate ?on_shard ~jobs ~line_size ~sets ~max_ways p
+    =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Stack_dist.of_packed_parallel: jobs must be a positive domain \
+          count, got %d"
+         jobs);
+  if jobs > sets then
+    invalid_arg
+      (Printf.sprintf
+         "Stack_dist.of_packed_parallel: more shards (jobs=%d) than sets (%d)"
+         jobs sets);
+  let note shard t =
+    match on_shard with
+    | Some f -> f ~shard ~accesses:(accesses t)
+    | None -> ()
+  in
+  if jobs = 1 then begin
+    let t = create ?translate ~line_size ~sets ~max_ways () in
+    access_packed t p;
+    note 0 t;
+    t
+  end
+  else begin
+    let worker shard () =
+      let t = create ?translate ~line_size ~sets ~max_ways () in
+      feed_sharded_chunked t ~shards:jobs ~shard p;
+      t
+    in
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    let t0 = worker 0 () in
+    note 0 t0;
+    Array.iteri
+      (fun k d ->
+        let tk = Domain.join d in
+        note (k + 1) tk;
+        merge_into t0 tk)
+      domains;
+    t0
+  end
+
 (* {2 Spatially-hashed sampled stack distances}
 
    SHARDS (Waldspurger et al., FAST '15) keeps a reference iff
@@ -280,6 +424,7 @@ module Sampled = struct
 
   (* shadowed below by the sampled reading of the same name *)
   let exact_accesses : exact -> int = accesses
+  let merge_exact = merge_into
 
   type entry = {
     engine : exact;
@@ -409,6 +554,122 @@ module Sampled = struct
         (Bigarray.Array1.unsafe_get addrs i)
     done
 
+  (* Set-sharded parallel feeds, composing SHARDS sampling with the set
+     shards above: selection is a per-set property (a set's hash does not
+     depend on the traffic), so shard [s] of a sampled engine simply owns
+     the selected sets with [set mod shards = s] and the merged per-entry
+     counts are byte-identical to the serial sampled engine's. The
+     fixed-budget variant is excluded: its largest-hash eviction is a
+     global, order-dependent decision on [total_distinct], which sharding
+     would reorder. *)
+
+  let access_packed_sharded t ~shards ~shard p =
+    if t.budget <> None then
+      invalid_arg
+        "Stack_dist.Sampled.access_packed_sharded: budget eviction is \
+         order-dependent and cannot shard";
+    check_shard ~shards ~shard ~sets:t.n_sets "Sampled.access_packed_sharded";
+    let n = Memtrace.Packed.length p in
+    let addrs = Memtrace.Packed.raw_addrs p in
+    let kinds = Memtrace.Packed.raw_kinds p in
+    for i = 0 to n - 1 do
+      let addr = Bigarray.Array1.unsafe_get addrs i in
+      let taddr = match t.translate with None -> addr | Some f -> f addr in
+      let set = (taddr lsr t.line_shift) land t.set_mask in
+      if set mod shards = shard then begin
+        (* [offered] counts only this shard's sets, so the merged total is
+           the serial engine's offered count, not [shards] times it. *)
+        t.offered <- t.offered + 1;
+        let p = Array.unsafe_get t.pos_of_set set in
+        if p >= 0 then begin
+          let e = Array.unsafe_get t.entries p in
+          touch e.engine
+            ~write:(Bigarray.Array1.unsafe_get kinds i = '\001')
+            ~counted:true taddr;
+          let d = Hashtbl.length e.engine.seen in
+          if d <> e.distinct then begin
+            t.total_distinct <- t.total_distinct + (d - e.distinct);
+            e.distinct <- d
+          end
+        end
+      end
+    done
+
+  let merge_into dst src =
+    if dst == src then
+      invalid_arg
+        "Stack_dist.Sampled.merge_into: cannot merge an engine into itself";
+    if dst.budget <> None || src.budget <> None then
+      invalid_arg "Stack_dist.Sampled.merge_into: budget engines cannot merge";
+    if
+      dst.line_shift <> src.line_shift
+      || dst.n_sets <> src.n_sets
+      || dst.w <> src.w
+      || dst.sel_len <> src.sel_len
+    then invalid_arg "Stack_dist.Sampled.merge_into: engine geometries differ";
+    for p = 0 to dst.sel_len - 1 do
+      if dst.entries.(p).set <> src.entries.(p).set then
+        invalid_arg
+          "Stack_dist.Sampled.merge_into: selections differ (seed or rate \
+           mismatch)"
+    done;
+    for p = 0 to dst.sel_len - 1 do
+      let de = dst.entries.(p) and se = src.entries.(p) in
+      merge_exact de.engine se.engine;
+      let d = Hashtbl.length de.engine.seen in
+      dst.total_distinct <- dst.total_distinct + (d - de.distinct);
+      de.distinct <- d
+    done;
+    dst.offered <- dst.offered + src.offered
+
+  let feed_sharded_chunked t ~shards ~shard p =
+    let n = Memtrace.Packed.length p in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min shard_chunk (n - !pos) in
+      access_packed_sharded t ~shards ~shard
+        (Memtrace.Packed.sub p ~pos:!pos ~len);
+      pos := !pos + len
+    done
+
+  let of_packed_parallel ?translate ?seed ?min_sets ~jobs ~rate ~line_size
+      ~sets ~max_ways p =
+    if jobs < 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Stack_dist.Sampled.of_packed_parallel: jobs must be a positive \
+            domain count, got %d"
+           jobs);
+    if jobs > sets then
+      invalid_arg
+        (Printf.sprintf
+           "Stack_dist.Sampled.of_packed_parallel: more shards (jobs=%d) \
+            than sets (%d)"
+           jobs sets);
+    if jobs = 1 then begin
+      let t =
+        create ?translate ?seed ?min_sets ~rate ~line_size ~sets ~max_ways ()
+      in
+      access_packed t p;
+      t
+    end
+    else begin
+      let worker shard () =
+        let t =
+          create ?translate ?seed ?min_sets ~rate ~line_size ~sets ~max_ways
+            ()
+        in
+        feed_sharded_chunked t ~shards:jobs ~shard p;
+        t
+      in
+      let domains =
+        Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      let t0 = worker 0 () in
+      Array.iter (fun d -> merge_into t0 (Domain.join d)) domains;
+      t0
+    end
+
   let max_ways t = t.w
   let sets t = t.n_sets
   let selected_sets t = t.sel_len
@@ -465,4 +726,161 @@ module Sampled = struct
   let evictions_est t ~ways = est_of t "evictions_est" ~ways evictions
   let writebacks_est t ~ways = est_of t "writebacks_est" ~ways writebacks
   let rate t = t.rate
+end
+
+(* {2 Incremental sliding-window MRCs}
+
+   A rolling miss-ratio curve over the last [window] accesses, for
+   controllers that must react to phase changes without re-sweeping the
+   trace. Retiring individual accesses from a Mattson engine is not
+   possible (a reference's depth contribution cannot be unwound), so the
+   window is bucketed into [epochs] equal sub-histograms kept in a ring:
+   the live engine accumulates the current epoch's counters; when the
+   epoch fills, the counters are snapshotted into the ring slot holding
+   the oldest epoch (retiring that whole epoch at once) and
+   [reset_counts] zeroes the engine's counters while keeping its stacks
+   and cold-line memory. Amortized cost per access is the ordinary touch
+   plus O(max_ways / epoch_len) for the snapshot — O(1) for any real
+   epoch length.
+
+   The readings sum the live ring slots plus the partial current epoch,
+   so they cover between [window] and [window + epoch_len - 1] recent
+   accesses (whole-epoch granularity). Stack contents and the cold-line
+   memory deliberately persist across retirement — depths are measured
+   against true recency, only the counts age out — so a line first seen
+   in a retired epoch re-counts as an overflow rather than a cold miss,
+   the standard rolling approximation. While the total observed is at
+   most [window], nothing has retired and every reading equals the
+   one-shot engine's exactly, which the property suite pins. *)
+module Windowed = struct
+  type exact = t
+
+  type t = {
+    engine : exact;
+    win : int;
+    epoch_len : int;
+    n_epochs : int;
+    ring_hist : int array array; (* n_epochs rows of max_ways counters *)
+    ring_cold : int array;
+    ring_overflow : int array;
+    ring_accesses : int array;
+    mutable live : int; (* filled ring slots *)
+    mutable head : int; (* next slot to write = oldest when full *)
+    mutable cur : int; (* accesses in the unfinished epoch *)
+    mutable retired : int; (* whole epochs aged out of the window *)
+  }
+
+  let create ?translate ~window ~epochs ~line_size ~sets ~max_ways () =
+    if window < 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Stack_dist.Windowed.create: window must be a positive access \
+            count, got %d"
+           window);
+    if epochs < 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Stack_dist.Windowed.create: epochs must be >= 1, got %d" epochs);
+    if window mod epochs <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Stack_dist.Windowed.create: window %d is not a multiple of \
+            epochs %d"
+           window epochs);
+    {
+      engine = create ?translate ~line_size ~sets ~max_ways ();
+      win = window;
+      epoch_len = window / epochs;
+      n_epochs = epochs;
+      ring_hist = Array.init epochs (fun _ -> Array.make max_ways 0);
+      ring_cold = Array.make epochs 0;
+      ring_overflow = Array.make epochs 0;
+      ring_accesses = Array.make epochs 0;
+      live = 0;
+      head = 0;
+      cur = 0;
+      retired = 0;
+    }
+
+  let window t = t.win
+  let epochs t = t.n_epochs
+  let epoch_length t = t.epoch_len
+  let max_ways t = t.engine.w
+  let sets t = t.engine.n_sets
+  let retired_epochs t = t.retired
+
+  (* Seal the full current epoch into the ring: overwrite the oldest slot
+     (retiring its sub-histogram wholesale) and zero the live counters,
+     keeping stacks and the cold-line memory. *)
+  let seal t =
+    let slot = t.head in
+    if t.live = t.n_epochs then t.retired <- t.retired + 1
+    else t.live <- t.live + 1;
+    Array.blit t.engine.hist 0 t.ring_hist.(slot) 0 t.engine.w;
+    t.ring_cold.(slot) <- t.engine.cold;
+    t.ring_overflow.(slot) <- t.engine.overflow;
+    t.ring_accesses.(slot) <- t.engine.n_accesses;
+    reset_counts t.engine;
+    t.head <- (slot + 1) mod t.n_epochs;
+    t.cur <- 0
+
+  let observe t ~kind addr =
+    touch t.engine ~write:(kind = Memtrace.Access.Write) ~counted:true addr;
+    t.cur <- t.cur + 1;
+    if t.cur = t.epoch_len then seal t
+
+  let observe_packed t p =
+    let n = Memtrace.Packed.length p in
+    let addrs = Memtrace.Packed.raw_addrs p in
+    let kinds = Memtrace.Packed.raw_kinds p in
+    for i = 0 to n - 1 do
+      touch t.engine
+        ~write:(Bigarray.Array1.unsafe_get kinds i = '\001')
+        ~counted:true
+        (Bigarray.Array1.unsafe_get addrs i);
+      t.cur <- t.cur + 1;
+      if t.cur = t.epoch_len then seal t
+    done
+
+  (* Sum the live slots plus the partial epoch; slot order is irrelevant
+     for integer sums, so the ring is walked densely. *)
+  let fold_window t =
+    let w = t.engine.w in
+    let hist = Array.make w 0 in
+    Array.blit t.engine.hist 0 hist 0 w;
+    let cold = ref t.engine.cold in
+    let overflow = ref t.engine.overflow in
+    let acc = ref t.engine.n_accesses in
+    for s = 0 to t.live - 1 do
+      let row = t.ring_hist.(s) in
+      for d = 0 to w - 1 do
+        hist.(d) <- hist.(d) + row.(d)
+      done;
+      cold := !cold + t.ring_cold.(s);
+      overflow := !overflow + t.ring_overflow.(s);
+      acc := !acc + t.ring_accesses.(s)
+    done;
+    (hist, !cold, !overflow, !acc)
+
+  let accesses_in_window t =
+    let _, _, _, acc = fold_window t in
+    acc
+
+  let miss_curve_now t =
+    let hist, cold, overflow, acc = fold_window t in
+    let w = t.engine.w in
+    let c = Array.make (w + 1) 0 in
+    c.(w) <- cold + overflow;
+    for a = w - 1 downto 1 do
+      c.(a) <- c.(a + 1) + hist.(a)
+    done;
+    c.(0) <- acc;
+    c
+
+  let mrc_now t =
+    let c = miss_curve_now t in
+    if c.(0) = 0 then Array.map (fun _ -> 0.) c
+    else
+      let n = float_of_int c.(0) in
+      Array.map (fun m -> float_of_int m /. n) c
 end

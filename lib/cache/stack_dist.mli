@@ -110,6 +110,53 @@ val stats : t -> ways:int -> Stats.t
     report after the same accesses: accesses/hits/misses/evictions/
     writebacks exact, three-C fields and [fills_per_way] zero. *)
 
+(** {2 Set-sharded parallel sweeps}
+
+    LRU stack distances are exactly independent per cache set: an access
+    touches only the recency stack of the set it maps to, and every counter
+    is a sum of per-set contributions. Partitioning the set index space into
+    [shards] shards (shard [s] owns the sets with [set mod shards = s])
+    makes the Mattson pass embarrassingly parallel, and because merging is
+    pure addition of disjoint per-set counters — including the up-set
+    dirtiness writeback accounting and the cold/overflow split (the
+    cold-line memory is keyed by whole lines, which belong to exactly one
+    set) — the merged readings are {e byte-identical} to the serial
+    engine's for any shard count. The [Check.Shard_diff] differential and
+    the jobs-invariance property pin this. *)
+
+val access_packed_sharded : t -> shards:int -> shard:int -> Memtrace.Packed.t -> unit
+(** Replay only the accesses whose (translated) set belongs to [shard] of
+    [shards]; everything else is skipped without counting. Feeding one
+    engine per shard with the same trace partitions the work exactly.
+    Raises [Invalid_argument] unless [1 <= shards <= sets] and
+    [0 <= shard < shards]. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds [src]'s counters into [dst] and adopts
+    [src]'s per-set stacks and cold-line memory, leaving [dst] a fully
+    functional engine indistinguishable from one fed both engines' access
+    streams serially. Raises [Invalid_argument] when the geometries differ
+    or when both engines have touched the same set — merging is only exact
+    over disjoint set ownership, which the sharded feed guarantees. *)
+
+val of_packed_parallel :
+  ?translate:(int -> int) ->
+  ?on_shard:(shard:int -> accesses:int -> unit) ->
+  jobs:int ->
+  line_size:int ->
+  sets:int ->
+  max_ways:int ->
+  Memtrace.Packed.t ->
+  t
+(** Sweep a packed trace with [jobs] worker domains, one set shard each,
+    each streaming chunked {!Memtrace.Packed.sub} views (mmap'd traces
+    stay out of core), then merge — the result is byte-identical to a
+    serial {!access_packed} sweep for any [jobs]. [on_shard] is called
+    once per shard at merge time with the accesses that shard's engine
+    counted (the per-domain engine work: each shard processes roughly
+    [1/jobs] of the trace). Raises [Invalid_argument] unless
+    [1 <= jobs <= sets]. *)
+
 (** {2 Per-tag curves}
 
     One engine per interned variable tag of a packed trace, each fed only
@@ -178,6 +225,38 @@ module Sampled : sig
   val access : t -> kind:Memtrace.Access.kind -> int -> unit
   val access_packed : t -> Memtrace.Packed.t -> unit
 
+  val access_packed_sharded :
+    t -> shards:int -> shard:int -> Memtrace.Packed.t -> unit
+  (** Sharded feed, as the exact engine's: selection is a per-set property,
+      so SHARDS sampling composes with set sharding and the merged readings
+      are byte-identical to a serial sampled sweep. [offered] counts only
+      the owned shard's accesses, so merged totals are exact. Raises
+      [Invalid_argument] for budget engines (the largest-hash eviction is a
+      global order-dependent decision that sharding would reorder) and on
+      shard bounds as {!Stack_dist.access_packed_sharded}. *)
+
+  val merge_into : t -> t -> unit
+  (** Merge a shard's sampled engine, entry by selected entry (the per-set
+      engines merge via the exact {!Stack_dist.merge_into}). Raises
+      [Invalid_argument] for budget engines, mismatched geometries, or
+      selections that differ (seed or rate mismatch). *)
+
+  val of_packed_parallel :
+    ?translate:(int -> int) ->
+    ?seed:int ->
+    ?min_sets:int ->
+    jobs:int ->
+    rate:float ->
+    line_size:int ->
+    sets:int ->
+    max_ways:int ->
+    Memtrace.Packed.t ->
+    t
+  (** Parallel sampled sweep: [jobs] worker domains over set shards, merged
+      — byte-identical to a serial sampled sweep for any [jobs]. No
+      [budget] (see {!access_packed_sharded}); raises [Invalid_argument]
+      unless [1 <= jobs <= sets]. *)
+
   val max_ways : t -> int
   val sets : t -> int
 
@@ -223,4 +302,62 @@ module Sampled : sig
   val writebacks_est : t -> ways:int -> float
   (** Scaled per-associativity estimates; [ways] must lie in
       [1..max_ways]. *)
+end
+
+(** {2 Incremental sliding-window MRCs}
+
+    A rolling miss-ratio curve over (approximately) the last [window]
+    accesses, with O(1) amortized cost per access: the window is bucketed
+    into [epochs] equal sub-histograms kept in a ring, so retirement drops
+    whole epoch buckets instead of unwinding individual accesses (which a
+    Mattson engine cannot do). The live engine accumulates the current
+    epoch; a full epoch is snapshotted into the slot holding the oldest one
+    and the counters reset, stacks and cold-line memory persisting — depths
+    stay measured against true recency, only the counts age out (a line
+    first seen in a retired epoch re-counts as overflow, not cold: the
+    standard rolling approximation). Readings cover the live epochs plus
+    the partial one — between [window] and [window + window/epochs - 1]
+    accesses. While the total observed is at most [window], nothing has
+    retired and every reading equals the one-shot engine's exactly; the
+    property suite pins both this and that retirement never resurrects
+    retired counts. This is what {!Layout.Mrc_alloc}'s incremental
+    allocator consumes per tenant. *)
+module Windowed : sig
+  type t
+
+  val create :
+    ?translate:(int -> int) ->
+    window:int ->
+    epochs:int ->
+    line_size:int ->
+    sets:int ->
+    max_ways:int ->
+    unit ->
+    t
+  (** Geometry constraints as {!Stack_dist.create}. Raises
+      [Invalid_argument] unless [window >= 1], [epochs >= 1] and [window]
+      is a multiple of [epochs]. *)
+
+  val observe : t -> kind:Memtrace.Access.kind -> int -> unit
+  val observe_packed : t -> Memtrace.Packed.t -> unit
+
+  val window : t -> int
+  val epochs : t -> int
+  val epoch_length : t -> int
+  val max_ways : t -> int
+  val sets : t -> int
+
+  val retired_epochs : t -> int
+  (** Whole epochs aged out of the window so far. *)
+
+  val accesses_in_window : t -> int
+  (** Accesses the current readings cover: live epochs plus the partial
+      one, never more than [window + epoch_length - 1]. *)
+
+  val miss_curve_now : t -> int array
+  (** Shaped like {!Stack_dist.miss_curve}, over the current window. *)
+
+  val mrc_now : t -> float array
+  (** {!miss_curve_now} normalized by {!accesses_in_window}; all zeros
+      when the window is empty. *)
 end

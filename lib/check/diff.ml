@@ -251,6 +251,12 @@ let run_sample ?bug sc =
   | Sample_diff.Agree -> Agree
   | Sample_diff.Diverge { step; detail } -> Diverge { step; detail }
 
+(* Likewise for the sharded-vs-serial differential ([Shard_diff]). *)
+let run_shard ?bug sc =
+  match Shard_diff.run_scenario ?bug sc with
+  | Shard_diff.Agree -> Agree
+  | Shard_diff.Diverge { step; detail } -> Diverge { step; detail }
+
 (* Likewise for the event-core differential ([Event_diff]). *)
 let run_event ?bug sc =
   match Event_diff.run_scenario ?bug sc with
@@ -306,6 +312,7 @@ type summary = {
   machine_iters : int;
   mrc_iters : int;
   sample_iters : int;
+  shard_iters : int;
   traffic_iters : int;
   wcet_iters : int;
   event_iters : int;
@@ -319,6 +326,7 @@ type failure = {
   machine : bool;
   mrc : bool;
   sample : bool;
+  shard : bool;
   gen : bool;
   wcet : bool;
   event : bool;
@@ -356,13 +364,14 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         machine_iters = 0;
         mrc_iters = 0;
         sample_iters = 0;
+        shard_iters = 0;
         traffic_iters = 0;
         wcet_iters = 0;
         event_iters = 0;
       }
   in
-  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~traffic
-      ~wcet ~event =
+  let account (sc : Scenario.t) ~fast_path ~machine ~mrc ~sample ~shard
+      ~traffic ~wcet ~event =
     let s = !summary in
     let count f = List.length (List.filter f sc.events) in
     let ways = sc.cache.Sassoc.ways in
@@ -386,6 +395,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         machine_iters = s.machine_iters + (if machine then 1 else 0);
         mrc_iters = s.mrc_iters + (if mrc then 1 else 0);
         sample_iters = s.sample_iters + (if sample then 1 else 0);
+        shard_iters = s.shard_iters + (if shard then 1 else 0);
         traffic_iters = s.traffic_iters + (if traffic then 1 else 0);
         wcet_iters = s.wcet_iters + (if wcet then 1 else 0);
         event_iters = s.event_iters + (if event then 1 else 0);
@@ -440,6 +450,11 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
          the SHARDS-sampled estimator against the exact engine within the
          error bound ([Sample_diff]). *)
       let sample = i mod 4 = 3 in
+      (* ...and the remaining quarter slot replays the scenario through the
+         sharded-vs-serial stack-distance differential ([Shard_diff]):
+         every reading of the merged sharded engines must equal the serial
+         engine's exactly. It draws nothing from any RNG stream. *)
+      let shard = i mod 4 = 2 in
       (* ...and every fifth post-preamble iteration runs the static
          cache-analysis soundness check ([Wcet_diff]) on its own random
          program, seeded from the soak stream. *)
@@ -451,8 +466,9 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
          retimed by MSHRs and banked DRAM. It draws nothing from any RNG
          stream, so the rotation cannot perturb the other drivers. *)
       let event = i mod 3 = 0 in
-      account sc ~fast_path ~machine ~mrc ~sample ~traffic ~wcet ~event;
-      let fail driver ~fast_path ~machine ~mrc ~sample ~event =
+      account sc ~fast_path ~machine ~mrc ~sample ~shard ~traffic ~wcet
+        ~event;
+      let fail driver ~fast_path ~machine ~mrc ~sample ~shard ~event =
         let shrunk = shrink_by driver sc in
         let divergence =
           match driver shrunk with
@@ -461,7 +477,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
         in
         Error
           ( { iteration = i; scenario = shrunk; divergence; fast_path;
-              machine; mrc; sample; gen = false; wcet = false; event },
+              machine; mrc; sample; shard; gen = false; wcet = false; event },
             !summary )
       in
       let containment_outcome =
@@ -488,6 +504,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                       machine = false;
                       mrc = false;
                       sample = false;
+                      shard = false;
                       gen = true;
                       wcet = false;
                       event = false;
@@ -500,29 +517,35 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
           match run_scenario ?bug ~fast_path sc with
           | Diverge _ ->
               fail (run_scenario ?bug ~fast_path) ~fast_path ~machine:false
-                ~mrc:false ~sample:false ~event:false
+                ~mrc:false ~sample:false ~shard:false ~event:false
           | Agree -> (
               match if machine then run_machine ?bug sc else Agree with
               | Diverge _ ->
                   fail (run_machine ?bug) ~fast_path:false ~machine:true
-                    ~mrc:false ~sample:false ~event:false
+                    ~mrc:false ~sample:false ~shard:false ~event:false
               | Agree -> (
                   match if mrc then run_mrc ?bug sc else Agree with
                   | Diverge _ ->
                       fail (run_mrc ?bug) ~fast_path:false ~machine:false
-                        ~mrc:true ~sample:false ~event:false
+                        ~mrc:true ~sample:false ~shard:false ~event:false
                   | Agree -> (
                       match if sample then run_sample ?bug sc else Agree with
                       | Diverge _ ->
                           fail (run_sample ?bug) ~fast_path:false
                             ~machine:false ~mrc:false ~sample:true
-                            ~event:false
+                            ~shard:false ~event:false
                       | Agree -> (
+                          match if shard then run_shard ?bug sc else Agree with
+                          | Diverge _ ->
+                              fail (run_shard ?bug) ~fast_path:false
+                                ~machine:false ~mrc:false ~sample:false
+                                ~shard:true ~event:false
+                          | Agree -> (
                           match if event then run_event ?bug sc else Agree with
                           | Diverge _ ->
                               fail (run_event ?bug) ~fast_path:false
                                 ~machine:false ~mrc:false ~sample:false
-                                ~event:true
+                                ~shard:false ~event:true
                           | Agree -> (
                               match
                                 if wcet then
@@ -542,6 +565,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                                         machine = false;
                                         mrc = false;
                                         sample = false;
+                                        shard = false;
                                         gen = false;
                                         wcet = true;
                                         event = false;
@@ -549,7 +573,7 @@ let soak ?bug ?max_events ?(progress = fun _ -> ()) ~seed ~iters () =
                                       !summary )
                               | Ok () ->
                                   progress i;
-                                  loop (i + 1)))))))
+                                  loop (i + 1))))))))
     end
   in
   loop 0
@@ -568,6 +592,7 @@ let pp_failure ppf f =
      else if f.machine then "machine batched-replay"
      else if f.mrc then "stack-distance mrc"
      else if f.sample then "sampled mrc error-bound"
+     else if f.shard then "sharded-vs-serial mrc"
      else if f.fast_path then "batched fast-path"
      else "per-access")
     pp_divergence f.divergence
@@ -580,12 +605,12 @@ let pp_summary ppf s =
     "%d scenarios agreed (%d events, %d accesses, %d re-tints, %d re-maps, \
      %d via the batched fast path, %d via the machine batched replay, %d \
      via the stack-distance mrc differential, %d via the sampled mrc \
-     error bound, %d from traffic-shaped generators, %d with wcet \
-     static-bound checks, %d via the event-core count differential; \
-     policies: %s; ways %s)"
+     error bound, %d via the sharded-vs-serial differential, %d from \
+     traffic-shaped generators, %d with wcet static-bound checks, %d via \
+     the event-core count differential; policies: %s; ways %s)"
     s.iters s.events s.accesses s.retints s.remaps s.fast_path_iters
-    s.machine_iters s.mrc_iters s.sample_iters s.traffic_iters s.wcet_iters
-    s.event_iters
+    s.machine_iters s.mrc_iters s.sample_iters s.shard_iters s.traffic_iters
+    s.wcet_iters s.event_iters
     (String.concat "," s.policies)
     (if s.min_ways > s.max_ways then "-"
      else Printf.sprintf "%d..%d" s.min_ways s.max_ways)

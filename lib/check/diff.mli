@@ -58,6 +58,11 @@ type summary = {
   sample_iters : int;
       (** scenarios additionally checked through the sampled-vs-exact
           error-bound differential ({!Sample_diff}) *)
+  shard_iters : int;
+      (** scenarios additionally checked through the sharded-vs-serial
+          stack-distance differential ({!Shard_diff}): every reading of
+          the merged sharded engines must equal the serial engine's
+          exactly *)
   traffic_iters : int;
       (** scenarios whose access stream came from a traffic-shaped
           {!Workloads.Gen} generator ({!Gen.traffic_scenario}) rather than
@@ -88,6 +93,10 @@ type failure = {
       (** the divergence came from the sampled-vs-exact error-bound
           differential ({!Sample_diff.run_scenario}); the other driver
           flags are [false] then *)
+  shard : bool;
+      (** the divergence came from the sharded-vs-serial differential
+          ({!Shard_diff.run_scenario}); the other driver flags are [false]
+          then *)
   gen : bool;
       (** the failure is a generator-containment violation: a
           traffic-shaped scenario emitted an address outside the
@@ -117,7 +126,10 @@ val soak :
     through the machine-level differential ({!Machine_diff}), so every
     batched entry point soaks equally; every fourth iteration also validates
     the stack-distance engine against exact per-associativity LRU replays
-    ({!Mrc_diff}). After the forced preamble, every third iteration draws
+    ({!Mrc_diff}), and the remaining quarter slot checks the set-sharded
+    parallel engines against the serial one reading-for-reading
+    ({!Shard_diff}), which is what catches the {!Oracle.Shard} merge
+    mutation. After the forced preamble, every third iteration draws
     its access stream from a traffic-shaped generator
     ({!Gen.traffic_scenario}) and additionally verifies the generator's
     containment contract — every address inside its declared range — which

@@ -14,6 +14,7 @@ type bug =
   | Gen
   | Wcet
   | Event
+  | Shard
 
 let bug_to_string = function
   | Mru_instead_of_lru -> "mru-instead-of-lru"
@@ -26,6 +27,7 @@ let bug_to_string = function
   | Gen -> "gen"
   | Wcet -> "wcet"
   | Event -> "event"
+  | Shard -> "shard"
 
 (* One resident cache line. The oracle stores whole line addresses and never
    splits them into tag/index; set membership is recomputed from the line on

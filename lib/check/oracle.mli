@@ -61,6 +61,11 @@ type bug =
           against the cache when the fill lands, double-counting the
           reference. Proves {!Event_diff}'s count comparison against the
           blocking in-order oracle catches merge bugs. *)
+  | Shard
+      (** planted in {!Shard_diff}'s merge loop, not here: the last worker
+          domain's shard is dropped from the merge, so every count owned
+          by its sets vanishes from the sharded result. Proves the exact
+          sharded-vs-serial equality check catches a broken join/merge. *)
 
 val bug_to_string : bug -> string
 

@@ -18,6 +18,10 @@ val min_sets : int
 (** Selection floor: the [min_sets] smallest-hash sets are always kept, so
     the tiny soak geometries retain enough sampled population. *)
 
+val hash_seed : int
+(** The fixed selection-hash seed, so every soak run (and {!Shard_diff}'s
+    sampled twin engines) samples the same sets for the same geometry. *)
+
 val error_bound : sampled_accesses:int -> float
 (** The asserted bound on mean absolute miss-ratio error: a calibrated
     floor plus a [1/sqrt(sampled_accesses)] noise term, so scenarios whose

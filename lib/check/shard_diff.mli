@@ -1,0 +1,35 @@
+(** The set-sharded parallel Mattson pass vs the serial engine.
+
+    Shard merging claims byte-identical results
+    ({!Cache.Stack_dist.merge_into}: disjoint per-set counters, pure
+    addition), so unlike {!Sample_diff} this driver asserts exact equality
+    of {e every} reading — accesses, cold misses, overflows, distinct
+    lines, the depth histogram, and per-associativity
+    misses/evictions/writebacks for each [jobs] in a small list (clamped
+    to the scenario's set count). The sampled engine is held to the same
+    standard on its raw integer readings (selection is a per-set property,
+    so it shards exactly); a covering sliding window (window ≥ stream
+    length, so nothing retires) must read exactly what the one-shot engine
+    read. The sharded feeds stream small {!Memtrace.Packed.sub} chunks but
+    run serially on the calling domain: shard selection and merging — the
+    corruptions this driver exists to catch — are the same code with or
+    without [Domain] fan-out, and soak iterations must stay cheap. Real
+    parallel execution is exercised by the unit tests, bench rows and the
+    CLI. Reconfiguration events are irrelevant, as in {!Mrc_diff}. *)
+
+type divergence = {
+  step : int;
+      (** always the event count: readings are compared only after the
+          full replay *)
+  detail : string;
+}
+
+type outcome =
+  | Agree
+  | Diverge of divergence
+
+val run_scenario : ?bug:Oracle.bug -> Scenario.t -> outcome
+(** [bug] plants a defect for mutation-testing the harness:
+    {!Oracle.Shard} drops the last worker's shard from the exact merge, so
+    every count owned by its sets vanishes from the merged result (other
+    bugs have no effect here). *)

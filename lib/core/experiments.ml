@@ -1736,6 +1736,242 @@ module Multitask_domains = struct
     Format.fprintf ppf "@]@."
 end
 
+module Mrc_scaling = struct
+  type row = {
+    jobs : int;
+    shard_accesses : int list;  (* engine accesses per worker domain *)
+    identical : bool;  (* merged curve = serial curve, byte for byte *)
+  }
+
+  type t = { rows : row list; total_accesses : int }
+
+  let line_size = 16
+  let sets = 64
+  let max_ways = 8
+
+  let packed =
+    lazy
+      (Memtrace.Packed.of_trace
+         (Workloads.Lz77.trace ~seed:11 ~input_len:8192 () ~base:0))
+
+  let run ?(jobs_list = [ 1; 2; 4 ]) () =
+    let p = Lazy.force packed in
+    let serial =
+      let e = Cache.Stack_dist.create ~line_size ~sets ~max_ways () in
+      Cache.Stack_dist.access_packed e p;
+      e
+    in
+    let serial_curve = Cache.Stack_dist.miss_curve serial in
+    let rows =
+      List.map
+        (fun jobs ->
+          let per_shard = Array.make jobs 0 in
+          let merged =
+            Cache.Stack_dist.of_packed_parallel
+              ~on_shard:(fun ~shard ~accesses ->
+                per_shard.(shard) <- accesses)
+              ~jobs ~line_size ~sets ~max_ways p
+          in
+          {
+            jobs;
+            shard_accesses = Array.to_list per_shard;
+            identical =
+              Cache.Stack_dist.miss_curve merged = serial_curve
+              && Cache.Stack_dist.accesses merged
+                 = Cache.Stack_dist.accesses serial;
+          })
+        jobs_list
+    in
+    { rows; total_accesses = Cache.Stack_dist.accesses serial }
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>Set-sharded parallel MRC scaling (LZ77 trace, %d engine \
+       accesses, %d sets)@,"
+      t.total_accesses sets;
+    Format.fprintf ppf "  %-5s %-30s %-10s %s@," "jobs" "per-domain accesses"
+      "max/dom" "identical";
+    List.iter
+      (fun r ->
+        let cells =
+          String.concat " " (List.map string_of_int r.shard_accesses)
+        in
+        Format.fprintf ppf "  %-5d %-30s %-10d %s@," r.jobs cells
+          (List.fold_left max 0 r.shard_accesses)
+          (if r.identical then "yes" else "NO"))
+      t.rows;
+    Format.fprintf ppf "@]@."
+end
+
+module Windowed_mrc = struct
+  (* Two tenants swap working-set sizes at a phase boundary. A static
+     allocation from whole-trace miss curves must average the phases; the
+     incremental windowed controller re-reads its rolling curves and flips
+     the split, hitting in both phases. Per-(tenant, phase) misses are read
+     off fresh exact per-phase curves — exact for the isolated LRU groups
+     {!Layout.Mrc_alloc.to_masks} realizes — so both policies are scored on
+     the same footing. *)
+  type phase_row = {
+    phase : string;
+    static_alloc : (string * int) list;
+    windowed_alloc : (string * int) list;
+    static_misses : int;
+    windowed_misses : int;
+  }
+
+  type t = {
+    rows : phase_row list;
+    static_total : int;
+    windowed_total : int;
+    retired : (string * int) list;
+    windowed_wins : bool;
+  }
+
+  let line_size = 16
+  let sets = 32
+  let columns = 8
+  let window = 1024
+  let epochs = 8
+  let phase_accesses = 4096
+
+  let tenants = [ "A"; "B" ]
+  let base_of = function "A" -> 0x00000 | _ -> 0x40000
+
+  let phases =
+    [
+      ("phase1", [ ("A", 7); ("B", 2) ]); ("phase2", [ ("A", 2); ("B", 7) ]);
+    ]
+
+  (* The phase's accesses as (tenant, addr), tenants interleaved
+     access-by-access like a shared front end would see them. Each tenant
+     draws uniformly over [cols] columns' worth of lines (the small working
+     set is a prefix of the large one): a stationary independent-reference
+     stream, whose miss curve falls smoothly from 1 way up to [cols] — so
+     the greedy allocator's marginal gains are informative at every count,
+     and a rolling window anywhere in the phase sees the same curve. *)
+  let phase_trace idx plan =
+    let streams =
+      List.map
+        (fun (t, cols) ->
+          ( t,
+            cols,
+            Workloads.Prng.create
+              ~seed:(0x5eed + (31 * idx) + Char.code t.[0]) ))
+        plan
+    in
+    let acc = ref [] in
+    for _ = 1 to phase_accesses do
+      List.iter
+        (fun (t, cols, rng) ->
+          let line = Workloads.Prng.int rng (cols * sets) in
+          acc := (t, base_of t + (line * line_size)) :: !acc)
+        streams
+    done;
+    List.rev !acc
+
+  let curve_of accs tenant =
+    let e = Cache.Stack_dist.create ~line_size ~sets ~max_ways:columns () in
+    List.iter
+      (fun (t, a) ->
+        if t = tenant then
+          Cache.Stack_dist.access e ~kind:Memtrace.Access.Read a)
+      accs;
+    Cache.Stack_dist.miss_curve e
+
+  let misses_at curve alloc tenant =
+    match List.assoc_opt tenant alloc with
+    | Some c -> curve.(min c (Array.length curve - 1))
+    | None -> assert false
+
+  let run () =
+    let traces =
+      List.mapi (fun idx (_, plan) -> phase_trace idx plan) phases
+    in
+    let whole = List.concat traces in
+    (* Static: one allocation from the whole-trace per-tenant curves. *)
+    let static_alloc =
+      Layout.Mrc_alloc.allocate ~columns
+        (List.map (fun t -> (t, curve_of whole t)) tenants)
+    in
+    (* Windowed: feed each phase, then read the controller's split. The
+       fold keeps feeding and allocating strictly in phase order. *)
+    let inc =
+      Layout.Mrc_alloc.Incremental.create ~window ~epochs ~line_size ~sets
+        ~max_ways:columns ~columns tenants
+    in
+    let rows =
+      List.rev
+        (List.fold_left2
+           (fun rows (phase, _) accs ->
+             List.iter
+               (fun (tenant, addr) ->
+                 Layout.Mrc_alloc.Incremental.observe inc ~tenant
+                   ~kind:Memtrace.Access.Read addr)
+               accs;
+             let windowed_alloc =
+               Layout.Mrc_alloc.Incremental.allocate_now inc
+             in
+             let curves = List.map (fun t -> (t, curve_of accs t)) tenants in
+             let total alloc =
+               List.fold_left
+                 (fun sum (t, curve) -> sum + misses_at curve alloc t)
+                 0 curves
+             in
+             {
+               phase;
+               static_alloc;
+               windowed_alloc;
+               static_misses = total static_alloc;
+               windowed_misses = total windowed_alloc;
+             }
+             :: rows)
+           [] phases traces)
+    in
+    let static_total =
+      List.fold_left (fun a r -> a + r.static_misses) 0 rows
+    in
+    let windowed_total =
+      List.fold_left (fun a r -> a + r.windowed_misses) 0 rows
+    in
+    {
+      rows;
+      static_total;
+      windowed_total;
+      retired =
+        List.map
+          (fun t ->
+            (t, Layout.Mrc_alloc.Incremental.retired_epochs inc ~tenant:t))
+          tenants;
+      windowed_wins = windowed_total < static_total;
+    }
+
+  let pp_alloc ppf alloc =
+    List.iter (fun (t, c) -> Format.fprintf ppf "%s:%d " t c) alloc
+
+  let print ppf t =
+    Format.fprintf ppf
+      "@[<v>Incremental windowed re-allocation vs static whole-trace MRCs \
+       (window %d, %d epochs)@,"
+      window epochs;
+    Format.fprintf ppf "  %-8s %-14s %-14s %-10s %s@," "phase" "static"
+      "windowed" "st-miss" "win-miss";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "  %-8s %-14s %-14s %-10d %d@," r.phase
+          (Format.asprintf "%a" pp_alloc r.static_alloc)
+          (Format.asprintf "%a" pp_alloc r.windowed_alloc)
+          r.static_misses r.windowed_misses)
+      t.rows;
+    Format.fprintf ppf "  totals: static %d, windowed %d — windowed wins: %s@,"
+      t.static_total t.windowed_total
+      (if t.windowed_wins then "yes" else "NO");
+    List.iter
+      (fun (tenant, n) ->
+        Format.fprintf ppf "  tenant %s retired %d whole epochs@," tenant n)
+      t.retired;
+    Format.fprintf ppf "@]@."
+end
+
 (* Every experiment above is self-contained — each [run] builds its own
    pipelines, systems and caches, and no library module keeps toplevel mutable
    state — so the tasks can execute on separate domains. Each task renders its
@@ -1763,6 +1999,8 @@ let all_tasks : (unit -> string) list =
     render Tail_latency.print Tail_latency.run;
     render Wcet_partition.print Wcet_partition.run;
     render Multitask_domains.print (fun () -> Multitask_domains.run ());
+    render Mrc_scaling.print (fun () -> Mrc_scaling.run ());
+    render Windowed_mrc.print Windowed_mrc.run;
   ]
 
 let run_all ?(jobs = 1) ppf =

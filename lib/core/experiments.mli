@@ -390,6 +390,60 @@ module Multitask_domains : sig
   val print : Format.formatter -> t -> unit
 end
 
+(** Not a paper figure: per-domain work accounting for the set-sharded
+    parallel Mattson pass ({!Cache.Stack_dist.of_packed_parallel}). For
+    each [jobs] value the same LZ77 trace is swept with that many worker
+    domains; the row records every domain's engine-access count (each
+    strictly below the serial total for [jobs >= 2] — the set filter
+    really divides the work) and re-checks that the merged miss curve is
+    byte-identical to the serial engine's. Wall-clock speedup is the bench
+    harness's business ([mrc_parallel_j*] rows); this table is the
+    scheduler-independent half of the scaling story, meaningful even on a
+    single-core container. *)
+module Mrc_scaling : sig
+  type row = {
+    jobs : int;
+    shard_accesses : int list;  (** engine accesses per worker domain *)
+    identical : bool;
+        (** merged curve and access count equal the serial engine's *)
+  }
+
+  type t = { rows : row list; total_accesses : int }
+
+  val run : ?jobs_list:int list -> unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
+(** Not a paper figure: the incremental sliding-window controller story.
+    Two tenants swap working-set sizes at a phase boundary; a static
+    allocation computed once from whole-trace miss curves must average the
+    phases, while {!Layout.Mrc_alloc.Incremental} re-reads its rolling
+    windowed curves after each phase and flips the column split. Both
+    policies are scored by reading exact per-(tenant, phase) miss curves
+    at their allocations. [windowed_wins] pins that the adaptive split
+    strictly beats the static one; [retired] shows whole epochs really
+    aged out (the window is shorter than a phase). *)
+module Windowed_mrc : sig
+  type phase_row = {
+    phase : string;
+    static_alloc : (string * int) list;
+    windowed_alloc : (string * int) list;
+    static_misses : int;
+    windowed_misses : int;
+  }
+
+  type t = {
+    rows : phase_row list;
+    static_total : int;
+    windowed_total : int;
+    retired : (string * int) list;  (** per tenant, after both phases *)
+    windowed_wins : bool;
+  }
+
+  val run : unit -> t
+  val print : Format.formatter -> t -> unit
+end
+
 val run_all : ?jobs:int -> Format.formatter -> unit
 (** Run every experiment and print all series (the bench harness's output
     body). [jobs] (default 1) is the number of domains the independent

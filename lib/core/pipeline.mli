@@ -92,6 +92,7 @@ val best_split :
   ?allow_uncached:bool ->
   ?mode:Layout.Partition.mode ->
   ?sample_rate:float ->
+  ?jobs:int ->
   t ->
   proc:string ->
   meth:weight_method ->
@@ -103,7 +104,11 @@ val best_split :
     estimator ({!Sweep.partitioned_sampled}) at that rate instead of the
     exact closed form; the returned stats always come from an exact machine
     replay of the winning split, so only the {e choice} of split — not the
-    reported numbers — can be perturbed by sampling noise. *)
+    reported numbers — can be perturbed by sampling noise. [jobs] (default
+    1) routes the exact ranking through {!Sweep.partitioned_parallel} with
+    that many worker domains — byte-identical ranking, so the chosen split
+    and the reported stats are independent of [jobs]. Raises
+    [Invalid_argument] when [jobs < 1] or [jobs] exceeds the set count. *)
 
 val dynamic_schedule :
   ?mode:Layout.Partition.mode ->

@@ -465,6 +465,347 @@ let partitioned_sampled ?seed ?min_sets ?budget ~rate ~cache ~timing
            packed_list)
     with Infeasible -> None
 
+(* {2 Domain-parallel set-sharded evaluators}
+
+   The cache side of a sweep point is a Mattson pass, which is exactly
+   independent per cache set (see [Stack_dist.merge_into]); the TLB side is
+   inherently serial (its state depends on the global access order) but
+   cheap — page extraction plus a memoized lookup, no engine work. The
+   parallel evaluators therefore split the two: worker domains each run the
+   engines over one set shard of the trace, and one serial pass replays the
+   TLB and gap accounting; the closed-form cycle arithmetic then recombines
+   them exactly as [eval] does, so the result is byte-identical to the
+   serial evaluator for any [jobs]. Per-request latency is inherently
+   serial-interleaved, so the parallel variants omit [?requests], exactly
+   like [eval_sampled]. *)
+
+let check_jobs ~jobs ~sets name =
+  if jobs < 1 then
+    invalid_arg
+      (Printf.sprintf "Sweep.%s: jobs must be a positive domain count, got %d"
+         name jobs);
+  if jobs > sets then
+    invalid_arg
+      (Printf.sprintf "Sweep.%s: more shards (jobs=%d) than sets (%d)" name
+         jobs sets)
+
+let page_fn page_size =
+  if page_size > 0 && page_size land (page_size - 1) = 0 then (
+    let shift = ref 0 in
+    while 1 lsl !shift < page_size do
+      incr shift
+    done;
+    let shift = !shift in
+    fun addr -> addr lsr shift)
+  else fun addr -> addr / page_size
+
+(* The serial half: the routing loop of [eval] without any engine work —
+   gap sums, uncached recognition, the exact TLB replay with the
+   consecutive-same-page memo, and the full feasibility checks (unclaimed
+   pages, scratchpad byte ranges), raising [Infeasible] exactly where
+   [eval] would. *)
+let route_serial ~page_size ~tlb_entries ~scratch ~uncached ~page_map
+    packed_list =
+  let page_of = page_fn page_size in
+  let page_table = Vm.Page_table.create ~page_size () in
+  let tlb = Vm.Tlb.create ~entries:tlb_entries ~page_table in
+  let n_total = ref 0 in
+  let gap_sum = ref 0 in
+  let n_uncached = ref 0 in
+  let memo_hits = ref 0 in
+  let last_page = ref min_int in
+  List.iter
+    (fun packed ->
+      let n = Memtrace.Packed.length packed in
+      let addrs = Memtrace.Packed.raw_addrs packed in
+      let gaps = Memtrace.Packed.raw_gaps packed in
+      n_total := !n_total + n;
+      for i = 0 to n - 1 do
+        let addr = Bigarray.Array1.unsafe_get addrs i in
+        gap_sum := !gap_sum + Bigarray.Array1.unsafe_get gaps i;
+        if in_ranges uncached addr then incr n_uncached
+        else begin
+          let page = page_of addr in
+          (if page = !last_page then incr memo_hits
+           else begin
+             ignore (Vm.Tlb.lookup_page_quick tlb page);
+             last_page := page
+           end);
+          match page_map with
+          | None -> ()
+          | Some map -> (
+              match Hashtbl.find_opt map page with
+              | Some g when g >= 0 -> ()
+              | Some _ ->
+                  if not (in_ranges scratch addr) then raise Infeasible
+              | None -> raise Infeasible)
+        end
+      done)
+    packed_list;
+  Vm.Tlb.note_hits tlb !memo_hits;
+  (!n_total, !gap_sum, !n_uncached, Vm.Tlb.hits tlb, Vm.Tlb.misses tlb)
+
+(* The parallel half: [jobs] domains, each owning the sets with
+   [set mod jobs = shard] of every group engine, walking the whole trace
+   with a cheap set filter and paying engine work only for owned sets. *)
+let sharded_group_pass ~jobs ~cache ~uncached ~page_map ~page_of ~group_ways
+    ?on_shard packed_list =
+  let line_shift =
+    let rec go n a = if n <= 1 then a else go (n lsr 1) (a + 1) in
+    go cache.Sassoc.line_size 0
+  in
+  let set_mask = cache.Sassoc.sets - 1 in
+  let worker shard () =
+    let groups =
+      Array.map
+        (fun ways ->
+          Stack_dist.create ~line_size:cache.Sassoc.line_size
+            ~sets:cache.Sassoc.sets ~max_ways:ways ())
+        group_ways
+    in
+    List.iter
+      (fun packed ->
+        let n = Memtrace.Packed.length packed in
+        let addrs = Memtrace.Packed.raw_addrs packed in
+        let kinds = Memtrace.Packed.raw_kinds packed in
+        for i = 0 to n - 1 do
+          let addr = Bigarray.Array1.unsafe_get addrs i in
+          if
+            ((addr lsr line_shift) land set_mask) mod jobs = shard
+            && not (in_ranges uncached addr)
+          then begin
+            let feed g =
+              let kind =
+                Memtrace.Packed.kind_of_code
+                  (Char.code (Bigarray.Array1.unsafe_get kinds i))
+              in
+              Stack_dist.access (Array.unsafe_get groups g) ~kind addr
+            in
+            match page_map with
+            | None -> feed 0
+            | Some map -> (
+                match Hashtbl.find_opt map (page_of addr) with
+                | Some g when g >= 0 -> feed g
+                | Some _ | None ->
+                    (* pinned or unclaimed: the serial routing pass already
+                       validated (or rejected) this traffic *)
+                    ())
+          end
+        done)
+      packed_list;
+    groups
+  in
+  let note shard groups =
+    match on_shard with
+    | Some f ->
+        f ~shard
+          ~accesses:
+            (Array.fold_left (fun a e -> a + Stack_dist.accesses e) 0 groups)
+    | None -> ()
+  in
+  if jobs = 1 then begin
+    let groups = worker 0 () in
+    note 0 groups;
+    groups
+  end
+  else begin
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    let g0 = worker 0 () in
+    note 0 g0;
+    Array.iteri
+      (fun k d ->
+        let gk = Domain.join d in
+        note (k + 1) gk;
+        Array.iteri (fun g e -> Stack_dist.merge_into g0.(g) e) gk)
+      domains;
+    g0
+  end
+
+(* Recombine: identical arithmetic to [eval]'s tail over the merged
+   engines' readings. *)
+let assemble ~cache ~timing ~setup_cycles ~n_total ~gap_sum ~n_uncached
+    ~tlb_hits ~tlb_misses ~groups ~group_ways =
+  let misses = ref 0 in
+  let evictions = ref 0 in
+  let writebacks = ref 0 in
+  Array.iteri
+    (fun g engine ->
+      let ways = Array.unsafe_get group_ways g in
+      misses := !misses + Stack_dist.misses engine ~ways;
+      evictions := !evictions + Stack_dist.evictions engine ~ways;
+      writebacks := !writebacks + Stack_dist.writebacks engine ~ways)
+    groups;
+  let resolved = n_total - n_uncached in
+  let cycles =
+    setup_cycles + gap_sum
+    + (resolved * timing.Timing.hit_cycles)
+    + (n_uncached * timing.Timing.uncached_cycles)
+    + (!misses * timing.Timing.miss_penalty)
+    + (!writebacks * timing.Timing.writeback_penalty)
+    + (tlb_misses * timing.Timing.tlb_miss_penalty)
+  in
+  let stats = Cache.Stats.create ~ways:cache.Sassoc.ways in
+  stats.Cache.Stats.accesses <- resolved;
+  stats.Cache.Stats.hits <- resolved - !misses;
+  stats.Cache.Stats.misses <- !misses;
+  stats.Cache.Stats.evictions <- !evictions;
+  stats.Cache.Stats.writebacks <- !writebacks;
+  {
+    Run_stats.instructions = gap_sum + n_total;
+    cycles;
+    memory_accesses = n_total;
+    scratchpad_accesses = 0;
+    tlb_hits;
+    tlb_misses;
+    l2_hits = 0;
+    l2_misses = 0;
+    prefetches = 0;
+    mshr_merges = 0;
+    mshr_stalls = 0;
+    dram_row_hits = 0;
+    dram_row_conflicts = 0;
+    cache = stats;
+    requests = Latency.empty;
+  }
+
+let standard_parallel ?translate ?on_shard ~jobs ~cache ~timing ~page_size
+    ~tlb_entries packed_list =
+  check_jobs ~jobs ~sets:cache.Sassoc.sets "standard_parallel";
+  if not (feasible_cache cache) then None
+  else begin
+    let n_total, gap_sum, n_uncached, tlb_hits, tlb_misses =
+      route_serial ~page_size ~tlb_entries ~scratch:no_ranges
+        ~uncached:no_ranges ~page_map:None packed_list
+    in
+    let group_ways = [| cache.Sassoc.ways |] in
+    let groups =
+      match translate with
+      | None ->
+          sharded_group_pass ~jobs ~cache ~uncached:no_ranges ~page_map:None
+            ~page_of:(page_fn page_size) ~group_ways ?on_shard packed_list
+      | Some f ->
+          (* A frame translation moves addresses between sets, so the shard
+             filter must apply it; the engine owns it, so route through the
+             engine-level sharded feed (translate-once). *)
+          let worker shard () =
+            let e =
+              Stack_dist.create ~translate:f
+                ~line_size:cache.Sassoc.line_size ~sets:cache.Sassoc.sets
+                ~max_ways:cache.Sassoc.ways ()
+            in
+            List.iter
+              (fun p ->
+                if jobs = 1 then Stack_dist.access_packed e p
+                else
+                  Stack_dist.access_packed_sharded e ~shards:jobs ~shard p)
+              packed_list;
+            e
+          in
+          let note shard e =
+            match on_shard with
+            | Some f -> f ~shard ~accesses:(Stack_dist.accesses e)
+            | None -> ()
+          in
+          if jobs = 1 then begin
+            let e = worker 0 () in
+            note 0 e;
+            [| e |]
+          end
+          else begin
+            let domains =
+              Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+            in
+            let e0 = worker 0 () in
+            note 0 e0;
+            Array.iteri
+              (fun k d ->
+                let ek = Domain.join d in
+                note (k + 1) ek;
+                Stack_dist.merge_into e0 ek)
+              domains;
+            [| e0 |]
+          end
+    in
+    Some
+      (assemble ~cache ~timing ~setup_cycles:0 ~n_total ~gap_sum ~n_uncached
+         ~tlb_hits ~tlb_misses ~groups ~group_ways)
+  end
+
+let partitioned_parallel ?on_shard ~jobs ~cache ~timing ~page_size
+    ~tlb_entries ~part ~copy_in packed_list =
+  check_jobs ~jobs ~sets:cache.Sassoc.sets "partitioned_parallel";
+  if not (feasible_cache cache) then None
+  else
+    try
+      let plan = decompose ~cache ~timing ~page_size ~part ~copy_in in
+      let n_total, gap_sum, n_uncached, tlb_hits, tlb_misses =
+        route_serial ~page_size ~tlb_entries ~scratch:plan.plan_scratch
+          ~uncached:plan.plan_uncached ~page_map:(Some plan.plan_page_map)
+          packed_list
+      in
+      let groups =
+        sharded_group_pass ~jobs ~cache ~uncached:plan.plan_uncached
+          ~page_map:(Some plan.plan_page_map) ~page_of:(page_fn page_size)
+          ~group_ways:plan.plan_group_ways ?on_shard packed_list
+      in
+      Some
+        (assemble ~cache ~timing ~setup_cycles:plan.plan_setup ~n_total
+           ~gap_sum ~n_uncached ~tlb_hits ~tlb_misses ~groups
+           ~group_ways:plan.plan_group_ways)
+    with Infeasible -> None
+
+let standard_sampled_parallel ?translate ?seed ?min_sets ~jobs ~rate ~cache
+    ~timing ~page_size ~tlb_entries packed_list =
+  check_jobs ~jobs ~sets:cache.Sassoc.sets "standard_sampled_parallel";
+  if not (feasible_cache cache) then None
+  else begin
+    let n_total, gap_sum, n_uncached, _tlb_hits, tlb_misses =
+      route_serial ~page_size ~tlb_entries ~scratch:no_ranges
+        ~uncached:no_ranges ~page_map:None packed_list
+    in
+    let worker shard () =
+      let e =
+        Stack_dist.Sampled.create ?translate ?seed ?min_sets ~rate
+          ~line_size:cache.Sassoc.line_size ~sets:cache.Sassoc.sets
+          ~max_ways:cache.Sassoc.ways ()
+      in
+      List.iter
+        (fun p ->
+          if jobs = 1 then Stack_dist.Sampled.access_packed e p
+          else
+            Stack_dist.Sampled.access_packed_sharded e ~shards:jobs ~shard p)
+        packed_list;
+      e
+    in
+    let engine =
+      if jobs = 1 then worker 0 ()
+      else begin
+        let domains =
+          Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1)))
+        in
+        let e0 = worker 0 () in
+        Array.iter
+          (fun d -> Stack_dist.Sampled.merge_into e0 (Domain.join d))
+          domains;
+        e0
+      end
+    in
+    let ways = cache.Sassoc.ways in
+    let resolved = n_total - n_uncached in
+    Some
+      (float_of_int
+         (gap_sum
+         + (resolved * timing.Timing.hit_cycles)
+         + (n_uncached * timing.Timing.uncached_cycles)
+         + (tlb_misses * timing.Timing.tlb_miss_penalty))
+      +. (Stack_dist.Sampled.misses_est engine ~ways
+          *. float_of_int timing.Timing.miss_penalty)
+      +. (Stack_dist.Sampled.writebacks_est engine ~ways
+          *. float_of_int timing.Timing.writeback_penalty))
+  end
+
 let masked ?requests ~cache ~timing ~page_size ~tlb_entries ~regions
     packed_list =
   if not (feasible_cache cache) then None

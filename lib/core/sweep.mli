@@ -115,6 +115,70 @@ val partitioned_sampled :
     ranking many split points cheaply before replaying the winner exactly —
     see {!Pipeline.best_split}. *)
 
+val standard_parallel :
+  ?translate:(int -> int) ->
+  ?on_shard:(shard:int -> accesses:int -> unit) ->
+  jobs:int ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  Memtrace.Packed.t list ->
+  Machine.Run_stats.t option
+(** {!standard} evaluated with the Mattson pass sharded over [jobs] worker
+    domains. LRU stack distances are exactly independent per cache set, so
+    each worker owns the sets with [set mod jobs = shard], runs a
+    full-geometry engine over only that shard of the trace, and the shards
+    merge by pure addition of disjoint per-set counters
+    ({!Cache.Stack_dist.merge_into}); the TLB side is replayed serially
+    (its state depends on the global access order, but costs no engine
+    work). The result is byte-identical to {!standard} for every [jobs].
+    Per-request latency is inherently serial-interleaved, so there is no
+    [?requests] — exactly like {!standard_sampled}. [on_shard] reports each
+    shard's engine-access count after its pass (merge order; for scaling
+    accounting). Raises [Invalid_argument] when [jobs < 1] or
+    [jobs > cache.sets]. *)
+
+val partitioned_parallel :
+  ?on_shard:(shard:int -> accesses:int -> unit) ->
+  jobs:int ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  part:Layout.Partition.t ->
+  copy_in:string list ->
+  Memtrace.Packed.t list ->
+  Machine.Run_stats.t option
+(** {!partitioned} with the per-group Mattson passes sharded over [jobs]
+    worker domains, byte-identical to {!partitioned} for every [jobs] (in
+    particular, [None] exactly when it is [None]). The serial pass performs
+    the full feasibility validation (unclaimed pages, scratchpad byte
+    ranges) and the TLB replay; workers only feed group engines, filtered
+    by set shard. [on_shard] and the [jobs] validation as in
+    {!standard_parallel}. *)
+
+val standard_sampled_parallel :
+  ?translate:(int -> int) ->
+  ?seed:int ->
+  ?min_sets:int ->
+  jobs:int ->
+  rate:float ->
+  cache:Cache.Sassoc.config ->
+  timing:Machine.Timing.t ->
+  page_size:int ->
+  tlb_entries:int ->
+  Memtrace.Packed.t list ->
+  float option
+(** {!standard_sampled} sharded over [jobs] worker domains, byte-identical
+    to the serial estimate for every [jobs]: SHARDS set selection is a
+    per-set property, so it composes with sharding — each worker's engine
+    selects the same sets from the same [seed] and touches only those it
+    owns, and {!Cache.Stack_dist.Sampled.merge_into} adds the disjoint
+    readings. There is no [?budget]: fixed-budget eviction is globally
+    order-dependent and cannot shard (the engine-level sharded feeds reject
+    it). [jobs] validation as in {!standard_parallel}. *)
+
 val masked :
   ?requests:(int * int) array ->
   cache:Cache.Sassoc.config ->

@@ -69,6 +69,71 @@ let predicted_misses curves alloc =
           acc + curve.(min c (Array.length curve - 1)))
     0 alloc
 
+module Incremental = struct
+  type t = {
+    tenants : (string * Cache.Stack_dist.Windowed.t) list;
+    columns : int;
+  }
+
+  let create ?translate ~window ~epochs ~line_size ~sets ~max_ways ~columns
+      tenants =
+    (let n = List.length tenants in
+     if n = 0 then invalid_arg "Mrc_alloc.Incremental.create: no tenants";
+     if n > columns then
+       invalid_arg "Mrc_alloc.Incremental.create: more tenants than columns");
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun name ->
+        if Hashtbl.mem seen name then
+          invalid_arg
+            (Printf.sprintf
+               "Mrc_alloc.Incremental.create: duplicate tenant %s" name);
+        Hashtbl.add seen name ())
+      tenants;
+    {
+      tenants =
+        List.map
+          (fun name ->
+            ( name,
+              Cache.Stack_dist.Windowed.create ?translate ~window ~epochs
+                ~line_size ~sets ~max_ways () ))
+          tenants;
+      columns;
+    }
+
+  let engine t tenant =
+    match List.assoc_opt tenant t.tenants with
+    | Some w -> w
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Mrc_alloc.Incremental: unknown tenant %s" tenant)
+
+  let observe t ~tenant ~kind addr =
+    Cache.Stack_dist.Windowed.observe (engine t tenant) ~kind addr
+
+  let observe_packed t ~tenant packed =
+    Cache.Stack_dist.Windowed.observe_packed (engine t tenant) packed
+
+  (* Absolute windowed miss counts, not ratios: the greedy allocator must
+     weight tenants by their traffic, and a busy tenant's marginal column
+     removes more misses than an idle one's at the same miss ratio. *)
+  let curves_now t =
+    List.map
+      (fun (name, w) ->
+        ( name,
+          Array.map float_of_int
+            (Cache.Stack_dist.Windowed.miss_curve_now w) ))
+      t.tenants
+
+  let allocate_now t = allocate_float ~columns:t.columns (curves_now t)
+
+  let accesses_in_window t ~tenant =
+    Cache.Stack_dist.Windowed.accesses_in_window (engine t tenant)
+
+  let retired_epochs t ~tenant =
+    Cache.Stack_dist.Windowed.retired_epochs (engine t tenant)
+end
+
 let to_masks alloc =
   let next = ref 0 in
   List.map

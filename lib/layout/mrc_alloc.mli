@@ -41,6 +41,60 @@ val predicted_misses_float :
   (string * float array) list -> (string * int) list -> float
 (** {!predicted_misses} over estimated curves: the estimated total. *)
 
+(** {2 Incremental allocation from sliding windows}
+
+    The online-controller entry point: one {!Cache.Stack_dist.Windowed}
+    engine per tenant accumulates a rolling miss curve as accesses stream
+    in, and re-allocation reads the current curves in O(tenants × max_ways)
+    — no trace is kept and nothing is re-swept. Repeated [allocate_now]
+    calls reuse all engine state, so reacting to a phase change costs only
+    the accesses observed since the last call. *)
+module Incremental : sig
+  type t
+
+  val create :
+    ?translate:(int -> int) ->
+    window:int ->
+    epochs:int ->
+    line_size:int ->
+    sets:int ->
+    max_ways:int ->
+    columns:int ->
+    string list ->
+    t
+  (** One windowed engine per named tenant, each with the given geometry
+      ([max_ways] bounds the columns a single tenant's curve can resolve;
+      window parameters as {!Cache.Stack_dist.Windowed.create}).
+      [columns] is the total column budget later splits hand out. Raises
+      [Invalid_argument] on an empty or duplicated tenant list, more
+      tenants than [columns], or bad window/geometry parameters. *)
+
+  val observe : t -> tenant:string -> kind:Memtrace.Access.kind -> int -> unit
+  (** Feed one access to a tenant's window. O(1) amortized. Raises
+      [Invalid_argument] for an unknown tenant. *)
+
+  val observe_packed : t -> tenant:string -> Memtrace.Packed.t -> unit
+  (** Feed a packed trace (or a {!Memtrace.Packed.sub} chunk of one) to a
+      tenant's window. *)
+
+  val curves_now : t -> (string * float array) list
+  (** The tenants' current windowed miss curves (absolute counts, as
+      floats), in creation order — exactly what {!allocate_float}
+      consumes. Absolute counts, not ratios: the greedy gain comparison
+      must weight tenants by traffic. *)
+
+  val allocate_now : t -> (string * int) list
+  (** [allocate_float ~columns (curves_now t)]: the current best split of
+      the column budget. Realize with {!to_masks}; call again after more
+      [observe]s to track phase changes. *)
+
+  val accesses_in_window : t -> tenant:string -> int
+  (** {!Cache.Stack_dist.Windowed.accesses_in_window} for one tenant. *)
+
+  val retired_epochs : t -> tenant:string -> int
+  (** {!Cache.Stack_dist.Windowed.retired_epochs} for one tenant. *)
+end
+
 val to_masks : (string * int) list -> (string * Cache.Bitmask.t) list
 (** Realize an allocation as disjoint column masks, assigned contiguously in
     list order: the first name gets columns [0..c0-1], the next

@@ -67,6 +67,14 @@ let test_soak_covers_sampled () =
          error-bound differential: 125 of 500 *)
       check_int "sampled-estimator scenarios" 125 summary.Diff.sample_iters
 
+let test_soak_covers_shard () =
+  match Lazy.force soak_result with
+  | Error _ -> Alcotest.fail "soak diverged"
+  | Ok summary ->
+      (* the remaining quarter slot (i mod 4 = 2) runs the sharded-vs-serial
+         stack-distance differential: 125 of 500 *)
+      check_int "sharded-vs-serial scenarios" 125 summary.Diff.shard_iters
+
 let test_soak_covers_traffic () =
   match Lazy.force soak_result with
   | Error _ -> Alcotest.fail "soak diverged"
@@ -271,6 +279,45 @@ let test_mutation_event () =
         (Scenario.equal failure.Diff.scenario
            (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
 
+let test_mutation_shard () =
+  (* The planted merge bug drops the last worker's shard from the sharded
+     stack-distance merge, so it must be caught by the sharded-vs-serial
+     differential and attributed to no other driver. *)
+  match Diff.soak ~bug:Oracle.Shard ~seed:42 ~iters:500 () with
+  | Ok _ -> Alcotest.fail "shard bug survived 500 iterations"
+  | Error (failure, summary) ->
+      check_bool "caught by the sharded-vs-serial differential" true
+        failure.Diff.shard;
+      check_bool "not attributed to any other driver" true
+        ((not failure.Diff.fast_path)
+        && (not failure.Diff.machine)
+        && (not failure.Diff.mrc)
+        && (not failure.Diff.sample)
+        && (not failure.Diff.gen)
+        && (not failure.Diff.wcet)
+        && not failure.Diff.event);
+      check_bool "some sharded scenarios ran before the catch" true
+        (summary.Diff.shard_iters > 0);
+      check_bool
+        (Printf.sprintf "repro is <= 20 accesses (got %d)"
+           (Scenario.accesses failure.Diff.scenario))
+        true
+        (Scenario.accesses failure.Diff.scenario <= 20);
+      check_bool "repro still diverges under the sharded driver" true
+        (match
+           Check.Shard_diff.run_scenario ~bug:Oracle.Shard
+             failure.Diff.scenario
+         with
+        | Check.Shard_diff.Diverge _ -> true
+        | Check.Shard_diff.Agree -> false);
+      check_bool "repro agrees without the planted bug" true
+        (match Check.Shard_diff.run_scenario failure.Diff.scenario with
+        | Check.Shard_diff.Agree -> true
+        | Check.Shard_diff.Diverge _ -> false);
+      check_bool "repro survives the textual round-trip" true
+        (Scenario.equal failure.Diff.scenario
+           (Scenario.of_string (Scenario.to_string failure.Diff.scenario)))
+
 (* --- the oracle on its own: agreement with hand-computed semantics --- *)
 
 let test_oracle_direct_lru () =
@@ -412,6 +459,8 @@ let suites =
           test_soak_covers_wcet;
         Alcotest.test_case "covers the sampled estimator" `Quick
           test_soak_covers_sampled;
+        Alcotest.test_case "covers the sharded-vs-serial differential" `Quick
+          test_soak_covers_shard;
         Alcotest.test_case "covers the event-core differential" `Quick
           test_soak_covers_event;
         Alcotest.test_case "deterministic" `Quick test_soak_deterministic;
@@ -432,6 +481,8 @@ let suites =
           test_mutation_sample;
         Alcotest.test_case "catches event-core MSHR-merge bug" `Quick
           test_mutation_event;
+        Alcotest.test_case "catches sharded merge bug" `Quick
+          test_mutation_shard;
       ] );
     ( "check.oracle",
       [
